@@ -1,0 +1,88 @@
+//! Chase throughput: the s-t, nested and SO chase engines over growing
+//! source instances (random and structured workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_bench::{intro_nested, tau_413};
+use ndl_chase::{chase_nested, chase_so, NullFactory, Prepared};
+use ndl_core::prelude::*;
+use ndl_gen::{random_instance, successor, InstanceGenOptions};
+
+fn bench_nested_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/nested");
+    for &facts in &[25usize, 50, 100, 200] {
+        let mut syms = SymbolTable::new();
+        let mapping = intro_nested(&mut syms);
+        let prepared = Prepared::mapping(&mapping, &mut syms);
+        let s = syms.rel("S");
+        let source = random_instance(
+            &mut syms,
+            &[(s, 2)],
+            &InstanceGenOptions {
+                facts,
+                domain: (facts / 4).max(2),
+                seed: 42,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &source, |b, src| {
+            b.iter(|| {
+                let mut nulls = NullFactory::new();
+                chase_nested(src, &prepared, &mut nulls).target.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_so_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/so");
+    for &n in &[50usize, 100, 200, 400] {
+        let mut syms = SymbolTable::new();
+        let tau = tau_413(&mut syms);
+        let s = syms.rel("S");
+        let source = successor(&mut syms, s, n, "c");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &source, |b, src| {
+            b.iter(|| {
+                let mut nulls = NullFactory::new();
+                chase_so(src, &tau, &mut nulls).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_st_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/st");
+    for &facts in &[50usize, 100, 200] {
+        let mut syms = SymbolTable::new();
+        let mapping = NestedMapping::parse(
+            &mut syms,
+            &[
+                "S(x,y) -> exists z (R(x,z) & R(z,y))",
+                "S(x,y) & S(y,z) -> T(x,z)",
+            ],
+            &[],
+        )
+        .unwrap();
+        let prepared = Prepared::mapping(&mapping, &mut syms);
+        let s = syms.rel("S");
+        let source = random_instance(
+            &mut syms,
+            &[(s, 2)],
+            &InstanceGenOptions {
+                facts,
+                domain: (facts / 4).max(2),
+                seed: 7,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &source, |b, src| {
+            b.iter(|| {
+                let mut nulls = NullFactory::new();
+                chase_nested(src, &prepared, &mut nulls).target.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested_chase, bench_so_chase, bench_st_chase);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Homomorphism search and core computation: the engine underneath both
+//! IMPLIES and the structural analyses of Section 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_bench::sigma_48;
+use ndl_chase::{chase_so, NullFactory};
+use ndl_core::prelude::*;
+use ndl_gen::cycle;
+use ndl_hom::{core_of, find_homomorphism};
+
+/// Core of odd-cycle chases (Example 4.8): the hardest shape for the
+/// retraction search, since nothing folds.
+fn bench_core_odd_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/odd_cycle");
+    group.sample_size(10);
+    for &n in &[5usize, 7, 9] {
+        let mut syms = SymbolTable::new();
+        let sigma = sigma_48(&mut syms);
+        let s = syms.rel("S");
+        let source = cycle(&mut syms, s, n, "c");
+        let mut nulls = NullFactory::new();
+        let chased = chase_so(&source, &sigma, &mut nulls);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chased, |b, j| {
+            b.iter(|| core_of(j).len())
+        });
+    }
+    group.finish();
+}
+
+/// Core of even-cycle chases: everything folds to one edge.
+fn bench_core_even_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/even_cycle");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        let mut syms = SymbolTable::new();
+        let sigma = sigma_48(&mut syms);
+        let s = syms.rel("S");
+        let source = cycle(&mut syms, s, n, "c");
+        let mut nulls = NullFactory::new();
+        let chased = chase_so(&source, &sigma, &mut nulls);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chased, |b, j| {
+            b.iter(|| core_of(j).len())
+        });
+    }
+    group.finish();
+}
+
+/// Homomorphism search between star-shaped blocks (the IMPLIES inner
+/// loop shape: canonical targets into chase results).
+fn bench_hom_stars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/star_into_star");
+    for &n in &[10usize, 20, 40, 80] {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let hub = Value::Null(NullId(0));
+        let mut from = Instance::new();
+        let mut to = Instance::new();
+        for i in 0..n as u32 {
+            let leaf = Value::Const(syms.constant(&format!("l{i}")));
+            from.insert(Fact::new(r, vec![hub, leaf]));
+            to.insert(Fact::new(r, vec![Value::Null(NullId(1)), leaf]));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(from, to), |b, (f, t)| {
+            b.iter(|| find_homomorphism(f, t).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_odd_cycles,
+    bench_core_even_cycles,
+    bench_hom_stars
+);
+criterion_main!(benches);

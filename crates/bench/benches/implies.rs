@@ -1,0 +1,72 @@
+//! End-to-end IMPLIES runs (Theorem 3.1): the paper's Example 3.10 pair,
+//! implications between nested tgds, and the source-egd variant
+//! (Theorem 5.7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndl_bench::tau_310;
+use ndl_core::prelude::*;
+use ndl_reasoning::{implies_tgd, ImpliesOptions};
+
+fn bench_example_310(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let tau = tau_310(&mut syms);
+    let tau_p = NestedMapping::parse(&mut syms, &["S2(x2) -> exists z R(x2,z)"], &[]).unwrap();
+    let tau_pp =
+        NestedMapping::parse(&mut syms, &["S1(x1) & S2(x2) -> R(x2,x1)"], &[]).unwrap();
+    let opts = ImpliesOptions::default();
+    c.bench_function("implies/ex310_negative", |b| {
+        b.iter(|| {
+            let mut s = syms.clone();
+            implies_tgd(&tau_p, &tau, &mut s, &opts).unwrap().holds
+        })
+    });
+    c.bench_function("implies/ex310_positive", |b| {
+        b.iter(|| {
+            let mut s = syms.clone();
+            implies_tgd(&tau_pp, &tau, &mut s, &opts).unwrap().holds
+        })
+    });
+}
+
+fn bench_nested_premise(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let nested = NestedMapping::parse(
+        &mut syms,
+        &["forall x1,x2 (S(x1,x2) -> exists y (R(y,x2) & forall x3 (S(x1,x3) -> R(y,x3))))"],
+        &[],
+    )
+    .unwrap();
+    let weakening = parse_nested_tgd(
+        &mut syms,
+        "S(x1,x2) & S(x1,x3) -> exists y (R(y,x2) & R(y,x3))",
+    )
+    .unwrap();
+    let opts = ImpliesOptions::default();
+    c.bench_function("implies/nested_premise_glav_conclusion", |b| {
+        b.iter(|| {
+            let mut s = syms.clone();
+            implies_tgd(&nested, &weakening, &mut s, &opts).unwrap().holds
+        })
+    });
+}
+
+fn bench_with_egds(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let premise = NestedMapping::parse(
+        &mut syms,
+        &["S(x,y) -> T(y,y)"],
+        &["S(x,w1) & S(x,w2) -> w1 = w2"],
+    )
+    .unwrap();
+    let sigma = parse_nested_tgd(&mut syms, "S(x,y) & S(x,z) -> T(y,z)").unwrap();
+    let opts = ImpliesOptions::default();
+    c.bench_function("implies/with_source_egds", |b| {
+        b.iter(|| {
+            let mut s = syms.clone();
+            implies_tgd(&premise, &sigma, &mut s, &opts).unwrap().holds
+        })
+    });
+}
+
+criterion_group!(benches, bench_example_310, bench_nested_premise, bench_with_egds);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! The data-complexity contrast of Section 1: model checking nested tgds
+//! (first-order, polynomial data complexity) vs plain SO tgds
+//! (NP-complete). Measured as wall time vs source size on matched
+//! mapping/workload pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_bench::tau_413;
+use ndl_chase::{chase_mapping, chase_so, NullFactory};
+use ndl_core::prelude::*;
+use ndl_gen::successor;
+use ndl_reasoning::{satisfies_nested, satisfies_plain_so};
+
+fn bench_nested_model_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_check/nested");
+    for &n in &[10usize, 20, 40] {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &["forall x1,x2 (S(x1,x2) -> exists y (R(y,x2) & forall x3 (S(x1,x3) -> R(y,x3))))"],
+            &[],
+        )
+        .unwrap();
+        let s = syms.rel("S");
+        let source = successor(&mut syms, s, n, "c");
+        let (res, _) = chase_mapping(&source, &m, &mut syms);
+        let tgd = m.tgds[0].clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(source, res.target),
+            |b, (i, j)| b.iter(|| satisfies_nested(i, j, &tgd)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_plain_so_model_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_check/plain_so");
+    for &n in &[10usize, 20, 40] {
+        let mut syms = SymbolTable::new();
+        let tau = tau_413(&mut syms);
+        let s = syms.rel("S");
+        let source = successor(&mut syms, s, n, "c");
+        let mut nulls = NullFactory::new();
+        let target = chase_so(&source, &tau, &mut nulls);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(source, target),
+            |b, (i, j)| b.iter(|| satisfies_plain_so(i, j, &tau)),
+        );
+    }
+    group.finish();
+}
+
+/// The negative case is where NP search bites: a target that *almost*
+/// satisfies the SO tgd forces exhaustive refutation.
+fn bench_plain_so_negative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_check/plain_so_negative");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        let mut syms = SymbolTable::new();
+        let tau = tau_413(&mut syms);
+        let s = syms.rel("S");
+        let source = successor(&mut syms, s, n, "c");
+        let mut nulls = NullFactory::new();
+        let mut target = chase_so(&source, &tau, &mut nulls);
+        // Remove one fact: no homomorphism remains, search must refute.
+        let victim = target.facts().nth(n / 2).unwrap();
+        target.remove(&victim);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(source, target),
+            |b, (i, j)| b.iter(|| !satisfies_plain_so(i, j, &tau)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nested_model_check,
+    bench_plain_so_model_check,
+    bench_plain_so_negative
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! k-pattern enumeration (Proposition 3.5): the combinatorial heart of
+//! every decision procedure in the paper; non-elementary in the nesting
+//! depth, so the scaling matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_bench::running_sigma;
+use ndl_core::prelude::*;
+use ndl_gen::{random_nested_tgd, TgdGenOptions};
+use ndl_reasoning::k_patterns;
+
+fn bench_running_example(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let sigma = running_sigma(&mut syms);
+    let mut group = c.benchmark_group("patterns/running_sigma");
+    for &k in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| k_patterns(&sigma, k, 10_000_000).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patterns/depth");
+    for &depth in &[2usize, 3, 4] {
+        let mut syms = SymbolTable::new();
+        let tgd = random_nested_tgd(
+            &mut syms,
+            &format!("d{depth}"),
+            &TgdGenOptions {
+                max_depth: depth,
+                max_children: 2,
+                existential_prob: 0.7,
+                seed: 1,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &tgd, |b, t| {
+            b.iter(|| k_patterns(t, 2, 10_000_000).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_running_example, bench_depth_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! The Theorem 5.1 reduction pipeline: encode + check + chase + core over
+//! growing source sizes, for halting and non-halting machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_core::prelude::*;
+use ndl_turing::{build_reduction, busy_halter, forever_right, measure};
+
+fn bench_halting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("turing/halting");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                let m = busy_halter(3);
+                let red = build_reduction(&m, &mut syms);
+                measure(&m, &red, n, &mut syms, "h_", |e| e).anchored_block_size
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_non_halting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("turing/non_halting");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                let m = forever_right();
+                let red = build_reduction(&m, &mut syms);
+                measure(&m, &red, n, &mut syms, "r_", |e| e).anchored_block_size
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_halting, bench_non_halting);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 1**: the eight 1-patterns of the running example
+//! σ (Section 2, (*)), as enumerated by Proposition 3.5.
+
+use ndl_bench::running_sigma;
+use ndl_core::prelude::*;
+use ndl_reasoning::{k_patterns, Pattern};
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    let sigma = running_sigma(&mut syms);
+    println!("σ = {}\n", sigma.display(&syms));
+    let mut patterns = k_patterns(&sigma, 1, 100_000).expect("enumeration fits the budget");
+    patterns.sort_by_key(|p| (p.len(), p.display()));
+    println!("P_1(σ) — the 1-patterns of σ (Figure 1):");
+    for (i, p) in patterns.iter().enumerate() {
+        println!("  p{} = {}", i + 1, p.display());
+        assert!(p.is_valid_for(&sigma));
+        assert!(p.max_clone_multiplicity() <= 1);
+    }
+    assert_eq!(patterns.len(), 8, "the paper's Figure 1 shows 8 patterns");
+    // Sanity: the figure's p8 = σ1(σ2 σ3(σ4)) is among them.
+    let mut p8 = Pattern::root_only(0);
+    p8.add_child(0, 1);
+    let s3 = p8.add_child(0, 2);
+    p8.add_child(s3, 3);
+    assert!(patterns.contains(&p8));
+    println!("\n|P_1(σ)| = {} ✓ (paper: 8)", patterns.len());
+}

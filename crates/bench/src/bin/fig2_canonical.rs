@@ -1,0 +1,36 @@
+//! Regenerates **Figure 2**: the canonical source instance I_{p8} and the
+//! canonical target instance J_{p8} of the 1-pattern p8 (Definition 3.7,
+//! Example 3.8).
+
+use ndl_bench::running_sigma;
+use ndl_chase::NullFactory;
+use ndl_core::prelude::*;
+use ndl_reasoning::{canonical_instances, Pattern};
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    let sigma = running_sigma(&mut syms);
+    let info = SkolemInfo::for_nested(&sigma, &mut syms);
+    // p8 = σ1(σ2 σ3(σ4)).
+    let mut p8 = Pattern::root_only(0);
+    p8.add_child(0, 1);
+    let s3 = p8.add_child(0, 2);
+    p8.add_child(s3, 3);
+    println!("pattern p8 = {}\n", p8.display());
+    let mut nulls = NullFactory::new();
+    let pair = canonical_instances(&sigma, &info, &p8, &mut syms, &mut nulls);
+    println!("I_p8 (canonical source): {}", pair.source.display(&syms));
+    println!(
+        "J_p8 (canonical target): {}",
+        nulls.display_instance(&pair.target, &syms)
+    );
+    assert_eq!(
+        pair.source.display(&syms),
+        "S1(a1), S2(a2), S3(a1,a3), S4(a3,a4)"
+    );
+    assert_eq!(
+        nulls.display_instance(&pair.target, &syms),
+        "R2(f(a1),a2), R3(f(a1),a3), R4(g(a1,a3,a4),a4)"
+    );
+    println!("\nmatches the paper's Figure 2 ✓");
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Figure 3**: a 3-pattern built from p8 by adding one clone
+//! of the σ2 node and two clones of the σ4 node, with the facts of its
+//! canonical source instance (Example 3.9).
+
+use ndl_bench::running_sigma;
+use ndl_chase::NullFactory;
+use ndl_core::prelude::*;
+use ndl_reasoning::{canonical_instances, Pattern};
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    let sigma = running_sigma(&mut syms);
+    let info = SkolemInfo::for_nested(&sigma, &mut syms);
+    let mut p = Pattern::root_only(0);
+    let s2 = p.add_child(0, 1);
+    let s3 = p.add_child(0, 2);
+    let s4 = p.add_child(s3, 3);
+    p.clone_subtree(s2);
+    p.clone_subtree(s4);
+    p.clone_subtree(s4);
+    println!("3-pattern (p8 + one σ2 clone + two σ4 clones): {}", p.display());
+    assert_eq!(p.max_clone_multiplicity(), 3);
+    let mut nulls = NullFactory::new();
+    let pair = canonical_instances(&sigma, &info, &p, &mut syms, &mut nulls);
+    println!("\ncanonical source instance ({} facts):", pair.source.len());
+    println!("  {}", pair.source.display(&syms));
+    println!("\ncanonical target instance ({} facts):", pair.target.len());
+    println!("  {}", nulls.display_instance(&pair.target, &syms));
+    // Figure 3's source: S1(a1); S2(a2), S2(a2'); S3(a1,a3);
+    // S4(a3,a4), S4(a3,a4'), S4(a3,a4'').
+    assert_eq!(pair.source.len(), 7);
+    let s2_rel = syms.rel("S2");
+    let s4_rel = syms.rel("S4");
+    assert_eq!(pair.source.rel_len(s2_rel), 2);
+    assert_eq!(pair.source.rel_len(s4_rel), 3);
+    println!("\nmatches the paper's Figure 3 ✓ (7 source facts: 1×S1, 2×S2, 1×S3, 3×S4)");
+}

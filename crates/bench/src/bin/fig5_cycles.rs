@@ -1,0 +1,55 @@
+//! Regenerates **Figure 5 / Example 4.8**: chase of directed cycles under
+//! σ = S(x,y) → R(f(x),f(y)) ∧ R(f(y),f(x)); for odd n the core is the
+//! full undirected n-cycle, and the bounded-anchor phenomenon: no proper
+//! subinstance of I_n anchors a large block, but the *external* I₃ does.
+
+use ndl_bench::sigma_48;
+use ndl_chase::{chase_so, NullFactory};
+use ndl_core::prelude::*;
+use ndl_gen::{cycle, successor};
+use ndl_hom::{core_of, f_block_size};
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    let sigma = sigma_48(&mut syms);
+    println!("σ = {}\n", sigma.display(&syms));
+    let s = syms.rel("S");
+
+    println!("  n   |chase|  |core|  core f-block size   (odd cycles stay whole)");
+    for n in [3usize, 5, 7, 9] {
+        let source = cycle(&mut syms, s, n, &format!("n{n}_"));
+        let mut nulls = NullFactory::new();
+        let chased = chase_so(&source, &sigma, &mut nulls);
+        let core = core_of(&chased);
+        println!(
+            "  {n}   {:7}  {:6}  {:18}",
+            chased.len(),
+            core.len(),
+            f_block_size(&core)
+        );
+        assert_eq!(core.len(), 2 * n, "odd cycle core is the whole cycle");
+    }
+    for n in [4usize, 6, 8] {
+        let source = cycle(&mut syms, s, n, &format!("e{n}_"));
+        let mut nulls = NullFactory::new();
+        let core = core_of(&chase_so(&source, &sigma, &mut nulls));
+        assert_eq!(core.len(), 2, "even cycles collapse to one undirected edge");
+    }
+    println!("  (even cycles collapse to a single undirected edge ✓)");
+
+    // The bounded-anchor counterexample: a proper subinstance of I₇ (a
+    // directed path) yields only an edge, but the non-subinstance I₃
+    // yields the triangle — which is how Definition 4.6 must be met.
+    let path = successor(&mut syms, s, 7, "p_");
+    let mut n1 = NullFactory::new();
+    let path_core = core_of(&chase_so(&path, &sigma, &mut n1));
+    let i3 = cycle(&mut syms, s, 3, "t_");
+    let mut n2 = NullFactory::new();
+    let tri_core = core_of(&chase_so(&i3, &sigma, &mut n2));
+    println!("\nbounded anchor (Example 4.8):");
+    println!("  core(chase(path ⊂ I_7)) size = {} (just an undirected edge)", path_core.len());
+    println!("  core(chase(I_3 ⊄ I_7))  size = {} (the triangle)", tri_core.len());
+    assert_eq!(path_core.len(), 2);
+    assert_eq!(tri_core.len(), 6);
+    println!("\nmatches Example 4.8 / Figure 5 ✓");
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 7 / Example 4.15**: σ' = S(x,y) ∧ Q(z) →
+//! R(f(z,x,y),g(z),x) has the same clique fact graphs as Example 4.14's σ
+//! on successor sources, *yet* is logically equivalent to a nested tgd —
+//! its null graph has bounded path length, and we machine-check the
+//! equivalence via chase-core homomorphic equivalence on a family.
+
+use ndl_bench::{nested_415, sigma_415, successor_family};
+use ndl_chase::{chase_mapping, chase_so, NullFactory};
+use ndl_core::prelude::*;
+use ndl_hom::{core_of, hom_equivalent, null_path_length, FactGraph};
+use ndl_reasoning::sweep_so;
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    let sigma = sigma_415(&mut syms);
+    let nested = nested_415(&mut syms);
+    println!("σ'     = {}", sigma.display(&syms));
+    println!("nested = {}   (the displayed equivalent)\n", nested.tgds[0].display(&syms));
+
+    // Figure 7 for successor length 5: clique fact graph, short null paths.
+    let family5 = successor_family(&mut syms, true, &[5]);
+    let mut nulls = NullFactory::new();
+    let core = core_of(&chase_so(&family5[0], &sigma, &mut nulls));
+    let fg = FactGraph::of(&core);
+    println!("core for successor length 5: {} facts", core.len());
+    assert_eq!(fg.max_degree(), fg.len() - 1, "fact graph is a clique (like Fig. 6)");
+    let pl = null_path_length(&core, 64).unwrap();
+    println!("fact graph: clique ✓;  null-graph longest simple path = {pl}");
+    assert!(pl <= 2, "Figure 7's null graph is a star: path length ≤ 2");
+
+    // No separation on the sweep...
+    let family = successor_family(&mut syms, true, &[4, 6, 8]);
+    let report = sweep_so(&sigma, &family);
+    assert_eq!(report.verdict, None);
+    println!("\nseparation sweep verdict: none (consistent with nested-expressibility)");
+
+    // ...and a direct machine check of σ' ≡ nested on the family: the
+    // canonical universal solutions are homomorphically equivalent, which
+    // for mappings closed under target homomorphisms decides agreement on
+    // each instance.
+    println!("\nchase-core equivalence checks:");
+    for inst in &family {
+        let mut n = NullFactory::new();
+        let so_chase = chase_so(inst, &sigma, &mut n);
+        let (nested_chase, _) = chase_mapping(inst, &nested, &mut syms);
+        let ok = hom_equivalent(&so_chase, &nested_chase.target);
+        println!("  |I| = {:2}: chase(I,σ') ↔ chase(I,nested)  {}", inst.len(), ok);
+        assert!(ok);
+    }
+    println!("\nmatches Example 4.15 / Figure 7 ✓");
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Proposition 4.13**: τ = S(x,y) → R(f(x),f(y)) on
+//! successor relations has unbounded f-block size but f-degree 2 — the
+//! easy-to-use f-degree tool (Theorem 4.12) separating plain SO tgds from
+//! nested GLAV mappings.
+
+use ndl_bench::{successor_family, tau_413, ExperimentRecord};
+use ndl_core::prelude::*;
+use ndl_reasoning::{sweep_so, NotNestedReason};
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    let tau = tau_413(&mut syms);
+    println!("τ = {}   (Section 1 / Proposition 4.13)\n", tau.display(&syms));
+    let family = successor_family(&mut syms, false, &[4, 6, 8, 10, 12]);
+    let report = sweep_so(&tau, &family);
+    println!("  |I|   core f-block size   core f-degree");
+    for p in &report.points {
+        println!("  {:3}   {:17}   {:13}", p.source_size, p.fblock_size, p.fdegree);
+    }
+    // Unbounded f-block size...
+    assert!(report
+        .points
+        .windows(2)
+        .all(|w| w[1].fblock_size > w[0].fblock_size));
+    // ...with f-degree exactly 2 everywhere.
+    assert!(report.points.iter().all(|p| p.fdegree == 2));
+    assert_eq!(report.verdict, Some(NotNestedReason::FdegreeGap));
+    println!("\n=> f-block size unbounded, f-degree ≡ 2:");
+    println!("   τ is NOT logically equivalent to any nested GLAV mapping (Thm 4.12) ✓");
+
+    // Persist the machine-readable record.
+    let mut record = ExperimentRecord::new(
+        "P4.13",
+        "f-degree gap sweep for τ = S(x,y) → R(f(x),f(y)) on successor relations",
+        "unbounded f-block size, f-degree 2 (Proposition 4.13)",
+    );
+    for p in &report.points {
+        record.row(&[
+            ("source_size", p.source_size.to_string()),
+            ("fblock_size", p.fblock_size.to_string()),
+            ("fdegree", p.fdegree.to_string()),
+        ]);
+    }
+    match record.write_to(&ExperimentRecord::default_dir()) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

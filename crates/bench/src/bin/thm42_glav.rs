@@ -1,0 +1,73 @@
+//! Regenerates the **Theorem 4.2** decision suite: for a portfolio of
+//! nested GLAV mappings, decide GLAV-equivalence; print the unboundedness
+//! certificate (Theorem 4.4's cloning ladder) or the verified GLAV witness.
+
+use ndl_core::prelude::*;
+use ndl_reasoning::{equivalent, glav_equivalent, FblockOptions, ImpliesOptions};
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    let opts = FblockOptions::default();
+    let suite: &[(&str, &str, bool)] = &[
+        (
+            "intro nested tgd",
+            "forall x1,x2 (S(x1,x2) -> exists y (R(y,x2) & forall x3 (S(x1,x3) -> R(y,x3))))",
+            false,
+        ),
+        (
+            "classic group-by tgd",
+            "forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> T(y,x2))))",
+            false,
+        ),
+        (
+            "vacuous nesting (existential unused)",
+            "forall x1 (P(x1) -> exists y (forall x2 (Q(x2) -> U(x2,x2))))",
+            true,
+        ),
+        (
+            "plain s-t tgd",
+            "A(x,y) -> exists z (B(x,z) & B(z,y))",
+            true,
+        ),
+        (
+            "nesting over a bounded inner domain (Example 3.4 style)",
+            "forall x1 (C(x1) -> ((D(x1) -> E(x1))))",
+            true,
+        ),
+        (
+            "Example 4.15's nested tgd",
+            "forall z (Qq(z) -> exists u (forall x,y (Ss(x,y) -> exists v Rr(v,u,x))))",
+            false,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for &(name, text, expect_glav) in suite {
+        let m = NestedMapping::parse(&mut syms, &[text], &[]).unwrap();
+        let d = glav_equivalent(&m, &mut syms, &opts).unwrap();
+        assert_eq!(d.witness.is_some(), expect_glav, "{name}");
+        let detail = match (&d.witness, &d.analysis.evidence) {
+            (Some(w), _) => {
+                // Double-check the witness independently.
+                assert!(equivalent(&m, w, &mut syms, &ImpliesOptions::default()).unwrap());
+                format!(
+                    "witness: {}",
+                    w.tgds
+                        .iter()
+                        .map(|t| t.display(&syms))
+                        .collect::<Vec<_>>()
+                        .join("  ;  ")
+                )
+            }
+            (None, Some(e)) => format!("ladder: {:?}", e.ladder_sizes),
+            _ => unreachable!("unbounded without evidence"),
+        };
+        rows.push((name, d.analysis.bounded, detail));
+    }
+    println!("Theorem 4.2 — \"is this nested GLAV mapping equivalent to a GLAV mapping?\"\n");
+    for (name, bounded, detail) in rows {
+        println!("  {name}");
+        println!("    f-block size bounded: {bounded}");
+        println!("    {detail}\n");
+    }
+    println!("all verdicts verified ✓");
+}

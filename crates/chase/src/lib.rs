@@ -1,0 +1,36 @@
+//! # ndl-chase
+//!
+//! Chase engines for the dependency classes of *Nested Dependencies:
+//! Structure and Reasoning* (PODS 2014):
+//!
+//! - [`st`] — the oblivious chase for s-t tgds (GLAV mappings);
+//! - [`nested`] — the recursive-triggering chase for nested tgds,
+//!   producing the **chase forest** of Section 3 with full provenance;
+//! - [`so`] — the chase for (plain and full) SO tgds over the Herbrand
+//!   term interpretation;
+//! - [`egd`] — the egd chase over source instances (Section 5), used both
+//!   to validate sources and to *legalize* canonical instances
+//!   (Definition 5.4);
+//! - [`trigger`] — the shared conjunctive-query matching primitive;
+//! - [`null`] — labeled nulls in bijection with ground Skolem terms.
+//!
+//! All engines produce **canonical universal solutions**: `chase(I, Σ)` is
+//! a solution for `I`, and maps homomorphically into every solution.
+
+#![warn(missing_docs)]
+
+pub mod egd;
+pub mod nested;
+pub mod null;
+pub mod so;
+pub mod st;
+pub mod trigger;
+
+pub use egd::{chase_egds, satisfies_egds, EgdChase, EgdConflict, RigidPolicy};
+pub use nested::{
+    chase_mapping, chase_nested, ChaseForest, ChaseResult, Prepared, TrigId, Triggering,
+};
+pub use null::NullFactory;
+pub use so::{chase_so, chase_so_set, ground_term};
+pub use st::{chase_st, chase_st_with_forest};
+pub use trigger::{all_matches, has_match, Binding, Matcher};

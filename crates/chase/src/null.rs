@@ -1,0 +1,168 @@
+//! Labeled nulls in bijection with ground Skolem terms.
+//!
+//! The chase interprets Skolem functions over the Herbrand universe: each
+//! ground function application denotes one labeled null, allocated on first
+//! use. This makes the oblivious chase deterministic, lets re-fired
+//! triggers reuse their nulls, and lets figures print nulls exactly as the
+//! paper does (`f(a_1)`, `g(a_1,a_3,a_4)`, ...).
+
+use ndl_core::prelude::*;
+use std::collections::HashMap;
+
+/// Allocator and registry of labeled nulls, keyed by ground Skolem term.
+#[derive(Clone, Debug, Default)]
+pub struct NullFactory {
+    terms: Vec<GroundTerm>,
+    ids: HashMap<GroundTerm, NullId>,
+    offset: u32,
+}
+
+impl NullFactory {
+    /// Creates an empty factory allocating ids from 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a factory allocating ids from `offset` upward — use this to
+    /// keep null spaces disjoint when values from several chase runs end
+    /// up in one instance (e.g. the two-step composition chase).
+    pub fn starting_at(offset: u32) -> Self {
+        NullFactory {
+            offset,
+            ..Self::default()
+        }
+    }
+
+    /// The first id that would be allocated next (offset + count).
+    pub fn next_id(&self) -> u32 {
+        self.offset + self.terms.len() as u32
+    }
+
+    /// The null labeled by `term`, allocated on first use.
+    pub fn null_for(&mut self, term: &GroundTerm) -> NullId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = NullId(self.offset + self.terms.len() as u32);
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// The value denoted by a ground term: constants denote themselves,
+    /// function applications denote nulls.
+    pub fn value_of(&mut self, term: &GroundTerm) -> Value {
+        match term {
+            GroundTerm::Const(c) => Value::Const(*c),
+            t @ GroundTerm::App(..) => Value::Null(self.null_for(t)),
+        }
+    }
+
+    /// The ground term labeling a null allocated by this factory.
+    pub fn term(&self, id: NullId) -> Option<&GroundTerm> {
+        let idx = id.0.checked_sub(self.offset)? as usize;
+        self.terms.get(idx)
+    }
+
+    /// Number of nulls allocated so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Has no null been allocated yet?
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Renders a value, printing nulls as their ground Skolem terms when
+    /// known (e.g. `f(a_1)`) and as `_Nk` otherwise.
+    pub fn display_value(&self, v: Value, syms: &SymbolTable) -> String {
+        match v {
+            Value::Const(c) => syms.const_name(c).to_string(),
+            Value::Null(n) => match self.term(n) {
+                Some(t) => t.display(syms).to_string(),
+                None => format!("_N{}", n.0),
+            },
+        }
+    }
+
+    /// Renders a fact with Skolem-term nulls.
+    pub fn display_fact(&self, fact: &Fact, syms: &SymbolTable) -> String {
+        let args = fact
+            .args
+            .iter()
+            .map(|&v| self.display_value(v, syms))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{}({})", syms.rel_name(fact.rel), args)
+    }
+
+    /// Renders an instance with Skolem-term nulls, facts separated by `, `.
+    pub fn display_instance(&self, inst: &Instance, syms: &SymbolTable) -> String {
+        inst.facts()
+            .map(|f| self.display_fact(&f, syms))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_term_same_null() {
+        let mut syms = SymbolTable::new();
+        let f = syms.func("f");
+        let a = syms.constant("a");
+        let mut nf = NullFactory::new();
+        let t = GroundTerm::App(f, vec![GroundTerm::Const(a)]);
+        let n1 = nf.null_for(&t);
+        let n2 = nf.null_for(&t);
+        assert_eq!(n1, n2);
+        assert_eq!(nf.len(), 1);
+        assert_eq!(nf.term(n1), Some(&t));
+    }
+
+    #[test]
+    fn constants_denote_themselves() {
+        let mut syms = SymbolTable::new();
+        let a = syms.constant("a");
+        let mut nf = NullFactory::new();
+        assert_eq!(nf.value_of(&GroundTerm::Const(a)), Value::Const(a));
+        assert!(nf.is_empty());
+    }
+
+    #[test]
+    fn offset_factories_keep_null_spaces_disjoint() {
+        let mut syms = SymbolTable::new();
+        let f = syms.func("f");
+        let a = syms.constant("a");
+        let t = GroundTerm::App(f, vec![GroundTerm::Const(a)]);
+        let mut n1 = NullFactory::new();
+        let id1 = n1.null_for(&t);
+        assert_eq!(id1, NullId(0));
+        let mut n2 = NullFactory::starting_at(n1.next_id());
+        let id2 = n2.null_for(&t);
+        assert_eq!(id2, NullId(1));
+        // Reverse lookup respects the offset.
+        assert_eq!(n2.term(id2), Some(&t));
+        assert_eq!(n2.term(id1), None);
+        assert_eq!(n2.next_id(), 2);
+    }
+
+    #[test]
+    fn display_uses_skolem_terms() {
+        let mut syms = SymbolTable::new();
+        let f = syms.func("f");
+        let a = syms.constant("a_1");
+        let r = syms.rel("R");
+        let mut nf = NullFactory::new();
+        let t = GroundTerm::App(f, vec![GroundTerm::Const(a)]);
+        let v = nf.value_of(&t);
+        let fact = Fact::new(r, vec![v, Value::Const(a)]);
+        assert_eq!(nf.display_fact(&fact, &syms), "R(f(a_1),a_1)");
+        // Unknown null falls back to _Nk.
+        assert_eq!(nf.display_value(Value::Null(NullId(99)), &syms), "_N99");
+    }
+}

@@ -1,0 +1,170 @@
+//! The chase for SO tgds (paper, Section 2): given a ground source
+//! instance `I` and an SO tgd σ, `chase(I, σ)` is a canonical universal
+//! solution for `I` w.r.t. σ.
+//!
+//! Skolem functions are interpreted over the Herbrand term universe: an
+//! instantiated function application denotes the labeled null registered
+//! for that ground term, and an equality `t = t'` holds iff the two ground
+//! terms are syntactically identical.
+
+use crate::null::NullFactory;
+use crate::trigger::{Binding, Matcher};
+use ndl_core::prelude::*;
+
+/// Grounds a term under a binding of variables to constant values.
+///
+/// # Panics
+/// Panics if a variable is unbound or bound to a null (the chase is only
+/// applied to ground source instances).
+pub fn ground_term(t: &Term, binding: &Binding) -> GroundTerm {
+    t.ground(&|v| match binding.get(&v) {
+        Some(Value::Const(c)) => Some(*c),
+        Some(Value::Null(_)) => panic!("chase over non-ground source instance"),
+        None => None,
+    })
+    .expect("unbound variable while grounding term")
+}
+
+/// Chases a ground source instance with an SO tgd, allocating nulls in
+/// `nulls`. Returns the canonical universal solution.
+///
+/// Handles full SO tgds: equalities in premises are evaluated under the
+/// Herbrand interpretation (syntactic identity of ground terms), and
+/// nested terms denote nulls labeled by nested ground terms.
+pub fn chase_so(source: &Instance, tgd: &SoTgd, nulls: &mut NullFactory) -> Instance {
+    assert!(source.is_ground(), "source instance must be ground");
+    let matcher = Matcher::new(source);
+    let mut target = Instance::new();
+    for clause in &tgd.clauses {
+        for binding in matcher.all_matches(&clause.body, &Binding::new()) {
+            let eq_ok = clause
+                .equalities
+                .iter()
+                .all(|(l, r)| ground_term(l, &binding) == ground_term(r, &binding));
+            if !eq_ok {
+                continue;
+            }
+            for ta in &clause.head {
+                let args: Vec<Value> = ta
+                    .args
+                    .iter()
+                    .map(|t| nulls.value_of(&ground_term(t, &binding)))
+                    .collect();
+                target.insert_tuple(ta.rel, args);
+            }
+        }
+    }
+    target
+}
+
+/// Chases with a set of SO tgds sharing one null factory.
+pub fn chase_so_set(source: &Instance, tgds: &[SoTgd], nulls: &mut NullFactory) -> Instance {
+    let mut target = Instance::new();
+    for t in tgds {
+        target.extend(&chase_so(source, t, nulls));
+    }
+    target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `∃f ∀x∀y (S(x,y) → R(f(x),f(y)))` on a 2-cycle.
+    #[test]
+    fn chase_identifies_equal_skolem_terms() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f . S(x,y) -> R(f(x),f(y))").unwrap();
+        let s = syms.rel("S");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let source = Instance::from_facts([Fact::new(s, vec![a, b]), Fact::new(s, vec![b, a])]);
+        let mut nulls = NullFactory::new();
+        let target = chase_so(&source, &tgd, &mut nulls);
+        // Exactly two nulls f(a), f(b), and two R-facts.
+        assert_eq!(nulls.len(), 2);
+        assert_eq!(target.len(), 2);
+        assert_eq!(target.nulls().len(), 2);
+    }
+
+    #[test]
+    fn equalities_gate_clauses() {
+        // Emp/Mgr/SelfMgr example of Section 2: e = f(e) never holds under
+        // the Herbrand interpretation, so SelfMgr stays empty.
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(
+            &mut syms,
+            "exists f . Emp(e) -> Mgr(e,f(e)) ; Emp(e) & e = f(e) -> SelfMgr(e)",
+        )
+        .unwrap();
+        let emp = syms.rel("Emp");
+        let mgr = syms.rel("Mgr");
+        let selfm = syms.rel("SelfMgr");
+        let a = Value::Const(syms.constant("a"));
+        let source = Instance::from_facts([Fact::new(emp, vec![a])]);
+        let mut nulls = NullFactory::new();
+        let target = chase_so(&source, &tgd, &mut nulls);
+        assert_eq!(target.rel_len(mgr), 1);
+        assert_eq!(target.rel_len(selfm), 0);
+    }
+
+    #[test]
+    fn trivial_equalities_pass() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f . P(x) & f(x) = f(x) -> T(x)").unwrap();
+        let p = syms.rel("P");
+        let t = syms.rel("T");
+        let a = Value::Const(syms.constant("a"));
+        let source = Instance::from_facts([Fact::new(p, vec![a])]);
+        let mut nulls = NullFactory::new();
+        let target = chase_so(&source, &tgd, &mut nulls);
+        assert_eq!(target.rel_len(t), 1);
+    }
+
+    #[test]
+    fn variable_equalities_compare_constants() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "S(x,y) & x = y -> T(x)").unwrap();
+        let s = syms.rel("S");
+        let t = syms.rel("T");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let source = Instance::from_facts([
+            Fact::new(s, vec![a, a]),
+            Fact::new(s, vec![a, b]),
+        ]);
+        let mut nulls = NullFactory::new();
+        let target = chase_so(&source, &tgd, &mut nulls);
+        assert_eq!(target.rel_len(t), 1);
+        assert!(target.contains_tuple(t, &[a]));
+    }
+
+    #[test]
+    fn nested_terms_label_nested_nulls() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f,g . P(x) -> T(g(f(x)))").unwrap();
+        let p = syms.rel("P");
+        let a = Value::Const(syms.constant("a"));
+        let source = Instance::from_facts([Fact::new(p, vec![a])]);
+        let mut nulls = NullFactory::new();
+        let target = chase_so(&source, &tgd, &mut nulls);
+        assert_eq!(target.len(), 1);
+        let n = target.nulls().into_iter().next().unwrap();
+        assert_eq!(
+            nulls.term(n).unwrap().display(&syms).to_string(),
+            "g(f(a))"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ground")]
+    fn rejects_non_ground_source() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f . S(x,y) -> R(f(x),f(y))").unwrap();
+        let s = syms.rel("S");
+        let a = Value::Const(syms.constant("a"));
+        let source = Instance::from_facts([Fact::new(s, vec![a, Value::Null(NullId(0))])]);
+        let mut nulls = NullFactory::new();
+        let _ = chase_so(&source, &tgd, &mut nulls);
+    }
+}

@@ -1,0 +1,115 @@
+//! The oblivious chase for s-t tgds (GLAV mappings), as in \[5\] of the
+//! paper: whenever the antecedent of an s-t tgd becomes true, fresh nulls
+//! are introduced so that the conclusion becomes true.
+//!
+//! Implemented as the single-part special case of the nested chase, so the
+//! three engines (s-t / nested / SO) are guaranteed to agree.
+
+use crate::nested::{chase_nested, ChaseResult, Prepared};
+use crate::null::NullFactory;
+use ndl_core::prelude::*;
+
+/// Chases a ground source instance with a set of s-t tgds.
+pub fn chase_st(
+    source: &Instance,
+    tgds: &[StTgd],
+    syms: &mut SymbolTable,
+    nulls: &mut NullFactory,
+) -> Instance {
+    let prepared: Vec<Prepared> = tgds
+        .iter()
+        .map(|t| Prepared::new(NestedTgd::from(t.clone()), syms))
+        .collect();
+    chase_nested(source, &prepared, nulls).target
+}
+
+/// Chases with s-t tgds and also returns the (flat) chase forest.
+pub fn chase_st_with_forest(
+    source: &Instance,
+    tgds: &[StTgd],
+    syms: &mut SymbolTable,
+    nulls: &mut NullFactory,
+) -> ChaseResult {
+    let prepared: Vec<Prepared> = tgds
+        .iter()
+        .map(|t| Prepared::new(NestedTgd::from(t.clone()), syms))
+        .collect();
+    chase_nested(source, &prepared, nulls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn st_chase_introduces_fresh_nulls_per_trigger() {
+        // τ' of Example 3.10: S2(x2) → ∃z R(x2,z).
+        let mut syms = SymbolTable::new();
+        let tgd = parse_st_tgd(&mut syms, "S2(x2) -> exists z R(x2,z)").unwrap();
+        let s2 = syms.rel("S2");
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a2"));
+        let b = Value::Const(syms.constant("a2p"));
+        let source = Instance::from_facts([Fact::new(s2, vec![a]), Fact::new(s2, vec![b])]);
+        let mut nulls = NullFactory::new();
+        let target = chase_st(&source, &[tgd], &mut syms, &mut nulls);
+        assert_eq!(target.rel_len(r), 2);
+        // Distinct nulls g(a2), g(a2') — per the paper's J_{τ'}.
+        assert_eq!(target.nulls().len(), 2);
+    }
+
+    #[test]
+    fn full_tgd_chase_creates_no_nulls() {
+        // τ'' of Example 3.10: S1(x1) ∧ S2(x2) → R(x2,x1).
+        let mut syms = SymbolTable::new();
+        let tgd = parse_st_tgd(&mut syms, "S1(x1) & S2(x2) -> R(x2,x1)").unwrap();
+        let s1 = syms.rel("S1");
+        let s2 = syms.rel("S2");
+        let r = syms.rel("R");
+        let a1 = Value::Const(syms.constant("a1"));
+        let a2 = Value::Const(syms.constant("a2"));
+        let a2p = Value::Const(syms.constant("a2p"));
+        let source = Instance::from_facts([
+            Fact::new(s1, vec![a1]),
+            Fact::new(s2, vec![a2]),
+            Fact::new(s2, vec![a2p]),
+        ]);
+        let mut nulls = NullFactory::new();
+        let target = chase_st(&source, &[tgd], &mut syms, &mut nulls);
+        assert_eq!(target.rel_len(r), 2);
+        assert!(target.contains_tuple(r, &[a2, a1]));
+        assert!(target.contains_tuple(r, &[a2p, a1]));
+        assert!(target.nulls().is_empty());
+    }
+
+    #[test]
+    fn forest_variant_records_flat_trees() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_st_tgd(&mut syms, "S(x) -> exists y R(x,y)").unwrap();
+        let s = syms.rel("S");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let source = Instance::from_facts([Fact::new(s, vec![a]), Fact::new(s, vec![b])]);
+        let mut nulls = NullFactory::new();
+        let res = chase_st_with_forest(&source, std::slice::from_ref(&tgd), &mut syms, &mut nulls);
+        assert_eq!(res.forest.roots.len(), 2);
+        for &r in &res.forest.roots {
+            assert!(res.forest.nodes[r].children.is_empty());
+            assert_eq!(res.forest.nodes[r].facts.len(), 1);
+        }
+    }
+
+    #[test]
+    fn multiple_tgds_share_a_null_factory_without_collisions() {
+        let mut syms = SymbolTable::new();
+        let t1 = parse_st_tgd(&mut syms, "P(x) -> exists y R(x,y)").unwrap();
+        let t2 = parse_st_tgd(&mut syms, "P(x) -> exists y T(x,y)").unwrap();
+        let p = syms.rel("P");
+        let a = Value::Const(syms.constant("a"));
+        let source = Instance::from_facts([Fact::new(p, vec![a])]);
+        let mut nulls = NullFactory::new();
+        let target = chase_st(&source, &[t1, t2], &mut syms, &mut nulls);
+        // Two distinct nulls even though both tgds "look" the same.
+        assert_eq!(target.nulls().len(), 2);
+    }
+}

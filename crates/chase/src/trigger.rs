@@ -1,0 +1,369 @@
+//! Conjunctive-query matching: enumerate the assignments under which a
+//! conjunction of atoms holds in an instance, extending a partial binding.
+//!
+//! This is the trigger-finding primitive shared by all chase engines and by
+//! the model checkers in `ndl-reasoning`.
+
+use ndl_core::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// A (partial) variable assignment.
+pub type Binding = BTreeMap<VarId, Value>;
+
+/// An indexed matcher over one instance: hash indexes `(rel, pos, value) →
+/// tuples` accelerate trigger enumeration when the same instance is
+/// matched against many times (every chase engine does this — one
+/// triggering per body match, thousands of matches per chase).
+///
+/// One-shot callers can keep using the free functions, which scan.
+pub struct Matcher<'a> {
+    instance: &'a Instance,
+    /// `(rel, position, value) → tuples with that value at that position`.
+    index: HashMap<(RelId, u32, Value), Vec<&'a Vec<Value>>>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Builds the index (O(total tuple cells)).
+    pub fn new(instance: &'a Instance) -> Self {
+        let mut index: HashMap<(RelId, u32, Value), Vec<&'a Vec<Value>>> = HashMap::new();
+        for rel in instance.active_relations().collect::<Vec<_>>() {
+            for tuple in instance.tuples(rel) {
+                for (pos, &v) in tuple.iter().enumerate() {
+                    index.entry((rel, pos as u32, v)).or_default().push(tuple);
+                }
+            }
+        }
+        Matcher { instance, index }
+    }
+
+    /// The instance this matcher indexes.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// Enumerates all extensions of `partial` satisfying every atom.
+    pub fn all_matches(&self, atoms: &[Atom], partial: &Binding) -> Vec<Binding> {
+        let mut results = Vec::new();
+        let mut binding = partial.clone();
+        let mut remaining: Vec<&Atom> = atoms.iter().collect();
+        self.match_indexed(&mut remaining, &mut binding, &mut results);
+        results
+    }
+
+    /// Recursive join with dynamic atom selection: always match next the
+    /// atom with the smallest candidate list under the current binding.
+    fn match_indexed(
+        &self,
+        remaining: &mut Vec<&Atom>,
+        binding: &mut Binding,
+        out: &mut Vec<Binding>,
+    ) {
+        if remaining.is_empty() {
+            out.push(binding.clone());
+            return;
+        }
+        // Pick the most selective atom.
+        let (best, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, atom)| (i, self.candidate_count(atom, binding)))
+            .min_by_key(|&(_, c)| c)
+            .expect("nonempty");
+        let atom = remaining.swap_remove(best);
+        match self.candidates(atom, binding) {
+            Candidates::Indexed(tuples) => {
+                for tuple in tuples {
+                    if let Some(newly) = try_extend(atom, tuple, binding) {
+                        self.match_indexed(remaining, binding, out);
+                        for v in newly {
+                            binding.remove(&v);
+                        }
+                    }
+                }
+            }
+            Candidates::Scan(rel) => {
+                for tuple in self.instance.tuples(rel) {
+                    if let Some(newly) = try_extend(atom, tuple, binding) {
+                        self.match_indexed(remaining, binding, out);
+                        for v in newly {
+                            binding.remove(&v);
+                        }
+                    }
+                }
+            }
+        }
+        // Restore the removed atom (order within `remaining` is irrelevant).
+        remaining.push(atom);
+    }
+
+    fn candidate_count(&self, atom: &Atom, binding: &Binding) -> usize {
+        match self.candidates(atom, binding) {
+            Candidates::Indexed(ts) => ts.len(),
+            Candidates::Scan(rel) => self.instance.rel_len(rel),
+        }
+    }
+
+    /// The tightest available candidate list: the shortest index entry
+    /// over the atom's bound positions, or a full scan if none is bound.
+    fn candidates(&self, atom: &Atom, binding: &Binding) -> Candidates<'_, 'a> {
+        let mut best: Option<&Vec<&'a Vec<Value>>> = None;
+        for (pos, var) in atom.args.iter().enumerate() {
+            if let Some(&val) = binding.get(var) {
+                match self.index.get(&(atom.rel, pos as u32, val)) {
+                    None => return Candidates::Indexed(&[]), // no tuple matches
+                    Some(ts) => {
+                        if best.is_none_or(|b| ts.len() < b.len()) {
+                            best = Some(ts);
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some(ts) => Candidates::Indexed(ts),
+            None => Candidates::Scan(atom.rel),
+        }
+    }
+}
+
+enum Candidates<'m, 'a> {
+    Indexed(&'m [&'a Vec<Value>]),
+    Scan(RelId),
+}
+
+/// Enumerates all extensions of `partial` under which every atom of `atoms`
+/// holds in `instance`. Atoms are matched in an order that prefers atoms
+/// with many already-bound variables (cheap greedy join ordering).
+pub fn all_matches(instance: &Instance, atoms: &[Atom], partial: &Binding) -> Vec<Binding> {
+    let mut order: Vec<&Atom> = atoms.iter().collect();
+    let mut results = Vec::new();
+    let mut binding = partial.clone();
+    // Greedy static order: most constants-bound-first is dynamic; a simple
+    // heuristic is to sort by (unbound var count under the initial binding,
+    // relation size), which already avoids the worst cartesian blowups.
+    order.sort_by_key(|a| {
+        let unbound = a
+            .args
+            .iter()
+            .filter(|v| !partial.contains_key(v))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        (unbound, instance.rel_len(a.rel))
+    });
+    match_rec(instance, &order, 0, &mut binding, &mut results);
+    results
+}
+
+/// Does at least one extension of `partial` satisfy all atoms?
+pub fn has_match(instance: &Instance, atoms: &[Atom], partial: &Binding) -> bool {
+    // Cheap short-circuiting variant.
+    let mut order: Vec<&Atom> = atoms.iter().collect();
+    order.sort_by_key(|a| instance.rel_len(a.rel));
+    let mut binding = partial.clone();
+    exists_rec(instance, &order, 0, &mut binding)
+}
+
+fn match_rec(
+    instance: &Instance,
+    atoms: &[&Atom],
+    i: usize,
+    binding: &mut Binding,
+    out: &mut Vec<Binding>,
+) {
+    if i == atoms.len() {
+        out.push(binding.clone());
+        return;
+    }
+    let atom = atoms[i];
+    for tuple in instance.tuples(atom.rel) {
+        if let Some(newly_bound) = try_extend(atom, tuple, binding) {
+            match_rec(instance, atoms, i + 1, binding, out);
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        }
+    }
+}
+
+fn exists_rec(instance: &Instance, atoms: &[&Atom], i: usize, binding: &mut Binding) -> bool {
+    if i == atoms.len() {
+        return true;
+    }
+    let atom = atoms[i];
+    for tuple in instance.tuples(atom.rel) {
+        if let Some(newly_bound) = try_extend(atom, tuple, binding) {
+            if exists_rec(instance, atoms, i + 1, binding) {
+                for v in newly_bound {
+                    binding.remove(&v);
+                }
+                return true;
+            }
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        }
+    }
+    false
+}
+
+/// Tries to unify `atom` with `tuple` under `binding`. On success, extends
+/// `binding` in place and returns the variables newly bound (for rollback);
+/// on failure, leaves `binding` untouched and returns `None`.
+fn try_extend(atom: &Atom, tuple: &[Value], binding: &mut Binding) -> Option<Vec<VarId>> {
+    debug_assert_eq!(atom.args.len(), tuple.len());
+    let mut newly = Vec::new();
+    for (&var, &val) in atom.args.iter().zip(tuple.iter()) {
+        match binding.get(&var) {
+            Some(&bound) => {
+                if bound != val {
+                    for v in newly {
+                        binding.remove(&v);
+                    }
+                    return None;
+                }
+            }
+            None => {
+                binding.insert(var, val);
+                newly.push(var);
+            }
+        }
+    }
+    Some(newly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (SymbolTable, Instance) {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let c = Value::Const(syms.constant("c"));
+        let inst = Instance::from_facts([
+            Fact::new(s, vec![a, b]),
+            Fact::new(s, vec![b, c]),
+            Fact::new(s, vec![a, c]),
+        ]);
+        (syms, inst)
+    }
+
+    #[test]
+    fn single_atom_matches() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let ms = all_matches(&inst, &[Atom::new(s, vec![x, y])], &Binding::new());
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let z = syms.var("z");
+        // S(x,y) & S(y,z): only a->b->c.
+        let ms = all_matches(
+            &inst,
+            &[Atom::new(s, vec![x, y]), Atom::new(s, vec![y, z])],
+            &Binding::new(),
+        );
+        assert_eq!(ms.len(), 1);
+        let a = Value::Const(syms.constant("a"));
+        let c = Value::Const(syms.constant("c"));
+        assert_eq!(ms[0][&x], a);
+        assert_eq!(ms[0][&z], c);
+    }
+
+    #[test]
+    fn repeated_variable_forces_equality() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let ms = all_matches(&inst, &[Atom::new(s, vec![x, x])], &Binding::new());
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn partial_binding_restricts() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let mut partial = Binding::new();
+        partial.insert(x, Value::Const(syms.constant("a")));
+        let ms = all_matches(&inst, &[Atom::new(s, vec![x, y])], &partial);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m[&x] == Value::Const(syms.constant("a"))));
+    }
+
+    #[test]
+    fn has_match_short_circuits() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let q = syms.rel("Q");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        assert!(has_match(&inst, &[Atom::new(s, vec![x, y])], &Binding::new()));
+        assert!(!has_match(&inst, &[Atom::new(q, vec![x])], &Binding::new()));
+    }
+
+    #[test]
+    fn empty_conjunction_has_the_empty_match() {
+        let (_syms, inst) = tiny();
+        let ms = all_matches(&inst, &[], &Binding::new());
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].is_empty());
+        assert_eq!(Matcher::new(&inst).all_matches(&[], &Binding::new()).len(), 1);
+    }
+
+    #[test]
+    fn matcher_agrees_with_scan() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let z = syms.var("z");
+        let matcher = Matcher::new(&inst);
+        let queries: Vec<Vec<Atom>> = vec![
+            vec![Atom::new(s, vec![x, y])],
+            vec![Atom::new(s, vec![x, y]), Atom::new(s, vec![y, z])],
+            vec![Atom::new(s, vec![x, x])],
+            vec![Atom::new(s, vec![x, y]), Atom::new(s, vec![x, z])],
+        ];
+        for q in &queries {
+            let mut scan: Vec<Binding> = all_matches(&inst, q, &Binding::new());
+            let mut indexed: Vec<Binding> = matcher.all_matches(q, &Binding::new());
+            scan.sort();
+            indexed.sort();
+            assert_eq!(scan, indexed, "query {q:?}");
+        }
+        // With a partial binding.
+        let mut partial = Binding::new();
+        partial.insert(x, Value::Const(syms.constant("a")));
+        let q = vec![Atom::new(s, vec![x, y])];
+        let mut scan = all_matches(&inst, &q, &partial);
+        let mut indexed = matcher.all_matches(&q, &partial);
+        scan.sort();
+        indexed.sort();
+        assert_eq!(scan, indexed);
+    }
+
+    #[test]
+    fn matcher_handles_unmatchable_values() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let mut partial = Binding::new();
+        partial.insert(x, Value::Const(syms.constant("zzz")));
+        let matcher = Matcher::new(&inst);
+        assert!(matcher
+            .all_matches(&[Atom::new(s, vec![x, y])], &partial)
+            .is_empty());
+    }
+}

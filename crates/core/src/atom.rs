@@ -1,0 +1,133 @@
+//! Atoms: relational atoms over variables (bodies and heads of tgds) and
+//! over terms (heads of SO tgds).
+
+use crate::symbol::{RelId, SymbolTable, VarId};
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A relational atom `R(x1, ..., xk)` whose arguments are variables.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The argument variables (not necessarily distinct).
+    pub args: Vec<VarId>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(rel: RelId, args: impl Into<Vec<VarId>>) -> Self {
+        Atom {
+            rel,
+            args: args.into(),
+        }
+    }
+
+    /// Renders the atom, e.g. `S(x1,x2)`.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Atom, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.rel_name(self.0.rel))?;
+                for (i, v) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.1.var_name(*v))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, syms)
+    }
+}
+
+/// A relational atom `T(t1, ..., tl)` whose arguments are terms,
+/// as appearing in the conclusions of SO tgds.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TermAtom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl TermAtom {
+    /// Creates a term atom.
+    pub fn new(rel: RelId, args: impl Into<Vec<Term>>) -> Self {
+        TermAtom {
+            rel,
+            args: args.into(),
+        }
+    }
+
+    /// A term atom whose arguments are all plain variables.
+    pub fn from_vars(rel: RelId, vars: &[VarId]) -> Self {
+        TermAtom {
+            rel,
+            args: vars.iter().map(|&v| Term::Var(v)).collect(),
+        }
+    }
+
+    /// Does any argument contain a nested term?
+    pub fn has_nested_term(&self) -> bool {
+        self.args.iter().any(Term::is_nested)
+    }
+
+    /// Renders the atom, e.g. `R(f(x),y)`.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a TermAtom, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.rel_name(self.0.rel))?;
+                for (i, t) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", t.display(self.1))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, syms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_display() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let x = syms.var("x1");
+        let y = syms.var("x2");
+        let a = Atom::new(s, vec![x, y]);
+        assert_eq!(a.display(&syms).to_string(), "S(x1,x2)");
+    }
+
+    #[test]
+    fn term_atom_nestedness() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let x = syms.var("x");
+        let f = syms.func("f");
+        let g = syms.func("g");
+        let plain = TermAtom::new(r, vec![Term::app(f, vec![Term::Var(x)])]);
+        assert!(!plain.has_nested_term());
+        let nested = TermAtom::new(r, vec![Term::app(g, vec![Term::app(f, vec![Term::Var(x)])])]);
+        assert!(nested.has_nested_term());
+        assert_eq!(nested.display(&syms).to_string(), "R(g(f(x)))");
+    }
+
+    #[test]
+    fn term_atom_from_vars() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let x = syms.var("x");
+        let ta = TermAtom::from_vars(r, &[x, x]);
+        assert_eq!(ta.args, vec![Term::Var(x), Term::Var(x)]);
+    }
+}

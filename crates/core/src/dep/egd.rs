@@ -1,0 +1,157 @@
+//! Equality-generating dependencies (egds) over the source schema, and key
+//! dependencies as the special case used in Section 5 of the paper.
+
+use crate::atom::Atom;
+use crate::error::{CoreError, Result};
+use crate::schema::{Schema, Side};
+use crate::symbol::{RelId, SymbolTable, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An egd `∀x⃗ (φ(x⃗) → x = x')` with φ a conjunction of source atoms.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Egd {
+    /// Body φ: a nonempty conjunction of source atoms.
+    pub body: Vec<Atom>,
+    /// The equated variables, both of which must occur in the body.
+    pub eq: (VarId, VarId),
+}
+
+impl Egd {
+    /// Creates an egd.
+    pub fn new(body: impl Into<Vec<Atom>>, eq: (VarId, VarId)) -> Self {
+        Egd {
+            body: body.into(),
+            eq,
+        }
+    }
+
+    /// Builds the egds expressing that `key_positions` of `rel` form a key:
+    /// two tuples agreeing on all key positions agree on every other
+    /// position. One egd per non-key position.
+    ///
+    /// Example: the "unique predecessor" key dependency of Theorem 5.1 is
+    /// `key(S, [1])`, asserting `S(x,y) ∧ S(x',y) → x = x'`.
+    pub fn key(
+        syms: &mut SymbolTable,
+        rel: RelId,
+        arity: usize,
+        key_positions: &[usize],
+    ) -> Vec<Egd> {
+        let keyset: BTreeSet<usize> = key_positions.iter().copied().collect();
+        let xs: Vec<VarId> = (0..arity)
+            .map(|i| syms.fresh_var(&format!("k{i}")))
+            .collect();
+        let xs2: Vec<VarId> = (0..arity)
+            .map(|i| {
+                if keyset.contains(&i) {
+                    xs[i]
+                } else {
+                    syms.fresh_var(&format!("k{i}p"))
+                }
+            })
+            .collect();
+        (0..arity)
+            .filter(|i| !keyset.contains(i))
+            .map(|i| {
+                Egd::new(
+                    vec![Atom::new(rel, xs.clone()), Atom::new(rel, xs2.clone())],
+                    (xs[i], xs2[i]),
+                )
+            })
+            .collect()
+    }
+
+    /// Validates the egd and declares its relations as source-side.
+    pub fn validate(&self, schema: &mut Schema) -> Result<()> {
+        if self.body.is_empty() {
+            return Err(CoreError::Invalid("egd with empty body".into()));
+        }
+        for a in &self.body {
+            schema.declare(a.rel, a.args.len(), Side::Source)?;
+        }
+        let body_vars: BTreeSet<_> = self
+            .body
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .collect();
+        for v in [self.eq.0, self.eq.1] {
+            if !body_vars.contains(&v) {
+                return Err(CoreError::UnboundVariable { var: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the egd, e.g. `P1(z,x) & P1(z,x2) -> x = x2`.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let body = self
+            .body
+            .iter()
+            .map(|a| a.display(syms).to_string())
+            .collect::<Vec<_>>()
+            .join(" & ");
+        format!(
+            "{body} -> {} = {}",
+            syms.var_name(self.eq.0),
+            syms.var_name(self.eq.1)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_dependency_generation() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let egds = Egd::key(&mut syms, s, 2, &[1]);
+        assert_eq!(egds.len(), 1);
+        let mut sch = Schema::new();
+        egds[0].validate(&mut sch).unwrap();
+        // The two body atoms share the key position variable.
+        assert_eq!(egds[0].body[0].args[1], egds[0].body[1].args[1]);
+        assert_ne!(egds[0].body[0].args[0], egds[0].body[1].args[0]);
+        assert_eq!(
+            egds[0].eq,
+            (egds[0].body[0].args[0], egds[0].body[1].args[0])
+        );
+    }
+
+    #[test]
+    fn key_with_all_positions_is_trivial() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        assert!(Egd::key(&mut syms, s, 2, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_unbound_equated_var() {
+        let mut syms = SymbolTable::new();
+        let p = syms.rel("P");
+        let x = syms.var("x");
+        let z = syms.var("z");
+        let egd = Egd::new(vec![Atom::new(p, vec![x])], (x, z));
+        let mut sch = Schema::new();
+        assert_eq!(
+            egd.validate(&mut sch),
+            Err(CoreError::UnboundVariable { var: z })
+        );
+    }
+
+    #[test]
+    fn display_shape() {
+        let mut syms = SymbolTable::new();
+        let p = syms.rel("P1");
+        let z = syms.var("z");
+        let x = syms.var("x1");
+        let x2 = syms.var("x1p");
+        let egd = Egd::new(
+            vec![Atom::new(p, vec![z, x]), Atom::new(p, vec![z, x2])],
+            (x, x2),
+        );
+        assert_eq!(egd.display(&syms), "P1(z,x1) & P1(z,x1p) -> x1 = x1p");
+    }
+}

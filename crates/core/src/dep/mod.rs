@@ -1,0 +1,13 @@
+//! Dependency classes of the paper: s-t tgds (GLAV), nested tgds
+//! (nested GLAV), second-order tgds (SO tgds, with the *plain* fragment),
+//! and equality-generating dependencies (egds) over the source schema.
+
+pub mod egd;
+pub mod nested;
+pub mod so_tgd;
+pub mod st_tgd;
+
+pub use egd::Egd;
+pub use nested::{NestedTgd, Part, PartId};
+pub use so_tgd::{SoClause, SoTgd};
+pub use st_tgd::StTgd;

@@ -1,0 +1,322 @@
+//! Second-order tuple-generating dependencies (SO tgds) and the *plain*
+//! fragment (Section 2 of the paper).
+//!
+//! An SO tgd is `∃f⃗ ((∀x⃗1 (φ1 → ψ1)) ∧ … ∧ (∀x⃗n (φn → ψn)))` where each
+//! φᵢ is a conjunction of source atoms over variables and equalities between
+//! terms, and each ψᵢ is a conjunction of target atoms over terms. A *plain*
+//! SO tgd has no nested terms and no equalities.
+
+use crate::atom::{Atom, TermAtom};
+use crate::error::{CoreError, Result};
+use crate::schema::{Schema, Side};
+use crate::symbol::{FuncId, SymbolTable, VarId};
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One conjunct `∀x⃗ᵢ (φᵢ → ψᵢ)` of an SO tgd.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SoClause {
+    /// Relational source atoms of φᵢ (variables only, per the definition).
+    pub body: Vec<Atom>,
+    /// Equalities `t = t'` of φᵢ (empty for plain SO tgds).
+    pub equalities: Vec<(Term, Term)>,
+    /// Target atoms ψᵢ over terms.
+    pub head: Vec<TermAtom>,
+}
+
+impl SoClause {
+    /// Creates a clause.
+    pub fn new(
+        body: impl Into<Vec<Atom>>,
+        equalities: impl Into<Vec<(Term, Term)>>,
+        head: impl Into<Vec<TermAtom>>,
+    ) -> Self {
+        SoClause {
+            body: body.into(),
+            equalities: equalities.into(),
+            head: head.into(),
+        }
+    }
+
+    /// The universal variables of the clause: variables of the body atoms,
+    /// first-occurrence order.
+    pub fn universals(&self) -> Vec<VarId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for a in &self.body {
+            for &v in &a.args {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An SO tgd `∃f⃗ (clause₁ ∧ … ∧ clauseₙ)`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SoTgd {
+    /// The existentially quantified function symbols f⃗.
+    pub funcs: Vec<FuncId>,
+    /// The conjoined clauses.
+    pub clauses: Vec<SoClause>,
+}
+
+impl SoTgd {
+    /// Creates an SO tgd; use [`SoTgd::validate`] to check well-formedness.
+    pub fn new(funcs: impl Into<Vec<FuncId>>, clauses: impl Into<Vec<SoClause>>) -> Self {
+        SoTgd {
+            funcs: funcs.into(),
+            clauses: clauses.into(),
+        }
+    }
+
+    /// Is this a *plain* SO tgd: no nested terms and no equalities?
+    pub fn is_plain(&self) -> bool {
+        self.clauses.iter().all(|c| {
+            c.equalities.is_empty() && !c.head.iter().any(TermAtom::has_nested_term)
+        })
+    }
+
+    /// The function symbols actually occurring in the formula (heads or
+    /// equalities) — the quantity `v` used by IMPLIES (line 2) counts these.
+    pub fn occurring_funcs(&self) -> BTreeSet<FuncId> {
+        let mut out = Vec::new();
+        for c in &self.clauses {
+            for ta in &c.head {
+                for t in &ta.args {
+                    t.collect_funcs(&mut out);
+                }
+            }
+            for (l, r) in &c.equalities {
+                l.collect_funcs(&mut out);
+                r.collect_funcs(&mut out);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Maximum number of universal variables in any clause.
+    pub fn max_clause_universals(&self) -> usize {
+        self.clauses
+            .iter()
+            .map(|c| c.universals().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Validates well-formedness and declares relations in `schema`:
+    /// every clause has a nonempty body; every variable of a clause occurs
+    /// in some body atom (condition 4 of the definition); every function
+    /// symbol used is quantified; sides are consistent.
+    pub fn validate(&self, schema: &mut Schema) -> Result<()> {
+        let declared: BTreeSet<_> = self.funcs.iter().copied().collect();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.body.is_empty() {
+                return Err(CoreError::Invalid(format!("clause {i} has an empty body")));
+            }
+            for a in &c.body {
+                schema.declare(a.rel, a.args.len(), Side::Source)?;
+            }
+            for ta in &c.head {
+                schema.declare(ta.rel, ta.args.len(), Side::Target)?;
+            }
+            let bound: BTreeSet<_> = c.universals().into_iter().collect();
+            let mut used_vars = Vec::new();
+            let mut used_funcs = Vec::new();
+            for ta in &c.head {
+                for t in &ta.args {
+                    t.collect_vars(&mut used_vars);
+                    t.collect_funcs(&mut used_funcs);
+                }
+            }
+            for (l, r) in &c.equalities {
+                l.collect_vars(&mut used_vars);
+                r.collect_vars(&mut used_vars);
+                l.collect_funcs(&mut used_funcs);
+                r.collect_funcs(&mut used_funcs);
+            }
+            for v in used_vars {
+                if !bound.contains(&v) {
+                    return Err(CoreError::UnboundVariable { var: v });
+                }
+            }
+            for f in used_funcs {
+                if !declared.contains(&f) {
+                    return Err(CoreError::Invalid(format!(
+                        "function symbol {f:?} not existentially quantified"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the SO tgd; clauses are separated by ` ; `, e.g.
+    /// `exists f . S(x,y) -> R(f(x),f(y))`.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let fs = self
+            .funcs
+            .iter()
+            .map(|&f| syms.func_name(f))
+            .collect::<Vec<_>>()
+            .join(",");
+        let clauses = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let mut body: Vec<String> = c
+                    .body
+                    .iter()
+                    .map(|a| a.display(syms).to_string())
+                    .collect();
+                body.extend(c.equalities.iter().map(|(l, r)| {
+                    format!("{} = {}", l.display(syms), r.display(syms))
+                }));
+                let head = if c.head.is_empty() {
+                    "true".to_string()
+                } else {
+                    c.head
+                        .iter()
+                        .map(|a| a.display(syms).to_string())
+                        .collect::<Vec<_>>()
+                        .join(" & ")
+                };
+                format!("{} -> {}", body.join(" & "), head)
+            })
+            .collect::<Vec<_>>()
+            .join(" ; ");
+        if fs.is_empty() {
+            clauses
+        } else {
+            format!("exists {fs} . {clauses}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `∃f ∀x∀y (S(x,y) → R(f(x),f(y)))` — the plain SO tgd of Section 1,
+    /// known not to be equivalent to any finite set of nested tgds.
+    fn succ_example(syms: &mut SymbolTable) -> SoTgd {
+        let s = syms.rel("S");
+        let r = syms.rel("R");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let f = syms.func("f");
+        SoTgd::new(
+            vec![f],
+            vec![SoClause::new(
+                vec![Atom::new(s, vec![x, y])],
+                vec![],
+                vec![TermAtom::new(
+                    r,
+                    vec![
+                        Term::app(f, vec![Term::Var(x)]),
+                        Term::app(f, vec![Term::Var(y)]),
+                    ],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn plainness() {
+        let mut syms = SymbolTable::new();
+        let t = succ_example(&mut syms);
+        assert!(t.is_plain());
+        // Add an equality -> not plain.
+        let mut t2 = t.clone();
+        let x = syms.var("x");
+        let f = t.funcs[0];
+        t2.clauses[0]
+            .equalities
+            .push((Term::Var(x), Term::app(f, vec![Term::Var(x)])));
+        assert!(!t2.is_plain());
+        // Nested term -> not plain.
+        let mut t3 = t.clone();
+        t3.clauses[0].head[0].args[0] = Term::app(f, vec![Term::app(f, vec![Term::Var(x)])]);
+        assert!(!t3.is_plain());
+    }
+
+    #[test]
+    fn occurring_funcs_and_universals() {
+        let mut syms = SymbolTable::new();
+        let t = succ_example(&mut syms);
+        assert_eq!(t.occurring_funcs().len(), 1);
+        assert_eq!(t.max_clause_universals(), 2);
+    }
+
+    #[test]
+    fn validate_succ_example() {
+        let mut syms = SymbolTable::new();
+        let t = succ_example(&mut syms);
+        let mut sch = Schema::new();
+        t.validate(&mut sch).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unquantified_function() {
+        let mut syms = SymbolTable::new();
+        let mut t = succ_example(&mut syms);
+        t.funcs.clear();
+        let mut sch = Schema::new();
+        assert!(t.validate(&mut sch).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unbound_head_var() {
+        let mut syms = SymbolTable::new();
+        let mut t = succ_example(&mut syms);
+        let z = syms.var("z");
+        t.clauses[0].head[0].args[0] = Term::Var(z);
+        let mut sch = Schema::new();
+        assert_eq!(
+            t.validate(&mut sch),
+            Err(CoreError::UnboundVariable { var: z })
+        );
+    }
+
+    #[test]
+    fn display_shape() {
+        let mut syms = SymbolTable::new();
+        let t = succ_example(&mut syms);
+        assert_eq!(t.display(&syms), "exists f . S(x,y) -> R(f(x),f(y))");
+    }
+
+    #[test]
+    fn self_mgr_example_is_not_plain() {
+        // The Emp/Mgr/SelfMgr SO tgd of Section 2 uses an equality.
+        let mut syms = SymbolTable::new();
+        let emp = syms.rel("Emp");
+        let mgr = syms.rel("Mgr");
+        let selfm = syms.rel("SelfMgr");
+        let e = syms.var("e");
+        let f = syms.func("f");
+        let t = SoTgd::new(
+            vec![f],
+            vec![
+                SoClause::new(
+                    vec![Atom::new(emp, vec![e])],
+                    vec![],
+                    vec![TermAtom::new(
+                        mgr,
+                        vec![Term::Var(e), Term::app(f, vec![Term::Var(e)])],
+                    )],
+                ),
+                SoClause::new(
+                    vec![Atom::new(emp, vec![e])],
+                    vec![(Term::Var(e), Term::app(f, vec![Term::Var(e)]))],
+                    vec![TermAtom::from_vars(selfm, &[e])],
+                ),
+            ],
+        );
+        let mut sch = Schema::new();
+        t.validate(&mut sch).unwrap();
+        assert!(!t.is_plain());
+    }
+}

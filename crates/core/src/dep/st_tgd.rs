@@ -1,0 +1,192 @@
+//! Source-to-target tuple-generating dependencies (s-t tgds / GLAV
+//! constraints), Section 2 of the paper:
+//! `∀x⃗ (φ(x⃗) → ∃y⃗ ψ(x⃗, y⃗))`.
+
+use crate::atom::Atom;
+use crate::error::{CoreError, Result};
+use crate::schema::{Schema, Side};
+use crate::symbol::{SymbolTable, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An s-t tgd `∀x⃗ (φ(x⃗) → ∃y⃗ ψ(x⃗, y⃗))`.
+///
+/// The universal variables are exactly the variables of the body; the
+/// safety condition (each universal variable occurs in some body atom) holds
+/// by construction.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StTgd {
+    /// Body φ: a nonempty conjunction of source atoms.
+    pub body: Vec<Atom>,
+    /// Existential variables y⃗ (may be empty).
+    pub existentials: Vec<VarId>,
+    /// Head ψ: a conjunction of target atoms over body vars and y⃗.
+    pub head: Vec<Atom>,
+}
+
+impl StTgd {
+    /// Creates an s-t tgd; use [`StTgd::validate`] to check well-formedness.
+    pub fn new(
+        body: impl Into<Vec<Atom>>,
+        existentials: impl Into<Vec<VarId>>,
+        head: impl Into<Vec<Atom>>,
+    ) -> Self {
+        StTgd {
+            body: body.into(),
+            existentials: existentials.into(),
+            head: head.into(),
+        }
+    }
+
+    /// The universal variables: all variables of the body, in first-occurrence
+    /// order.
+    pub fn universals(&self) -> Vec<VarId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for a in &self.body {
+            for &v in &a.args {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates well-formedness and declares relations in `schema`:
+    /// nonempty body, head variables bound, existentials distinct from
+    /// universals, source/target sides consistent.
+    pub fn validate(&self, schema: &mut Schema) -> Result<()> {
+        if self.body.is_empty() {
+            return Err(CoreError::Invalid("s-t tgd with empty body".into()));
+        }
+        for a in &self.body {
+            schema.declare(a.rel, a.args.len(), Side::Source)?;
+        }
+        for a in &self.head {
+            schema.declare(a.rel, a.args.len(), Side::Target)?;
+        }
+        let universals: BTreeSet<_> = self.universals().into_iter().collect();
+        let existentials: BTreeSet<_> = self.existentials.iter().copied().collect();
+        if existentials.len() != self.existentials.len() {
+            return Err(CoreError::Invalid("duplicate existential variable".into()));
+        }
+        if let Some(&v) = universals.intersection(&existentials).next() {
+            return Err(CoreError::ShadowedVariable { var: v });
+        }
+        for a in &self.head {
+            for &v in &a.args {
+                if !universals.contains(&v) && !existentials.contains(&v) {
+                    return Err(CoreError::UnboundVariable { var: v });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the tgd in the paper's (quantifier-suppressed) notation,
+    /// e.g. `S(x1,x2) -> exists y (R(y,x2))`.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let body = self
+            .body
+            .iter()
+            .map(|a| a.display(syms).to_string())
+            .collect::<Vec<_>>()
+            .join(" & ");
+        let head = if self.head.is_empty() {
+            "true".to_string()
+        } else {
+            self.head
+                .iter()
+                .map(|a| a.display(syms).to_string())
+                .collect::<Vec<_>>()
+                .join(" & ")
+        };
+        if self.existentials.is_empty() {
+            format!("{body} -> {head}")
+        } else {
+            let ys = self
+                .existentials
+                .iter()
+                .map(|&v| syms.var_name(v))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{body} -> exists {ys} ({head})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> (SymbolTable, StTgd) {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let r = syms.rel("R");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let z = syms.var("z");
+        let tgd = StTgd::new(
+            vec![Atom::new(s, vec![x, y])],
+            vec![z],
+            vec![Atom::new(r, vec![x, z])],
+        );
+        (syms, tgd)
+    }
+
+    #[test]
+    fn universals_in_order() {
+        let (mut syms, tgd) = build();
+        let x = syms.var("x");
+        let y = syms.var("y");
+        assert_eq!(tgd.universals(), vec![x, y]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let (_syms, tgd) = build();
+        let mut sch = Schema::new();
+        tgd.validate(&mut sch).unwrap();
+        assert_eq!(sch.side(tgd.body[0].rel), Some(Side::Source));
+        assert_eq!(sch.side(tgd.head[0].rel), Some(Side::Target));
+    }
+
+    #[test]
+    fn validate_rejects_unbound_head_var() {
+        let (mut syms, mut tgd) = build();
+        let w = syms.var("w");
+        tgd.head[0].args[1] = w;
+        tgd.existentials.clear();
+        let mut sch = Schema::new();
+        assert_eq!(
+            tgd.validate(&mut sch),
+            Err(CoreError::UnboundVariable { var: w })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_shadowing() {
+        let (mut syms, mut tgd) = build();
+        let x = syms.var("x");
+        tgd.existentials = vec![x];
+        let mut sch = Schema::new();
+        assert_eq!(
+            tgd.validate(&mut sch),
+            Err(CoreError::ShadowedVariable { var: x })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_body() {
+        let tgd = StTgd::new(vec![], vec![], vec![]);
+        let mut sch = Schema::new();
+        assert!(tgd.validate(&mut sch).is_err());
+    }
+
+    #[test]
+    fn display_shape() {
+        let (syms, tgd) = build();
+        assert_eq!(tgd.display(&syms), "S(x,y) -> exists z (R(x,z))");
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the core crate.
+
+use crate::symbol::{RelId, VarId};
+use std::fmt;
+
+/// Result alias for core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while building or validating schemas and dependencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A relation was used with two different arities.
+    ArityMismatch {
+        /// The offending relation.
+        rel: RelId,
+        /// Arity fixed by the first occurrence.
+        expected: usize,
+        /// Arity of the conflicting occurrence.
+        found: usize,
+    },
+    /// A relation was used on both the source and the target side.
+    SideMismatch {
+        /// The offending relation.
+        rel: RelId,
+    },
+    /// A universally quantified variable does not occur in any body atom of
+    /// its part (safety condition of tgds).
+    UnsafeVariable {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A variable was used without being quantified in scope.
+    UnboundVariable {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A variable was quantified twice in nested scopes.
+    ShadowedVariable {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// Parse error with position and message.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A structural validation failure with a free-form message.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation {rel:?} used with arity {found}, previously {expected}"
+            ),
+            CoreError::SideMismatch { rel } => {
+                write!(f, "relation {rel:?} used on both source and target side")
+            }
+            CoreError::UnsafeVariable { var } => {
+                write!(f, "universal variable {var:?} occurs in no body atom of its part")
+            }
+            CoreError::UnboundVariable { var } => write!(f, "variable {var:?} is unbound"),
+            CoreError::ShadowedVariable { var } => {
+                write!(f, "variable {var:?} is quantified twice in nested scopes")
+            }
+            CoreError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            CoreError::Invalid(m) => write!(f, "invalid dependency: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = CoreError::Parse {
+            offset: 4,
+            message: "expected '('".into(),
+        };
+        assert!(e.to_string().contains("byte 4"));
+        let e = CoreError::UnsafeVariable { var: VarId(1) };
+        assert!(e.to_string().contains("no body atom"));
+    }
+}

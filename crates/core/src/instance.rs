@@ -1,0 +1,310 @@
+//! Instances: finite relations over constants and labeled nulls.
+//!
+//! Deterministic iteration order (B-trees throughout) so that printed
+//! figures, tests and experiment logs are stable across runs.
+
+use crate::symbol::{RelId, SymbolTable};
+use crate::value::{NullId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A fact `R(v1, ..., vk)` of an instance.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Fact {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The tuple of values.
+    pub args: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(rel: RelId, args: impl Into<Vec<Value>>) -> Self {
+        Fact {
+            rel,
+            args: args.into(),
+        }
+    }
+
+    /// The labeled nulls occurring in this fact (deduplicated, ordered).
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.args.iter().filter_map(|v| v.as_null()).collect()
+    }
+
+    /// Renders the fact, e.g. `R(a,_N0)`.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Fact, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.rel_name(self.0.rel))?;
+                for (i, v) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", v.display(self.1))?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, syms)
+    }
+}
+
+/// A finite instance: a set of facts grouped by relation.
+#[derive(Clone, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Instance {
+    rels: BTreeMap<RelId, BTreeSet<Vec<Value>>>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an instance from an iterator of facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Self {
+        let mut inst = Instance::new();
+        for f in facts {
+            inst.insert(f);
+        }
+        inst
+    }
+
+    /// Inserts a fact; returns `true` if it was not already present.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.rels.entry(fact.rel).or_default().insert(fact.args)
+    }
+
+    /// Inserts a fact given by relation and arguments.
+    pub fn insert_tuple(&mut self, rel: RelId, args: impl Into<Vec<Value>>) -> bool {
+        self.rels.entry(rel).or_default().insert(args.into())
+    }
+
+    /// Removes a fact; returns `true` if it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        if let Some(set) = self.rels.get_mut(&fact.rel) {
+            let removed = set.remove(&fact.args);
+            if set.is_empty() {
+                self.rels.remove(&fact.rel);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Does the instance contain the fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.rels
+            .get(&fact.rel)
+            .is_some_and(|s| s.contains(&fact.args))
+    }
+
+    /// Does the instance contain the tuple under `rel`?
+    pub fn contains_tuple(&self, rel: RelId, args: &[Value]) -> bool {
+        self.rels.get(&rel).is_some_and(|s| s.contains(args))
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(BTreeSet::len).sum()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterates over all facts in deterministic order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels.iter().flat_map(|(&rel, tuples)| {
+            tuples.iter().map(move |args| Fact {
+                rel,
+                args: args.clone(),
+            })
+        })
+    }
+
+    /// The tuples of one relation (empty slice semantics via empty iterator).
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.rels.get(&rel).into_iter().flatten()
+    }
+
+    /// Number of tuples in one relation.
+    pub fn rel_len(&self, rel: RelId) -> usize {
+        self.rels.get(&rel).map_or(0, BTreeSet::len)
+    }
+
+    /// The relations with at least one tuple.
+    pub fn active_relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// The active domain: all values occurring in some fact.
+    pub fn adom(&self) -> BTreeSet<Value> {
+        self.rels
+            .values()
+            .flatten()
+            .flat_map(|t| t.iter().copied())
+            .collect()
+    }
+
+    /// The labeled nulls occurring in the instance.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.rels
+            .values()
+            .flatten()
+            .flat_map(|t| t.iter().filter_map(|v| v.as_null()))
+            .collect()
+    }
+
+    /// Does the instance consist of constants only (a valid source instance)?
+    pub fn is_ground(&self) -> bool {
+        self.rels
+            .values()
+            .flatten()
+            .all(|t| t.iter().all(|v| v.is_const()))
+    }
+
+    /// Applies a value mapping to every fact, producing a new instance.
+    /// This is the action of a function `h` on an instance: `h(J)`.
+    pub fn map_values(&self, h: &dyn Fn(Value) -> Value) -> Instance {
+        let mut out = Instance::new();
+        for (&rel, tuples) in &self.rels {
+            for t in tuples {
+                out.insert_tuple(rel, t.iter().map(|&v| h(v)).collect::<Vec<_>>());
+            }
+        }
+        out
+    }
+
+    /// Unions another instance into this one.
+    pub fn extend(&mut self, other: &Instance) {
+        for (&rel, tuples) in &other.rels {
+            let set = self.rels.entry(rel).or_default();
+            for t in tuples {
+                set.insert(t.clone());
+            }
+        }
+    }
+
+    /// The subinstance of facts satisfying the predicate.
+    pub fn filter(&self, keep: &dyn Fn(&Fact) -> bool) -> Instance {
+        Instance::from_facts(self.facts().filter(|f| keep(f)))
+    }
+
+    /// Is `self` a subinstance of `other` (fact-set inclusion)?
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.rels.iter().all(|(rel, tuples)| {
+            other
+                .rels
+                .get(rel)
+                .is_some_and(|os| tuples.is_subset(os))
+        })
+    }
+
+    /// Renders all facts separated by `, `, in deterministic order.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        self.facts()
+            .map(|f| f.display(syms).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        Instance::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+    use crate::value::NullId;
+
+    fn setup() -> (SymbolTable, RelId, Value, Value, Value) {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let n = Value::Null(NullId(0));
+        (syms, r, a, b, n)
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let (_syms, r, a, b, _) = setup();
+        let mut i = Instance::new();
+        assert!(i.insert_tuple(r, vec![a, b]));
+        assert!(!i.insert_tuple(r, vec![a, b]));
+        assert!(i.contains_tuple(r, &[a, b]));
+        assert!(!i.contains_tuple(r, &[b, a]));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_up_relation() {
+        let (_syms, r, a, b, _) = setup();
+        let mut i = Instance::new();
+        i.insert_tuple(r, vec![a, b]);
+        let f = Fact::new(r, vec![a, b]);
+        assert!(i.remove(&f));
+        assert!(i.is_empty());
+        assert!(!i.remove(&f));
+    }
+
+    #[test]
+    fn adom_and_nulls() {
+        let (_syms, r, a, b, n) = setup();
+        let mut i = Instance::new();
+        i.insert_tuple(r, vec![a, n]);
+        i.insert_tuple(r, vec![b, b]);
+        assert_eq!(i.adom().len(), 3);
+        assert_eq!(i.nulls().len(), 1);
+        assert!(!i.is_ground());
+        let ground = i.filter(&|f| f.args.iter().all(|v| v.is_const()));
+        assert!(ground.is_ground());
+        assert_eq!(ground.len(), 1);
+    }
+
+    #[test]
+    fn map_values_applies_homomorphism_action() {
+        let (_syms, r, a, _b, n) = setup();
+        let mut i = Instance::new();
+        i.insert_tuple(r, vec![n, a]);
+        let mapped = i.map_values(&|v| if v == n { a } else { v });
+        assert!(mapped.contains_tuple(r, &[a, a]));
+        assert_eq!(mapped.len(), 1);
+    }
+
+    #[test]
+    fn subinstance_check() {
+        let (_syms, r, a, b, _) = setup();
+        let mut big = Instance::new();
+        big.insert_tuple(r, vec![a, b]);
+        big.insert_tuple(r, vec![b, a]);
+        let small = Instance::from_facts([Fact::new(r, vec![a, b])]);
+        assert!(small.is_subinstance_of(&big));
+        assert!(!big.is_subinstance_of(&small));
+    }
+
+    #[test]
+    fn extend_unions_facts() {
+        let (_syms, r, a, b, _) = setup();
+        let mut i = Instance::from_facts([Fact::new(r, vec![a, a])]);
+        let j = Instance::from_facts([Fact::new(r, vec![b, b]), Fact::new(r, vec![a, a])]);
+        i.extend(&j);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let (syms, r, a, b, _) = setup();
+        let i = Instance::from_facts([Fact::new(r, vec![b, a]), Fact::new(r, vec![a, b])]);
+        assert_eq!(i.display(&syms), "R(a,b), R(b,a)");
+    }
+}

@@ -1,0 +1,182 @@
+//! Schema mappings `M = (S, T, Σ)` (paper, Section 2).
+//!
+//! The central object of the paper is the **nested GLAV mapping**: a schema
+//! mapping specified by a finite set of nested tgds, optionally together
+//! with egds over the source schema (Section 5).
+
+use crate::dep::{Egd, NestedTgd, SoTgd, StTgd};
+use crate::error::Result;
+use crate::parse;
+use crate::schema::Schema;
+use crate::symbol::SymbolTable;
+use serde::{Deserialize, Serialize};
+
+/// A nested GLAV mapping: source/target schemas, a finite set of nested
+/// tgds, and (optionally) source egds.
+///
+/// GLAV mappings are the special case where every nested tgd has a single
+/// part; see [`NestedMapping::is_glav`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NestedMapping {
+    /// The combined source/target schema, derived from the dependencies.
+    pub schema: Schema,
+    /// The nested tgds Σ.
+    pub tgds: Vec<NestedTgd>,
+    /// Egds over the source schema (empty unless Section 5 settings).
+    pub source_egds: Vec<Egd>,
+}
+
+impl NestedMapping {
+    /// Creates a mapping from validated parts.
+    pub fn new(tgds: Vec<NestedTgd>, source_egds: Vec<Egd>) -> Result<Self> {
+        let mut schema = Schema::new();
+        for t in &tgds {
+            t.validate(&mut schema)?;
+        }
+        for e in &source_egds {
+            e.validate(&mut schema)?;
+        }
+        Ok(NestedMapping {
+            schema,
+            tgds,
+            source_egds,
+        })
+    }
+
+    /// Parses a mapping from textual tgds (and optionally egds).
+    pub fn parse(syms: &mut SymbolTable, tgds: &[&str], egds: &[&str]) -> Result<Self> {
+        let tgds = tgds
+            .iter()
+            .map(|s| parse::parse_nested_tgd(syms, s))
+            .collect::<Result<Vec<_>>>()?;
+        let egds = egds
+            .iter()
+            .map(|s| parse::parse_egd(syms, s))
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(tgds, egds)
+    }
+
+    /// Is this syntactically a GLAV mapping (every tgd a single part)?
+    pub fn is_glav(&self) -> bool {
+        self.tgds.iter().all(NestedTgd::is_st_tgd)
+    }
+
+    /// The s-t tgds, if this is syntactically GLAV.
+    pub fn to_st_tgds(&self) -> Option<Vec<StTgd>> {
+        self.tgds.iter().map(NestedTgd::to_st_tgd).collect()
+    }
+
+    /// Builds a GLAV mapping from s-t tgds.
+    pub fn from_st_tgds(tgds: Vec<StTgd>, source_egds: Vec<Egd>) -> Result<Self> {
+        Self::new(tgds.into_iter().map(Into::into).collect(), source_egds)
+    }
+
+    /// Renders all constraints, one per line.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let mut lines: Vec<String> = self.tgds.iter().map(|t| t.display(syms)).collect();
+        lines.extend(self.source_egds.iter().map(|e| e.display(syms)));
+        lines.join("\n")
+    }
+}
+
+/// A schema mapping specified by a single SO tgd (optionally with source
+/// egds), as studied in Sections 4.2 and 5 of the paper.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SoMapping {
+    /// The combined source/target schema.
+    pub schema: Schema,
+    /// The SO tgd σ.
+    pub tgd: SoTgd,
+    /// Egds over the source schema.
+    pub source_egds: Vec<Egd>,
+}
+
+impl SoMapping {
+    /// Creates a validated SO mapping.
+    pub fn new(tgd: SoTgd, source_egds: Vec<Egd>) -> Result<Self> {
+        let mut schema = Schema::new();
+        tgd.validate(&mut schema)?;
+        for e in &source_egds {
+            e.validate(&mut schema)?;
+        }
+        Ok(SoMapping {
+            schema,
+            tgd,
+            source_egds,
+        })
+    }
+
+    /// Parses an SO mapping from text.
+    pub fn parse(syms: &mut SymbolTable, tgd: &str, egds: &[&str]) -> Result<Self> {
+        let tgd = parse::parse_so_tgd(syms, tgd)?;
+        let egds = egds
+            .iter()
+            .map(|s| parse::parse_egd(syms, s))
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(tgd, egds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mapping_and_classify() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &["S(x,y) -> exists z R(x,z)"],
+            &["S(x,y) & S(x2,y) -> x = x2"],
+        )
+        .unwrap();
+        assert!(m.is_glav());
+        assert_eq!(m.to_st_tgds().unwrap().len(), 1);
+        assert_eq!(m.source_egds.len(), 1);
+    }
+
+    #[test]
+    fn nested_mapping_is_not_glav() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &["forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> R(y,x2))))"],
+            &[],
+        )
+        .unwrap();
+        assert!(!m.is_glav());
+        assert!(m.to_st_tgds().is_none());
+    }
+
+    #[test]
+    fn schema_conflicts_across_tgds_are_caught() {
+        let mut syms = SymbolTable::new();
+        let r = NestedMapping::parse(
+            &mut syms,
+            &["S(x) -> R(x)", "R(x) -> T(x)"], // R used on both sides
+            &[],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn so_mapping_parses() {
+        let mut syms = SymbolTable::new();
+        let m = SoMapping::parse(&mut syms, "exists f . S(x,y) -> R(f(x),f(y))", &[]).unwrap();
+        assert!(m.tgd.is_plain());
+    }
+
+    #[test]
+    fn display_joins_constraints() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &["S(x) -> R(x)"],
+            &["S(x) & S(y) -> x = y"],
+        )
+        .unwrap();
+        let d = m.display(&syms);
+        assert!(d.contains("S(x) -> R(x)"));
+        assert!(d.contains("x = y"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Tokenizer for the textual dependency syntax.
+
+use crate::error::{CoreError, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier: relation, variable, constant or function name.
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `&` (conjunction; `/\` is accepted too)
+    Amp,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `;` (clause separator in SO tgds)
+    Semi,
+    /// `.` (after the function quantifier prefix of SO tgds)
+    Dot,
+    /// keyword `forall`
+    Forall,
+    /// keyword `exists`
+    Exists,
+    /// keyword `true` (empty conjunction ⊤)
+    True,
+}
+
+/// A token together with its byte offset (for error messages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Tokenizes `input`; identifiers are `[A-Za-z_][A-Za-z0-9_']*`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, offset: i });
+                i += 1;
+            }
+            '&' => {
+                out.push(Spanned { tok: Tok::Amp, offset: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { tok: Tok::Semi, offset: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Eq, offset: i });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Spanned { tok: Tok::Arrow, offset: i });
+                    i += 2;
+                } else {
+                    return Err(CoreError::Parse {
+                        offset: i,
+                        message: "expected '->'".into(),
+                    });
+                }
+            }
+            '/' => {
+                // Accept `/\` as conjunction.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    out.push(Spanned { tok: Tok::Amp, offset: i });
+                    i += 2;
+                } else {
+                    return Err(CoreError::Parse {
+                        offset: i,
+                        message: "expected '/\\'".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let tok = match word {
+                    "forall" => Tok::Forall,
+                    "exists" => Tok::Exists,
+                    "true" | "top" => Tok::True,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, offset: start });
+            }
+            _ => {
+                return Err(CoreError::Parse {
+                    offset: i,
+                    message: format!("unexpected character {c:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_tgd() {
+        let toks = lex("S(x1,x2) -> exists y (R(y,x2))").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+        assert_eq!(kinds[0], &Tok::Ident("S".into()));
+        assert_eq!(kinds[1], &Tok::LParen);
+        assert!(kinds.contains(&&Tok::Arrow));
+        assert!(kinds.contains(&&Tok::Exists));
+    }
+
+    #[test]
+    fn lex_keywords_and_primes() {
+        let toks = lex("forall x' (P(x') -> true)").unwrap();
+        assert_eq!(toks[0].tok, Tok::Forall);
+        assert_eq!(toks[1].tok, Tok::Ident("x'".into()));
+        assert_eq!(toks.last().unwrap().tok, Tok::RParen);
+    }
+
+    #[test]
+    fn lex_so_tgd_punctuation() {
+        let toks = lex("exists f . S(x,y) & x = f(x) -> R(f(x)) ; Q(z) -> T(z)").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::Dot));
+        assert!(toks.iter().any(|t| t.tok == Tok::Semi));
+        assert!(toks.iter().any(|t| t.tok == Tok::Eq));
+    }
+
+    #[test]
+    fn lex_conj_alias() {
+        let toks = lex(r"P(x) /\ Q(x) -> R(x)").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::Amp));
+    }
+
+    #[test]
+    fn lex_rejects_garbage() {
+        assert!(lex("P(x) % Q(x)").is_err());
+        assert!(lex("P(x) - Q(x)").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let toks = lex("ab  ->").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+}

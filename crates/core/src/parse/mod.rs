@@ -1,0 +1,6 @@
+//! Text syntax for dependencies: lexer and recursive-descent parser.
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_egd, parse_fact, parse_nested_tgd, parse_so_tgd, parse_st_tgd};

@@ -1,0 +1,162 @@
+//! Schemas: finite sequences of relation symbols with fixed arities, split
+//! into a *source* and a *target* schema with no symbols in common
+//! (paper, Section 2).
+
+use crate::error::{CoreError, Result};
+use crate::symbol::{RelId, SymbolTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether a relation belongs to the source or target schema.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Side {
+    /// Source schema **S** — instances over it contain only constants.
+    Source,
+    /// Target schema **T** — instances may contain constants and nulls.
+    Target,
+}
+
+/// A pair of source/target schemas with per-relation arities.
+///
+/// Built incrementally while parsing dependencies: the first occurrence of a
+/// relation fixes its arity and side; later conflicting occurrences are
+/// reported as errors.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Schema {
+    rels: BTreeMap<RelId, (usize, Side)>,
+}
+
+impl Schema {
+    /// Creates an empty schema pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or re-checks) a relation with the given arity and side.
+    pub fn declare(&mut self, rel: RelId, arity: usize, side: Side) -> Result<()> {
+        match self.rels.get(&rel) {
+            None => {
+                self.rels.insert(rel, (arity, side));
+                Ok(())
+            }
+            Some(&(a, s)) => {
+                if a != arity {
+                    Err(CoreError::ArityMismatch {
+                        rel,
+                        expected: a,
+                        found: arity,
+                    })
+                } else if s != side {
+                    Err(CoreError::SideMismatch { rel })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Arity of a declared relation.
+    pub fn arity(&self, rel: RelId) -> Option<usize> {
+        self.rels.get(&rel).map(|&(a, _)| a)
+    }
+
+    /// Side of a declared relation.
+    pub fn side(&self, rel: RelId) -> Option<Side> {
+        self.rels.get(&rel).map(|&(_, s)| s)
+    }
+
+    /// Iterates over all declared relations as `(rel, arity, side)`.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, usize, Side)> + '_ {
+        self.rels.iter().map(|(&r, &(a, s))| (r, a, s))
+    }
+
+    /// All relations on one side.
+    pub fn side_relations(&self, side: Side) -> Vec<RelId> {
+        self.rels
+            .iter()
+            .filter(|&(_, &(_, s))| s == side)
+            .map(|(&r, _)| r)
+            .collect()
+    }
+
+    /// Merges another schema into this one, checking consistency.
+    pub fn merge(&mut self, other: &Schema) -> Result<()> {
+        for (r, a, s) in other.relations() {
+            self.declare(r, a, s)?;
+        }
+        Ok(())
+    }
+
+    /// Human-readable rendering, e.g. `S: S1/1, S2/1; T: R2/2`.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let fmt_side = |side: Side| {
+            self.rels
+                .iter()
+                .filter(|&(_, &(_, s))| s == side)
+                .map(|(&r, &(a, _))| format!("{}/{}", syms.rel_name(r), a))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!("S: {}; T: {}", fmt_side(Side::Source), fmt_side(Side::Target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_requery() {
+        let mut syms = SymbolTable::new();
+        let mut sch = Schema::new();
+        let s = syms.rel("S");
+        sch.declare(s, 2, Side::Source).unwrap();
+        assert_eq!(sch.arity(s), Some(2));
+        assert_eq!(sch.side(s), Some(Side::Source));
+        // Re-declaring identically is fine.
+        sch.declare(s, 2, Side::Source).unwrap();
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut syms = SymbolTable::new();
+        let mut sch = Schema::new();
+        let s = syms.rel("S");
+        sch.declare(s, 2, Side::Source).unwrap();
+        assert!(sch.declare(s, 3, Side::Source).is_err());
+    }
+
+    #[test]
+    fn source_target_overlap_is_rejected() {
+        let mut syms = SymbolTable::new();
+        let mut sch = Schema::new();
+        let s = syms.rel("S");
+        sch.declare(s, 2, Side::Source).unwrap();
+        assert!(sch.declare(s, 2, Side::Target).is_err());
+    }
+
+    #[test]
+    fn merge_checks_consistency() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let mut a = Schema::new();
+        a.declare(r, 1, Side::Target).unwrap();
+        let mut b = Schema::new();
+        b.declare(r, 2, Side::Target).unwrap();
+        assert!(a.clone().merge(&b).is_err());
+        let mut c = Schema::new();
+        c.declare(r, 1, Side::Target).unwrap();
+        a.merge(&c).unwrap();
+    }
+
+    #[test]
+    fn display_lists_both_sides() {
+        let mut syms = SymbolTable::new();
+        let mut sch = Schema::new();
+        let s = syms.rel("S");
+        let r = syms.rel("R");
+        sch.declare(s, 1, Side::Source).unwrap();
+        sch.declare(r, 2, Side::Target).unwrap();
+        assert_eq!(sch.display(&syms), "S: S/1; T: R/2");
+    }
+}

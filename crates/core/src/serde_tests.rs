@@ -1,0 +1,76 @@
+//! Serde round-trip tests: instances, dependencies and mappings serialize
+//! to JSON and back unchanged — the machine-readable experiment-log format
+//! used by the bench harness (see DESIGN.md §5).
+
+#![cfg(test)]
+
+use crate::prelude::*;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn instance_roundtrip() {
+    let mut syms = SymbolTable::new();
+    let r = syms.rel("R");
+    let a = Value::Const(syms.constant("a"));
+    let inst = Instance::from_facts([
+        Fact::new(r, vec![a, Value::Null(NullId(3))]),
+        Fact::new(r, vec![a, a]),
+    ]);
+    assert_eq!(roundtrip(&inst), inst);
+}
+
+#[test]
+fn nested_tgd_roundtrip() {
+    let mut syms = SymbolTable::new();
+    let t = parse_nested_tgd(
+        &mut syms,
+        "forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> R(y,x2))))",
+    )
+    .unwrap();
+    assert_eq!(roundtrip(&t), t);
+}
+
+#[test]
+fn so_tgd_and_egd_roundtrip() {
+    let mut syms = SymbolTable::new();
+    let so = parse_so_tgd(
+        &mut syms,
+        "exists f . Emp(e) -> Mgr(e,f(e)) ; Emp(e) & e = f(e) -> SelfMgr(e)",
+    )
+    .unwrap();
+    assert_eq!(roundtrip(&so), so);
+    let egd = parse_egd(&mut syms, "S(x,y) & S(x2,y) -> x = x2").unwrap();
+    assert_eq!(roundtrip(&egd), egd);
+}
+
+#[test]
+fn mapping_roundtrip() {
+    let mut syms = SymbolTable::new();
+    let m = NestedMapping::parse(
+        &mut syms,
+        &["S(x,y) -> exists z R(x,z)"],
+        &["S(x,y) & S(x2,y) -> x = x2"],
+    )
+    .unwrap();
+    let back: NestedMapping = roundtrip(&m);
+    assert_eq!(back.tgds, m.tgds);
+    assert_eq!(back.source_egds, m.source_egds);
+}
+
+#[test]
+fn symbol_table_roundtrip_preserves_names() {
+    let mut syms = SymbolTable::new();
+    let r = syms.rel("Emp");
+    let c = syms.constant("alice");
+    let back: SymbolTable = roundtrip(&syms);
+    assert_eq!(back.rel_name(r), "Emp");
+    assert_eq!(back.const_name(c), "alice");
+    assert_eq!(back.find_rel("Emp"), Some(r));
+}

@@ -1,0 +1,235 @@
+//! First-order terms over variables and function symbols, and ground terms
+//! over constants, as used by SO tgds and the Skolemization of nested tgds
+//! (paper, Section 2, "SO tgds and Plain SO tgds").
+
+use crate::symbol::{ConstId, FuncId, SymbolTable, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A term based on variables and function symbols.
+///
+/// Terms are defined recursively (paper, Section 2): every variable is a
+/// term, and `f(t1, ..., tk)` is a term when the `ti` are terms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Term {
+    /// A first-order variable.
+    Var(VarId),
+    /// A function application `f(t1, ..., tk)`.
+    App(FuncId, Vec<Term>),
+}
+
+impl Term {
+    /// Constructs a function application.
+    pub fn app(f: FuncId, args: impl Into<Vec<Term>>) -> Self {
+        Term::App(f, args.into())
+    }
+
+    /// Is this a nested term, i.e. a function application with a function
+    /// application among its arguments? Plain SO tgds forbid these.
+    pub fn is_nested(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::App(_, args) => args.iter().any(|t| matches!(t, Term::App(..))),
+        }
+    }
+
+    /// Depth of the term: variables have depth 0, `f(x)` has depth 1, ...
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_) => 0,
+            Term::App(_, args) => 1 + args.iter().map(Term::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Collects the variables of the term into `out` (with duplicates).
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::App(_, args) => args.iter().for_each(|t| t.collect_vars(out)),
+        }
+    }
+
+    /// Collects the function symbols of the term into `out` (with duplicates).
+    pub fn collect_funcs(&self, out: &mut Vec<FuncId>) {
+        match self {
+            Term::Var(_) => {}
+            Term::App(f, args) => {
+                out.push(*f);
+                args.iter().for_each(|t| t.collect_funcs(out));
+            }
+        }
+    }
+
+    /// Evaluates the term under an assignment of variables to constants,
+    /// producing a ground term. Returns `None` if a variable is unbound.
+    pub fn ground(&self, assign: &dyn Fn(VarId) -> Option<ConstId>) -> Option<GroundTerm> {
+        match self {
+            Term::Var(v) => assign(*v).map(GroundTerm::Const),
+            Term::App(f, args) => {
+                let mut gargs = Vec::with_capacity(args.len());
+                for a in args {
+                    gargs.push(a.ground(assign)?);
+                }
+                Some(GroundTerm::App(*f, gargs))
+            }
+        }
+    }
+
+    /// Renders the term.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Term, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt_term(self.0, self.1, f)
+            }
+        }
+        D(self, syms)
+    }
+}
+
+fn fmt_term(t: &Term, syms: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "{}", syms.var_name(*v)),
+        Term::App(g, args) => {
+            write!(f, "{}(", syms.func_name(*g))?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                fmt_term(a, syms, f)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+/// A ground (variable-free) term over constants and function symbols.
+///
+/// The chase interprets Skolem functions over the Herbrand term universe:
+/// each ground function application denotes a distinct labeled null, and two
+/// ground terms denote the same value iff they are syntactically identical.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum GroundTerm {
+    /// A constant.
+    Const(ConstId),
+    /// A ground function application.
+    App(FuncId, Vec<GroundTerm>),
+}
+
+impl GroundTerm {
+    /// Applies a constant substitution (used when source egds merge
+    /// constants of canonical instances; paper, Definition 5.4).
+    pub fn map_consts(&self, f: &dyn Fn(ConstId) -> ConstId) -> GroundTerm {
+        match self {
+            GroundTerm::Const(c) => GroundTerm::Const(f(*c)),
+            GroundTerm::App(g, args) => {
+                GroundTerm::App(*g, args.iter().map(|a| a.map_consts(f)).collect())
+            }
+        }
+    }
+
+    /// Renders the ground term, e.g. `f(a_1,a_3)`.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a GroundTerm, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt_ground(self.0, self.1, f)
+            }
+        }
+        D(self, syms)
+    }
+}
+
+fn fmt_ground(t: &GroundTerm, syms: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        GroundTerm::Const(c) => write!(f, "{}", syms.const_name(*c)),
+        GroundTerm::App(g, args) => {
+            write!(f, "{}(", syms.func_name(*g))?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                fmt_ground(a, syms, f)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nestedness_and_depth() {
+        let mut syms = SymbolTable::new();
+        let x = syms.var("x");
+        let f = syms.func("f");
+        let g = syms.func("g");
+        let fx = Term::app(f, vec![Term::Var(x)]);
+        assert!(!fx.is_nested());
+        assert_eq!(fx.depth(), 1);
+        let gfx = Term::app(g, vec![fx.clone()]);
+        assert!(gfx.is_nested());
+        assert_eq!(gfx.depth(), 2);
+        assert!(!Term::Var(x).is_nested());
+    }
+
+    #[test]
+    fn grounding_terms() {
+        let mut syms = SymbolTable::new();
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let f = syms.func("f");
+        let a = syms.constant("a");
+        let t = Term::app(f, vec![Term::Var(x), Term::Var(y)]);
+        let assign = |v: VarId| if v == x { Some(a) } else { None };
+        assert_eq!(t.ground(&assign), None);
+        let assign2 = |_: VarId| Some(a);
+        assert_eq!(
+            t.ground(&assign2),
+            Some(GroundTerm::App(
+                f,
+                vec![GroundTerm::Const(a), GroundTerm::Const(a)]
+            ))
+        );
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let mut syms = SymbolTable::new();
+        let x = syms.var("x1");
+        let f = syms.func("f");
+        let a = syms.constant("a_1");
+        let t = Term::app(f, vec![Term::Var(x)]);
+        assert_eq!(t.display(&syms).to_string(), "f(x1)");
+        let g = GroundTerm::App(f, vec![GroundTerm::Const(a)]);
+        assert_eq!(g.display(&syms).to_string(), "f(a_1)");
+    }
+
+    #[test]
+    fn collect_vars_and_funcs() {
+        let mut syms = SymbolTable::new();
+        let x = syms.var("x");
+        let f = syms.func("f");
+        let g = syms.func("g");
+        let t = Term::app(g, vec![Term::app(f, vec![Term::Var(x)]), Term::Var(x)]);
+        let mut vs = vec![];
+        t.collect_vars(&mut vs);
+        assert_eq!(vs, vec![x, x]);
+        let mut fs = vec![];
+        t.collect_funcs(&mut fs);
+        assert_eq!(fs, vec![g, f]);
+    }
+
+    #[test]
+    fn ground_term_const_mapping() {
+        let mut syms = SymbolTable::new();
+        let f = syms.func("f");
+        let a = syms.constant("a");
+        let b = syms.constant("b");
+        let t = GroundTerm::App(f, vec![GroundTerm::Const(a)]);
+        let mapped = t.map_consts(&|c| if c == a { b } else { c });
+        assert_eq!(mapped, GroundTerm::App(f, vec![GroundTerm::Const(b)]));
+    }
+}

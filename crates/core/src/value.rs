@@ -1,0 +1,131 @@
+//! Domain values of instances: constants and labeled nulls.
+//!
+//! Following the paper (Section 2), source instances contain only constants;
+//! target instances may contain constants and labeled nulls. Nulls are
+//! created by the chase and are in bijection with ground Skolem terms (see
+//! [`crate::term::GroundTerm`] and the `NullFactory` in `ndl-chase`).
+
+use crate::symbol::{ConstId, SymbolTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a labeled null. Nulls are scoped to a factory
+/// (typically one per chase run / reasoning session).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NullId(pub u32);
+
+impl NullId {
+    /// Index into dense per-null arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NullId({})", self.0)
+    }
+}
+
+/// A value in the active domain of an instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// A constant; homomorphisms are the identity on constants.
+    Const(ConstId),
+    /// A labeled null; homomorphisms may map nulls to any value.
+    Null(NullId),
+}
+
+impl Value {
+    /// Is this value a constant?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Is this value a labeled null?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// The null id, if this is a null.
+    #[inline]
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(n),
+            Value::Const(_) => None,
+        }
+    }
+
+    /// The constant id, if this is a constant.
+    #[inline]
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// Renders the value using `syms` for constants; nulls print as `_Nk`.
+    /// For Skolem-term-labeled nulls, prefer the chase result's display
+    /// helpers which print the ground term (e.g. `f(a_1)`).
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Value, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Value::Const(c) => write!(f, "{}", self.1.const_name(*c)),
+                    Value::Null(n) => write!(f, "_N{}", n.0),
+                }
+            }
+        }
+        D(self, syms)
+    }
+}
+
+impl From<ConstId> for Value {
+    fn from(c: ConstId) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Self {
+        Value::Null(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_kind_predicates() {
+        let c = Value::Const(ConstId(0));
+        let n = Value::Null(NullId(3));
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(n.as_null(), Some(NullId(3)));
+        assert_eq!(c.as_const(), Some(ConstId(0)));
+        assert_eq!(c.as_null(), None);
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn display_constant_and_null() {
+        let mut syms = SymbolTable::new();
+        let a = syms.constant("alice");
+        assert_eq!(Value::Const(a).display(&syms).to_string(), "alice");
+        assert_eq!(Value::Null(NullId(7)).display(&syms).to_string(), "_N7");
+    }
+
+    #[test]
+    fn ordering_groups_constants_before_nulls() {
+        // Relied upon by deterministic printing in figures.
+        let c = Value::Const(ConstId(9));
+        let n = Value::Null(NullId(0));
+        assert!(c < n);
+    }
+}

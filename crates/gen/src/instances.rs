@@ -1,0 +1,177 @@
+//! Source-instance families used throughout the paper's examples:
+//! successor relations (Prop. 4.13, Examples 4.14/4.15, Thm. 5.1), directed
+//! cycles (Example 4.8), grids, and random instances.
+
+use ndl_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The successor relation `S(c1,c2), …, S(c{n-1},cn)` over `n` elements
+/// (`n - 1` facts; empty for `n ≤ 1`). `rel` must be binary.
+pub fn successor(syms: &mut SymbolTable, rel: RelId, n: usize, prefix: &str) -> Instance {
+    let mut inst = Instance::new();
+    for i in 1..n {
+        let a = Value::Const(syms.constant(&format!("{prefix}{i}")));
+        let b = Value::Const(syms.constant(&format!("{prefix}{}", i + 1)));
+        inst.insert(Fact::new(rel, vec![a, b]));
+    }
+    inst
+}
+
+/// A successor relation plus a zero marker `Z(c1)` — the source shape of
+/// the Theorem 5.1 reduction.
+pub fn successor_with_zero(
+    syms: &mut SymbolTable,
+    s: RelId,
+    z: RelId,
+    n: usize,
+    prefix: &str,
+) -> Instance {
+    let mut inst = successor(syms, s, n, prefix);
+    if n >= 1 {
+        let zero = Value::Const(syms.constant(&format!("{prefix}1")));
+        inst.insert(Fact::new(z, vec![zero]));
+    }
+    inst
+}
+
+/// The directed cycle `S(c1,c2), …, S(cn,c1)` of length `n`
+/// (Example 4.8's `I_n`).
+pub fn cycle(syms: &mut SymbolTable, rel: RelId, n: usize, prefix: &str) -> Instance {
+    let mut inst = Instance::new();
+    for i in 1..=n {
+        let a = Value::Const(syms.constant(&format!("{prefix}{i}")));
+        let b = Value::Const(syms.constant(&format!("{prefix}{}", i % n + 1)));
+        inst.insert(Fact::new(rel, vec![a, b]));
+    }
+    inst
+}
+
+/// A `w × h` grid: horizontal edges in `h_rel`, vertical edges in `v_rel`.
+pub fn grid(
+    syms: &mut SymbolTable,
+    h_rel: RelId,
+    v_rel: RelId,
+    w: usize,
+    h: usize,
+    prefix: &str,
+) -> Instance {
+    let mut inst = Instance::new();
+    let node = |syms: &mut SymbolTable, x: usize, y: usize| {
+        Value::Const(syms.constant(&format!("{prefix}{x}_{y}")))
+    };
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                let a = node(syms, x, y);
+                let b = node(syms, x + 1, y);
+                inst.insert(Fact::new(h_rel, vec![a, b]));
+            }
+            if y + 1 < h {
+                let a = node(syms, x, y);
+                let b = node(syms, x, y + 1);
+                inst.insert(Fact::new(v_rel, vec![a, b]));
+            }
+        }
+    }
+    inst
+}
+
+/// Options for random instance generation.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceGenOptions {
+    /// Number of facts to draw.
+    pub facts: usize,
+    /// Size of the constant pool.
+    pub domain: usize,
+    /// RNG seed (deterministic workloads for reproducible benches).
+    pub seed: u64,
+}
+
+/// A random instance over the given relations (with arities), drawing each
+/// fact's relation and constants uniformly.
+pub fn random_instance(
+    syms: &mut SymbolTable,
+    rels: &[(RelId, usize)],
+    opts: &InstanceGenOptions,
+) -> Instance {
+    assert!(!rels.is_empty(), "need at least one relation");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let pool: Vec<Value> = (0..opts.domain.max(1))
+        .map(|i| Value::Const(syms.constant(&format!("r{i}"))))
+        .collect();
+    let mut inst = Instance::new();
+    for _ in 0..opts.facts {
+        let (rel, arity) = rels[rng.gen_range(0..rels.len())];
+        let args: Vec<Value> = (0..arity)
+            .map(|_| pool[rng.gen_range(0..pool.len())])
+            .collect();
+        inst.insert(Fact::new(rel, args));
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_shape() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let inst = successor(&mut syms, s, 5, "c");
+        assert_eq!(inst.len(), 4);
+        assert_eq!(inst.adom().len(), 5);
+        assert!(successor(&mut syms, s, 1, "d").is_empty());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let inst = cycle(&mut syms, s, 5, "c");
+        assert_eq!(inst.len(), 5);
+        assert_eq!(inst.adom().len(), 5);
+        // Closing edge S(c5, c1) present.
+        let a = Value::Const(syms.constant("c5"));
+        let b = Value::Const(syms.constant("c1"));
+        assert!(inst.contains_tuple(s, &[a, b]));
+    }
+
+    #[test]
+    fn zero_marker() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let z = syms.rel("Z");
+        let inst = successor_with_zero(&mut syms, s, z, 4, "c");
+        assert_eq!(inst.rel_len(z), 1);
+        assert_eq!(inst.rel_len(s), 3);
+    }
+
+    #[test]
+    fn grid_edge_counts() {
+        let mut syms = SymbolTable::new();
+        let h = syms.rel("H");
+        let v = syms.rel("V");
+        let inst = grid(&mut syms, h, v, 3, 4, "g");
+        assert_eq!(inst.rel_len(h), 2 * 4);
+        assert_eq!(inst.rel_len(v), 3 * 3);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let q = syms.rel("Q");
+        let opts = InstanceGenOptions {
+            facts: 50,
+            domain: 10,
+            seed: 7,
+        };
+        let a = random_instance(&mut syms, &[(s, 2), (q, 1)], &opts);
+        let b = random_instance(&mut syms, &[(s, 2), (q, 1)], &opts);
+        assert_eq!(a, b);
+        assert!(a.len() <= 50);
+        assert!(a.is_ground());
+    }
+}

@@ -1,0 +1,18 @@
+//! # ndl-gen
+//!
+//! Workload generators for benchmarks, examples and property tests:
+//! successor relations, directed cycles, grids, random instances, random
+//! nested tgds, and a Clio-style HR data-exchange scenario (the motivating
+//! workload of nested mappings in [10, 12] of the paper).
+
+#![warn(missing_docs)]
+
+pub mod clio;
+pub mod instances;
+pub mod tgds;
+
+pub use clio::{clio_scenario, ClioScenario};
+pub use instances::{
+    cycle, grid, random_instance, successor, successor_with_zero, InstanceGenOptions,
+};
+pub use tgds::{random_nested_tgd, TgdGenOptions};

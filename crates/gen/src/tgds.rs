@@ -1,0 +1,187 @@
+//! Random nested tgds for property tests and scaling benchmarks.
+
+use ndl_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for random nested tgd generation.
+#[derive(Clone, Copy, Debug)]
+pub struct TgdGenOptions {
+    /// Maximum nesting depth (1 = plain s-t tgd).
+    pub max_depth: usize,
+    /// Maximum children per part.
+    pub max_children: usize,
+    /// Probability that a part introduces an existential variable.
+    pub existential_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TgdGenOptions {
+    fn default() -> Self {
+        TgdGenOptions {
+            max_depth: 3,
+            max_children: 2,
+            existential_prob: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random, structurally valid nested tgd. Relations are named
+/// `Src<tag>_<i>` / `Tgt<tag>_<i>` so that repeated calls with distinct
+/// `tag`s never clash on source/target sides.
+pub fn random_nested_tgd(syms: &mut SymbolTable, tag: &str, opts: &TgdGenOptions) -> NestedTgd {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut parts: Vec<Part> = Vec::new();
+    let mut var_counter = 0usize;
+    gen_part(
+        syms,
+        tag,
+        &mut rng,
+        opts,
+        None,
+        1,
+        &mut parts,
+        &mut var_counter,
+        &[],
+        &[],
+    );
+    let tgd = NestedTgd::from_parts(parts);
+    debug_assert!(tgd.validate(&mut Schema::new()).is_ok());
+    tgd
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_part(
+    syms: &mut SymbolTable,
+    tag: &str,
+    rng: &mut StdRng,
+    opts: &TgdGenOptions,
+    parent: Option<usize>,
+    depth: usize,
+    parts: &mut Vec<Part>,
+    var_counter: &mut usize,
+    visible_universals: &[VarId],
+    visible_existentials: &[VarId],
+) -> usize {
+    let id = parts.len();
+    // Own universal variable.
+    *var_counter += 1;
+    let x = syms.var(&format!("v{tag}_{var_counter}"));
+    // Body atom: Src(x) or Src(x, some ancestor universal).
+    let mut universals = vec![x];
+    let body = if !visible_universals.is_empty() && rng.gen_bool(0.5) {
+        let anc = visible_universals[rng.gen_range(0..visible_universals.len())];
+        let rel = syms.rel(&format!("Src{tag}_{id}b"));
+        vec![Atom::new(rel, vec![anc, x])]
+    } else {
+        let rel = syms.rel(&format!("Src{tag}_{id}u"));
+        vec![Atom::new(rel, vec![x])]
+    };
+    // Existential variable with configured probability.
+    let mut existentials = Vec::new();
+    if rng.gen_bool(opts.existential_prob) {
+        *var_counter += 1;
+        let y = syms.var(&format!("w{tag}_{var_counter}"));
+        existentials.push(y);
+    }
+    // Head atom: Tgt(x) or Tgt(e, x) with a visible existential.
+    let mut all_existentials: Vec<VarId> = visible_existentials.to_vec();
+    all_existentials.extend(existentials.iter().copied());
+    let head = if !all_existentials.is_empty() {
+        let e = all_existentials[rng.gen_range(0..all_existentials.len())];
+        let rel = syms.rel(&format!("Tgt{tag}_{id}e"));
+        vec![Atom::new(rel, vec![e, x])]
+    } else {
+        let rel = syms.rel(&format!("Tgt{tag}_{id}u"));
+        vec![Atom::new(rel, vec![x])]
+    };
+    parts.push(Part {
+        parent,
+        universals: universals.clone(),
+        body,
+        existentials: existentials.clone(),
+        head,
+        children: vec![],
+    });
+    // Children.
+    if depth < opts.max_depth {
+        let n_children = rng.gen_range(0..=opts.max_children);
+        let mut vis_u: Vec<VarId> = visible_universals.to_vec();
+        vis_u.append(&mut universals);
+        for _ in 0..n_children {
+            let c = gen_part(
+                syms,
+                tag,
+                rng,
+                opts,
+                Some(id),
+                depth + 1,
+                parts,
+                var_counter,
+                &vis_u,
+                &all_existentials,
+            );
+            parts[id].children.push(c);
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_tgds_validate() {
+        for seed in 0..20 {
+            let mut syms = SymbolTable::new();
+            let opts = TgdGenOptions {
+                seed,
+                ..Default::default()
+            };
+            let tgd = random_nested_tgd(&mut syms, &format!("t{seed}"), &opts);
+            let mut schema = Schema::new();
+            tgd.validate(&mut schema).unwrap();
+            assert!(tgd.depth() <= 3);
+        }
+    }
+
+    #[test]
+    fn depth_one_gives_st_tgds() {
+        let mut syms = SymbolTable::new();
+        let opts = TgdGenOptions {
+            max_depth: 1,
+            seed: 3,
+            ..Default::default()
+        };
+        let tgd = random_nested_tgd(&mut syms, "flat", &opts);
+        assert!(tgd.is_st_tgd());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        let opts = TgdGenOptions {
+            seed: 11,
+            ..Default::default()
+        };
+        let a = random_nested_tgd(&mut s1, "x", &opts);
+        let b = random_nested_tgd(&mut s2, "x", &opts);
+        assert_eq!(a.num_parts(), b.num_parts());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_tags_share_a_symbol_table() {
+        let mut syms = SymbolTable::new();
+        let opts = TgdGenOptions::default();
+        let a = random_nested_tgd(&mut syms, "a", &opts);
+        let b = random_nested_tgd(&mut syms, "b", &opts);
+        let mut schema = Schema::new();
+        a.validate(&mut schema).unwrap();
+        b.validate(&mut schema).unwrap(); // no source/target clashes
+    }
+}

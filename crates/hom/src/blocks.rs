@@ -1,0 +1,103 @@
+//! Fact blocks (f-blocks) of a target instance: the connected components of
+//! the Gaifman graph of facts (paper, Section 2), and the structural
+//! measures built on them — **f-block size** and **f-degree** (Section 4).
+
+use crate::graph::FactGraph;
+use ndl_core::prelude::*;
+
+/// The f-blocks of `inst`: connected components of its fact graph, as
+/// subinstances. Ground facts form singleton blocks.
+pub fn f_blocks(inst: &Instance) -> Vec<Instance> {
+    let g = FactGraph::of(inst);
+    g.components()
+        .into_iter()
+        .map(|comp| Instance::from_facts(comp.into_iter().map(|i| g.facts[i].clone())))
+        .collect()
+}
+
+/// The f-block size of `inst`: the maximum cardinality of its f-blocks
+/// (0 for the empty instance).
+pub fn f_block_size(inst: &Instance) -> usize {
+    let g = FactGraph::of(inst);
+    g.components()
+        .into_iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The f-degree of `inst`: the maximum degree of its fact graph
+/// (Section 4.2). The degree of a fact is the number of facts it shares a
+/// null with.
+pub fn f_degree(inst: &Instance) -> usize {
+    FactGraph::of(inst).max_degree()
+}
+
+/// The f-block of `inst` containing the null `n`, if any.
+pub fn block_of_null(inst: &Instance, n: NullId) -> Option<Instance> {
+    f_blocks(inst)
+        .into_iter()
+        .find(|b| b.nulls().contains(&n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    #[test]
+    fn blocks_partition_facts() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a"));
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(5), a]),
+            Fact::new(r, vec![a, a]),
+        ]);
+        let blocks = f_blocks(&inst);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks.iter().map(Instance::len).sum::<usize>(), inst.len());
+        assert_eq!(f_block_size(&inst), 2);
+    }
+
+    #[test]
+    fn degree_counts_sharing_facts() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        // Star: three facts all sharing null 0.
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(0), null(2)]),
+            Fact::new(r, vec![null(0), null(3)]),
+        ]);
+        assert_eq!(f_degree(&inst), 2);
+        assert_eq!(f_block_size(&inst), 3);
+    }
+
+    #[test]
+    fn block_of_null_finds_component() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(7), null(8)]),
+        ]);
+        let b = block_of_null(&inst, NullId(7)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.nulls().contains(&NullId(8)));
+        assert!(block_of_null(&inst, NullId(99)).is_none());
+    }
+
+    #[test]
+    fn empty_instance_measures() {
+        let inst = Instance::new();
+        assert!(f_blocks(&inst).is_empty());
+        assert_eq!(f_block_size(&inst), 0);
+        assert_eq!(f_degree(&inst), 0);
+    }
+}

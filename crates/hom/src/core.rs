@@ -1,0 +1,176 @@
+//! Core computation (paper, Section 2): the core of an instance `J` is the
+//! smallest subinstance homomorphically equivalent to `J`; it is unique up
+//! to isomorphism [Hell & Nešetřil].
+//!
+//! Algorithm: iterated proper retractions. A proper retraction always
+//! eliminates at least one null (an idempotent endomorphism whose image
+//! contains every null fixes all of them and is the identity on facts), so
+//! `J` is a core iff for every null `n` there is no endomorphism of `J`
+//! avoiding `n`. Such an endomorphism exists iff the f-block of `n` maps
+//! into `J` while avoiding `n` (nulls outside the block can stay fixed) —
+//! so the search is block-local against the whole instance.
+
+use crate::blocks::block_of_null;
+use crate::hom::{apply_value, find_homomorphism_constrained, homomorphic, HomMap};
+use ndl_core::prelude::*;
+
+/// Computes the core of `inst`.
+pub fn core_of(inst: &Instance) -> Instance {
+    let mut current = inst.clone();
+    'outer: loop {
+        let nulls: Vec<NullId> = current.nulls().into_iter().collect();
+        for n in nulls {
+            if let Some(h) = endo_avoiding(&current, n) {
+                current = current.map_values(&|v| apply_value(&h, v));
+                debug_assert!(!current.nulls().contains(&n));
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+/// Is `inst` a core (no proper retraction)?
+pub fn is_core(inst: &Instance) -> bool {
+    inst.nulls()
+        .into_iter()
+        .all(|n| endo_avoiding(inst, n).is_none())
+}
+
+/// Finds an endomorphism of `inst` whose image avoids the null `n`
+/// (identity outside the f-block of `n`), if one exists.
+fn endo_avoiding(inst: &Instance, n: NullId) -> Option<HomMap> {
+    let block = block_of_null(inst, n)?;
+    find_homomorphism_constrained(&block, inst, &HomMap::new(), &|_, v| v == Value::Null(n))
+}
+
+/// Checks the defining property: `core` is a subinstance of `inst`,
+/// homomorphically equivalent to it, and itself a core.
+pub fn verify_core(core: &Instance, inst: &Instance) -> bool {
+    core.is_subinstance_of(inst)
+        && homomorphic(inst, core)
+        && is_core(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    fn rel() -> (SymbolTable, RelId) {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        (syms, r)
+    }
+
+    #[test]
+    fn redundant_null_fact_is_folded() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        // R(a,b) subsumes R(a,n0).
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![a, b]),
+            Fact::new(r, vec![a, null(0)]),
+        ]);
+        let c = core_of(&inst);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains_tuple(r, &[a, b]));
+        assert!(verify_core(&c, &inst));
+    }
+
+    #[test]
+    fn directed_null_path_is_a_core() {
+        let (_syms, r) = rel();
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(2), null(3)]),
+        ]);
+        assert!(is_core(&inst));
+        assert_eq!(core_of(&inst), inst);
+    }
+
+    #[test]
+    fn path_with_loop_collapses_to_loop() {
+        let (_syms, r) = rel();
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(2), null(2)]),
+        ]);
+        let c = core_of(&inst);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.nulls().len(), 1);
+        assert!(verify_core(&c, &inst));
+    }
+
+    #[test]
+    fn odd_undirected_cycle_is_a_core() {
+        // Example 4.8: core(chase(I_n, σ)) is the undirected n-cycle for
+        // odd n.
+        let (_syms, r) = rel();
+        let mut inst = Instance::new();
+        let n = 5u32;
+        for i in 0..n {
+            let j = (i + 1) % n;
+            inst.insert(Fact::new(r, vec![null(i), null(j)]));
+            inst.insert(Fact::new(r, vec![null(j), null(i)]));
+        }
+        assert!(is_core(&inst));
+    }
+
+    #[test]
+    fn even_undirected_cycle_collapses_to_edge() {
+        let (_syms, r) = rel();
+        let mut inst = Instance::new();
+        let n = 6u32;
+        for i in 0..n {
+            let j = (i + 1) % n;
+            inst.insert(Fact::new(r, vec![null(i), null(j)]));
+            inst.insert(Fact::new(r, vec![null(j), null(i)]));
+        }
+        let c = core_of(&inst);
+        // A single undirected edge: 2 facts, 2 nulls.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.nulls().len(), 2);
+        assert!(verify_core(&c, &inst));
+    }
+
+    #[test]
+    fn cross_block_folding() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        // Block 1: R(a, n0); block 2: R(a, n1), R(n1, n1).
+        // Block 1 folds into block 2 (n0 ↦ n1).
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![a, null(0)]),
+            Fact::new(r, vec![a, null(1)]),
+            Fact::new(r, vec![null(1), null(1)]),
+        ]);
+        let c = core_of(&inst);
+        assert_eq!(c.nulls().len(), 1);
+        assert_eq!(c.len(), 2);
+        assert!(verify_core(&c, &inst));
+    }
+
+    #[test]
+    fn ground_instance_is_its_own_core() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let inst = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, a])]);
+        assert_eq!(core_of(&inst), inst);
+        assert!(is_core(&inst));
+    }
+
+    #[test]
+    fn empty_instance_core() {
+        let inst = Instance::new();
+        assert!(is_core(&inst));
+        assert!(core_of(&inst).is_empty());
+    }
+}

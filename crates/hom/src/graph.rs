@@ -1,0 +1,286 @@
+//! The two Gaifman graphs of a target instance (paper, Sections 2 and 4.2):
+//!
+//! - the **Gaifman graph of facts** (fact graph): nodes are facts, with an
+//!   edge between two facts that share a null;
+//! - the **Gaifman graph of nulls** (null graph): nodes are nulls, with an
+//!   edge between two nulls that occur in the same fact.
+
+use ndl_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// The Gaifman graph of facts of an instance.
+#[derive(Clone, Debug)]
+pub struct FactGraph {
+    /// The facts (graph nodes), in the instance's deterministic order.
+    pub facts: Vec<Fact>,
+    /// Adjacency lists over fact indexes (no self-loops, deduplicated).
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl FactGraph {
+    /// Builds the fact graph of `inst`.
+    pub fn of(inst: &Instance) -> FactGraph {
+        let facts: Vec<Fact> = inst.facts().collect();
+        let mut by_null: BTreeMap<NullId, Vec<usize>> = BTreeMap::new();
+        for (i, f) in facts.iter().enumerate() {
+            for n in f.nulls() {
+                by_null.entry(n).or_default().push(i);
+            }
+        }
+        let mut adj = vec![std::collections::BTreeSet::new(); facts.len()];
+        for members in by_null.values() {
+            for (k, &i) in members.iter().enumerate() {
+                for &j in &members[k + 1..] {
+                    adj[i].insert(j);
+                    adj[j].insert(i);
+                }
+            }
+        }
+        FactGraph {
+            facts,
+            adj: adj.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The maximum node degree (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Connected components as lists of fact indexes (each component is an
+    /// f-block; isolated facts form singleton blocks).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        components_of(&self.adj)
+    }
+
+    /// Is the instance connected (paper, Section 2)?
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+}
+
+/// The Gaifman graph of nulls of an instance.
+#[derive(Clone, Debug)]
+pub struct NullGraph {
+    /// The nulls (graph nodes), ordered.
+    pub nulls: Vec<NullId>,
+    /// Adjacency lists over null indexes (no self-loops, deduplicated).
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl NullGraph {
+    /// Builds the null graph of `inst`.
+    pub fn of(inst: &Instance) -> NullGraph {
+        let nulls: Vec<NullId> = inst.nulls().into_iter().collect();
+        let index: BTreeMap<NullId, usize> =
+            nulls.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut adj = vec![std::collections::BTreeSet::new(); nulls.len()];
+        for fact in inst.facts() {
+            let fact_nulls: Vec<usize> = fact.nulls().into_iter().map(|n| index[&n]).collect();
+            for (k, &i) in fact_nulls.iter().enumerate() {
+                for &j in &fact_nulls[k + 1..] {
+                    adj[i].insert(j);
+                    adj[j].insert(i);
+                }
+            }
+        }
+        NullGraph {
+            nulls,
+            adj: adj.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.nulls.is_empty()
+    }
+
+    /// The maximum node degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Is every pair of distinct nulls adjacent (a clique)?
+    pub fn is_clique(&self) -> bool {
+        let n = self.len();
+        self.adj.iter().all(|a| a.len() == n - 1) || n <= 1
+    }
+}
+
+impl FactGraph {
+    /// Renders the fact graph in Graphviz DOT format (undirected), with
+    /// facts as node labels — used by the Figure 6/7 tooling.
+    pub fn to_dot(&self, syms: &SymbolTable) -> String {
+        let mut out = String::from("graph fact_graph {\n  node [shape=box];\n");
+        for (i, f) in self.facts.iter().enumerate() {
+            out.push_str(&format!("  n{i} [label=\"{}\"];\n", f.display(syms)));
+        }
+        for (i, nbrs) in self.adj.iter().enumerate() {
+            for &j in nbrs {
+                if i < j {
+                    out.push_str(&format!("  n{i} -- n{j};\n"));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl NullGraph {
+    /// Renders the null graph in Graphviz DOT format (undirected).
+    pub fn to_dot(&self, syms: &SymbolTable) -> String {
+        let _ = syms;
+        let mut out = String::from("graph null_graph {\n");
+        for (i, n) in self.nulls.iter().enumerate() {
+            out.push_str(&format!("  n{i} [label=\"_N{}\"];\n", n.0));
+        }
+        for (i, nbrs) in self.adj.iter().enumerate() {
+            for &j in nbrs {
+                if i < j {
+                    out.push_str(&format!("  n{i} -- n{j};\n"));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Connected components of an undirected adjacency structure.
+pub(crate) fn components_of(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = vec![];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    fn rel() -> (SymbolTable, RelId) {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        (syms, r)
+    }
+
+    #[test]
+    fn fact_graph_edges_via_shared_nulls() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), a]),
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(2), a]),
+        ]);
+        let g = FactGraph::of(&inst);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.components().len(), 2);
+        assert!(!g.is_connected());
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn ground_facts_are_isolated() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let inst = Instance::from_facts([Fact::new(r, vec![a, a]), Fact::new(r, vec![b, a])]);
+        let g = FactGraph::of(&inst);
+        assert_eq!(g.components().len(), 2);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn null_graph_edges_via_cooccurrence() {
+        let (mut syms, r3) = rel();
+        let r3 = {
+            let _ = r3;
+            syms.rel("R3")
+        };
+        // R3(n0, n1, n2): triangle among the three nulls.
+        let inst = Instance::from_facts([Fact::new(r3, vec![null(0), null(1), null(2)])]);
+        let g = NullGraph::of(&inst);
+        assert_eq!(g.len(), 3);
+        assert!(g.is_clique());
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn null_graph_path_shape() {
+        let (_syms, r) = rel();
+        // Chain: R(n0,n1), R(n1,n2) — a path of nulls.
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+        ]);
+        let g = NullGraph::of(&inst);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_clique());
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.adj[0].len(), 1);
+    }
+
+    #[test]
+    fn dot_export_shapes() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), a]),
+            Fact::new(r, vec![null(0), null(1)]),
+        ]);
+        let fg = FactGraph::of(&inst).to_dot(&syms);
+        assert!(fg.starts_with("graph fact_graph"));
+        assert!(fg.contains("n0 -- n1"));
+        assert!(fg.contains("R(_N0,a)"));
+        let ng = NullGraph::of(&inst).to_dot(&syms);
+        assert!(ng.contains("n0 -- n1"));
+    }
+
+    #[test]
+    fn empty_instance_graphs() {
+        let inst = Instance::new();
+        assert!(FactGraph::of(&inst).is_empty());
+        assert!(NullGraph::of(&inst).is_empty());
+        assert!(FactGraph::of(&inst).is_connected());
+    }
+}

@@ -1,0 +1,320 @@
+//! Homomorphism search between target instances.
+//!
+//! A homomorphism `h : J1 → J2` is the identity on constants and maps every
+//! fact of `J1` to a fact of `J2` (paper, Section 2). Since distinct
+//! f-blocks share no nulls, `J1 → J2` holds iff every f-block of `J1` maps
+//! into `J2` independently — the decomposition used both for correctness in
+//! the IMPLIES procedure and as the main performance lever here.
+
+use crate::blocks::f_blocks;
+use ndl_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// A homomorphism represented by its action on nulls (identity on
+/// constants).
+pub type HomMap = BTreeMap<NullId, Value>;
+
+/// Applies a homomorphism to a value.
+pub fn apply_value(h: &HomMap, v: Value) -> Value {
+    match v {
+        Value::Const(_) => v,
+        Value::Null(n) => h.get(&n).copied().unwrap_or(v),
+    }
+}
+
+/// Applies a homomorphism to an instance, producing its image `h(J)`.
+pub fn apply(h: &HomMap, inst: &Instance) -> Instance {
+    inst.map_values(&|v| apply_value(h, v))
+}
+
+/// Checks that `h` is a homomorphism from `from` into `to`.
+pub fn is_homomorphism(h: &HomMap, from: &Instance, to: &Instance) -> bool {
+    apply(h, from).is_subinstance_of(to)
+}
+
+/// Finds a homomorphism from `from` into `to`, if one exists.
+pub fn find_homomorphism(from: &Instance, to: &Instance) -> Option<HomMap> {
+    find_homomorphism_constrained(from, to, &HomMap::new(), &|_, _| false)
+}
+
+/// Does a homomorphism from `from` into `to` exist?
+pub fn homomorphic(from: &Instance, to: &Instance) -> bool {
+    find_homomorphism(from, to).is_some()
+}
+
+/// Are the two instances homomorphically equivalent (`J1 ↔ J2`)?
+pub fn hom_equivalent(a: &Instance, b: &Instance) -> bool {
+    homomorphic(a, b) && homomorphic(b, a)
+}
+
+/// Finds a homomorphism from `from` into `to` extending `fixed` and never
+/// assigning `h(n) = v` when `forbid(n, v)` holds. The constraint hooks
+/// support core computation (find an endomorphism avoiding a given null).
+pub fn find_homomorphism_constrained(
+    from: &Instance,
+    to: &Instance,
+    fixed: &HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> Option<HomMap> {
+    let mut total = fixed.clone();
+    // Independent per-f-block search.
+    for block in f_blocks(from) {
+        let solved = solve_block(&block, to, &total, forbid)?;
+        total = solved;
+    }
+    // Ground facts (no nulls) are their own blocks and were checked inside
+    // solve_block via containment.
+    Some(total)
+}
+
+/// Backtracking search for one f-block. `assign` carries assignments made
+/// so far (for nulls of other blocks or pre-fixed nulls — disjoint from
+/// this block's free nulls except for `fixed` entries).
+fn solve_block(
+    block: &Instance,
+    to: &Instance,
+    assign: &HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> Option<HomMap> {
+    let facts: Vec<Fact> = block.facts().collect();
+    let mut assign = assign.clone();
+    let mut done = vec![false; facts.len()];
+    if search(&facts, &mut done, to, &mut assign, forbid) {
+        Some(assign)
+    } else {
+        None
+    }
+}
+
+fn search(
+    facts: &[Fact],
+    done: &mut [bool],
+    to: &Instance,
+    assign: &mut HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> bool {
+    // Pick the unprocessed fact with the fewest unassigned nulls (MRV),
+    // which maximizes propagation along shared nulls.
+    let next = (0..facts.len())
+        .filter(|&i| !done[i])
+        .min_by_key(|&i| {
+            facts[i]
+                .args
+                .iter()
+                .filter(|v| matches!(v, Value::Null(n) if !assign.contains_key(n)))
+                .count()
+        });
+    let Some(i) = next else { return true };
+    done[i] = true;
+    let fact = &facts[i];
+    for tuple in to.tuples(fact.rel) {
+        if let Some(newly) = try_map(fact, tuple, assign, forbid) {
+            if search(facts, done, to, assign, forbid) {
+                done[i] = false;
+                return true;
+            }
+            for n in newly {
+                assign.remove(&n);
+            }
+        }
+    }
+    done[i] = false;
+    false
+}
+
+/// Tries to map `fact` onto `tuple`; on success extends `assign` and
+/// returns the newly assigned nulls, on failure leaves `assign` untouched.
+fn try_map(
+    fact: &Fact,
+    tuple: &[Value],
+    assign: &mut HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> Option<Vec<NullId>> {
+    debug_assert_eq!(fact.args.len(), tuple.len());
+    let mut newly = Vec::new();
+    for (&src, &dst) in fact.args.iter().zip(tuple.iter()) {
+        let ok = match src {
+            Value::Const(_) => src == dst,
+            Value::Null(n) => match assign.get(&n) {
+                Some(&bound) => bound == dst,
+                None => {
+                    if forbid(n, dst) {
+                        false
+                    } else {
+                        assign.insert(n, dst);
+                        newly.push(n);
+                        true
+                    }
+                }
+            },
+        };
+        if !ok {
+            for n in newly {
+                assign.remove(&n);
+            }
+            return None;
+        }
+    }
+    Some(newly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms_with_rel() -> (SymbolTable, RelId) {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        (syms, r)
+    }
+
+    fn null(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    #[test]
+    fn constants_are_rigid() {
+        let (mut syms, r) = syms_with_rel();
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let from = Instance::from_facts([Fact::new(r, vec![a])]);
+        let to = Instance::from_facts([Fact::new(r, vec![b])]);
+        assert!(!homomorphic(&from, &to));
+        let to2 = Instance::from_facts([Fact::new(r, vec![a]), Fact::new(r, vec![b])]);
+        assert!(homomorphic(&from, &to2));
+    }
+
+    #[test]
+    fn null_can_map_to_constant_or_null() {
+        let (mut syms, r) = syms_with_rel();
+        let a = Value::Const(syms.constant("a"));
+        let from = Instance::from_facts([Fact::new(r, vec![null(0), null(0)])]);
+        let to = Instance::from_facts([Fact::new(r, vec![a, a])]);
+        let h = find_homomorphism(&from, &to).unwrap();
+        assert_eq!(h[&NullId(0)], a);
+        assert!(is_homomorphism(&h, &from, &to));
+    }
+
+    #[test]
+    fn shared_nulls_propagate() {
+        let (mut syms, r) = syms_with_rel();
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let c = Value::Const(syms.constant("c"));
+        // R(n0, b), R(n0, c): n0 must work for both facts.
+        let from = Instance::from_facts([
+            Fact::new(r, vec![null(0), b]),
+            Fact::new(r, vec![null(0), c]),
+        ]);
+        let to_good = Instance::from_facts([
+            Fact::new(r, vec![a, b]),
+            Fact::new(r, vec![a, c]),
+        ]);
+        let to_bad = Instance::from_facts([
+            Fact::new(r, vec![a, b]),
+            Fact::new(r, vec![b, c]),
+        ]);
+        assert!(homomorphic(&from, &to_good));
+        assert!(!homomorphic(&from, &to_bad));
+    }
+
+    #[test]
+    fn directed_path_does_not_fold() {
+        // A directed 3-path of nulls has no hom into a directed 2-path.
+        let (_syms, r) = syms_with_rel();
+        let from = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(2), null(3)]),
+        ]);
+        let to = Instance::from_facts([
+            Fact::new(r, vec![null(10), null(11)]),
+            Fact::new(r, vec![null(11), null(12)]),
+        ]);
+        assert!(!homomorphic(&from, &to));
+        // But it maps into a self-loop.
+        let lp = Instance::from_facts([Fact::new(r, vec![null(20), null(20)])]);
+        assert!(homomorphic(&from, &lp));
+    }
+
+    #[test]
+    fn odd_cycle_does_not_map_to_shorter_odd_cycle_edge() {
+        // Undirected 5-cycle (as symmetric directed edges) has no hom into
+        // a single undirected edge (= 2-coloring would be required... it is
+        // bipartite! A 5-cycle is NOT 2-colorable, so no hom to an edge).
+        let (_syms, r) = syms_with_rel();
+        let mut from = Instance::new();
+        for i in 0..5u32 {
+            let j = (i + 1) % 5;
+            from.insert(Fact::new(r, vec![null(i), null(j)]));
+            from.insert(Fact::new(r, vec![null(j), null(i)]));
+        }
+        let edge = Instance::from_facts([
+            Fact::new(r, vec![null(10), null(11)]),
+            Fact::new(r, vec![null(11), null(10)]),
+        ]);
+        assert!(!homomorphic(&from, &edge));
+        // An even cycle does map to an edge.
+        let mut even = Instance::new();
+        for i in 0..4u32 {
+            let j = (i + 1) % 4;
+            even.insert(Fact::new(r, vec![null(i), null(j)]));
+            even.insert(Fact::new(r, vec![null(j), null(i)]));
+        }
+        assert!(homomorphic(&even, &edge));
+    }
+
+    #[test]
+    fn constrained_search_respects_forbid() {
+        let (_syms, r) = syms_with_rel();
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(1)]),
+        ]);
+        // Endomorphism avoiding null 0 exists: 0 ↦ 1.
+        let h = find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| {
+            v == null(0)
+        })
+        .unwrap();
+        assert_eq!(h[&NullId(0)], null(1));
+        // Avoiding null 1 is impossible (the loop must map to a loop).
+        assert!(find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| {
+            v == null(1)
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn fixed_assignments_are_honored() {
+        let (mut syms, r) = syms_with_rel();
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let from = Instance::from_facts([Fact::new(r, vec![null(0)])]);
+        let to = Instance::from_facts([Fact::new(r, vec![a]), Fact::new(r, vec![b])]);
+        let mut fixed = HomMap::new();
+        fixed.insert(NullId(0), b);
+        let h = find_homomorphism_constrained(&from, &to, &fixed, &|_, _| false).unwrap();
+        assert_eq!(h[&NullId(0)], b);
+    }
+
+    #[test]
+    fn ground_facts_require_containment() {
+        let (mut syms, r) = syms_with_rel();
+        let a = Value::Const(syms.constant("a"));
+        let from = Instance::from_facts([Fact::new(r, vec![a, a])]);
+        let to = Instance::new();
+        assert!(!homomorphic(&from, &to));
+        assert!(homomorphic(&from, &from));
+    }
+
+    #[test]
+    fn hom_equivalence_of_loop_and_long_path_with_loop() {
+        let (_syms, r) = syms_with_rel();
+        let lp = Instance::from_facts([Fact::new(r, vec![null(0), null(0)])]);
+        let path_loop = Instance::from_facts([
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(2), null(2)]),
+        ]);
+        assert!(hom_equivalent(&lp, &path_loop));
+    }
+}

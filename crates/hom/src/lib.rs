@@ -1,0 +1,32 @@
+//! # ndl-hom
+//!
+//! Homomorphisms, cores and Gaifman-graph structure for target instances,
+//! as used throughout *Nested Dependencies: Structure and Reasoning*
+//! (PODS 2014):
+//!
+//! - [`hom`] — backtracking homomorphism search (constants rigid), with
+//!   per-f-block decomposition and constraint hooks;
+//! - [`core`] — core computation by iterated proper retractions;
+//! - [`graph`] — the Gaifman graph of facts and the Gaifman graph of nulls;
+//! - [`blocks`] — f-blocks, f-block size and f-degree (Section 4);
+//! - [`paths`] — longest simple paths in the null graph (path length,
+//!   Theorem 4.16).
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod core;
+pub mod graph;
+pub mod hom;
+pub mod paths;
+
+pub use blocks::{block_of_null, f_block_size, f_blocks, f_degree};
+pub use core::{core_of, is_core, verify_core};
+pub use graph::{FactGraph, NullGraph};
+pub use hom::{
+    apply, apply_value, find_homomorphism, find_homomorphism_constrained, hom_equivalent,
+    homomorphic, is_homomorphism, HomMap,
+};
+pub use paths::{
+    longest_path_lower_bound, longest_simple_path, null_path_length, DEFAULT_NODE_LIMIT,
+};

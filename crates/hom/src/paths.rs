@@ -1,0 +1,196 @@
+//! Longest simple paths in the Gaifman graph of nulls — the **path
+//! length** measure of Section 4.2 (Theorem 4.16: every nested GLAV
+//! mapping has bounded path length).
+//!
+//! Longest-simple-path is NP-hard in general; the instances arising from
+//! the paper's figures are small or highly structured, so an exact
+//! branch-and-bound search with a node budget suffices. Callers needing a
+//! guaranteed-cheap answer can use [`longest_path_lower_bound`].
+
+use crate::graph::NullGraph;
+use ndl_core::prelude::*;
+
+/// Default node budget for the exact search.
+pub const DEFAULT_NODE_LIMIT: usize = 64;
+
+/// The length (number of edges) of the longest simple path in the null
+/// graph of `inst`, computed exactly. Returns `None` when the graph
+/// exceeds `node_limit` nodes (use a sweep or the lower bound instead).
+pub fn null_path_length(inst: &Instance, node_limit: usize) -> Option<usize> {
+    let g = NullGraph::of(inst);
+    if g.len() > node_limit {
+        return None;
+    }
+    Some(longest_simple_path(&g.adj))
+}
+
+/// Exact longest simple path (edge count) by DFS from every start node.
+pub fn longest_simple_path(adj: &[Vec<usize>]) -> usize {
+    let n = adj.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0;
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        visited[start] = true;
+        dfs(adj, start, 0, &mut visited, &mut best);
+        visited[start] = false;
+        if best == n - 1 {
+            break; // Hamiltonian path found — cannot do better.
+        }
+    }
+    best
+}
+
+fn dfs(adj: &[Vec<usize>], u: usize, len: usize, visited: &mut [bool], best: &mut usize) {
+    if len > *best {
+        *best = len;
+    }
+    if *best == adj.len() - 1 {
+        return;
+    }
+    for &v in &adj[u] {
+        if !visited[v] {
+            visited[v] = true;
+            dfs(adj, v, len + 1, visited, best);
+            visited[v] = false;
+        }
+    }
+}
+
+/// A cheap lower bound on the longest simple path: the longest path found
+/// by a double-BFS sweep from each component (exact on trees, a lower
+/// bound elsewhere). Linear time; used for large sweeps where exact search
+/// is infeasible.
+pub fn longest_path_lower_bound(inst: &Instance) -> usize {
+    let g = NullGraph::of(inst);
+    let n = g.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut seen = vec![false; n];
+    let mut best = 0;
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        // Mark component and double-sweep.
+        let comp = bfs_far(&g.adj, s, Some(&mut seen)).0;
+        let (far, _) = bfs_far(&g.adj, comp, None);
+        let (_, d) = bfs_far(&g.adj, far, None);
+        best = best.max(d);
+    }
+    best
+}
+
+/// BFS returning the farthest node and its distance; optionally marks seen.
+fn bfs_far(adj: &[Vec<usize>], start: usize, mut seen: Option<&mut [bool]>) -> (usize, usize) {
+    let n = adj.len();
+    let mut dist = vec![usize::MAX; n];
+    dist[start] = 0;
+    if let Some(s) = seen.as_deref_mut() {
+        s[start] = true;
+    }
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut far = (start, 0);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                if let Some(s) = seen.as_deref_mut() {
+                    s[v] = true;
+                }
+                if dist[v] > far.1 {
+                    far = (v, dist[v]);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    fn chain_instance(len: u32) -> Instance {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let mut inst = Instance::new();
+        for i in 0..len {
+            inst.insert(Fact::new(r, vec![null(i), null(i + 1)]));
+        }
+        inst
+    }
+
+    #[test]
+    fn path_graph_length() {
+        let inst = chain_instance(4);
+        assert_eq!(null_path_length(&inst, DEFAULT_NODE_LIMIT), Some(4));
+        assert_eq!(longest_path_lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn cycle_has_hamiltonian_minus_one() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let mut inst = Instance::new();
+        let n = 6u32;
+        for i in 0..n {
+            inst.insert(Fact::new(r, vec![null(i), null((i + 1) % n)]));
+        }
+        assert_eq!(null_path_length(&inst, DEFAULT_NODE_LIMIT), Some(5));
+        // Double-BFS underestimates on cycles but is a valid lower bound.
+        assert!(longest_path_lower_bound(&inst) <= 5);
+        assert!(longest_path_lower_bound(&inst) >= 3);
+    }
+
+    #[test]
+    fn clique_path_covers_all_nodes() {
+        let mut syms = SymbolTable::new();
+        let r3 = syms.rel("R3");
+        // Two overlapping 3-ary facts: nulls {0,1,2} and {2,3,4}.
+        let inst = Instance::from_facts([
+            Fact::new(r3, vec![null(0), null(1), null(2)]),
+            Fact::new(r3, vec![null(2), null(3), null(4)]),
+        ]);
+        // 0-1-2-3-4 is a simple path: length 4.
+        assert_eq!(null_path_length(&inst, DEFAULT_NODE_LIMIT), Some(4));
+    }
+
+    #[test]
+    fn node_limit_is_respected() {
+        let inst = chain_instance(100);
+        assert_eq!(null_path_length(&inst, 50), None);
+        assert_eq!(longest_path_lower_bound(&inst), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(null_path_length(&Instance::new(), 10), Some(0));
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a"));
+        let inst = Instance::from_facts([Fact::new(r, vec![null(0), a])]);
+        assert_eq!(null_path_length(&inst, 10), Some(0));
+    }
+
+    #[test]
+    fn star_longest_path_is_two() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(0), null(2)]),
+            Fact::new(r, vec![null(0), null(3)]),
+        ]);
+        assert_eq!(null_path_length(&inst, DEFAULT_NODE_LIMIT), Some(2));
+        assert_eq!(longest_path_lower_bound(&inst), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Canonical source and target instances of a pattern (paper,
+//! Definition 3.7), and their *legal* variants under source egds
+//! (Definition 5.4).
+//!
+//! For each pattern node labeled by part σᵢ, fresh constants are assigned
+//! to the part's own universal variables; the node's body atoms are added
+//! to the canonical source instance `I_p` and its head atoms (with Skolem
+//! terms as nulls) to the canonical target instance `J_p`.
+
+use crate::pattern::Pattern;
+use ndl_chase::{chase_egds, ground_term, Binding, NullFactory, RigidPolicy};
+use ndl_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// The canonical source/target instances of a pattern.
+#[derive(Clone, Debug)]
+pub struct CanonicalPair {
+    /// The canonical source instance `I_p`.
+    pub source: Instance,
+    /// The canonical target instance `J_p`.
+    pub target: Instance,
+}
+
+/// Builds the canonical instances of `pattern` for `tgd` (whose Skolem
+/// assignment is `info`). Fresh constants are interned in `syms`
+/// (named after the variables: `x1 ↦ a1`, clones get `a1_1, a1_2, …`);
+/// nulls are allocated in `nulls` and labeled by their Skolem terms.
+pub fn canonical_instances(
+    tgd: &NestedTgd,
+    info: &SkolemInfo,
+    pattern: &Pattern,
+    syms: &mut SymbolTable,
+    nulls: &mut NullFactory,
+) -> CanonicalPair {
+    assert!(
+        pattern.is_valid_for(tgd),
+        "pattern does not match the tgd's part nesting"
+    );
+    let mut pair = CanonicalPair {
+        source: Instance::new(),
+        target: Instance::new(),
+    };
+    instantiate(tgd, info, pattern, 0, &Binding::new(), syms, nulls, &mut pair);
+    pair
+}
+
+#[allow(clippy::too_many_arguments)]
+fn instantiate(
+    tgd: &NestedTgd,
+    info: &SkolemInfo,
+    pattern: &Pattern,
+    node: usize,
+    inherited: &Binding,
+    syms: &mut SymbolTable,
+    nulls: &mut NullFactory,
+    pair: &mut CanonicalPair,
+) {
+    let part_id = pattern.nodes()[node].part;
+    let part = tgd.part(part_id);
+    let mut binding = inherited.clone();
+    for &v in &part.universals {
+        let name = const_name_for_var(syms.var_name(v));
+        let c = syms.fresh_const(&name);
+        binding.insert(v, Value::Const(c));
+    }
+    for atom in &part.body {
+        let args: Vec<Value> = atom.args.iter().map(|v| binding[v]).collect();
+        pair.source.insert_tuple(atom.rel, args);
+    }
+    for atom in &part.head {
+        let args: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|v| match binding.get(v) {
+                Some(&val) => val,
+                None => {
+                    let term = info
+                        .term_for(*v)
+                        .expect("head variable neither universal nor existential");
+                    nulls.value_of(&ground_term(&term, &binding))
+                }
+            })
+            .collect();
+        pair.target.insert_tuple(atom.rel, args);
+    }
+    for &child in &pattern.nodes()[node].children {
+        instantiate(tgd, info, pattern, child, &binding, syms, nulls, pair);
+    }
+}
+
+/// `x1 ↦ a1`, `x ↦ a_x`: derive a readable fresh-constant prefix from a
+/// variable name, mirroring the paper's `a_1, a_2, a_2', …` convention.
+fn const_name_for_var(var: &str) -> String {
+    let mut chars = var.chars();
+    match (chars.next(), chars.as_str()) {
+        (Some(c), rest)
+            if c.is_ascii_alphabetic()
+                && !rest.is_empty()
+                && rest.chars().all(|d| d.is_ascii_digit()) =>
+        {
+            format!("a{rest}")
+        }
+        _ => format!("a_{var}"),
+    }
+}
+
+/// The *legal* canonical instances under source egds (Definition 5.4):
+/// `I_p` is chased with the egds (its fresh constants are flexible), and
+/// the resulting constant merges are replayed into `J_p`, including inside
+/// the Skolem terms labeling its nulls.
+pub fn legalize(
+    pair: &CanonicalPair,
+    egds: &[Egd],
+    nulls: &mut NullFactory,
+) -> CanonicalPair {
+    if egds.is_empty() {
+        return pair.clone();
+    }
+    let chased = chase_egds(&pair.source, egds, RigidPolicy::AllFlexible)
+        .expect("flexible egd chase cannot fail");
+    let mut const_map: BTreeMap<ConstId, ConstId> = BTreeMap::new();
+    for (from, to) in &chased.renaming {
+        if let (Value::Const(a), Value::Const(b)) = (from, to) {
+            const_map.insert(*a, *b);
+        }
+    }
+    let rename = |c: ConstId| const_map.get(&c).copied().unwrap_or(c);
+    let mut target = Instance::new();
+    for fact in pair.target.facts() {
+        let args: Vec<Value> = fact
+            .args
+            .iter()
+            .map(|&v| match v {
+                Value::Const(c) => Value::Const(rename(c)),
+                Value::Null(n) => {
+                    let term = nulls
+                        .term(n)
+                        .expect("null without a Skolem term in canonical target")
+                        .map_consts(&rename);
+                    nulls.value_of(&term)
+                }
+            })
+            .collect();
+        target.insert_tuple(fact.rel, args);
+    }
+    CanonicalPair {
+        source: chased.instance,
+        target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{k_patterns, DEFAULT_PATTERN_BUDGET};
+
+    fn running_tgd(syms: &mut SymbolTable) -> NestedTgd {
+        parse_nested_tgd(
+            syms,
+            "forall x1 (S1(x1) -> exists y1 (\
+               forall x2 (S2(x2) -> R2(y1,x2)) & \
+               forall x3 (S3(x1,x3) -> (R3(y1,x3) & \
+                 forall x4 (S4(x3,x4) -> exists y2 R4(y2,x4))))))",
+        )
+        .unwrap()
+    }
+
+    /// Figure 2: the canonical instances of the full 1-pattern p8.
+    #[test]
+    fn figure2_canonical_instances_of_p8() {
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        let info = SkolemInfo::for_nested(&tgd, &mut syms);
+        // p8 = σ1(σ2 σ3(σ4)) — built explicitly as in the figure, and
+        // checked to be among the 1-patterns.
+        let mut p8 = Pattern::root_only(0);
+        p8.add_child(0, 1);
+        let s3 = p8.add_child(0, 2);
+        p8.add_child(s3, 3);
+        let ps = k_patterns(&tgd, 1, DEFAULT_PATTERN_BUDGET).unwrap();
+        assert!(ps.contains(&p8));
+        let mut nulls = NullFactory::new();
+        let pair = canonical_instances(&tgd, &info, &p8, &mut syms, &mut nulls);
+        // I_p8 = {S1(a1), S2(a2), S3(a1,a3), S4(a3,a4)}
+        assert_eq!(pair.source.len(), 4);
+        assert_eq!(
+            pair.source.display(&syms),
+            "S1(a1), S2(a2), S3(a1,a3), S4(a3,a4)"
+        );
+        // J_p8 = {R2(f(a1),a2), R3(f(a1),a3), R4(g(a1,a3,a4),a4)}
+        assert_eq!(pair.target.len(), 3);
+        assert_eq!(
+            nulls.display_instance(&pair.target, &syms),
+            "R2(f(a1),a2), R3(f(a1),a3), R4(g(a1,a3,a4),a4)"
+        );
+    }
+
+    /// Figure 3: a 3-pattern with one extra clone of σ2 and two of σ4.
+    #[test]
+    fn figure3_cloned_canonical_source() {
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        let info = SkolemInfo::for_nested(&tgd, &mut syms);
+        let mut p = Pattern::root_only(0);
+        p.add_child(0, 1);
+        let s3 = p.add_child(0, 2);
+        p.add_child(s3, 3);
+        // Find the σ2 node and the σ4 node and clone them.
+        let s2_node = (0..p.len()).find(|&i| p.nodes()[i].part == 1).unwrap();
+        p.clone_subtree(s2_node);
+        let s4_node = (0..p.len()).find(|&i| p.nodes()[i].part == 3).unwrap();
+        p.clone_subtree(s4_node);
+        p.clone_subtree(s4_node);
+        assert_eq!(p.max_clone_multiplicity(), 3);
+        let mut nulls = NullFactory::new();
+        let pair = canonical_instances(&tgd, &info, &p, &mut syms, &mut nulls);
+        // Source: S1(a1), S2×2, S3(a1,a3), S4×3 = 7 atoms.
+        assert_eq!(pair.source.len(), 7);
+        let s2 = syms.rel("S2");
+        let s4 = syms.rel("S4");
+        assert_eq!(pair.source.rel_len(s2), 2);
+        assert_eq!(pair.source.rel_len(s4), 3);
+        // Target: R2×2, R3×1, R4×3; R2/R3 share the null f(a1).
+        assert_eq!(pair.target.len(), 6);
+        assert_eq!(pair.target.nulls().len(), 1 + 3);
+    }
+
+    #[test]
+    fn nodes_without_own_universals_do_not_duplicate() {
+        // Example 3.4-style: cloning a part with no own universals yields
+        // identical atoms, which deduplicate in the canonical instances.
+        let mut syms = SymbolTable::new();
+        let tgd =
+            parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))").unwrap();
+        let info = SkolemInfo::for_nested(&tgd, &mut syms);
+        let mut p = Pattern::root_only(0);
+        let c = p.add_child(0, 1);
+        let _ = c;
+        p.add_child(0, 1); // a clone of the σ2 node
+        let mut nulls = NullFactory::new();
+        let pair = canonical_instances(&tgd, &info, &p, &mut syms, &mut nulls);
+        assert_eq!(pair.source.len(), 2); // S1(a1), S2(a1) — deduplicated
+        assert_eq!(pair.target.len(), 1); // T2(a1)
+    }
+
+    /// Example 3.10: canonical instances of the 2-pattern p''_2.
+    #[test]
+    fn example_310_p2_canonical_instances() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_nested_tgd(
+            &mut syms,
+            "forall x1 (S1(x1) -> exists y (forall x2 S2(x2) -> R(x2,y)))",
+        )
+        .unwrap();
+        let info = SkolemInfo::for_nested(&tgd, &mut syms);
+        let mut p = Pattern::root_only(0);
+        p.add_child(0, 1);
+        p.add_child(0, 1);
+        let mut nulls = NullFactory::new();
+        let pair = canonical_instances(&tgd, &info, &p, &mut syms, &mut nulls);
+        // I = {S1(a1), S2(a2), S2(a2_1)}; J = {R(a2,f(a1)), R(a2_1,f(a1))}.
+        assert_eq!(pair.source.len(), 3);
+        assert_eq!(pair.target.len(), 2);
+        assert_eq!(pair.target.nulls().len(), 1);
+    }
+
+    #[test]
+    fn legalization_merges_constants_and_null_labels() {
+        // Example 5.3: σ = ∀z (Q(z) → ∃y ∀x1∀x2 (P1(z,x1) ∧ P2(z,x2) →
+        // R(y,x1,x2))) with Σs = P1(z,x1) ∧ P1(z,x1') → x1 = x1'.
+        let mut syms = SymbolTable::new();
+        let tgd = parse_nested_tgd(
+            &mut syms,
+            "forall z (Q(z) -> exists y (forall x1,x2 (P1(z,x1) & P2(z,x2) -> R(y,x1,x2))))",
+        )
+        .unwrap();
+        let egd = parse_egd(&mut syms, "P1(z,w1) & P1(z,w2) -> w1 = w2").unwrap();
+        let info = SkolemInfo::for_nested(&tgd, &mut syms);
+        // Pattern: root with two clones of the nested part.
+        let mut p = Pattern::root_only(0);
+        p.add_child(0, 1);
+        p.add_child(0, 1);
+        let mut nulls = NullFactory::new();
+        let pair = canonical_instances(&tgd, &info, &p, &mut syms, &mut nulls);
+        // Before legalization: two P1 atoms with distinct second columns —
+        // violates Σs.
+        let p1 = syms.rel("P1");
+        assert_eq!(pair.source.rel_len(p1), 2);
+        assert!(!ndl_chase::satisfies_egds(&pair.source, std::slice::from_ref(&egd)));
+        let legal = legalize(&pair, std::slice::from_ref(&egd), &mut nulls);
+        assert!(ndl_chase::satisfies_egds(&legal.source, &[egd]));
+        assert_eq!(legal.source.rel_len(p1), 1);
+        // The target's R-atoms now agree on the (merged) x1 column.
+        let r = syms.rel("R");
+        let x1_col: std::collections::BTreeSet<Value> =
+            legal.target.tuples(r).map(|t| t[1]).collect();
+        assert_eq!(x1_col.len(), 1);
+    }
+
+    #[test]
+    fn const_names_mirror_paper() {
+        assert_eq!(const_name_for_var("x1"), "a1");
+        assert_eq!(const_name_for_var("x12"), "a12");
+        assert_eq!(const_name_for_var("x"), "a_x");
+        assert_eq!(const_name_for_var("zebra"), "a_zebra");
+    }
+}

@@ -1,0 +1,419 @@
+//! Composition of GLAV mappings into SO tgds (Fagin, Kolaitis, Popa, Tan
+//! — reference \[8\] of the paper: "SO tgds are exactly the dependencies
+//! needed to specify the composition of an arbitrary number of GLAV
+//! mappings"). This is the machinery that motivates the paper's interest
+//! in the SO tgd ⊇ nested tgd ⊇ s-t tgd hierarchy.
+//!
+//! Given `M12 = (S1, S2, Σ12)` and `M23 = (S2, S3, Σ23)`, the composition
+//! algorithm:
+//! 1. Skolemizes Σ12 (existentials become function terms over the rule's
+//!    universal variables);
+//! 2. for every rule of Σ23, replaces each S2-atom of its body by the body
+//!    of a (freshly renamed) Σ12 rule whose head can produce it, binding
+//!    the atom's variables to the head's terms — repeated bindings become
+//!    **equalities between terms**, substitution into the Σ23 rule's
+//!    Skolem terms creates **nested terms**: exactly the two features
+//!    separating full SO tgds from plain ones.
+//!
+//! The result is verified semantically in tests: `chase(I, σ13)` is
+//! homomorphically equivalent to `chase(freeze(chase(I, Σ12)), Σ23)`.
+
+use crate::error::{ReasoningError, Result};
+use ndl_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// One Skolemized s-t tgd of Σ12, ready for renaming.
+struct SkolemRule {
+    body: Vec<Atom>,
+    heads: Vec<TermAtom>,
+    universals: Vec<VarId>,
+}
+
+/// Composes two GLAV mappings into a single SO tgd over `(S1, S3)`.
+///
+/// `m12` maps S1 → S2, `m23` maps S2 → S3; the schemas must chain (every
+/// relation in a Σ23 body should be producible by some Σ12 head for the
+/// composition to generate clauses for it — S2-atoms with no producer
+/// simply yield no clauses, which is semantically correct: those rules can
+/// never fire through M12).
+pub fn compose_glav(
+    m12: &[StTgd],
+    m23: &[StTgd],
+    syms: &mut SymbolTable,
+) -> Result<SoTgd> {
+    let mut funcs: Vec<FuncId> = Vec::new();
+    // Skolemize Σ12.
+    let rules12: Vec<SkolemRule> = m12
+        .iter()
+        .map(|t| {
+            let universals = t.universals();
+            let mut term_for: BTreeMap<VarId, Term> = BTreeMap::new();
+            for &y in &t.existentials {
+                let f = syms.fresh_func("f");
+                funcs.push(f);
+                term_for.insert(
+                    y,
+                    Term::App(f, universals.iter().map(|&v| Term::Var(v)).collect()),
+                );
+            }
+            let heads = t
+                .head
+                .iter()
+                .map(|a| {
+                    TermAtom::new(
+                        a.rel,
+                        a.args
+                            .iter()
+                            .map(|v| term_for.get(v).cloned().unwrap_or(Term::Var(*v)))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            SkolemRule {
+                body: t.body.clone(),
+                heads,
+                universals,
+            }
+        })
+        .collect();
+
+    let mut clauses = Vec::new();
+    for rule23 in m23 {
+        // Skolemize this rule's existentials over its universal variables.
+        let universals23 = rule23.universals();
+        let mut term23: BTreeMap<VarId, Term> = BTreeMap::new();
+        for &z in &rule23.existentials {
+            let g = syms.fresh_func("g");
+            funcs.push(g);
+            term23.insert(
+                z,
+                Term::App(g, universals23.iter().map(|&v| Term::Var(v)).collect()),
+            );
+        }
+        // For each S2-body atom, the candidate (rule, head-atom) producers.
+        let producers: Vec<Vec<(usize, usize)>> = rule23
+            .body
+            .iter()
+            .map(|atom| {
+                rules12
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(ri, r)| {
+                        r.heads
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, h)| h.rel == atom.rel)
+                            .map(move |(hi, _)| (ri, hi))
+                    })
+                    .collect()
+            })
+            .collect();
+        if producers.iter().any(Vec::is_empty) {
+            // Some S2-atom can never be produced through M12: this Σ23
+            // rule contributes no clauses.
+            continue;
+        }
+        // Cartesian product over producer choices.
+        let mut choice = vec![0usize; producers.len()];
+        loop {
+            clauses.push(build_clause(
+                rule23, &rules12, &producers, &choice, &term23, syms,
+            )?);
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == choice.len() {
+                    break;
+                }
+                choice[i] += 1;
+                if choice[i] < producers[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+            if i == choice.len() {
+                break;
+            }
+        }
+    }
+    Ok(SoTgd::new(funcs, clauses))
+}
+
+/// Builds one composed clause for a fixed producer choice.
+fn build_clause(
+    rule23: &StTgd,
+    rules12: &[SkolemRule],
+    producers: &[Vec<(usize, usize)>],
+    choice: &[usize],
+    term23: &BTreeMap<VarId, Term>,
+    syms: &mut SymbolTable,
+) -> Result<SoClause> {
+    let mut body: Vec<Atom> = Vec::new();
+    let mut equalities: Vec<(Term, Term)> = Vec::new();
+    // Binding of the Σ23 rule's universal variables to terms over the
+    // (renamed) Σ12 variables.
+    let mut theta: BTreeMap<VarId, Term> = BTreeMap::new();
+    for (atom_idx, atom) in rule23.body.iter().enumerate() {
+        let (ri, hi) = producers[atom_idx][choice[atom_idx]];
+        let rule = &rules12[ri];
+        // Fresh renaming of the producing rule's universal variables, one
+        // per atom instance.
+        let renaming: BTreeMap<VarId, VarId> = rule
+            .universals
+            .iter()
+            .map(|&v| (v, syms.fresh_var(&format!("c_{}", syms_var_name(syms, v)))))
+            .collect();
+        let rename_term = |t: &Term| rename(t, &renaming);
+        for b in &rule.body {
+            body.push(Atom::new(
+                b.rel,
+                b.args.iter().map(|v| renaming[v]).collect::<Vec<_>>(),
+            ));
+        }
+        let head = &rule.heads[hi];
+        for (pos, &var) in atom.args.iter().enumerate() {
+            let produced = rename_term(&head.args[pos]);
+            match theta.get(&var) {
+                None => {
+                    theta.insert(var, produced);
+                }
+                Some(existing) => {
+                    if *existing != produced {
+                        equalities.push((existing.clone(), produced));
+                    }
+                }
+            }
+        }
+    }
+    // Every universal of the Σ23 rule occurs in its body, so θ is total.
+    for &v in &rule23.universals() {
+        if !theta.contains_key(&v) {
+            return Err(ReasoningError::Failed(format!(
+                "composition left variable {v:?} unbound"
+            )));
+        }
+    }
+    // Substitute θ into the Σ23 head (through the rule's own Skolem terms
+    // — this is where nested terms appear).
+    let head = rule23
+        .head
+        .iter()
+        .map(|a| {
+            TermAtom::new(
+                a.rel,
+                a.args
+                    .iter()
+                    .map(|v| {
+                        let base = term23.get(v).cloned().unwrap_or(Term::Var(*v));
+                        substitute(&base, &theta)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect::<Vec<_>>();
+    Ok(SoClause::new(body, equalities, head))
+}
+
+fn syms_var_name(syms: &SymbolTable, v: VarId) -> String {
+    syms.var_name(v).to_string()
+}
+
+fn rename(t: &Term, renaming: &BTreeMap<VarId, VarId>) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(renaming[v]),
+        Term::App(f, args) => Term::App(*f, args.iter().map(|a| rename(a, renaming)).collect()),
+    }
+}
+
+fn substitute(t: &Term, theta: &BTreeMap<VarId, Term>) -> Term {
+    match t {
+        Term::Var(v) => theta.get(v).cloned().unwrap_or(Term::Var(*v)),
+        Term::App(f, args) => {
+            Term::App(*f, args.iter().map(|a| substitute(a, theta)).collect())
+        }
+    }
+}
+
+/// The two-step composition chase: `chase(I, Σ12)` is frozen (its nulls
+/// become fresh constants), chased with Σ23 in a **disjoint null space**,
+/// and unfrozen — the canonical universal solution of `M12 ∘ M23` for `I`.
+/// Keeping the second chase's null ids disjoint from the first's matters:
+/// unfreezing reintroduces first-stage nulls next to second-stage ones.
+pub fn two_step_chase(
+    source: &Instance,
+    m12: &[StTgd],
+    m23: &[StTgd],
+    syms: &mut SymbolTable,
+) -> Instance {
+    let mut n1 = ndl_chase::NullFactory::new();
+    let mid = ndl_chase::chase_st(source, m12, syms, &mut n1);
+    let (frozen, inverse) = freeze(&mid, syms);
+    let mut n2 = ndl_chase::NullFactory::starting_at(n1.next_id());
+    let far = ndl_chase::chase_st(&frozen, m23, syms, &mut n2);
+    unfreeze(&far, &inverse)
+}
+
+/// Freezes an instance: nulls become fresh constants (for chasing an
+/// intermediate instance as a source), returning the inverse map.
+pub fn freeze(
+    inst: &Instance,
+    syms: &mut SymbolTable,
+) -> (Instance, BTreeMap<ConstId, NullId>) {
+    let mut inverse = BTreeMap::new();
+    let mut forward: BTreeMap<NullId, ConstId> = BTreeMap::new();
+    for n in inst.nulls() {
+        let c = syms.fresh_const(&format!("frz{}", n.0));
+        forward.insert(n, c);
+        inverse.insert(c, n);
+    }
+    let frozen = inst.map_values(&|v| match v {
+        Value::Null(n) => Value::Const(forward[&n]),
+        c => c,
+    });
+    (frozen, inverse)
+}
+
+/// Undoes [`freeze`] on a (target) instance: frozen constants become their
+/// original nulls again.
+pub fn unfreeze(inst: &Instance, inverse: &BTreeMap<ConstId, NullId>) -> Instance {
+    inst.map_values(&|v| match v {
+        Value::Const(c) => inverse
+            .get(&c)
+            .map(|&n| Value::Null(n))
+            .unwrap_or(Value::Const(c)),
+        n => n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndl_chase::{chase_so, NullFactory};
+    use ndl_hom::hom_equivalent;
+
+    /// Semantic check: chase(I, σ13) ↔ the two-step composition chase.
+    fn verify_composition(
+        m12: &[StTgd],
+        m23: &[StTgd],
+        sigma13: &SoTgd,
+        source: &Instance,
+        syms: &mut SymbolTable,
+    ) -> bool {
+        let mut n1 = NullFactory::new();
+        let direct = chase_so(source, sigma13, &mut n1);
+        let two_step = two_step_chase(source, m12, m23, syms);
+        hom_equivalent(&direct, &two_step)
+    }
+
+    /// The classic example from \[8\]: Emp ↦ Mgr via an invented manager,
+    /// then Mgr ↦ Reports. Composition needs a function symbol.
+    #[test]
+    fn employee_manager_composition() {
+        let mut syms = SymbolTable::new();
+        let m12 = vec![parse_st_tgd(&mut syms, "Emp(e) -> exists m Mgr(e,m)").unwrap()];
+        let m23 = vec![parse_st_tgd(&mut syms, "Mgr(e,m) -> Reports(e,m)").unwrap()];
+        let sigma13 = compose_glav(&m12, &m23, &mut syms).unwrap();
+        assert!(sigma13.is_plain());
+        assert_eq!(sigma13.clauses.len(), 1);
+        let emp = syms.rel("Emp");
+        let a = Value::Const(syms.constant("alice"));
+        let b = Value::Const(syms.constant("bob"));
+        let source = Instance::from_facts([Fact::new(emp, vec![a]), Fact::new(emp, vec![b])]);
+        assert!(verify_composition(&m12, &m23, &sigma13, &source, &mut syms));
+    }
+
+    /// Composition creating a NESTED term: the second mapping invents over
+    /// an invented value.
+    #[test]
+    fn nested_terms_arise() {
+        let mut syms = SymbolTable::new();
+        let m12 = vec![parse_st_tgd(&mut syms, "P(x) -> exists u Q(x,u)").unwrap()];
+        let m23 = vec![parse_st_tgd(&mut syms, "Q(x,u) -> exists w T(u,w)").unwrap()];
+        let sigma13 = compose_glav(&m12, &m23, &mut syms).unwrap();
+        // T(f(x), g(x, f(x))): the g-term nests the f-term.
+        assert!(!sigma13.is_plain());
+        assert!(sigma13.clauses[0].head[0].has_nested_term());
+        let p = syms.rel("P");
+        let a = Value::Const(syms.constant("a"));
+        let source = Instance::from_facts([Fact::new(p, vec![a])]);
+        assert!(verify_composition(&m12, &m23, &sigma13, &source, &mut syms));
+    }
+
+    /// Composition creating an EQUALITY: a Σ23 body variable matched
+    /// against two different produced terms.
+    #[test]
+    fn equalities_arise() {
+        let mut syms = SymbolTable::new();
+        let m12 = vec![
+            parse_st_tgd(&mut syms, "P(x) -> exists u Q(x,u)").unwrap(),
+            parse_st_tgd(&mut syms, "P2(x) -> Q(x,x)").unwrap(),
+        ];
+        // u appears twice: once per Q-atom; different producers force t = t'.
+        let m23 = vec![parse_st_tgd(&mut syms, "Q(x,u) & Q(y,u) -> T(x,y)").unwrap()];
+        let sigma13 = compose_glav(&m12, &m23, &mut syms).unwrap();
+        // 2 producers per atom -> 4 clauses; the mixed ones carry equalities.
+        assert_eq!(sigma13.clauses.len(), 4);
+        assert!(sigma13.clauses.iter().any(|c| !c.equalities.is_empty()));
+        assert!(!sigma13.is_plain());
+        let p = syms.rel("P");
+        let p2 = syms.rel("P2");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let source = Instance::from_facts([
+            Fact::new(p, vec![a]),
+            Fact::new(p2, vec![a]),
+            Fact::new(p2, vec![b]),
+        ]);
+        assert!(verify_composition(&m12, &m23, &sigma13, &source, &mut syms));
+    }
+
+    /// Unproducible S2-atoms silence their Σ23 rules.
+    #[test]
+    fn unproducible_atoms_contribute_nothing() {
+        let mut syms = SymbolTable::new();
+        let m12 = vec![parse_st_tgd(&mut syms, "P(x) -> Q(x)").unwrap()];
+        let m23 = vec![
+            parse_st_tgd(&mut syms, "Q(x) -> T(x)").unwrap(),
+            parse_st_tgd(&mut syms, "Unreachable(x) -> T2(x)").unwrap(),
+        ];
+        let sigma13 = compose_glav(&m12, &m23, &mut syms).unwrap();
+        assert_eq!(sigma13.clauses.len(), 1);
+    }
+
+    /// Multi-atom Σ23 bodies take the cartesian product of producers and
+    /// remain semantically correct on random inputs.
+    #[test]
+    fn multi_atom_bodies() {
+        let mut syms = SymbolTable::new();
+        let m12 = vec![
+            parse_st_tgd(&mut syms, "A(x,y) -> exists u (Q(x,u) & Q(u,y))").unwrap(),
+        ];
+        let m23 = vec![parse_st_tgd(&mut syms, "Q(x,y) & Q(y,z) -> T(x,z)").unwrap()];
+        let sigma13 = compose_glav(&m12, &m23, &mut syms).unwrap();
+        assert_eq!(sigma13.clauses.len(), 4);
+        let a_rel = syms.rel("A");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let c = Value::Const(syms.constant("c"));
+        let source = Instance::from_facts([
+            Fact::new(a_rel, vec![a, b]),
+            Fact::new(a_rel, vec![b, c]),
+        ]);
+        assert!(verify_composition(&m12, &m23, &sigma13, &source, &mut syms));
+    }
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a"));
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![a, Value::Null(NullId(0))]),
+            Fact::new(r, vec![Value::Null(NullId(0)), Value::Null(NullId(1))]),
+        ]);
+        let (frozen, inverse) = freeze(&inst, &mut syms);
+        assert!(frozen.is_ground());
+        assert_eq!(unfreeze(&frozen, &inverse), inst);
+    }
+}

@@ -1,0 +1,263 @@
+//! Conjunctive queries and certain answers — the data-exchange use case
+//! that motivates universal solutions (paper, Section 2 background; the
+//! CQ-composition notion of \[16\] is defined through these answers).
+//!
+//! For a union-free conjunctive query `q` posed against the target schema,
+//! the certain answers of `q` on source `I` under mapping `M` are the
+//! tuples in `q(J)` for *every* solution `J`. By universality of the
+//! chase, they are exactly the null-free tuples of `q(chase(I, M))`.
+
+use ndl_chase::{all_matches, chase_mapping, Binding};
+use ndl_core::error::{CoreError, Result as CoreResult};
+use ndl_core::prelude::*;
+use std::collections::BTreeSet;
+
+/// A conjunctive query `q(x⃗) :- A1 ∧ … ∧ An` over the target schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// The distinguished (answer) variables.
+    pub head: Vec<VarId>,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query, checking that head variables occur in the body.
+    pub fn new(head: Vec<VarId>, body: Vec<Atom>) -> CoreResult<Self> {
+        let bound: BTreeSet<VarId> = body.iter().flat_map(|a| a.args.iter().copied()).collect();
+        for &v in &head {
+            if !bound.contains(&v) {
+                return Err(CoreError::UnboundVariable { var: v });
+            }
+        }
+        Ok(ConjunctiveQuery { head, body })
+    }
+
+    /// Parses the Datalog-style syntax `q(x,y) :- R(x,z) & T(z,y)`.
+    /// The head predicate name is ignored; `&` separates body atoms.
+    pub fn parse(syms: &mut SymbolTable, input: &str) -> CoreResult<Self> {
+        let (head_part, body_part) = input.split_once(":-").ok_or(CoreError::Parse {
+            offset: 0,
+            message: "expected 'q(vars) :- body'".into(),
+        })?;
+        // Head: ident(v1, ..., vn).
+        let head_part = head_part.trim();
+        let open = head_part.find('(').ok_or(CoreError::Parse {
+            offset: 0,
+            message: "expected '(' in query head".into(),
+        })?;
+        let close = head_part.rfind(')').ok_or(CoreError::Parse {
+            offset: open,
+            message: "expected ')' in query head".into(),
+        })?;
+        let head: Vec<VarId> = head_part[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| syms.var(s))
+            .collect();
+        // Body: atoms are `Name(args)` joined by `&`.
+        let mut body = Vec::new();
+        for atom_text in split_top_level(body_part.trim()) {
+            let atom_text = atom_text.trim();
+            let open = atom_text.find('(').ok_or(CoreError::Parse {
+                offset: 0,
+                message: format!("expected atom, found {atom_text:?}"),
+            })?;
+            if !atom_text.ends_with(')') {
+                return Err(CoreError::Parse {
+                    offset: 0,
+                    message: format!("unterminated atom {atom_text:?}"),
+                });
+            }
+            let rel = syms.rel(atom_text[..open].trim());
+            let args: Vec<VarId> = atom_text[open + 1..atom_text.len() - 1]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| syms.var(s))
+                .collect();
+            body.push(Atom::new(rel, args));
+        }
+        ConjunctiveQuery::new(head, body)
+    }
+
+    /// Evaluates the query on an instance, returning all answer tuples
+    /// (which may contain nulls when the instance does).
+    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Vec<Value>> {
+        all_matches(instance, &self.body, &Binding::new())
+            .into_iter()
+            .map(|b| self.head.iter().map(|v| b[v]).collect())
+            .collect()
+    }
+
+    /// Renders the query.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let head = self
+            .head
+            .iter()
+            .map(|&v| syms.var_name(v))
+            .collect::<Vec<_>>()
+            .join(",");
+        let body = self
+            .body
+            .iter()
+            .map(|a| a.display(syms).to_string())
+            .collect::<Vec<_>>()
+            .join(" & ");
+        format!("q({head}) :- {body}")
+    }
+}
+
+/// Splits on `&` (no nesting to worry about: atoms contain no `&`).
+fn split_top_level(s: &str) -> impl Iterator<Item = &str> {
+    s.split('&')
+}
+
+/// The certain answers of `q` on `source` under `mapping`: the null-free
+/// answers over the canonical universal solution.
+pub fn certain_answers(
+    q: &ConjunctiveQuery,
+    source: &Instance,
+    mapping: &NestedMapping,
+    syms: &mut SymbolTable,
+) -> BTreeSet<Vec<Value>> {
+    let (res, _) = chase_mapping(source, mapping, syms);
+    q.evaluate(&res.target)
+        .into_iter()
+        .filter(|t| t.iter().all(|v| v.is_const()))
+        .collect()
+}
+
+/// CQ-equivalence of two mappings **on a family of source instances**:
+/// they give the same certain answers for *every* conjunctive query on
+/// every instance of the family. This is the equivalence notion behind
+/// CQ-composition (\[16\] in the paper, via \[2\]): it holds on `I` iff the
+/// canonical universal solutions are homomorphically equivalent.
+///
+/// A `true` answer is evidence over the finite family only; `false` is a
+/// definitive separation (with the witnessing instance index).
+pub fn cq_equivalent_on(
+    m1: &NestedMapping,
+    m2: &NestedMapping,
+    family: &[Instance],
+    syms: &mut SymbolTable,
+) -> std::result::Result<(), usize> {
+    for (i, source) in family.iter().enumerate() {
+        let (r1, _) = chase_mapping(source, m1, syms);
+        let (r2, _) = chase_mapping(source, m2, syms);
+        if !ndl_hom::hom_equivalent(&r1.target, &r2.target) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let mut syms = SymbolTable::new();
+        let q = ConjunctiveQuery::parse(&mut syms, "q(x,y) :- R(x,z) & T(z,y)").unwrap();
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.body.len(), 2);
+        assert_eq!(q.display(&syms), "q(x,y) :- R(x,z) & T(z,y)");
+    }
+
+    #[test]
+    fn parse_rejects_unbound_head() {
+        let mut syms = SymbolTable::new();
+        assert!(ConjunctiveQuery::parse(&mut syms, "q(w) :- R(x,y)").is_err());
+        assert!(ConjunctiveQuery::parse(&mut syms, "q(x) - R(x)").is_err());
+    }
+
+    #[test]
+    fn evaluation_joins() {
+        let mut syms = SymbolTable::new();
+        let q = ConjunctiveQuery::parse(&mut syms, "q(x,z) :- R(x,y) & R(y,z)").unwrap();
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let c = Value::Const(syms.constant("c"));
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![a, b]),
+            Fact::new(r, vec![b, c]),
+        ]);
+        let ans = q.evaluate(&inst);
+        assert_eq!(ans, BTreeSet::from([vec![a, c]]));
+    }
+
+    #[test]
+    fn certain_answers_drop_nulls() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(&mut syms, &["S(x,y) -> exists z (R(x,z) & R(z,y))"], &[])
+            .unwrap();
+        let s = syms.rel("S");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let source = Instance::from_facts([Fact::new(s, vec![a, b])]);
+        // q1: endpoints of length-2 R-paths — certain: (a, b).
+        let q1 = ConjunctiveQuery::parse(&mut syms, "q(x,y) :- R(x,z) & R(z,y)").unwrap();
+        let ans1 = certain_answers(&q1, &source, &m, &mut syms);
+        assert_eq!(ans1, BTreeSet::from([vec![a, b]]));
+        // q2: first column of R — the only certain constants are a
+        // (the invented midpoint is a null and is dropped).
+        let q2 = ConjunctiveQuery::parse(&mut syms, "q(x) :- R(x,y)").unwrap();
+        let ans2 = certain_answers(&q2, &source, &m, &mut syms);
+        assert_eq!(ans2, BTreeSet::from([vec![a]]));
+    }
+
+    #[test]
+    fn certain_answers_under_nested_mapping() {
+        // The correlation of nested mappings is visible in certain
+        // answers: the nested mapping certainly co-groups members of one
+        // department, the flat one does not.
+        let mut syms = SymbolTable::new();
+        let sc = ndl_gen::clio_scenario(&mut syms, 2, 2, 5);
+        let q = ConjunctiveQuery::parse(&mut syms, "q(e,p) :- EmpOf(g,e) & ProjOf(g,p)")
+            .unwrap();
+        let nested_ans = certain_answers(&q, &sc.source, &sc.nested, &mut syms);
+        let flat_ans = certain_answers(&q, &sc.source, &sc.flat, &mut syms);
+        assert!(!nested_ans.is_empty());
+        assert!(flat_ans.is_empty(), "flat mapping cannot co-group members");
+    }
+
+    #[test]
+    fn cq_equivalence_on_family() {
+        let mut syms = SymbolTable::new();
+        // Logically inequivalent mappings that are CQ-equivalent: invented
+        // values placed differently but hom-equivalently.
+        let m1 = NestedMapping::parse(&mut syms, &["S(x) -> exists y R(x,y)"], &[]).unwrap();
+        let m2 = NestedMapping::parse(
+            &mut syms,
+            &["S(x) -> exists y,z (R(x,y) & R(x,z))"],
+            &[],
+        )
+        .unwrap();
+        let s = syms.rel("S");
+        let family: Vec<Instance> = (0..3)
+            .map(|i| {
+                let a = Value::Const(syms.constant(&format!("v{i}")));
+                Instance::from_facts([Fact::new(s, vec![a])])
+            })
+            .collect();
+        assert!(cq_equivalent_on(&m1, &m2, &family, &mut syms).is_ok());
+        // A genuinely different mapping is separated, with the witness.
+        let m3 = NestedMapping::parse(&mut syms, &["S(x) -> R(x,x)"], &[]).unwrap();
+        assert_eq!(cq_equivalent_on(&m1, &m3, &family, &mut syms), Err(0));
+    }
+
+    #[test]
+    fn boolean_query() {
+        let mut syms = SymbolTable::new();
+        let q = ConjunctiveQuery::parse(&mut syms, "q() :- R(x,x)").unwrap();
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a"));
+        let yes = Instance::from_facts([Fact::new(r, vec![a, a])]);
+        assert_eq!(q.evaluate(&yes).len(), 1); // the empty tuple
+        let no = Instance::from_facts([Fact::new(r, vec![a, Value::Null(NullId(0))])]);
+        assert!(q.evaluate(&no).is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Enumeration of k-patterns (paper, Definition 3.3 and Proposition 3.5).
+//!
+//! `P*_k(σ_j)` is built bottom-up: a tree rooted at σ_j chooses, for every
+//! part σ_α nested under σ_j, a subset of the trees in `P*_k(σ_α)` and a
+//! multiplicity in `1..=k` for each chosen tree. The number of k-patterns
+//! is non-elementary in the nesting depth, so enumeration carries an
+//! explicit budget.
+
+use crate::error::{ReasoningError, Result};
+use crate::pattern::Pattern;
+use ndl_core::prelude::*;
+
+/// Default budget on the number of enumerated patterns.
+pub const DEFAULT_PATTERN_BUDGET: usize = 500_000;
+
+/// Canonical tree value used during enumeration (children kept sorted).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Tree {
+    part: PartId,
+    children: Vec<Tree>,
+}
+
+impl Tree {
+    fn size(&self) -> usize {
+        1 + self.children.iter().map(Tree::size).sum::<usize>()
+    }
+}
+
+/// The set `P_k(σ)` of k-patterns of a nested tgd (Proposition 3.5:
+/// `P_k(σ) = P*_k(σ_1)` for the top-level part σ_1), in a deterministic
+/// order. Fails with [`ReasoningError::PatternBudgetExceeded`] if more than
+/// `budget` trees would be produced.
+pub fn k_patterns(tgd: &NestedTgd, k: usize, budget: usize) -> Result<Vec<Pattern>> {
+    let mut counter = 0usize;
+    let trees = pk_star(tgd, tgd.root(), k, budget, &mut counter)?;
+    Ok(trees.iter().map(tree_to_pattern).collect())
+}
+
+/// The number of k-patterns without materializing them as [`Pattern`]s.
+pub fn count_k_patterns(tgd: &NestedTgd, k: usize, budget: usize) -> Result<usize> {
+    let mut counter = 0usize;
+    Ok(pk_star(tgd, tgd.root(), k, budget, &mut counter)?.len())
+}
+
+/// The size of the largest k-pattern.
+pub fn max_k_pattern_size(tgd: &NestedTgd, k: usize, budget: usize) -> Result<usize> {
+    let mut counter = 0usize;
+    Ok(pk_star(tgd, tgd.root(), k, budget, &mut counter)?
+        .iter()
+        .map(Tree::size)
+        .max()
+        .unwrap_or(0))
+}
+
+fn pk_star(
+    tgd: &NestedTgd,
+    part: PartId,
+    k: usize,
+    budget: usize,
+    counter: &mut usize,
+) -> Result<Vec<Tree>> {
+    let child_parts = tgd.children(part);
+    if child_parts.is_empty() {
+        bump(counter, 1, budget)?;
+        return Ok(vec![Tree {
+            part,
+            children: vec![],
+        }]);
+    }
+    // Per child part: the list of possible (sorted) sibling groups, where a
+    // group fixes a multiplicity 0..=k for every distinct subtree.
+    let mut per_child: Vec<Vec<Vec<Tree>>> = Vec::with_capacity(child_parts.len());
+    for &alpha in child_parts {
+        let subtrees = pk_star(tgd, alpha, k, budget, counter)?;
+        let mut groups: Vec<Vec<Tree>> = vec![vec![]];
+        for t in &subtrees {
+            let mut next = Vec::new();
+            for g in &groups {
+                for mult in 0..=k {
+                    bump(counter, 1, budget)?;
+                    let mut g2 = g.clone();
+                    for _ in 0..mult {
+                        g2.push(t.clone());
+                    }
+                    next.push(g2);
+                }
+            }
+            groups = next;
+        }
+        per_child.push(groups);
+    }
+    // Cartesian product across child parts.
+    let mut results: Vec<Vec<Tree>> = vec![vec![]];
+    for groups in &per_child {
+        let mut next = Vec::new();
+        for r in &results {
+            for g in groups {
+                bump(counter, 1, budget)?;
+                let mut r2 = r.clone();
+                r2.extend(g.iter().cloned());
+                next.push(r2);
+            }
+        }
+        results = next;
+    }
+    Ok(results
+        .into_iter()
+        .map(|mut children| {
+            children.sort();
+            Tree { part, children }
+        })
+        .collect())
+}
+
+fn bump(counter: &mut usize, by: usize, budget: usize) -> Result<()> {
+    *counter += by;
+    if *counter > budget {
+        Err(ReasoningError::PatternBudgetExceeded { budget })
+    } else {
+        Ok(())
+    }
+}
+
+fn tree_to_pattern(tree: &Tree) -> Pattern {
+    fn rec(t: &Tree, pattern: &mut Pattern, at: usize) {
+        for c in &t.children {
+            let id = pattern.add_child(at, c.part);
+            rec(c, pattern, id);
+        }
+    }
+    let mut p = Pattern::root_only(tree.part);
+    rec(tree, &mut p, 0);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_tgd(syms: &mut SymbolTable) -> NestedTgd {
+        parse_nested_tgd(
+            syms,
+            "forall x1 (S1(x1) -> exists y1 (\
+               forall x2 (S2(x2) -> R2(y1,x2)) & \
+               forall x3 (S3(x1,x3) -> (R3(y1,x3) & \
+                 forall x4 (S4(x3,x4) -> exists y2 R4(y2,x4))))))",
+        )
+        .unwrap()
+    }
+
+    /// Figure 1 of the paper: σ has exactly 8 one-patterns.
+    #[test]
+    fn figure1_eight_one_patterns() {
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        let ps = k_patterns(&tgd, 1, DEFAULT_PATTERN_BUDGET).unwrap();
+        assert_eq!(ps.len(), 8);
+        // All are valid 1-patterns, pairwise distinct.
+        for p in &ps {
+            assert!(p.is_valid_for(&tgd));
+            assert!(p.max_clone_multiplicity() <= 1);
+        }
+        let keys: std::collections::BTreeSet<_> =
+            ps.iter().map(Pattern::canonical_key).collect();
+        assert_eq!(keys.len(), 8);
+        // The largest 1-pattern has both (non-isomorphic) σ3-subtree
+        // variants plus σ2: σ1(σ2 σ3 σ3(σ4)) with 5 nodes.
+        assert_eq!(ps.iter().map(Pattern::len).max(), Some(5));
+        // The singleton root pattern (p1 of the figure) is present.
+        assert_eq!(ps.iter().map(Pattern::len).min(), Some(1));
+    }
+
+    #[test]
+    fn two_patterns_for_single_nested_part() {
+        // τ of Example 3.10 has two 1-patterns p', p''.
+        let mut syms = SymbolTable::new();
+        let tgd = parse_nested_tgd(
+            &mut syms,
+            "forall x1 (S1(x1) -> exists y (forall x2 S2(x2) -> R(x2,y)))",
+        )
+        .unwrap();
+        let ps = k_patterns(&tgd, 1, DEFAULT_PATTERN_BUDGET).unwrap();
+        assert_eq!(ps.len(), 2);
+        // And exactly four 3-patterns {p', p'', p''_2, p''_3} (Example 3.10).
+        let ps3 = k_patterns(&tgd, 3, DEFAULT_PATTERN_BUDGET).unwrap();
+        assert_eq!(ps3.len(), 4);
+        for p in &ps3 {
+            assert!(p.max_clone_multiplicity() <= 3);
+        }
+    }
+
+    #[test]
+    fn st_tgd_has_single_pattern() {
+        let mut syms = SymbolTable::new();
+        let tgd: NestedTgd = parse_st_tgd(&mut syms, "S(x) -> exists y R(x,y)")
+            .unwrap()
+            .into();
+        for k in 1..4 {
+            let ps = k_patterns(&tgd, k, DEFAULT_PATTERN_BUDGET).unwrap();
+            assert_eq!(ps.len(), 1);
+            assert_eq!(ps[0].len(), 1);
+        }
+    }
+
+    #[test]
+    fn running_example_k_pattern_counts() {
+        // Analytic count: (k+1) options for the σ2 group; the σ3 groups
+        // come from (k+1)^2 multiplicity choices over the 2 distinct
+        // σ3-subtrees... for k=1: 2 * 4 = 8; for k=2: 3 * (3*3) = 27·... =
+        // (k+1)^(1) * (k+1)^(|P*_k(σ3)|) with |P*_k(σ3)| = k+1.
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        for k in 1..=3usize {
+            let expect = (k + 1) * (k + 1usize).pow((k + 1) as u32);
+            let n = count_k_patterns(&tgd, k, 10_000_000).unwrap();
+            assert_eq!(n, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        let err = k_patterns(&tgd, 4, 50).unwrap_err();
+        assert!(matches!(err, ReasoningError::PatternBudgetExceeded { budget: 50 }));
+    }
+
+    #[test]
+    fn max_pattern_size_grows_with_k() {
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        let s1 = max_k_pattern_size(&tgd, 1, DEFAULT_PATTERN_BUDGET).unwrap();
+        let s2 = max_k_pattern_size(&tgd, 2, 10_000_000).unwrap();
+        assert_eq!(s1, 5); // σ1(σ2 σ3 σ3(σ4))
+        assert!(s2 > s1);
+    }
+}

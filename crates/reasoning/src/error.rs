@@ -1,0 +1,54 @@
+//! Errors raised by the reasoning procedures.
+
+use std::fmt;
+
+/// Result alias for reasoning operations.
+pub type Result<T> = std::result::Result<T, ReasoningError>;
+
+/// Errors raised by the decision procedures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReasoningError {
+    /// k-pattern enumeration exceeded the configured budget. The number of
+    /// k-patterns is non-elementary in the nesting depth of the tgd
+    /// (paper, end of Section 3), so deep tgds need an explicit budget.
+    PatternBudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A structural precondition failed (e.g. a GLAV witness could not be
+    /// verified within limits).
+    Failed(String),
+    /// A core-layer error.
+    Core(ndl_core::error::CoreError),
+}
+
+impl fmt::Display for ReasoningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReasoningError::PatternBudgetExceeded { budget } => {
+                write!(f, "k-pattern enumeration exceeded the budget of {budget} patterns")
+            }
+            ReasoningError::Failed(m) => write!(f, "reasoning failed: {m}"),
+            ReasoningError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReasoningError {}
+
+impl From<ndl_core::error::CoreError> for ReasoningError {
+    fn from(e: ndl_core::error::CoreError) -> Self {
+        ReasoningError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_budget() {
+        let e = ReasoningError::PatternBudgetExceeded { budget: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,62 @@
+//! # ndl-reasoning
+//!
+//! The decision procedures and structural tools of *Nested Dependencies:
+//! Structure and Reasoning* (Kolaitis, Pichler, Sallinger, Savenkov,
+//! PODS 2014):
+//!
+//! - [`pattern`] / [`enumerate`] — patterns of chase trees and k-pattern
+//!   enumeration (Definitions 3.2/3.3, Proposition 3.5);
+//! - [`canonical`] — canonical instances of patterns (Definition 3.7) and
+//!   their legal variants under source egds (Definition 5.4);
+//! - [`implies`] — the IMPLIES procedure for the implication problem of
+//!   nested tgds (Theorem 3.1), logical equivalence (Corollary 3.11), and
+//!   the source-egd extension (Theorem 5.7);
+//! - [`fblock`] — boundedness of the f-block size (Theorems 4.4, 4.9–4.11,
+//!   5.5);
+//! - [`to_glav`] — deciding GLAV-equivalence with verified witnesses
+//!   (Theorems 4.2 and 5.6);
+//! - [`separate`] — f-degree and path-length separation of plain SO tgds
+//!   from nested GLAV mappings (Theorems 4.12, 4.16, Proposition 4.13);
+//! - [`model_check`] — model checkers for nested tgds (polynomial data
+//!   complexity) and (plain) SO tgds (NP).
+
+#![warn(missing_docs)]
+
+pub mod anchor;
+pub mod canonical;
+pub mod compose;
+pub mod cq;
+pub mod enumerate;
+pub mod error;
+pub mod fblock;
+pub mod implies;
+pub mod model_check;
+pub mod normalize;
+pub mod pattern;
+pub mod realize;
+pub mod separate;
+pub mod to_glav;
+
+pub use anchor::{anchor_for_block, effective_anchor_bound, AnchorWitness};
+pub use canonical::{canonical_instances, legalize, CanonicalPair};
+pub use compose::{compose_glav, freeze, two_step_chase, unfreeze};
+pub use cq::{certain_answers, cq_equivalent_on, ConjunctiveQuery};
+pub use enumerate::{count_k_patterns, k_patterns, max_k_pattern_size, DEFAULT_PATTERN_BUDGET};
+pub use error::{ReasoningError, Result};
+pub use fblock::{
+    clone_bound, fblock_size_bounded_by_exhaustive, has_bounded_fblock_size, FblockAnalysis,
+    FblockOptions, GrowthEvidence,
+};
+pub use implies::{
+    equivalent, implies_mapping, implies_tgd, redundant_tgds, Counterexample, ImpliesOptions,
+    ImpliesReport,
+};
+pub use model_check::{satisfies_mapping, satisfies_nested, satisfies_plain_so, satisfies_so};
+pub use normalize::{
+    drop_vacuous_parts, normalize_mapping, prune_unused_existentials,
+    split_independent_conjuncts,
+};
+pub use pattern::{Pattern, PatternNode};
+pub use realize::{realized_by_canonical, realized_patterns};
+pub use separate::{sweep_nested, sweep_so, NotNestedReason, SeparationReport, SweepPoint};
+pub use to_glav::{glav_equivalent, GlavDecision};

@@ -1,0 +1,336 @@
+//! Normalization of nested tgds: equivalence-preserving syntactic
+//! simplifications, each verified by construction and cross-checked with
+//! IMPLIES in the test suite.
+//!
+//! - [`prune_unused_existentials`] — drop ∃-variables used by no head atom
+//!   in scope;
+//! - [`drop_vacuous_parts`] — remove parts with an empty head and no
+//!   descendants with heads (the ⊤ conjuncts of the grammar);
+//! - [`split_independent_conjuncts`] — split a nested tgd at the root into
+//!   several tgds when its root-level conjuncts share no existential
+//!   variables (the correlation-preservation boundary: conjuncts sharing
+//!   an existential must stay together);
+//! - [`normalize_mapping`] — the composite pass, plus IMPLIES-based
+//!   redundancy removal.
+
+use crate::error::Result;
+use crate::implies::{redundant_tgds, ImpliesOptions};
+use ndl_core::prelude::*;
+use std::collections::BTreeSet;
+
+/// Drops existential variables that no head atom in scope uses.
+pub fn prune_unused_existentials(tgd: &NestedTgd) -> NestedTgd {
+    let mut used: BTreeSet<VarId> = BTreeSet::new();
+    for p in tgd.parts() {
+        for a in &p.head {
+            used.extend(a.args.iter().copied());
+        }
+    }
+    let parts = tgd
+        .parts()
+        .iter()
+        .map(|p| {
+            let mut p = p.clone();
+            p.existentials.retain(|v| used.contains(v));
+            p
+        })
+        .collect();
+    NestedTgd::from_parts(parts)
+}
+
+/// Removes parts whose entire subtree produces no head atoms (they assert
+/// only ⊤). The root is kept even if vacuous, so the result is always a
+/// well-formed nested tgd.
+pub fn drop_vacuous_parts(tgd: &NestedTgd) -> NestedTgd {
+    // A part is live if it or any descendant has head atoms.
+    let n = tgd.num_parts();
+    let mut live = vec![false; n];
+    // Parts are stored with parents before children is NOT guaranteed;
+    // compute by recursion instead.
+    fn mark(tgd: &NestedTgd, id: PartId, live: &mut [bool]) -> bool {
+        let mut l = !tgd.part(id).head.is_empty();
+        for &c in tgd.children(id) {
+            l |= mark(tgd, c, live);
+        }
+        live[id] = l;
+        l
+    }
+    mark(tgd, tgd.root(), &mut live);
+    // Rebuild the arena keeping the root and live parts.
+    let mut remap = vec![usize::MAX; n];
+    let mut parts: Vec<Part> = Vec::new();
+    fn rebuild(
+        tgd: &NestedTgd,
+        id: PartId,
+        parent: Option<usize>,
+        live: &[bool],
+        remap: &mut [usize],
+        parts: &mut Vec<Part>,
+    ) {
+        let new_id = parts.len();
+        remap[id] = new_id;
+        let p = tgd.part(id);
+        parts.push(Part {
+            parent,
+            universals: p.universals.clone(),
+            body: p.body.clone(),
+            existentials: p.existentials.clone(),
+            head: p.head.clone(),
+            children: vec![],
+        });
+        for &c in tgd.children(id) {
+            if live[c] {
+                rebuild(tgd, c, Some(new_id), live, remap, parts);
+                let child_new = remap[c];
+                parts[new_id].children.push(child_new);
+            }
+        }
+    }
+    rebuild(tgd, tgd.root(), None, &live, &mut remap, &mut parts);
+    NestedTgd::from_parts(parts)
+}
+
+/// Splits a nested tgd at the root when root-level conjuncts (head atoms
+/// and child subtrees) fall into groups sharing no existential variables.
+/// Each group becomes its own tgd with the same root body; unused
+/// existentials are pruned per group. Returns the original tgd when no
+/// split is possible.
+pub fn split_independent_conjuncts(tgd: &NestedTgd) -> Vec<NestedTgd> {
+    let root = tgd.part(tgd.root());
+    // Conjuncts: each head atom and each child subtree is one item; items
+    // are joined when they share a root existential variable.
+    let root_exts: BTreeSet<VarId> = root.existentials.iter().copied().collect();
+    let mut items: Vec<(BTreeSet<VarId>, Option<usize>, Option<PartId>)> = Vec::new();
+    for (i, a) in root.head.iter().enumerate() {
+        let vars: BTreeSet<VarId> = a
+            .args
+            .iter()
+            .copied()
+            .filter(|v| root_exts.contains(v))
+            .collect();
+        items.push((vars, Some(i), None));
+    }
+    for &c in &root.children {
+        let mut vars = BTreeSet::new();
+        for pid in std::iter::once(c).chain(tgd.descendants(c)) {
+            for a in &tgd.part(pid).head {
+                vars.extend(a.args.iter().copied().filter(|v| root_exts.contains(v)));
+            }
+        }
+        items.push((vars, None, Some(c)));
+    }
+    if items.len() <= 1 {
+        return vec![tgd.clone()];
+    }
+    // Union-find over items via shared variables.
+    let mut group: Vec<usize> = (0..items.len()).collect();
+    fn find(group: &mut [usize], mut i: usize) -> usize {
+        while group[i] != i {
+            group[i] = group[group[i]];
+            i = group[i];
+        }
+        i
+    }
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            if !items[i].0.is_disjoint(&items[j].0) {
+                let (a, b) = (find(&mut group, i), find(&mut group, j));
+                group[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    let roots: BTreeSet<usize> = (0..items.len()).map(|i| find(&mut group, i)).collect();
+    if roots.len() <= 1 {
+        return vec![tgd.clone()];
+    }
+    // Build one tgd per group.
+    let mut out = Vec::new();
+    for &g in &roots {
+        let mut head = Vec::new();
+        let mut child_ids = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            if find(&mut group, i) != g {
+                continue;
+            }
+            match *item {
+                (_, Some(h), None) => head.push(root.head[h].clone()),
+                (_, None, Some(c)) => child_ids.push(c),
+                _ => unreachable!(),
+            }
+        }
+        let mut parts = vec![Part {
+            parent: None,
+            universals: root.universals.clone(),
+            body: root.body.clone(),
+            existentials: root.existentials.clone(),
+            head,
+            children: vec![],
+        }];
+        for c in child_ids {
+            let new_c = copy_subtree(tgd, c, 0, &mut parts);
+            parts[0].children.push(new_c);
+        }
+        out.push(prune_unused_existentials(&NestedTgd::from_parts(parts)));
+    }
+    out
+}
+
+fn copy_subtree(tgd: &NestedTgd, id: PartId, new_parent: usize, parts: &mut Vec<Part>) -> usize {
+    let new_id = parts.len();
+    let p = tgd.part(id);
+    parts.push(Part {
+        parent: Some(new_parent),
+        universals: p.universals.clone(),
+        body: p.body.clone(),
+        existentials: p.existentials.clone(),
+        head: p.head.clone(),
+        children: vec![],
+    });
+    for &c in tgd.children(id) {
+        let nc = copy_subtree(tgd, c, new_id, parts);
+        parts[new_id].children.push(nc);
+    }
+    new_id
+}
+
+/// The composite normalization pass over a mapping: per-tgd syntactic
+/// simplifications followed by IMPLIES-based redundancy removal.
+pub fn normalize_mapping(
+    m: &NestedMapping,
+    syms: &mut SymbolTable,
+    opts: &ImpliesOptions,
+) -> Result<NestedMapping> {
+    let mut tgds: Vec<NestedTgd> = Vec::new();
+    for t in &m.tgds {
+        let t = prune_unused_existentials(t);
+        let t = drop_vacuous_parts(&t);
+        tgds.extend(split_independent_conjuncts(&t));
+    }
+    let candidate = NestedMapping::new(tgds, m.source_egds.clone())?;
+    let redundant = redundant_tgds(&candidate, syms, opts)?;
+    let kept: Vec<NestedTgd> = candidate
+        .tgds
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !redundant.contains(i))
+        .map(|(_, t)| t)
+        .collect();
+    Ok(NestedMapping::new(kept, m.source_egds.clone())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implies::equivalent;
+
+    fn check_equivalent(a: &NestedMapping, b: &NestedMapping, syms: &mut SymbolTable) {
+        assert!(
+            equivalent(a, b, syms, &ImpliesOptions::default()).unwrap(),
+            "normalization must preserve logical equivalence"
+        );
+    }
+
+    #[test]
+    fn prune_unused() {
+        let mut syms = SymbolTable::new();
+        let t = parse_nested_tgd(
+            &mut syms,
+            "forall x (S(x) -> exists y,z (forall w (P(w) -> R(w,y))))",
+        )
+        .unwrap();
+        let pruned = prune_unused_existentials(&t);
+        assert_eq!(pruned.part(0).existentials.len(), 1); // z dropped
+        let a = NestedMapping::new(vec![t], vec![]).unwrap();
+        let b = NestedMapping::new(vec![pruned], vec![]).unwrap();
+        check_equivalent(&a, &b, &mut syms);
+    }
+
+    #[test]
+    fn drop_vacuous() {
+        let mut syms = SymbolTable::new();
+        // The inner part asserts only ⊤.
+        let t = parse_nested_tgd(
+            &mut syms,
+            "forall x (S(x) -> (R(x,x) & forall w (P(w) -> true)))",
+        )
+        .unwrap();
+        assert_eq!(t.num_parts(), 2);
+        let slim = drop_vacuous_parts(&t);
+        assert_eq!(slim.num_parts(), 1);
+        let a = NestedMapping::new(vec![t], vec![]).unwrap();
+        let b = NestedMapping::new(vec![slim], vec![]).unwrap();
+        check_equivalent(&a, &b, &mut syms);
+    }
+
+    #[test]
+    fn split_when_independent() {
+        let mut syms = SymbolTable::new();
+        // Two root conjuncts with separate existentials: splittable.
+        let t = parse_nested_tgd(
+            &mut syms,
+            "forall x (S(x) -> exists y,z (R(x,y) & T(x,z)))",
+        )
+        .unwrap();
+        let split = split_independent_conjuncts(&t);
+        assert_eq!(split.len(), 2);
+        for s in &split {
+            assert_eq!(s.part(0).existentials.len(), 1);
+        }
+        let a = NestedMapping::new(vec![t], vec![]).unwrap();
+        let b = NestedMapping::new(split, vec![]).unwrap();
+        check_equivalent(&a, &b, &mut syms);
+    }
+
+    #[test]
+    fn no_split_when_correlated() {
+        let mut syms = SymbolTable::new();
+        // One shared existential: must stay together.
+        let t = parse_nested_tgd(&mut syms, "forall x (S(x) -> exists y (R(x,y) & T(x,y)))")
+            .unwrap();
+        assert_eq!(split_independent_conjuncts(&t).len(), 1);
+        // A nested part sharing y with a root head atom: also no split.
+        let t2 = parse_nested_tgd(
+            &mut syms,
+            "forall x (S(x) -> exists y (R(x,y) & forall w (P(w) -> T(w,y))))",
+        )
+        .unwrap();
+        assert_eq!(split_independent_conjuncts(&t2).len(), 1);
+    }
+
+    #[test]
+    fn split_detaches_uncorrelated_nested_part() {
+        let mut syms = SymbolTable::new();
+        // The nested part does not use y: splittable from R(x,y).
+        let t = parse_nested_tgd(
+            &mut syms,
+            "forall x (S(x) -> exists y (R(x,y) & forall w (P(w) -> T(w,w))))",
+        )
+        .unwrap();
+        let split = split_independent_conjuncts(&t);
+        assert_eq!(split.len(), 2);
+        let a = NestedMapping::new(vec![t], vec![]).unwrap();
+        let b = NestedMapping::new(split, vec![]).unwrap();
+        check_equivalent(&a, &b, &mut syms);
+    }
+
+    #[test]
+    fn normalize_mapping_composite() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &[
+                // Unused existential + vacuous part + independent conjuncts.
+                "forall x (S(x) -> exists y,u (R(x,y) & T(x,x) & forall w (P(w) -> true)))",
+                // Redundant: implied by the split R-part above.
+                "S(x) -> exists y R(x,y)",
+            ],
+            &[],
+        )
+        .unwrap();
+        let norm = normalize_mapping(&m, &mut syms, &ImpliesOptions::default()).unwrap();
+        check_equivalent(&m, &norm, &mut syms);
+        // R and T split; redundant tgd removed; vacuous part dropped.
+        assert_eq!(norm.tgds.len(), 2);
+        assert!(norm.tgds.iter().all(|t| t.num_parts() == 1));
+    }
+}

@@ -1,0 +1,327 @@
+//! Patterns of chase trees (paper, Definition 3.2) and subtree cloning
+//! (Definition 3.3).
+//!
+//! A pattern of a nested tgd σ is a tree whose nodes are labeled by part
+//! ids such that the parent-child relationship of nodes coincides with the
+//! nesting of the labeling parts. The pattern of a chase tree forgets the
+//! variable assignments of its triggerings and keeps only the part labels.
+
+use ndl_core::prelude::*;
+use ndl_chase::{ChaseForest, TrigId};
+use std::collections::BTreeMap;
+
+/// A node of a [`Pattern`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternNode {
+    /// The part labeling this node.
+    pub part: PartId,
+    /// Parent node (None for the root).
+    pub parent: Option<usize>,
+    /// Child nodes.
+    pub children: Vec<usize>,
+}
+
+/// A pattern: a tree of part labels. Node 0 is the root.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    nodes: Vec<PatternNode>,
+}
+
+impl Pattern {
+    /// The single-node pattern for the root part of a tgd.
+    pub fn root_only(root_part: PartId) -> Pattern {
+        Pattern {
+            nodes: vec![PatternNode {
+                part: root_part,
+                parent: None,
+                children: vec![],
+            }],
+        }
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[PatternNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the pattern empty? (Never true for a constructed pattern.)
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a child labeled `part` under `parent`, returning its index.
+    pub fn add_child(&mut self, parent: usize, part: PartId) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(PatternNode {
+            part,
+            parent: Some(parent),
+            children: vec![],
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// The node ids of the subtree rooted at `node` (pre-order, includes
+    /// `node`). Subtrees are always closed under the child relation
+    /// (Definition 3.3).
+    pub fn subtree(&self, node: usize) -> Vec<usize> {
+        let mut out = vec![node];
+        let mut stack: Vec<usize> = self.nodes[node].children.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.nodes[n].children.iter().rev());
+        }
+        out
+    }
+
+    /// Appends a clone of the subtree rooted at `node` as a new sibling
+    /// (Definition 3.3: "cloning"). Returns the root of the clone.
+    ///
+    /// # Panics
+    /// Panics if `node` is the root (the root has no siblings).
+    pub fn clone_subtree(&mut self, node: usize) -> usize {
+        let parent = self.nodes[node]
+            .parent
+            .expect("cannot clone the root of a pattern");
+        self.copy_subtree(node, parent)
+    }
+
+    fn copy_subtree(&mut self, node: usize, new_parent: usize) -> usize {
+        let new_id = self.add_child(new_parent, self.nodes[node].part);
+        let children = self.nodes[node].children.clone();
+        for c in children {
+            self.copy_subtree(c, new_id);
+        }
+        new_id
+    }
+
+    /// The pattern of a chase tree (Definition 3.2): forget assignments,
+    /// keep part labels.
+    pub fn of_chase_tree(forest: &ChaseForest, root: TrigId) -> Pattern {
+        fn rec(forest: &ChaseForest, trig: TrigId, pattern: &mut Pattern, at: usize) {
+            for &c in &forest.nodes[trig].children {
+                let child_at = pattern.add_child(at, forest.nodes[c].part);
+                rec(forest, c, pattern, child_at);
+            }
+        }
+        let mut pattern = Pattern::root_only(forest.nodes[root].part);
+        rec(forest, root, &mut pattern, 0);
+        pattern
+    }
+
+    /// Checks that the pattern's parent-child relationships coincide with
+    /// the nesting of parts in `tgd`, and that the root is labeled by the
+    /// tgd's top-level part.
+    pub fn is_valid_for(&self, tgd: &NestedTgd) -> bool {
+        if self.nodes.is_empty() || self.nodes[0].part != tgd.root() {
+            return false;
+        }
+        self.nodes.iter().enumerate().all(|(i, n)| {
+            n.children.iter().all(|&c| {
+                self.nodes[c].parent == Some(i)
+                    && tgd.parent(self.nodes[c].part) == Some(n.part)
+            })
+        })
+    }
+
+    /// Canonical encoding of the subtree at `node`, modulo sibling order:
+    /// the part id followed by the *sorted* encodings of the children.
+    fn encode_subtree(&self, node: usize, out: &mut Vec<u8>) {
+        out.push(b'(');
+        out.extend_from_slice(&(self.nodes[node].part as u32).to_be_bytes());
+        let mut kids: Vec<Vec<u8>> = self.nodes[node]
+            .children
+            .iter()
+            .map(|&c| {
+                let mut buf = Vec::new();
+                self.encode_subtree(c, &mut buf);
+                buf
+            })
+            .collect();
+        kids.sort();
+        for k in kids {
+            out.extend_from_slice(&k);
+        }
+        out.push(b')');
+    }
+
+    /// Canonical encoding for equality/hash modulo sibling order.
+    pub fn canonical_key(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if !self.nodes.is_empty() {
+            self.encode_subtree(0, &mut out);
+        }
+        out
+    }
+
+    /// The maximum number of pairwise-isomorphic sibling subtrees — the
+    /// smallest `k` such that this is a k-pattern (Definition 3.3).
+    pub fn max_clone_multiplicity(&self) -> usize {
+        let mut best = 0;
+        for node in 0..self.nodes.len() {
+            let mut counts: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+            for &c in &self.nodes[node].children {
+                let mut buf = Vec::new();
+                self.encode_subtree(c, &mut buf);
+                *counts.entry(buf).or_insert(0) += 1;
+            }
+            best = best.max(counts.values().copied().max().unwrap_or(0));
+        }
+        best.max(usize::from(!self.nodes.is_empty()))
+    }
+
+    /// Renders the pattern as nested part labels, e.g. `σ1(σ2 σ3(σ4))`.
+    pub fn display(&self) -> String {
+        fn rec(p: &Pattern, node: usize, out: &mut String) {
+            out.push_str(&format!("s{}", p.nodes[node].part + 1));
+            if !p.nodes[node].children.is_empty() {
+                out.push('(');
+                for (i, &c) in p.nodes[node].children.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    rec(p, c, out);
+                }
+                out.push(')');
+            }
+        }
+        let mut s = String::new();
+        if !self.nodes.is_empty() {
+            rec(self, 0, &mut s);
+        }
+        s
+    }
+}
+
+impl PartialEq for Pattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_key() == other.canonical_key()
+    }
+}
+
+impl Eq for Pattern {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pattern p8 of Figure 1: σ1(σ2, σ3(σ4)).
+    fn p8() -> Pattern {
+        let mut p = Pattern::root_only(0);
+        p.add_child(0, 1);
+        let s3 = p.add_child(0, 2);
+        p.add_child(s3, 3);
+        p
+    }
+
+    fn running_tgd(syms: &mut SymbolTable) -> NestedTgd {
+        parse_nested_tgd(
+            syms,
+            "forall x1 (S1(x1) -> exists y1 (\
+               forall x2 (S2(x2) -> R2(y1,x2)) & \
+               forall x3 (S3(x1,x3) -> (R3(y1,x3) & \
+                 forall x4 (S4(x3,x4) -> exists y2 R4(y2,x4))))))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn subtree_and_clone() {
+        let mut p = p8();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.subtree(2), vec![2, 3]); // σ3 with σ4 below
+        let clone_root = p.clone_subtree(2);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.nodes()[clone_root].part, 2);
+        assert_eq!(p.nodes()[clone_root].children.len(), 1);
+        assert_eq!(p.max_clone_multiplicity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "root")]
+    fn cloning_root_panics() {
+        let mut p = p8();
+        p.clone_subtree(0);
+    }
+
+    #[test]
+    fn validity_against_tgd() {
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        assert!(p8().is_valid_for(&tgd));
+        // σ4 directly under σ1 is invalid.
+        let mut bad = Pattern::root_only(0);
+        bad.add_child(0, 3);
+        assert!(!bad.is_valid_for(&tgd));
+        // Root labeled by a nested part is invalid.
+        let wrong_root = Pattern::root_only(1);
+        assert!(!wrong_root.is_valid_for(&tgd));
+    }
+
+    #[test]
+    fn canonical_key_ignores_sibling_order() {
+        let mut a = Pattern::root_only(0);
+        a.add_child(0, 1);
+        a.add_child(0, 2);
+        let mut b = Pattern::root_only(0);
+        b.add_child(0, 2);
+        b.add_child(0, 1);
+        assert_eq!(a, b);
+        let mut c = Pattern::root_only(0);
+        c.add_child(0, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pattern_of_chase_tree() {
+        use ndl_chase::{chase_nested, NullFactory, Prepared};
+        let mut syms = SymbolTable::new();
+        let tgd = running_tgd(&mut syms);
+        let prep = Prepared::new(tgd.clone(), &mut syms);
+        let s1 = syms.rel("S1");
+        let s3 = syms.rel("S3");
+        let s4 = syms.rel("S4");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let c = Value::Const(syms.constant("c"));
+        let source = Instance::from_facts([
+            Fact::new(s1, vec![a]),
+            Fact::new(s3, vec![a, b]),
+            Fact::new(s4, vec![b, c]),
+        ]);
+        let mut nulls = NullFactory::new();
+        let res = chase_nested(&source, &[prep], &mut nulls);
+        assert_eq!(res.forest.roots.len(), 1);
+        let p = Pattern::of_chase_tree(&res.forest, res.forest.roots[0]);
+        assert!(p.is_valid_for(&tgd));
+        // Chase tree: σ1 -> σ3 -> σ4 (no S2 facts).
+        let mut expect = Pattern::root_only(0);
+        let s3n = expect.add_child(0, 2);
+        expect.add_child(s3n, 3);
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn multiplicity_counts_isomorphic_siblings_only() {
+        let mut p = Pattern::root_only(0);
+        p.add_child(0, 1);
+        let c2 = p.add_child(0, 2);
+        p.add_child(c2, 3);
+        let c2b = p.add_child(0, 2); // second σ2-subtree WITHOUT the σ4 child
+        let _ = c2b;
+        // The two σ2-labeled subtrees are not isomorphic (one has a child).
+        assert_eq!(p.max_clone_multiplicity(), 1);
+        p.add_child(0, 1); // now two identical σ2 leaves... (part 1 leaves)
+        assert_eq!(p.max_clone_multiplicity(), 2);
+    }
+
+    #[test]
+    fn display_shape() {
+        assert_eq!(p8().display(), "s1(s2 s3(s4))");
+    }
+}

@@ -1,0 +1,125 @@
+//! Realizability of patterns (paper, Example 3.4).
+//!
+//! Not every pattern of a nested tgd can occur as the pattern of a chase
+//! tree: parts whose variables are all bound by ancestors can trigger at
+//! most once per parent, so their nodes cannot be cloned. The IMPLIES
+//! procedure deliberately ignores realizability ("can be shown not to
+//! affect its correctness"); this module provides the diagnostic tools:
+//!
+//! - [`realized_by_canonical`] — a *sufficient* realizability check: does
+//!   chasing the pattern's own canonical source instance produce a chase
+//!   tree with exactly this pattern? (Example 3.4's over-cloned patterns
+//!   fail it: their canonical atoms deduplicate.)
+//! - [`realized_patterns`] — the multiset of patterns realized in a chase
+//!   forest, for workload analysis.
+
+use crate::canonical::canonical_instances;
+use crate::pattern::Pattern;
+use ndl_chase::{chase_nested, ChaseForest, NullFactory, Prepared};
+use ndl_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// Sufficient realizability check: chase the pattern's canonical source
+/// instance and compare chase-tree patterns. A `true` answer exhibits a
+/// concrete source instance realizing the pattern; `false` means the
+/// canonical instance does not realize it (for patterns over-cloning
+/// ancestor-bound parts, no instance does).
+pub fn realized_by_canonical(
+    tgd: &NestedTgd,
+    pattern: &Pattern,
+    syms: &mut SymbolTable,
+) -> bool {
+    let info = SkolemInfo::for_nested(tgd, syms);
+    let mut nulls = NullFactory::new();
+    let pair = canonical_instances(tgd, &info, pattern, syms, &mut nulls);
+    let prep = Prepared::new(tgd.clone(), syms);
+    let mut chase_nulls = NullFactory::new();
+    let res = chase_nested(&pair.source, &[prep], &mut chase_nulls);
+    res.forest
+        .roots
+        .iter()
+        .any(|&r| Pattern::of_chase_tree(&res.forest, r) == *pattern)
+}
+
+/// The patterns of the chase trees in a forest, with multiplicities —
+/// which shapes a workload actually exercises.
+pub fn realized_patterns(forest: &ChaseForest) -> Vec<(Pattern, usize)> {
+    let mut counts: BTreeMap<Vec<u8>, (Pattern, usize)> = BTreeMap::new();
+    for &root in &forest.roots {
+        let p = Pattern::of_chase_tree(forest, root);
+        counts
+            .entry(p.canonical_key())
+            .and_modify(|(_, c)| *c += 1)
+            .or_insert((p, 1));
+    }
+    counts.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 3.4: the tgd with a single ancestor-bound nested part only
+    /// realizes patterns with at most one child node.
+    #[test]
+    fn example_34_overclones_unrealizable() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))")
+            .unwrap();
+        let mut fine = Pattern::root_only(0);
+        fine.add_child(0, 1);
+        assert!(realized_by_canonical(&tgd, &fine, &mut syms));
+        let mut cloned = fine.clone();
+        cloned.clone_subtree(1);
+        assert!(!realized_by_canonical(&tgd, &cloned, &mut syms));
+    }
+
+    /// For parts with own variables, clones ARE realizable.
+    #[test]
+    fn clones_of_free_parts_are_realizable() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_nested_tgd(
+            &mut syms,
+            "forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> R(y,x2))))",
+        )
+        .unwrap();
+        let mut p = Pattern::root_only(0);
+        p.add_child(0, 1);
+        p.add_child(0, 1);
+        p.add_child(0, 1);
+        assert!(realized_by_canonical(&tgd, &p, &mut syms));
+    }
+
+    /// Workload statistics: counts of realized patterns in a chase forest.
+    #[test]
+    fn realized_pattern_counts() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_nested_tgd(
+            &mut syms,
+            "forall x1 (S1(x1) -> exists y (forall x2 (S2(x1,x2) -> R(y,x2))))",
+        )
+        .unwrap();
+        let prep = Prepared::new(tgd, &mut syms);
+        let s1 = syms.rel("S1");
+        let s2 = syms.rel("S2");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let c = Value::Const(syms.constant("c"));
+        // a has two S2-partners, b has none.
+        let source = Instance::from_facts([
+            Fact::new(s1, vec![a]),
+            Fact::new(s1, vec![b]),
+            Fact::new(s2, vec![a, b]),
+            Fact::new(s2, vec![a, c]),
+        ]);
+        let mut nulls = NullFactory::new();
+        let res = chase_nested(&source, &[prep], &mut nulls);
+        let stats = realized_patterns(&res.forest);
+        // Two distinct shapes: root-only (for b) and root+2 children (for a).
+        assert_eq!(stats.len(), 2);
+        let total: usize = stats.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 2);
+        assert!(stats.iter().any(|(p, c)| p.len() == 1 && *c == 1));
+        assert!(stats.iter().any(|(p, c)| p.len() == 3 && *c == 1));
+    }
+}

@@ -1,0 +1,251 @@
+//! Telling apart plain SO tgds from nested GLAV mappings (paper,
+//! Section 4.2).
+//!
+//! Two structural facts about nested GLAV mappings power the separation:
+//!
+//! - **Theorem 4.12**: on any class of source instances, a nested GLAV
+//!   mapping has bounded f-block size iff it has bounded f-degree. A
+//!   mapping whose core f-blocks grow while the f-degree stays bounded
+//!   (Proposition 4.13) cannot be equivalent to any nested GLAV mapping.
+//! - **Theorem 4.16**: every nested GLAV mapping has bounded path length
+//!   (longest simple path in the Gaifman graph of nulls of the core).
+//!   Growing path lengths rule out nested-GLAV-equivalence even when the
+//!   fact graph is uninformative (Example 4.14's cliques).
+//!
+//! The sweeps below evaluate these measures on a family of source
+//! instances and report the evidence. A sweep is a *sufficient-condition
+//! check over a finite family*: a `Some(verdict)` is backed by a theorem
+//! applied to the observed growth trend; `None` means the family showed no
+//! separation (it never *proves* nested-expressibility).
+
+use ndl_chase::{chase_mapping, chase_so, NullFactory};
+use ndl_core::prelude::*;
+use ndl_hom::{core_of, f_block_size, f_degree, null_path_length, DEFAULT_NODE_LIMIT};
+
+/// Structural measures of `core(chase(I, M))` for one source instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Number of facts of the source instance.
+    pub source_size: usize,
+    /// f-block size of the core.
+    pub fblock_size: usize,
+    /// f-degree of the core.
+    pub fdegree: usize,
+    /// Path length of the core's null graph (None if the exact search was
+    /// skipped because the graph exceeded the node limit).
+    pub path_length: Option<usize>,
+}
+
+/// Why a mapping cannot be logically equivalent to a nested GLAV mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NotNestedReason {
+    /// The core f-block size grows along the family while the f-degree
+    /// stays bounded — impossible for nested GLAV mappings
+    /// (Theorem 4.12 / Proposition 4.13).
+    FdegreeGap,
+    /// The path length of the null graph grows along the family —
+    /// nested GLAV mappings have bounded path length (Theorem 4.16).
+    UnboundedPathLength,
+}
+
+/// The result of a separation sweep.
+#[derive(Clone, Debug)]
+pub struct SeparationReport {
+    /// Per-instance measures, in input order.
+    pub points: Vec<SweepPoint>,
+    /// Separation evidence, if the sweep exhibited any.
+    pub verdict: Option<NotNestedReason>,
+}
+
+impl SeparationReport {
+    fn from_points(points: Vec<SweepPoint>) -> SeparationReport {
+        let verdict = diagnose(&points);
+        SeparationReport { points, verdict }
+    }
+}
+
+/// Sweeps a plain (or full) SO tgd over a family of source instances.
+pub fn sweep_so(tgd: &SoTgd, sources: &[Instance]) -> SeparationReport {
+    let points = sources
+        .iter()
+        .map(|src| {
+            let mut nulls = NullFactory::new();
+            let core = core_of(&chase_so(src, tgd, &mut nulls));
+            measure(src, &core)
+        })
+        .collect();
+    SeparationReport::from_points(points)
+}
+
+/// Sweeps a nested GLAV mapping over a family of source instances
+/// (useful for side-by-side comparison; by Theorems 4.12/4.16 its reports
+/// can never exhibit [`NotNestedReason`] evidence asymptotically).
+pub fn sweep_nested(
+    m: &NestedMapping,
+    sources: &[Instance],
+    syms: &mut SymbolTable,
+) -> SeparationReport {
+    let points = sources
+        .iter()
+        .map(|src| {
+            let (res, _) = chase_mapping(src, m, syms);
+            let core = core_of(&res.target);
+            measure(src, &core)
+        })
+        .collect();
+    SeparationReport::from_points(points)
+}
+
+fn measure(source: &Instance, core: &Instance) -> SweepPoint {
+    SweepPoint {
+        source_size: source.len(),
+        fblock_size: f_block_size(core),
+        fdegree: f_degree(core),
+        path_length: null_path_length(core, DEFAULT_NODE_LIMIT),
+    }
+}
+
+/// Diagnoses growth trends: requires at least 3 points and strict growth
+/// across the last three to call a measure "growing", and an unchanged
+/// final value to call it "bounded".
+fn diagnose(points: &[SweepPoint]) -> Option<NotNestedReason> {
+    if points.len() < 3 {
+        return None;
+    }
+    let last3 = &points[points.len() - 3..];
+    let growing = |f: &dyn Fn(&SweepPoint) -> usize| {
+        f(&last3[0]) < f(&last3[1]) && f(&last3[1]) < f(&last3[2])
+    };
+    let fblock_growing = growing(&|p| p.fblock_size);
+    let fdegree_flat = last3[0].fdegree == last3[2].fdegree;
+    let path_growing = last3.iter().all(|p| p.path_length.is_some())
+        && growing(&|p| p.path_length.unwrap());
+    if fblock_growing && fdegree_flat {
+        return Some(NotNestedReason::FdegreeGap);
+    }
+    if path_growing {
+        return Some(NotNestedReason::UnboundedPathLength);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Successor relation S(1,2), ..., S(n-1,n).
+    fn successor(syms: &mut SymbolTable, n: usize) -> Instance {
+        let s = syms.rel("S");
+        let mut inst = Instance::new();
+        for i in 1..n {
+            let a = Value::Const(syms.constant(&format!("c{i}")));
+            let b = Value::Const(syms.constant(&format!("c{}", i + 1)));
+            inst.insert(Fact::new(s, vec![a, b]));
+        }
+        inst
+    }
+
+    /// Proposition 4.13: τ = S(x,y) → R(f(x),f(y)) on successor relations
+    /// has unbounded f-block size but f-degree 2.
+    #[test]
+    fn prop_413_fdegree_gap() {
+        let mut syms = SymbolTable::new();
+        let tau = parse_so_tgd(&mut syms, "exists f . S(x,y) -> R(f(x),f(y))").unwrap();
+        let family: Vec<Instance> = [4, 6, 8, 10]
+            .iter()
+            .map(|&n| successor(&mut syms, n))
+            .collect();
+        let report = sweep_so(&tau, &family);
+        assert_eq!(report.verdict, Some(NotNestedReason::FdegreeGap));
+        for w in report.points.windows(2) {
+            assert!(w[1].fblock_size > w[0].fblock_size);
+        }
+        assert!(report.points.iter().all(|p| p.fdegree == 2));
+    }
+
+    /// Example 4.14: σ = S(x,y) ∧ Q(z) → R(f(z,x),f(z,y),g(z)) on
+    /// successor × singleton sources: f-blocks are cliques (f-degree grows
+    /// with the block), but the null graph has growing simple paths.
+    #[test]
+    fn example_414_path_length_gap() {
+        let mut syms = SymbolTable::new();
+        let sigma = parse_so_tgd(
+            &mut syms,
+            "exists f,g . S(x,y) & Q(z) -> R(f(z,x),f(z,y),g(z))",
+        )
+        .unwrap();
+        let q = syms.rel("Q");
+        let o = Value::Const(syms.constant("o"));
+        let family: Vec<Instance> = [4, 6, 8]
+            .iter()
+            .map(|&n| {
+                let mut inst = successor(&mut syms, n);
+                inst.insert(Fact::new(q, vec![o]));
+                inst
+            })
+            .collect();
+        let report = sweep_so(&sigma, &family);
+        assert_eq!(report.verdict, Some(NotNestedReason::UnboundedPathLength));
+        // And indeed the f-degree gap test is inconclusive here: every
+        // f-block is a clique so the degree grows with the block size.
+        for w in report.points.windows(2) {
+            assert!(w[1].fdegree > w[0].fdegree);
+        }
+    }
+
+    /// Example 4.15: σ' = S(x,y) ∧ Q(z) → R(f(z,x,y),g(z),x) is equivalent
+    /// to a nested tgd — the sweep must stay inconclusive.
+    #[test]
+    fn example_415_no_separation() {
+        let mut syms = SymbolTable::new();
+        let sigma = parse_so_tgd(
+            &mut syms,
+            "exists f,g . S(x,y) & Q(z) -> R(f(z,x,y),g(z),x)",
+        )
+        .unwrap();
+        let q = syms.rel("Q");
+        let o = Value::Const(syms.constant("o"));
+        let family: Vec<Instance> = [4, 6, 8]
+            .iter()
+            .map(|&n| {
+                let mut inst = successor(&mut syms, n);
+                inst.insert(Fact::new(q, vec![o]));
+                inst
+            })
+            .collect();
+        let report = sweep_so(&sigma, &family);
+        assert_eq!(report.verdict, None);
+        // The f-blocks grow (the g(z) null spans everything)...
+        assert!(report.points[2].fblock_size > report.points[0].fblock_size);
+        // ...and so does the f-degree, in lockstep — consistent with
+        // Theorem 4.12 for a nested-expressible mapping.
+        assert!(report.points[2].fdegree > report.points[0].fdegree);
+    }
+
+    /// A nested GLAV mapping sweep never separates (sanity check of
+    /// Theorems 4.12/4.16 on the implementation).
+    #[test]
+    fn nested_sweep_is_inconclusive() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &["forall x1,x2 (S(x1,x2) -> exists y (R(y,x2) & forall x3 (S(x1,x3) -> R(y,x3))))"],
+            &[],
+        )
+        .unwrap();
+        let family: Vec<Instance> = [3, 5, 7]
+            .iter()
+            .map(|&n| successor(&mut syms, n))
+            .collect();
+        let report = sweep_nested(&m, &family, &mut syms);
+        assert_eq!(report.verdict, None);
+    }
+
+    #[test]
+    fn short_sweeps_are_never_conclusive() {
+        let mut syms = SymbolTable::new();
+        let tau = parse_so_tgd(&mut syms, "exists f . S(x,y) -> R(f(x),f(y))").unwrap();
+        let family: Vec<Instance> = [4, 8].iter().map(|&n| successor(&mut syms, n)).collect();
+        assert_eq!(sweep_so(&tau, &family).verdict, None);
+    }
+}

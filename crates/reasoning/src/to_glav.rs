@@ -1,0 +1,244 @@
+//! Deciding whether a nested GLAV mapping is logically equivalent to a
+//! GLAV mapping (paper, Theorem 4.2; with source egds, Theorem 5.6) — and
+//! *constructing* a verified GLAV witness when it is.
+//!
+//! By Theorem 4.1, M is GLAV-equivalent iff its f-block size is bounded.
+//! When bounded, an equivalent GLAV mapping can be read off the chase
+//! cores of canonical instances: for every pattern `p` (up to the clone
+//! bound) and every f-block `B` of `core(chase(I_p, M))`, emit the s-t tgd
+//! `I_p → B` (constants become universal variables, nulls existential
+//! ones). The candidate set is then **verified** against M with IMPLIES in
+//! both directions, so a returned witness is always correct; clone caps
+//! grow until verification succeeds or the theoretical bound is reached.
+
+use crate::canonical::{canonical_instances, legalize};
+use crate::enumerate::k_patterns;
+use crate::error::{ReasoningError, Result};
+use crate::fblock::{clone_bound, has_bounded_fblock_size, FblockAnalysis, FblockOptions};
+use crate::implies::{implies_mapping, ImpliesOptions};
+use ndl_chase::{chase_nested, NullFactory, Prepared};
+use ndl_core::prelude::*;
+use ndl_hom::{core_of, f_blocks};
+use std::collections::BTreeMap;
+
+/// The outcome of the GLAV-equivalence decision.
+#[derive(Clone, Debug)]
+pub struct GlavDecision {
+    /// The boundedness analysis that drove the decision.
+    pub analysis: FblockAnalysis,
+    /// When equivalent: a *verified* equivalent GLAV mapping.
+    pub witness: Option<NestedMapping>,
+}
+
+/// Is the nested GLAV mapping logically equivalent to some GLAV mapping?
+/// Returns the boundedness analysis and, when it is, a GLAV witness that
+/// has been verified equivalent via IMPLIES in both directions.
+pub fn glav_equivalent(
+    m: &NestedMapping,
+    syms: &mut SymbolTable,
+    opts: &FblockOptions,
+) -> Result<GlavDecision> {
+    let analysis = has_bounded_fblock_size(m, syms, opts)?;
+    if !analysis.bounded {
+        return Ok(GlavDecision {
+            analysis,
+            witness: None,
+        });
+    }
+    let k_max = clone_bound(m, syms);
+    let implies_opts = ImpliesOptions {
+        pattern_budget: opts.pattern_budget,
+    };
+    let mut last_err = String::new();
+    for cap in 1..=k_max {
+        match build_candidate(m, cap, syms, opts) {
+            Ok(candidate) => {
+                // Verification: candidate ≡ M (relative to M's source egds).
+                if implies_mapping(&candidate, m, syms, &implies_opts)?
+                    && implies_mapping(m, &candidate, syms, &implies_opts)?
+                {
+                    return Ok(GlavDecision {
+                        analysis,
+                        witness: Some(candidate),
+                    });
+                }
+                last_err = format!("candidate at clone cap {cap} failed verification");
+            }
+            Err(ReasoningError::PatternBudgetExceeded { budget }) => {
+                last_err = format!("pattern budget {budget} exceeded at clone cap {cap}");
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ReasoningError::Failed(format!(
+        "mapping is f-block bounded but no GLAV witness verified up to clone bound {k_max}: {last_err}"
+    )))
+}
+
+/// Builds the candidate GLAV mapping from patterns with clone cap `cap`.
+fn build_candidate(
+    m: &NestedMapping,
+    cap: usize,
+    syms: &mut SymbolTable,
+    opts: &FblockOptions,
+) -> Result<NestedMapping> {
+    let prepared = Prepared::mapping(m, syms);
+    let mut tgds: Vec<StTgd> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for tgd in &m.tgds {
+        let info = SkolemInfo::for_nested(tgd, syms);
+        for pattern in k_patterns(tgd, cap, opts.pattern_budget)? {
+            let mut nulls = NullFactory::new();
+            let pair = canonical_instances(tgd, &info, &pattern, syms, &mut nulls);
+            let legal = legalize(&pair, &m.source_egds, &mut nulls);
+            let mut chase_nulls = NullFactory::new();
+            let chased = chase_nested(&legal.source, &prepared, &mut chase_nulls).target;
+            let core = core_of(&chased);
+            for block in f_blocks(&core) {
+                let st = block_to_tgd(&legal.source, &block, syms);
+                let key = st.display(syms);
+                if seen.insert(key) {
+                    tgds.push(st);
+                }
+            }
+        }
+    }
+    Ok(NestedMapping::from_st_tgds(tgds, m.source_egds.clone())?)
+}
+
+/// Turns a canonical source instance and one core f-block into the s-t tgd
+/// `I → B`: constants become universal variables, nulls existential ones.
+fn block_to_tgd(source: &Instance, block: &Instance, syms: &mut SymbolTable) -> StTgd {
+    let mut var_of: BTreeMap<Value, VarId> = BTreeMap::new();
+    let mut existentials = Vec::new();
+    let mut next_u = 0usize;
+    let mut next_e = 0usize;
+    let mut body = Vec::new();
+    for fact in source.facts() {
+        let args: Vec<VarId> = fact
+            .args
+            .iter()
+            .map(|&v| {
+                *var_of.entry(v).or_insert_with(|| {
+                    next_u += 1;
+                    syms.fresh_var(&format!("gx{next_u}"))
+                })
+            })
+            .collect();
+        body.push(Atom::new(fact.rel, args));
+    }
+    let mut head = Vec::new();
+    for fact in block.facts() {
+        let args: Vec<VarId> = fact
+            .args
+            .iter()
+            .map(|&v| match v {
+                Value::Const(_) => *var_of
+                    .get(&v)
+                    .expect("core block constant not in canonical source"),
+                Value::Null(_) => *var_of.entry(v).or_insert_with(|| {
+                    next_e += 1;
+                    let var = syms.fresh_var(&format!("gy{next_e}"));
+                    existentials.push(var);
+                    var
+                }),
+            })
+            .collect();
+        head.push(Atom::new(fact.rel, args));
+    }
+    // `existentials` collected in creation order.
+    let existentials = existentials
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect::<Vec<_>>();
+    StTgd::new(body, existentials, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implies::equivalent;
+
+    fn opts() -> FblockOptions {
+        FblockOptions::default()
+    }
+
+    #[test]
+    fn glav_input_yields_glav_witness() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(&mut syms, &["S(x,y) -> exists z R(x,z)"], &[]).unwrap();
+        let d = glav_equivalent(&m, &mut syms, &opts()).unwrap();
+        assert!(d.analysis.bounded);
+        let w = d.witness.unwrap();
+        assert!(w.is_glav());
+        assert!(equivalent(&m, &w, &mut syms, &ImpliesOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn vacuously_nested_mapping_gets_unnested() {
+        // Nested syntax, but equivalent to the GLAV mapping
+        // S1(x1) ∧ S2(x2) → R(x2,x2).
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &["forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> R(x2,x2))))"],
+            &[],
+        )
+        .unwrap();
+        assert!(!m.is_glav());
+        let d = glav_equivalent(&m, &mut syms, &opts()).unwrap();
+        let w = d.witness.unwrap();
+        assert!(w.is_glav());
+        assert!(equivalent(&m, &w, &mut syms, &ImpliesOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn classic_nested_tgd_has_no_glav_witness() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(
+            &mut syms,
+            &["forall x1,x2 (S(x1,x2) -> exists y (R(y,x2) & forall x3 (S(x1,x3) -> R(y,x3))))"],
+            &[],
+        )
+        .unwrap();
+        let d = glav_equivalent(&m, &mut syms, &opts()).unwrap();
+        assert!(!d.analysis.bounded);
+        assert!(d.witness.is_none());
+    }
+
+    #[test]
+    fn egds_can_restore_glav_equivalence() {
+        // Unbounded without the key egd; bounded (hence GLAV-equivalent)
+        // with it — the Section 5 contrast for nested tgds.
+        let mut syms = SymbolTable::new();
+        let tgds = &["forall z (Q(z) -> exists y (forall x1 (P1(z,x1) -> R(y,x1))))"];
+        let free = NestedMapping::parse(&mut syms, tgds, &[]).unwrap();
+        assert!(glav_equivalent(&free, &mut syms, &opts()).unwrap().witness.is_none());
+        let keyed = NestedMapping::parse(
+            &mut syms,
+            tgds,
+            &["P1(z,w1) & P1(z,w2) -> w1 = w2"],
+        )
+        .unwrap();
+        let d = glav_equivalent(&keyed, &mut syms, &opts()).unwrap();
+        assert!(d.analysis.bounded);
+        let w = d.witness.unwrap();
+        assert!(w.is_glav());
+    }
+
+    #[test]
+    fn witness_block_tgd_shapes() {
+        let mut syms = SymbolTable::new();
+        let m = NestedMapping::parse(&mut syms, &["S(x,y) -> exists z (R(x,z) & R(z,y))"], &[])
+            .unwrap();
+        let d = glav_equivalent(&m, &mut syms, &opts()).unwrap();
+        let w = d.witness.unwrap();
+        // One pattern, one block: a single tgd with a 2-atom head.
+        assert_eq!(w.tgds.len(), 1);
+        let st = w.to_st_tgds().unwrap().remove(0);
+        assert_eq!(st.head.len(), 2);
+        assert_eq!(st.existentials.len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! The local-correctness check `check_πgood[x, y]` of the Theorem 5.1
+//! reduction.
+//!
+//! The paper abbreviates a "complex definition" checking that the
+//! configuration data at time `x`, tape position `y` is locally correct.
+//! We implement the equivalent window check as code deriving a
+//! `Good(t, p)` source relation from the candidate-run relations: a cell
+//! is good iff its content and head marking follow from the machine's
+//! transition function applied to the (t-1)-row window `p-1, p, p+1`, with
+//! **missing** or **ambiguous** information making it bad — exactly the
+//! two failure modes ("incorrect and missing information") the reduction
+//! must detect. See DESIGN.md for why this code-level substitution
+//! preserves the construction's observable behaviour.
+
+use crate::encode::{EncodedRun, RunSchema};
+use crate::machine::{Machine, Move, StateId, SymId, BLANK};
+use ndl_core::prelude::*;
+use std::collections::BTreeSet;
+
+/// The contents of one candidate-run cell as read from the instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CellView {
+    sym: SymId,
+    head: Option<StateId>,
+}
+
+/// Reads cell `(t, p)` from the instance; `None` when the content is
+/// missing or ambiguous (several symbols, or several head states).
+fn read_cell(
+    inst: &Instance,
+    schema: &RunSchema,
+    indexes: &[Value],
+    t: usize,
+    p: usize,
+) -> Option<CellView> {
+    let (tv, pv) = (indexes[t - 1], indexes[p - 1]);
+    let mut sym = None;
+    for (s, &rel) in schema.cell.iter().enumerate() {
+        if inst.contains_tuple(rel, &[tv, pv]) {
+            if sym.is_some() {
+                return None; // ambiguous content
+            }
+            sym = Some(s);
+        }
+    }
+    let sym = sym?;
+    let mut head = None;
+    for (q, &rel) in schema.head.iter().enumerate() {
+        if inst.contains_tuple(rel, &[tv, pv]) {
+            if head.is_some() {
+                return None; // ambiguous head state
+            }
+            head = Some(q);
+        }
+    }
+    Some(CellView { sym, head })
+}
+
+/// The set of good cells `(t, p)` (1-based, `p ≤ t ≤ n`) of an encoded
+/// candidate run, for a machine started on the empty tape.
+pub fn good_cells(
+    enc: &EncodedRun,
+    schema: &RunSchema,
+    machine: &Machine,
+) -> BTreeSet<(usize, usize)> {
+    let n = enc.indexes.len();
+    let mut good = BTreeSet::new();
+    for t in 1..=n {
+        for p in 1..=t {
+            if is_good(enc, schema, machine, t, p) {
+                good.insert((t, p));
+            }
+        }
+    }
+    good
+}
+
+fn is_good(
+    enc: &EncodedRun,
+    schema: &RunSchema,
+    machine: &Machine,
+    t: usize,
+    p: usize,
+) -> bool {
+    let inst = &enc.instance;
+    let idx = &enc.indexes;
+    let Some(actual) = read_cell(inst, schema, idx, t, p) else {
+        return false;
+    };
+    if t == 1 {
+        // Initial configuration on the empty tape: blank cell, head at 1
+        // in the start state. Row 1 has only the cell p = 1.
+        return actual.sym == BLANK && actual.head == Some(0);
+    }
+    // Window over row t-1. Cells outside the triangle are virtual blanks
+    // with no head.
+    let window = |pos: usize| -> Option<CellView> {
+        if pos >= 1 && pos < t {
+            read_cell(inst, schema, idx, t - 1, pos)
+        } else {
+            Some(CellView {
+                sym: BLANK,
+                head: None,
+            })
+        }
+    };
+    let Some(mid) = window(p) else { return false };
+    let left = if p >= 2 { window(p - 1) } else { None };
+    if p >= 2 && left.is_none() {
+        return false; // required window cell missing/ambiguous
+    }
+    let Some(right) = window(p + 1) else {
+        return false;
+    };
+    // Expected content of (t, p).
+    let expected_sym = match mid.head {
+        Some(q) => match machine.transitions.get(&(q, mid.sym)) {
+            Some(&(_, write, _)) => write,
+            None => return false, // the machine halted — row t is invalid
+        },
+        None => mid.sym,
+    };
+    if actual.sym != expected_sym {
+        return false;
+    }
+    // Expected head arrival at (t, p).
+    let mut arrivals: Vec<StateId> = Vec::new();
+    if let Some(l) = left {
+        if let Some(q) = l.head {
+            if let Some(&(next, _, mv)) = machine.transitions.get(&(q, l.sym)) {
+                if mv == Move::Right {
+                    arrivals.push(next);
+                }
+            }
+        }
+    }
+    if let Some(q) = mid.head {
+        if let Some(&(next, _, mv)) = machine.transitions.get(&(q, mid.sym)) {
+            let stays = mv == Move::Stay || (mv == Move::Left && p == 1);
+            if stays {
+                arrivals.push(next);
+            }
+        }
+    }
+    if let Some(q) = right.head {
+        if let Some(&(next, _, mv)) = machine.transitions.get(&(q, right.sym)) {
+            if mv == Move::Left {
+                arrivals.push(next);
+            }
+        }
+    }
+    match (arrivals.as_slice(), actual.head) {
+        ([], None) => true,
+        ([q], Some(actual_q)) => *q == actual_q,
+        _ => false,
+    }
+}
+
+/// Adds the derived `Good(t, p)` facts to a copy of the source instance.
+pub fn with_good_facts(
+    enc: &EncodedRun,
+    good_rel: RelId,
+    good: &BTreeSet<(usize, usize)>,
+) -> Instance {
+    let mut inst = enc.instance.clone();
+    for &(t, p) in good {
+        inst.insert(Fact::new(
+            good_rel,
+            vec![enc.indexes[t - 1], enc.indexes[p - 1]],
+        ));
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{delete_row, encode_run, flip_cell};
+    use crate::machine::{busy_halter, forever_right};
+
+    #[test]
+    fn honest_halting_run_is_good_up_to_halt() {
+        let mut syms = SymbolTable::new();
+        let m = busy_halter(3); // halts after 3 steps; configs at t = 1..=4
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let run = m.run(&[], 100);
+        let enc = encode_run(&run, 8, &schema, &mut syms, "i");
+        let good = good_cells(&enc, &schema, &m);
+        // All triangle cells of rows 1..=4 are good: 1+2+3+4 = 10.
+        assert_eq!(good.len(), 10);
+        assert!(good.contains(&(1, 1)));
+        assert!(good.contains(&(4, 4)));
+        // Row 5 would require a transition from the halted state.
+        assert!(!good.contains(&(5, 1)));
+    }
+
+    #[test]
+    fn honest_infinite_run_is_good_everywhere() {
+        let mut syms = SymbolTable::new();
+        let m = forever_right();
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let run = m.run(&[], 100);
+        let enc = encode_run(&run, 7, &schema, &mut syms, "i");
+        let good = good_cells(&enc, &schema, &m);
+        assert_eq!(good.len(), 7 * 8 / 2);
+    }
+
+    #[test]
+    fn missing_information_breaks_goodness() {
+        let mut syms = SymbolTable::new();
+        let m = forever_right();
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let run = m.run(&[], 100);
+        let enc = encode_run(&run, 6, &schema, &mut syms, "i");
+        let gutted = delete_row(&enc, &schema, 3);
+        let good = good_cells(&gutted, &schema, &m);
+        // Rows 1-2 stay good; row 3 cells are gone (not good); row 4
+        // cells need row 3 info — bad too.
+        assert!(good.contains(&(2, 2)));
+        assert!(!good.contains(&(3, 1)));
+        assert!(!good.contains(&(4, 2)));
+    }
+
+    #[test]
+    fn incorrect_information_breaks_goodness_locally() {
+        let mut syms = SymbolTable::new();
+        let m = forever_right();
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let run = m.run(&[], 100);
+        let enc = encode_run(&run, 6, &schema, &mut syms, "i");
+        let flipped = flip_cell(&enc, &schema, &m, 3, 1);
+        let good = good_cells(&flipped, &schema, &m);
+        // The flipped cell disagrees with its window.
+        assert!(!good.contains(&(3, 1)));
+        // And the row above it inherits the inconsistency at (4, 1).
+        assert!(!good.contains(&(4, 1)));
+        // Cells away from the corruption stay good.
+        assert!(good.contains(&(3, 3)));
+    }
+
+    #[test]
+    fn good_facts_materialize() {
+        let mut syms = SymbolTable::new();
+        let m = busy_halter(2);
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let good_rel = syms.rel("Good");
+        let run = m.run(&[], 10);
+        let enc = encode_run(&run, 4, &schema, &mut syms, "i");
+        let good = good_cells(&enc, &schema, &m);
+        let inst = with_good_facts(&enc, good_rel, &good);
+        assert_eq!(inst.rel_len(good_rel), good.len());
+    }
+}

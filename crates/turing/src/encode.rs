@@ -1,0 +1,224 @@
+//! Encoding candidate Turing-machine runs as source instances — the
+//! "represent a run of a Turing machine (state and tape configurations)
+//! together with a successor relation in the source instance" part of the
+//! Theorem 5.1 reduction.
+//!
+//! Source schema of the reduction:
+//! - `S/2` — the successor relation over time/tape indexes (a single key
+//!   dependency `S(x,y) ∧ S(x',y) → x = x'` guarantees unique
+//!   predecessors);
+//! - `Z/1` — the initial element ("zero");
+//! - `C<sym>/2` — `C<sym>(t, p)`: tape cell `p` holds symbol `sym` at
+//!   time `t`;
+//! - `H<state>/2` — `H<state>(t, p)`: at time `t` the head is at `p` in
+//!   state `state`.
+//!
+//! Only the triangular part `p ≤ t` of the configuration matrix is
+//! represented (Figure 8). Corruption helpers simulate the "incorrect and
+//! missing information" the reduction must be robust against.
+
+use crate::machine::{Machine, Run, SymId};
+use ndl_core::prelude::*;
+
+/// Interned relation ids of the reduction's source schema.
+#[derive(Clone, Debug)]
+pub struct RunSchema {
+    /// Successor relation.
+    pub s: RelId,
+    /// Zero marker.
+    pub z: RelId,
+    /// Cell-content relations, indexed by symbol.
+    pub cell: Vec<RelId>,
+    /// Head/state relations, indexed by state.
+    pub head: Vec<RelId>,
+}
+
+impl RunSchema {
+    /// Interns the schema for a machine.
+    pub fn for_machine(machine: &Machine, syms: &mut SymbolTable) -> RunSchema {
+        RunSchema {
+            s: syms.rel("S"),
+            z: syms.rel("Z"),
+            cell: (0..machine.num_symbols)
+                .map(|i| syms.rel(&format!("C{i}")))
+                .collect(),
+            head: (0..machine.num_states)
+                .map(|i| syms.rel(&format!("H{i}")))
+                .collect(),
+        }
+    }
+
+    /// The single key dependency of Theorem 5.1: unique predecessors in S.
+    pub fn key_dependency(&self, syms: &mut SymbolTable) -> Egd {
+        let x = syms.fresh_var("kx");
+        let x2 = syms.fresh_var("kxp");
+        let y = syms.fresh_var("ky");
+        Egd::new(
+            vec![Atom::new(self.s, vec![x, y]), Atom::new(self.s, vec![x2, y])],
+            (x, x2),
+        )
+    }
+}
+
+/// An encoded candidate run: the source instance plus the index constants.
+#[derive(Clone, Debug)]
+pub struct EncodedRun {
+    /// The source instance.
+    pub instance: Instance,
+    /// The index constants `1..=n` (shared by time and tape axes).
+    pub indexes: Vec<Value>,
+    /// Number of time rows actually encoded (≤ n; fewer when the machine
+    /// halted earlier).
+    pub rows: usize,
+}
+
+/// Encodes the first `n` rows of a run (or all of it, if the machine
+/// halted sooner) over index constants `1..=n`.
+pub fn encode_run(
+    run: &Run,
+    n: usize,
+    schema: &RunSchema,
+    syms: &mut SymbolTable,
+    prefix: &str,
+) -> EncodedRun {
+    let mut instance = Instance::new();
+    let indexes: Vec<Value> = (1..=n)
+        .map(|i| Value::Const(syms.constant(&format!("{prefix}{i}"))))
+        .collect();
+    for i in 0..n.saturating_sub(1) {
+        instance.insert(Fact::new(schema.s, vec![indexes[i], indexes[i + 1]]));
+    }
+    if n >= 1 {
+        instance.insert(Fact::new(schema.z, vec![indexes[0]]));
+    }
+    let rows = run.configs.len().min(n);
+    for t in 1..=rows {
+        let config = &run.configs[t - 1];
+        for p in 1..=t {
+            let sym: SymId = config.symbol_at(p);
+            instance.insert(Fact::new(
+                schema.cell[sym],
+                vec![indexes[t - 1], indexes[p - 1]],
+            ));
+            if config.head == p {
+                instance.insert(Fact::new(
+                    schema.head[config.state],
+                    vec![indexes[t - 1], indexes[p - 1]],
+                ));
+            }
+        }
+    }
+    EncodedRun {
+        instance,
+        indexes,
+        rows,
+    }
+}
+
+/// Corrupts the encoding by deleting all configuration facts of row `t`
+/// ("missing information").
+pub fn delete_row(enc: &EncodedRun, schema: &RunSchema, t: usize) -> EncodedRun {
+    let row = enc.indexes[t - 1];
+    let instance = enc.instance.filter(&|f| {
+        let is_config = schema.cell.contains(&f.rel) || schema.head.contains(&f.rel);
+        !(is_config && f.args[0] == row)
+    });
+    EncodedRun {
+        instance,
+        indexes: enc.indexes.clone(),
+        rows: enc.rows,
+    }
+}
+
+/// Corrupts the encoding by flipping the symbol of cell `(t, p)` to a
+/// different one ("incorrect information").
+pub fn flip_cell(
+    enc: &EncodedRun,
+    schema: &RunSchema,
+    machine: &Machine,
+    t: usize,
+    p: usize,
+) -> EncodedRun {
+    let (tv, pv) = (enc.indexes[t - 1], enc.indexes[p - 1]);
+    let mut instance = enc.instance.clone();
+    for (sym, &rel) in schema.cell.iter().enumerate() {
+        if instance.contains_tuple(rel, &[tv, pv]) {
+            instance.remove(&Fact::new(rel, vec![tv, pv]));
+            let flipped = (sym + 1) % machine.num_symbols;
+            instance.insert(Fact::new(schema.cell[flipped], vec![tv, pv]));
+            break;
+        }
+    }
+    EncodedRun {
+        instance,
+        indexes: enc.indexes.clone(),
+        rows: enc.rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::busy_halter;
+
+    #[test]
+    fn triangle_encoding() {
+        let mut syms = SymbolTable::new();
+        let m = busy_halter(3);
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let run = m.run(&[], 100);
+        let enc = encode_run(&run, 6, &schema, &mut syms, "i");
+        assert_eq!(enc.rows, 4); // halted: 4 configurations
+        assert_eq!(enc.instance.rel_len(schema.s), 5);
+        assert_eq!(enc.instance.rel_len(schema.z), 1);
+        // Cell facts: rows 1..=4, row t has t cells → 1+2+3+4 = 10.
+        let cells: usize = schema
+            .cell
+            .iter()
+            .map(|&r| enc.instance.rel_len(r))
+            .sum();
+        assert_eq!(cells, 10);
+        // One head fact per encoded row whose head is inside the triangle.
+        let heads: usize = schema
+            .head
+            .iter()
+            .map(|&r| enc.instance.rel_len(r))
+            .sum();
+        assert_eq!(heads, 4);
+    }
+
+    #[test]
+    fn non_halting_fills_all_rows() {
+        let mut syms = SymbolTable::new();
+        let m = crate::machine::forever_right();
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let run = m.run(&[], 100);
+        let enc = encode_run(&run, 8, &schema, &mut syms, "i");
+        assert_eq!(enc.rows, 8);
+    }
+
+    #[test]
+    fn key_dependency_holds_on_successor() {
+        let mut syms = SymbolTable::new();
+        let m = busy_halter(2);
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let egd = schema.key_dependency(&mut syms);
+        let run = m.run(&[], 10);
+        let enc = encode_run(&run, 5, &schema, &mut syms, "i");
+        assert!(ndl_chase::satisfies_egds(&enc.instance, &[egd]));
+    }
+
+    #[test]
+    fn corruption_helpers() {
+        let mut syms = SymbolTable::new();
+        let m = crate::machine::forever_right();
+        let schema = RunSchema::for_machine(&m, &mut syms);
+        let run = m.run(&[], 10);
+        let enc = encode_run(&run, 5, &schema, &mut syms, "i");
+        let gutted = delete_row(&enc, &schema, 3);
+        assert!(gutted.instance.len() < enc.instance.len());
+        let flipped = flip_cell(&enc, &schema, &m, 2, 1);
+        assert_eq!(flipped.instance.len(), enc.instance.len());
+        assert_ne!(flipped.instance, enc.instance);
+    }
+}

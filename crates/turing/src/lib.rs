@@ -1,0 +1,26 @@
+//! # ndl-turing
+//!
+//! The Turing-machine substrate of Section 5 of *Nested Dependencies:
+//! Structure and Reasoning* (PODS 2014), and the Theorem 5.1 reduction:
+//! from a Turing machine to a plain SO tgd plus a single source key
+//! dependency whose chase cores have bounded f-block size iff the machine
+//! halts.
+//!
+//! - [`machine`] — deterministic Turing machines and runs;
+//! - [`encode`] — candidate runs as source instances (successor + zero +
+//!   configuration relations), with corruption helpers;
+//! - [`check`] — the `check_πgood` local-correctness relation;
+//! - [`reduction`] — the SO tgd, the key dependency, and the Figure 8
+//!   enumeration measurements.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod encode;
+pub mod machine;
+pub mod reduction;
+
+pub use check::{good_cells, with_good_facts};
+pub use encode::{delete_row, encode_run, flip_cell, EncodedRun, RunSchema};
+pub use machine::{busy_halter, forever_bounce, forever_right, Config, Machine, Move, Run};
+pub use reduction::{build_reduction, measure, sweep, Reduction, ReductionOutcome};

@@ -1,0 +1,203 @@
+//! Deterministic single-tape Turing machines and their runs — the
+//! substrate of the Theorem 5.1 reduction.
+//!
+//! The tape is one-way infinite (cells 1, 2, …); in `t` steps the head can
+//! reach at most cell `t + 1`, which is why the reduction only represents
+//! the triangular part of the time × tape configuration matrix (Figure 8).
+
+use std::collections::BTreeMap;
+
+/// A machine state.
+pub type StateId = usize;
+/// A tape symbol; symbol 0 is the blank.
+pub type SymId = usize;
+/// The blank tape symbol.
+pub const BLANK: SymId = 0;
+
+/// Head movement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Move {
+    /// One cell left (no-op at the left end).
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// A deterministic Turing machine. State 0 is the start state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Number of states.
+    pub num_states: usize,
+    /// Number of tape symbols (including the blank, symbol 0).
+    pub num_symbols: usize,
+    /// `(state, read) ↦ (next state, write, move)`. Missing entries halt.
+    pub transitions: BTreeMap<(StateId, SymId), (StateId, SymId, Move)>,
+}
+
+/// One configuration of a run: the tape prefix that has been touched, the
+/// head position (1-based) and the state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Current state.
+    pub state: StateId,
+    /// Head position (1-based).
+    pub head: usize,
+    /// Tape contents from cell 1; cells beyond are blank.
+    pub tape: Vec<SymId>,
+}
+
+impl Config {
+    /// The symbol at 1-based cell `p`.
+    pub fn symbol_at(&self, p: usize) -> SymId {
+        self.tape.get(p - 1).copied().unwrap_or(BLANK)
+    }
+}
+
+/// The result of running a machine.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// Configurations at times 1, 2, … (time 1 = initial configuration).
+    pub configs: Vec<Config>,
+    /// Did the machine halt within the step budget?
+    pub halted: bool,
+}
+
+impl Machine {
+    /// Runs the machine on `input` for at most `max_steps` steps.
+    pub fn run(&self, input: &[SymId], max_steps: usize) -> Run {
+        let mut config = Config {
+            state: 0,
+            head: 1,
+            tape: input.to_vec(),
+        };
+        let mut configs = vec![config.clone()];
+        for _ in 0..max_steps {
+            let read = config.symbol_at(config.head);
+            let Some(&(next, write, mv)) = self.transitions.get(&(config.state, read)) else {
+                return Run {
+                    configs,
+                    halted: true,
+                };
+            };
+            if config.tape.len() < config.head {
+                config.tape.resize(config.head, BLANK);
+            }
+            config.tape[config.head - 1] = write;
+            config.state = next;
+            config.head = match mv {
+                Move::Left => config.head.saturating_sub(1).max(1),
+                Move::Right => config.head + 1,
+                Move::Stay => config.head,
+            };
+            configs.push(config.clone());
+        }
+        // The budget is exhausted; the machine still counts as halted if
+        // no transition applies to the final configuration.
+        let read = config.symbol_at(config.head);
+        let halted = !self.transitions.contains_key(&(config.state, read));
+        Run { configs, halted }
+    }
+
+    /// Does the machine halt on `input` within `max_steps`?
+    pub fn halts_within(&self, input: &[SymId], max_steps: usize) -> bool {
+        self.run(input, max_steps).halted
+    }
+}
+
+/// A machine that writes `1` while moving right for `k` cells, then halts:
+/// halting time `k` on the empty input.
+pub fn busy_halter(k: usize) -> Machine {
+    // States 0..k: in state i, write 1, move right, go to state i+1;
+    // state k has no transitions (halt).
+    let mut transitions = BTreeMap::new();
+    for i in 0..k {
+        transitions.insert((i, BLANK), (i + 1, 1, Move::Right));
+        transitions.insert((i, 1), (i + 1, 1, Move::Right));
+    }
+    Machine {
+        num_states: k + 1,
+        num_symbols: 2,
+        transitions,
+    }
+}
+
+/// A machine that moves right forever (never halts).
+pub fn forever_right() -> Machine {
+    let mut transitions = BTreeMap::new();
+    transitions.insert((0, BLANK), (0, 1, Move::Right));
+    transitions.insert((0, 1), (0, 1, Move::Right));
+    Machine {
+        num_states: 1,
+        num_symbols: 2,
+        transitions,
+    }
+}
+
+/// A machine that bounces between the first two cells forever.
+pub fn forever_bounce() -> Machine {
+    let mut transitions = BTreeMap::new();
+    // State 0: move right into state 1; state 1: move left into state 0.
+    for sym in 0..2 {
+        transitions.insert((0, sym), (1, sym, Move::Right));
+        transitions.insert((1, sym), (0, sym, Move::Left));
+    }
+    Machine {
+        num_states: 2,
+        num_symbols: 2,
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_halter_halts_in_k_steps() {
+        let m = busy_halter(4);
+        let run = m.run(&[], 100);
+        assert!(run.halted);
+        assert_eq!(run.configs.len(), 5); // times 1..=5
+        assert_eq!(run.configs[4].head, 5);
+        assert_eq!(run.configs[4].tape, vec![1, 1, 1, 1]);
+        assert!(m.halts_within(&[], 4));
+        assert!(!m.halts_within(&[], 3));
+    }
+
+    #[test]
+    fn forever_right_never_halts() {
+        let m = forever_right();
+        let run = m.run(&[], 50);
+        assert!(!run.halted);
+        assert_eq!(run.configs.len(), 51);
+        assert_eq!(run.configs[50].head, 51);
+    }
+
+    #[test]
+    fn bounce_stays_in_two_cells() {
+        let m = forever_bounce();
+        let run = m.run(&[], 10);
+        assert!(!run.halted);
+        assert!(run.configs.iter().all(|c| c.head <= 2));
+    }
+
+    #[test]
+    fn head_reaches_at_most_cell_t_plus_one() {
+        // The triangle representation invariant (Figure 8).
+        let m = forever_right();
+        let run = m.run(&[], 20);
+        for (t, c) in run.configs.iter().enumerate() {
+            assert!(c.head <= t + 2); // time index t is 0-based here
+        }
+    }
+
+    #[test]
+    fn input_is_respected() {
+        let m = busy_halter(2);
+        let run = m.run(&[1, 1, 1], 10);
+        assert_eq!(run.configs[0].symbol_at(3), 1);
+        assert_eq!(run.configs[0].symbol_at(4), BLANK);
+    }
+}

@@ -1,0 +1,286 @@
+//! `ndl` — a command-line front end to the nested-dependency reasoner.
+//!
+//! ```text
+//! ndl parse    (--nested|--st|--so|--egd) "<dependency>"
+//! ndl skolemize "<nested tgd>"
+//! ndl chase    --tgd "<nested tgd>"... --fact "R(a,b)"... [--egd "<egd>"...] [--core]
+//! ndl implies  --premise "<tgd>"... [--egd "<egd>"...] --conclusion "<tgd>"
+//! ndl equiv    --left "<tgd>"... --right "<tgd>"... [--egd "<egd>"...]
+//! ndl classify --tgd "<tgd>"... [--egd "<egd>"...]
+//! ndl compose  --first "<st tgd>"... --second "<st tgd>"...
+//! ndl certain  --tgd "<tgd>"... --fact "R(a,b)"... --query "q(x) :- T(x,y)"
+//! ```
+//!
+//! All dependencies use the library's text syntax (see the README).
+
+use nested_deps::prelude::*;
+use nested_deps::reasoning::{certain_answers, compose_glav, ConjunctiveQuery};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ndl parse (--nested|--st|--so|--egd) \"<dependency>\"
+  ndl skolemize \"<nested tgd>\"
+  ndl chase --tgd \"<tgd>\"... --fact \"R(a,b)\"... [--egd \"<egd>\"...] [--core]
+  ndl implies --premise \"<tgd>\"... [--egd \"<egd>\"...] --conclusion \"<tgd>\"
+  ndl equiv --left \"<tgd>\"... --right \"<tgd>\"... [--egd \"<egd>\"...]
+  ndl classify --tgd \"<tgd>\"... [--egd \"<egd>\"...]
+  ndl compose --first \"<st tgd>\"... --second \"<st tgd>\"...
+  ndl certain --tgd \"<tgd>\"... --fact \"R(a,b)\"... --query \"q(x) :- T(x,y)\"";
+
+type CliResult = std::result::Result<(), String>;
+
+/// Collects the values following every occurrence of `flag`.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.as_str());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn parse_mapping(
+    syms: &mut SymbolTable,
+    tgds: &[&str],
+    egds: &[&str],
+) -> std::result::Result<NestedMapping, String> {
+    if tgds.is_empty() {
+        return Err("at least one tgd is required".into());
+    }
+    NestedMapping::parse(syms, tgds, egds).map_err(err)
+}
+
+fn parse_facts(syms: &mut SymbolTable, facts: &[&str]) -> std::result::Result<Instance, String> {
+    let mut inst = Instance::new();
+    for f in facts {
+        inst.insert(parse_fact(syms, f).map_err(err)?);
+    }
+    Ok(inst)
+}
+
+fn run(args: &[String]) -> CliResult {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    let mut syms = SymbolTable::new();
+    match cmd.as_str() {
+        "parse" => cmd_parse(&mut syms, rest),
+        "skolemize" => cmd_skolemize(&mut syms, rest),
+        "chase" => cmd_chase(&mut syms, rest),
+        "implies" => cmd_implies(&mut syms, rest),
+        "equiv" => cmd_equiv(&mut syms, rest),
+        "classify" => cmd_classify(&mut syms, rest),
+        "compose" => cmd_compose(&mut syms, rest),
+        "certain" => cmd_certain(&mut syms, rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_parse(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let text = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing dependency text")?;
+    if has_flag(args, "--so") {
+        let t = parse_so_tgd(syms, text).map_err(err)?;
+        let mut schema = Schema::new();
+        t.validate(&mut schema).map_err(err)?;
+        println!("SO tgd ({}): {}", if t.is_plain() { "plain" } else { "full" }, t.display(syms));
+    } else if has_flag(args, "--egd") {
+        let e = parse_egd(syms, text).map_err(err)?;
+        let mut schema = Schema::new();
+        e.validate(&mut schema).map_err(err)?;
+        println!("egd: {}", e.display(syms));
+    } else if has_flag(args, "--st") {
+        let t = parse_st_tgd(syms, text).map_err(err)?;
+        let mut schema = Schema::new();
+        t.validate(&mut schema).map_err(err)?;
+        println!("s-t tgd: {}", t.display(syms));
+    } else {
+        let t = parse_nested_tgd(syms, text).map_err(err)?;
+        let mut schema = Schema::new();
+        t.validate(&mut schema).map_err(err)?;
+        println!(
+            "nested tgd ({} parts, depth {}): {}",
+            t.num_parts(),
+            t.depth(),
+            t.display(syms)
+        );
+        println!("schema: {}", schema.display(syms));
+    }
+    Ok(())
+}
+
+fn cmd_skolemize(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let text = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing nested tgd")?;
+    let t = parse_nested_tgd(syms, text).map_err(err)?;
+    let mut schema = Schema::new();
+    t.validate(&mut schema).map_err(err)?;
+    let (so, _) = skolemize(&t, syms);
+    println!("{}", so.display(syms));
+    Ok(())
+}
+
+fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let m = parse_mapping(syms, &flag_values(args, "--tgd"), &flag_values(args, "--egd"))?;
+    let source = parse_facts(syms, &flag_values(args, "--fact"))?;
+    if !satisfies_egds(&source, &m.source_egds) {
+        return Err("source instance violates the source egds".into());
+    }
+    let (res, nulls) = chase_mapping(&source, &m, syms);
+    let mut target = res.target;
+    let mut label = "chase(I, M)";
+    if has_flag(args, "--core") {
+        target = core_of(&target);
+        label = "core(chase(I, M))";
+    }
+    println!(
+        "{label}: {} facts, {} nulls, f-block size {}",
+        target.len(),
+        target.nulls().len(),
+        f_block_size(&target)
+    );
+    for fact in target.facts() {
+        println!("  {}", nulls.display_fact(&fact, syms));
+    }
+    Ok(())
+}
+
+fn cmd_implies(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let premise = parse_mapping(
+        syms,
+        &flag_values(args, "--premise"),
+        &flag_values(args, "--egd"),
+    )?;
+    let conclusion_texts = flag_values(args, "--conclusion");
+    if conclusion_texts.is_empty() {
+        return Err("missing --conclusion".into());
+    }
+    for text in conclusion_texts {
+        let conclusion = parse_nested_tgd(syms, text).map_err(err)?;
+        let report = implies_tgd(&premise, &conclusion, syms, &ImpliesOptions::default())
+            .map_err(err)?;
+        println!(
+            "Σ ⊨ σ: {}   (v = {}, w = {}, k = {}, {} patterns checked)",
+            report.holds, report.v, report.w, report.k, report.patterns_checked
+        );
+        if let Some(ce) = report.counterexample {
+            println!("  counterexample pattern: {}", ce.pattern.display());
+            println!("  I_p = {}", ce.source.display(syms));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_equiv(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let egds = flag_values(args, "--egd");
+    let left = parse_mapping(syms, &flag_values(args, "--left"), &egds)?;
+    let right = parse_mapping(syms, &flag_values(args, "--right"), &egds)?;
+    let eq = equivalent(&left, &right, syms, &ImpliesOptions::default()).map_err(err)?;
+    println!("logically equivalent: {eq}");
+    Ok(())
+}
+
+fn cmd_classify(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let m = parse_mapping(syms, &flag_values(args, "--tgd"), &flag_values(args, "--egd"))?;
+    let d = glav_equivalent(&m, syms, &FblockOptions::default()).map_err(err)?;
+    println!(
+        "f-block size bounded: {} (clone bound k = {})",
+        d.analysis.bounded, d.analysis.clone_bound
+    );
+    match d.witness {
+        Some(w) => {
+            println!("GLAV-equivalent: yes; verified witness:");
+            for t in &w.tgds {
+                println!("  {}", t.display(syms));
+            }
+        }
+        None => {
+            println!("GLAV-equivalent: no");
+            if let Some(e) = d.analysis.evidence {
+                println!(
+                    "  certificate: cloning node {} of pattern {} grows cores {:?}",
+                    e.cloned_node,
+                    e.base_pattern.display(),
+                    e.ladder_sizes
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compose(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let first: Vec<StTgd> = flag_values(args, "--first")
+        .iter()
+        .map(|t| parse_st_tgd(syms, t))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(err)?;
+    let second: Vec<StTgd> = flag_values(args, "--second")
+        .iter()
+        .map(|t| parse_st_tgd(syms, t))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(err)?;
+    if first.is_empty() || second.is_empty() {
+        return Err("--first and --second each need at least one s-t tgd".into());
+    }
+    let so = compose_glav(&first, &second, syms).map_err(err)?;
+    println!(
+        "composition ({} SO tgd, {} clauses):",
+        if so.is_plain() { "plain" } else { "full" },
+        so.clauses.len()
+    );
+    println!("  {}", so.display(syms));
+    Ok(())
+}
+
+fn cmd_certain(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let m = parse_mapping(syms, &flag_values(args, "--tgd"), &flag_values(args, "--egd"))?;
+    let source = parse_facts(syms, &flag_values(args, "--fact"))?;
+    let query_text = flag_values(args, "--query");
+    let query_text = query_text.first().ok_or("missing --query")?;
+    let q = ConjunctiveQuery::parse(syms, query_text).map_err(err)?;
+    let answers = certain_answers(&q, &source, &m, syms);
+    println!("certain answers of {} ({}):", q.display(syms), answers.len());
+    for t in answers {
+        println!(
+            "  ({})",
+            t.iter()
+                .map(|v| v.display(syms).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    Ok(())
+}

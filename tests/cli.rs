@@ -1,0 +1,165 @@
+//! End-to-end tests of the `ndl` command-line front end.
+
+use std::process::Command;
+
+fn ndl(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ndl"))
+        .args(args)
+        .output()
+        .expect("ndl runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.success(), stdout)
+}
+
+#[test]
+fn parse_nested() {
+    let (ok, out) = ndl(&[
+        "parse",
+        "forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> R(y,x2))))",
+    ]);
+    assert!(ok);
+    assert!(out.contains("2 parts"));
+    assert!(out.contains("S: S1/1, S2/1; T: R/2"));
+}
+
+#[test]
+fn parse_so_and_egd() {
+    let (ok, out) = ndl(&["parse", "--so", "exists f . S(x,y) -> R(f(x),f(y))"]);
+    assert!(ok);
+    assert!(out.contains("plain"));
+    let (ok, out) = ndl(&["parse", "--egd", "S(x,y) & S(x2,y) -> x = x2"]);
+    assert!(ok);
+    assert!(out.contains("x = x2"));
+}
+
+#[test]
+fn skolemize_matches_paper() {
+    let (ok, out) = ndl(&[
+        "skolemize",
+        "forall x1,x2 (S(x1,x2) -> exists y (R(y,x2) & forall x3 (S(x1,x3) -> R(y,x3))))",
+    ]);
+    assert!(ok);
+    assert!(out.contains("f(x1,x2)"));
+}
+
+#[test]
+fn chase_with_core() {
+    let (ok, out) = ndl(&[
+        "chase",
+        "--tgd",
+        "S(x,y) -> exists z (R(x,z) & R(z,y))",
+        "--fact",
+        "S(a,b)",
+        "--core",
+    ]);
+    assert!(ok);
+    assert!(out.contains("2 facts"));
+    assert!(out.contains("R(a,f(a,b))"));
+}
+
+#[test]
+fn chase_rejects_egd_violation() {
+    let (ok, _) = ndl(&[
+        "chase",
+        "--tgd",
+        "S(x,y) -> R(x,y)",
+        "--egd",
+        "S(x,y) & S(x2,y) -> x = x2",
+        "--fact",
+        "S(a,c)",
+        "--fact",
+        "S(b,c)",
+    ]);
+    assert!(!ok);
+}
+
+#[test]
+fn implies_example_310() {
+    let (ok, out) = ndl(&[
+        "implies",
+        "--premise",
+        "S1(x1) & S2(x2) -> R(x2,x1)",
+        "--conclusion",
+        "forall x1 (S1(x1) -> exists y (forall x2 S2(x2) -> R(x2,y)))",
+    ]);
+    assert!(ok);
+    assert!(out.contains("true"));
+    assert!(out.contains("k = 3"));
+    let (ok, out) = ndl(&[
+        "implies",
+        "--premise",
+        "S2(x2) -> exists z R(x2,z)",
+        "--conclusion",
+        "forall x1 (S1(x1) -> exists y (forall x2 S2(x2) -> R(x2,y)))",
+    ]);
+    assert!(ok);
+    assert!(out.contains("false"));
+    assert!(out.contains("counterexample"));
+}
+
+#[test]
+fn classify_both_ways() {
+    let (ok, out) = ndl(&[
+        "classify",
+        "--tgd",
+        "forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> R(y,x2))))",
+    ]);
+    assert!(ok);
+    assert!(out.contains("GLAV-equivalent: no"));
+    let (ok, out) = ndl(&[
+        "classify",
+        "--tgd",
+        "forall x1 (P(x1) -> exists y (forall x2 (Q(x2) -> U(x2,x2))))",
+    ]);
+    assert!(ok);
+    assert!(out.contains("GLAV-equivalent: yes"));
+}
+
+#[test]
+fn equiv_splits() {
+    let (ok, out) = ndl(&[
+        "equiv",
+        "--left",
+        "S(x,y) -> R(x,y) & T(y,x)",
+        "--right",
+        "S(x,y) -> R(x,y)",
+        "--right",
+        "S(x,y) -> T(y,x)",
+    ]);
+    assert!(ok);
+    assert!(out.contains("true"));
+}
+
+#[test]
+fn compose_and_certain() {
+    let (ok, out) = ndl(&[
+        "compose",
+        "--first",
+        "P(x) -> exists u Q(x,u)",
+        "--second",
+        "Q(x,u) -> exists w T(u,w)",
+    ]);
+    assert!(ok);
+    assert!(out.contains("full SO tgd"));
+    let (ok, out) = ndl(&[
+        "certain",
+        "--tgd",
+        "S(x,y) -> exists z (R(x,z) & R(z,y))",
+        "--fact",
+        "S(a,b)",
+        "--query",
+        "q(x,y) :- R(x,z) & R(z,y)",
+    ]);
+    assert!(ok);
+    assert!(out.contains("(a, b)"));
+}
+
+#[test]
+fn bad_input_fails_gracefully() {
+    let (ok, _) = ndl(&["implies", "--conclusion", "S(x) -> R(x)"]);
+    assert!(!ok);
+    let (ok, _) = ndl(&["nonsense"]);
+    assert!(!ok);
+    let (ok, _) = ndl(&["parse", "S(x ->"]);
+    assert!(!ok);
+}

@@ -1,0 +1,165 @@
+//! Integration tests for Section 2 of the paper: the basic concepts —
+//! universal solutions, closure under target homomorphisms, the
+//! Emp/Mgr/SelfMgr SO tgd, and the Skolemization displayed for the
+//! running example.
+
+use nested_deps::prelude::*;
+use nested_deps::reasoning::satisfies_so;
+
+/// "J is a universal solution for I iff J is a solution and J → J' for
+/// every solution J'" — exercised over a pool of hand-built solutions.
+#[test]
+fn universal_solutions_map_into_all_solutions() {
+    let mut syms = SymbolTable::new();
+    let m = NestedMapping::parse(
+        &mut syms,
+        &["forall x1,x2 (S(x1,x2) -> exists y (R(y,x2) & forall x3 (S(x1,x3) -> R(y,x3))))"],
+        &[],
+    )
+    .unwrap();
+    let s = syms.rel("S");
+    let r = syms.rel("R");
+    let a = Value::Const(syms.constant("a"));
+    let b = Value::Const(syms.constant("b"));
+    let source = Instance::from_facts([Fact::new(s, vec![a, b])]);
+    let (res, _) = chase_mapping(&source, &m, &mut syms);
+    // A pool of solutions: ground witnesses, padded variants, the chase.
+    let solutions = [
+        Instance::from_facts([Fact::new(r, vec![a, b])]),
+        Instance::from_facts([
+            Fact::new(r, vec![a, b]),
+            Fact::new(r, vec![b, b]),
+            Fact::new(r, vec![a, a]),
+        ]),
+        res.target.clone(),
+    ];
+    for j in &solutions {
+        assert!(satisfies_mapping(&source, j, &m), "{}", j.display(&syms));
+        assert!(homomorphic(&res.target, j), "chase must map into {}", j.display(&syms));
+    }
+    // A non-solution: the chase does NOT map into it.
+    let non_solution = Instance::from_facts([Fact::new(r, vec![b, a])]);
+    assert!(!satisfies_mapping(&source, &non_solution, &m));
+    assert!(!homomorphic(&res.target, &non_solution));
+}
+
+/// Closure under target homomorphisms (plain SO tgds / nested tgds): if J
+/// is a solution and J → J' (identity on constants), J' is a solution.
+#[test]
+fn closure_under_target_homomorphisms() {
+    let mut syms = SymbolTable::new();
+    let m = NestedMapping::parse(&mut syms, &["S(x) -> exists y,z (R(x,y) & R(y,z))"], &[])
+        .unwrap();
+    let s = syms.rel("S");
+    let a = Value::Const(syms.constant("a"));
+    let source = Instance::from_facts([Fact::new(s, vec![a])]);
+    let (res, _) = chase_mapping(&source, &m, &mut syms);
+    // Apply several homomorphisms to the chase result; all images remain
+    // solutions.
+    let nulls: Vec<NullId> = res.target.nulls().into_iter().collect();
+    assert_eq!(nulls.len(), 2);
+    let images = [
+        // fold both nulls onto the constant
+        res.target.map_values(&|v| if v.is_null() { a } else { v }),
+        // fold second null onto the first
+        res.target.map_values(&|v| {
+            if v == Value::Null(nulls[1]) {
+                Value::Null(nulls[0])
+            } else {
+                v
+            }
+        }),
+    ];
+    for j in &images {
+        assert!(satisfies_mapping(&source, j, &m), "{}", j.display(&syms));
+    }
+}
+
+/// The Emp/Mgr/SelfMgr SO tgd of Section 2: full SO semantics with an
+/// equality, checked through the general model checker.
+#[test]
+fn emp_mgr_selfmgr_semantics() {
+    let mut syms = SymbolTable::new();
+    let sigma = parse_so_tgd(
+        &mut syms,
+        "exists f . Emp(e) -> Mgr(e,f(e)) ; Emp(e) & e = f(e) -> SelfMgr(e)",
+    )
+    .unwrap();
+    assert!(!sigma.is_plain());
+    let emp = syms.rel("Emp");
+    let mgr = syms.rel("Mgr");
+    let selfm = syms.rel("SelfMgr");
+    let a = Value::Const(syms.constant("ann"));
+    let b = Value::Const(syms.constant("bo"));
+    let source = Instance::from_facts([Fact::new(emp, vec![a]), Fact::new(emp, vec![b])]);
+    // Everyone managed by bo; bo manages himself, so SelfMgr(bo) required.
+    let j_missing = Instance::from_facts([
+        Fact::new(mgr, vec![a, b]),
+        Fact::new(mgr, vec![b, b]),
+    ]);
+    assert!(!satisfies_so(&source, &j_missing, &sigma));
+    let mut j_ok = j_missing.clone();
+    j_ok.insert(Fact::new(selfm, vec![b]));
+    assert!(satisfies_so(&source, &j_ok, &sigma));
+    // External management never forces SelfMgr.
+    let ext = Value::Const(syms.constant("root"));
+    let j_ext = Instance::from_facts([
+        Fact::new(mgr, vec![a, ext]),
+        Fact::new(mgr, vec![b, ext]),
+    ]);
+    assert!(satisfies_so(&source, &j_ext, &sigma));
+}
+
+/// Section 2's inclusion chain, on the syntax level: every s-t tgd is a
+/// nested tgd; every Skolemized nested tgd is a plain SO tgd; and the
+/// model checkers agree across the encodings.
+#[test]
+fn inclusion_chain_semantics_agree() {
+    let mut syms = SymbolTable::new();
+    let st = parse_st_tgd(&mut syms, "S(x,y) -> exists z (R(x,z) & R(z,y))").unwrap();
+    let nested: NestedTgd = st.into();
+    let (so, _) = skolemize(&nested, &mut syms);
+    assert!(so.is_plain());
+    let s = syms.rel("S");
+    let r = syms.rel("R");
+    let a = Value::Const(syms.constant("a"));
+    let b = Value::Const(syms.constant("b"));
+    let source = Instance::from_facts([Fact::new(s, vec![a, b])]);
+    let candidates = [
+        Instance::new(),
+        Instance::from_facts([Fact::new(r, vec![a, a]), Fact::new(r, vec![a, b])]),
+        Instance::from_facts([Fact::new(r, vec![a, b])]),
+        Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, b])]),
+    ];
+    for j in &candidates {
+        let via_nested = satisfies_nested(&source, j, &nested);
+        let via_plain = satisfies_plain_so(&source, j, &so);
+        let via_full = satisfies_so(&source, j, &so);
+        assert_eq!(via_nested, via_plain, "{}", j.display(&syms));
+        assert_eq!(via_nested, via_full, "{}", j.display(&syms));
+    }
+}
+
+/// The f-block terminology of Section 2: connectivity via the Gaifman
+/// graph of facts on a concrete mixed instance.
+#[test]
+fn fblock_definitions() {
+    let mut syms = SymbolTable::new();
+    let r = syms.rel("R");
+    let a = Value::Const(syms.constant("a"));
+    let n0 = Value::Null(NullId(0));
+    let n1 = Value::Null(NullId(1));
+    let n2 = Value::Null(NullId(2));
+    let j = Instance::from_facts([
+        Fact::new(r, vec![n0, n1]),
+        Fact::new(r, vec![n1, n2]),
+        Fact::new(r, vec![a, a]),
+        Fact::new(r, vec![a, n2]),
+    ]);
+    let blocks = f_blocks(&j);
+    // The n0-n1-n2 chain plus R(a,n2) is one block; R(a,a) is isolated.
+    assert_eq!(blocks.len(), 2);
+    assert_eq!(f_block_size(&j), 3);
+    let fg = nested_deps::hom::FactGraph::of(&j);
+    assert!(!fg.is_connected());
+}

@@ -1,0 +1,176 @@
+//! Integration tests for Section 5: source egds, legal canonical
+//! instances (Example 5.3), the decidability results for nested tgds in
+//! the presence of egds (Theorems 5.5–5.7), and the Turing-machine
+//! reduction behind Theorems 5.1/5.2.
+
+use nested_deps::prelude::*;
+use nested_deps::turing::{delete_row, flip_cell, good_cells, measure, sweep};
+
+/// Example 5.3 end-to-end: naive cloning of the canonical source violates
+/// Σs; legal canonical instances repair it, and the boundedness analysis
+/// changes verdict accordingly for the x1-growth variant.
+#[test]
+fn example_53_legal_canonical_instances() {
+    let mut syms = SymbolTable::new();
+    let sigma = parse_nested_tgd(
+        &mut syms,
+        "forall z (Q(z) -> exists y (forall x1,x2 (P1(z,x1) & P2(z,x2) -> R(y,x1,x2))))",
+    )
+    .unwrap();
+    let egd = parse_egd(&mut syms, "P1(z,w1) & P1(z,w2) -> w1 = w2").unwrap();
+    let info = SkolemInfo::for_nested(&sigma, &mut syms);
+    let mut pattern = Pattern::root_only(0);
+    pattern.add_child(0, 1);
+    pattern.add_child(0, 1); // the "clone" of the example
+    let mut nulls = NullFactory::new();
+    let pair = canonical_instances(&sigma, &info, &pattern, &mut syms, &mut nulls);
+    assert!(!satisfies_egds(&pair.source, std::slice::from_ref(&egd)));
+    let legal = legalize(&pair, std::slice::from_ref(&egd), &mut nulls);
+    assert!(satisfies_egds(&legal.source, std::slice::from_ref(&egd)));
+    // The legal source has one P1 atom but still two P2 atoms.
+    let p1 = syms.rel("P1");
+    let p2 = syms.rel("P2");
+    assert_eq!(legal.source.rel_len(p1), 1);
+    assert_eq!(legal.source.rel_len(p2), 2);
+}
+
+/// Theorem 5.7: implication with source egds. Also checks that an egd can
+/// flip an implication verdict in both directions of interest.
+#[test]
+fn theorem_57_implication_with_egds() {
+    let mut syms = SymbolTable::new();
+    let opts = ImpliesOptions::default();
+    // With S functional in its first column, S(x,y) ∧ S(x,z) forces y = z.
+    let premise = NestedMapping::parse(
+        &mut syms,
+        &["S(x,y) -> T(y,y)"],
+        &["S(x,w1) & S(x,w2) -> w1 = w2"],
+    )
+    .unwrap();
+    let sigma = parse_nested_tgd(&mut syms, "S(x,y) & S(x,z) -> T(y,z)").unwrap();
+    assert!(implies_tgd(&premise, &sigma, &mut syms, &opts).unwrap().holds);
+    // Nested conclusion under egds.
+    let nested_conclusion = parse_nested_tgd(
+        &mut syms,
+        "forall x,y (S(x,y) -> exists u (forall z (S(x,z) -> T(u,z))))",
+    )
+    .unwrap();
+    // Premise gives T(y,y); under the egd, z = y for the nested part and
+    // u := y works.
+    assert!(implies_tgd(&premise, &nested_conclusion, &mut syms, &opts)
+        .unwrap()
+        .holds);
+    // Without the egd the same implication fails.
+    let premise_free = NestedMapping::parse(&mut syms, &["S(x,y) -> T(y,y)"], &[]).unwrap();
+    assert!(!implies_tgd(&premise_free, &nested_conclusion, &mut syms, &opts)
+        .unwrap()
+        .holds);
+}
+
+/// Theorem 5.6: GLAV-equivalence stays decidable with egds, and the
+/// verdict can flip from "not equivalent" to "equivalent (with witness)".
+#[test]
+fn theorem_56_glav_equivalence_with_egds() {
+    let mut syms = SymbolTable::new();
+    let tgds = &["forall z (Q(z) -> exists y (forall x1 (P1(z,x1) -> R(y,x1))))"];
+    let opts = FblockOptions::default();
+    let free = NestedMapping::parse(&mut syms, tgds, &[]).unwrap();
+    let d_free = glav_equivalent(&free, &mut syms, &opts).unwrap();
+    assert!(d_free.witness.is_none());
+    let keyed = NestedMapping::parse(&mut syms, tgds, &["P1(z,w1) & P1(z,w2) -> w1 = w2"])
+        .unwrap();
+    let d_keyed = glav_equivalent(&keyed, &mut syms, &opts).unwrap();
+    assert!(d_keyed.analysis.bounded);
+    let witness = d_keyed.witness.unwrap();
+    assert!(witness.is_glav());
+    assert!(equivalent(&keyed, &witness, &mut syms, &ImpliesOptions::default()).unwrap());
+}
+
+/// Theorem 5.1's observable: the reduction's core f-block size plateaus
+/// for a halting machine and grows for a non-halting one, under the single
+/// key dependency.
+#[test]
+fn theorem_51_reduction_observable() {
+    // Halting.
+    let mut syms = SymbolTable::new();
+    let halter = busy_halter(2);
+    let red = build_reduction(&halter, &mut syms);
+    let outs = sweep(&halter, &red, &[4, 6, 8], &mut syms);
+    assert!(outs.windows(2).all(|w| w[0].anchored_block_size == w[1].anchored_block_size));
+    // Non-halting (two different non-halting machines).
+    for machine in [forever_right(), forever_bounce()] {
+        let mut syms2 = SymbolTable::new();
+        let red2 = build_reduction(&machine, &mut syms2);
+        let outs2 = sweep(&machine, &red2, &[4, 6, 8], &mut syms2);
+        assert!(
+            outs2
+                .windows(2)
+                .all(|w| w[1].anchored_block_size > w[0].anchored_block_size),
+            "machine should grow: {outs2:?}"
+        );
+    }
+}
+
+/// Theorem 5.2's ingredient: for a non-halting machine the reduction
+/// produces arbitrarily large blocks with bounded f-degree, so (by
+/// Theorem 4.12) the SO tgd is not equivalent to any nested GLAV mapping.
+#[test]
+fn theorem_52_bounded_degree_growth() {
+    let mut syms = SymbolTable::new();
+    let machine = forever_right();
+    let red = build_reduction(&machine, &mut syms);
+    let outs = sweep(&machine, &red, &[4, 6, 8, 10], &mut syms);
+    let degrees: Vec<usize> = outs.iter().map(|o| o.core_fdegree).collect();
+    let blocks: Vec<usize> = outs.iter().map(|o| o.anchored_block_size).collect();
+    assert!(blocks.windows(2).all(|w| w[1] > w[0]));
+    assert!(degrees.iter().all(|&d| d <= 3));
+}
+
+/// "Incorrect and missing information" handling: corruptions truncate the
+/// good region and the anchored enumeration accordingly.
+#[test]
+fn reduction_corruption_handling() {
+    let mut syms = SymbolTable::new();
+    let machine = forever_right();
+    let red = build_reduction(&machine, &mut syms);
+    let schema = red.schema.clone();
+    let n = 7;
+    let full = measure(&machine, &red, n, &mut syms, "a_", |e| e);
+    // Missing info: delete a middle row.
+    let schema2 = schema.clone();
+    let gutted = measure(&machine, &red, n, &mut syms, "b_", move |e| {
+        delete_row(&e, &schema2, 4)
+    });
+    assert!(gutted.good_rows < full.good_rows);
+    assert!(gutted.anchored_block_size < full.anchored_block_size);
+    // Incorrect info: flip a cell.
+    let machine2 = machine.clone();
+    let schema3 = schema.clone();
+    let flipped = measure(&machine, &red, n, &mut syms, "c_", move |e| {
+        flip_cell(&e, &schema3, &machine2, 3, 2)
+    });
+    assert!(flipped.anchored_block_size < full.anchored_block_size);
+}
+
+/// The key dependency is essential to the encoding: honest encodings
+/// satisfy it, and merging successor predecessors breaks the run shape.
+#[test]
+fn key_dependency_discipline() {
+    let mut syms = SymbolTable::new();
+    let machine = busy_halter(2);
+    let red = build_reduction(&machine, &mut syms);
+    let run = machine.run(&[], 10);
+    let enc = nested_deps::turing::encode_run(&run, 5, &red.schema, &mut syms, "k_");
+    assert!(satisfies_egds(&enc.instance, std::slice::from_ref(&red.key)));
+    // An adversarial source with two predecessors of one element violates
+    // the key dependency and is rejected by the egd chase.
+    let mut bad = enc.instance.clone();
+    let extra = Value::Const(syms.constant("rogue"));
+    bad.insert(Fact::new(red.schema.s, vec![extra, enc.indexes[1]]));
+    assert!(!satisfies_egds(&bad, std::slice::from_ref(&red.key)));
+    assert!(chase_egds(&bad, std::slice::from_ref(&red.key), RigidPolicy::AllRigid).is_err());
+    // The checker itself never marks cells good beyond what the
+    // (corrupted) data supports.
+    let good = good_cells(&enc, &red.schema, &machine);
+    assert!(good.contains(&(1, 1)));
+}
