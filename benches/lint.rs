@@ -1,0 +1,56 @@
+//! Benchmarks the `ndl-analyze` lint pipeline end to end — statement
+//! splitting, parsing, schema validation, the NDL01x rules and the
+//! critical-instance chase — over generated dependency programs of
+//! increasing size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nested_deps::analyze::{lint_source, to_json, LintOptions};
+use nested_deps::prelude::*;
+
+/// Builds a program of `n` generated nested tgds (each over its own tagged
+/// relations, so the shared schema stays consistent) as lint input text.
+fn program(n: usize) -> String {
+    let mut syms = SymbolTable::new();
+    let mut src = String::new();
+    for i in 0..n {
+        let opts = TgdGenOptions {
+            max_depth: 3,
+            max_children: 2,
+            existential_prob: 0.7,
+            seed: i as u64,
+        };
+        let t = random_nested_tgd(&mut syms, &format!("g{i}"), &opts);
+        src.push_str(&t.display(&syms));
+        src.push('\n');
+    }
+    src
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint");
+    for &n in &[4usize, 16, 64] {
+        let src = program(n);
+        group.bench_with_input(BenchmarkId::new("lint_source", n), &src, |b, src| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                black_box(lint_source(
+                    &mut syms,
+                    black_box(src),
+                    &LintOptions::default(),
+                ))
+            })
+        });
+    }
+    let src = program(16);
+    group.bench_function("lint_source+json/16", |b| {
+        b.iter(|| {
+            let mut syms = SymbolTable::new();
+            let diags = lint_source(&mut syms, black_box(&src), &LintOptions::default());
+            black_box(to_json(&diags))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lint);
+criterion_main!(benches);

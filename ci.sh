@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+# Everything runs offline — third-party deps resolve to the shims in
+# compat/ (see Cargo.toml [workspace.dependencies]).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "CI green."

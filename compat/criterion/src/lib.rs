@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Implements `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId` and `black_box`.
+//! Timing is a simple wall-clock loop (warm-up plus timed batches) printing
+//! mean ns/iter — enough to compare runs locally; swap the real criterion
+//! back in for statistically rigorous measurements.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// (total duration, iterations) of the timed run, for reporting.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running warm-up iterations then timed batches.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run a few iterations untimed.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(40);
+        let max_iters = self.sample_size.max(1) as u64;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < max_iters {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark iteration cap.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, |b| {
+            routine(b)
+        });
+        self
+    }
+
+    /// Runs `routine` with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report flushing is immediate here, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parses CLI arguments (accepted and ignored by this stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 100, |b| routine(b));
+        self
+    }
+
+    /// Criterion's finalizer; prints nothing extra here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one(label: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    routine(&mut b);
+    match b.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() / iters as u128;
+            println!("bench {label:<48} {per_iter:>12} ns/iter  (n={iters})");
+        }
+        _ => println!("bench {label:<48} no measurement (Bencher::iter not called)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benches_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(5);
+            g.bench_function("noop", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+                b.iter(|| black_box(x) * 2)
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+}

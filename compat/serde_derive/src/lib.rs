@@ -1,0 +1,363 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the build
+//! environment has no registry access) and emits impls of the simplified
+//! `serde::Serialize` / `serde::Deserialize` traits. Supported shapes are
+//! exactly what the workspace uses: non-generic structs (named, tuple,
+//! unit) and enums with unit / tuple / struct variants, serialized in
+//! serde's externally-tagged JSON representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = if serialize {
+                gen_serialize(&name, &shape)
+            } else {
+                gen_deserialize(&name, &shape)
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------- parsing ----------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type {name}"
+        ));
+    }
+    let shape = if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Advances past leading `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits `fields` (the inside of a brace group) on top-level commas,
+/// tracking angle-bracket depth so `HashMap<String, u32>` stays one field.
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![vec![]];
+    let mut angle = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(vec![]);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(t);
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for seg in split_top_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&seg, &mut i);
+        match seg.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let mut variants = Vec::new();
+    for seg in split_top_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&seg, &mut i);
+        let name = match seg.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match seg.get(i) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            other => return Err(format!("unsupported variant shape: {other:?}")),
+        };
+        variants.push((name, kind));
+    }
+    Ok(variants)
+}
+
+// ---------- code generation ----------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} ::serde::Value::Object(__m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => {
+                        format!("Self::{v} => ::serde::Value::String({v:?}.to_string()),")
+                    }
+                    VariantKind::Tuple(1) => format!(
+                        "Self::{v}(__f0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "Self::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "Self::{v} {{ {binds} }} => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Object(vec![{}]))]),",
+                            pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(unused_variables, clippy::all)] \
+         impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(__obj, {f:?}))?")
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::msg(\
+                 format!(\"expected object for {name}, found {{__v:?}}\")))?; \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 format!(\"expected array for {name}, found {{__v:?}}\")))?; \
+                 if __a.len() != {n} {{ return Err(::serde::Error::msg(\
+                 format!(\"expected {n} elements for {name}, found {{}}\", __a.len()))); }} \
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = __v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, k)| matches!(k, VariantKind::Unit))
+                .map(|(v, _)| format!("{v:?} => Ok(Self::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, k)| !matches!(k, VariantKind::Unit))
+                .map(|(v, kind)| match kind {
+                    VariantKind::Tuple(1) => format!(
+                        "{v:?} => Ok(Self::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{ \
+                             let __a = __inner.as_array().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected array for variant {v}\"))?; \
+                             if __a.len() != {n} {{ return Err(::serde::Error::msg(\
+                             \"wrong tuple arity for variant {v}\")); }} \
+                             Ok(Self::{v}({})) }},",
+                            elems.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::field(__o, {f:?}))?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => {{ \
+                             let __o = __inner.as_object().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected object for variant {v}\"))?; \
+                             Ok(Self::{v} {{ {} }}) }},",
+                            inits.join(", ")
+                        )
+                    }
+                    VariantKind::Unit => unreachable!(),
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::String(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => Err(::serde::Error::msg(format!(\
+                       \"unknown variant {{__other:?}} of {name}\"))), \
+                   }}, \
+                   ::serde::Value::Object(__m) if __m.len() == 1 => {{ \
+                     let (__k, __inner) = &__m[0]; \
+                     match __k.as_str() {{ \
+                       {tagged_arms} \
+                       __other => Err(::serde::Error::msg(format!(\
+                         \"unknown variant {{__other:?}} of {name}\"))), \
+                     }} \
+                   }}, \
+                   __other => Err(::serde::Error::msg(format!(\
+                     \"expected enum value for {name}, found {{__other:?}}\"))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(unused_variables, clippy::all)] \
+         impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}

@@ -1,0 +1,278 @@
+//! The diagnostic data model: severities, the [`Diagnostic`] record with
+//! its resolved line/column position, the [`LineIndex`] that resolves byte
+//! offsets, and the human-readable renderer.
+
+use ndl_core::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Stylistic or informational; the program is fine.
+    Info,
+    /// The program is well-formed but likely not what was intended, or has
+    /// a shape known to be expensive (Sections 3 and 4 of the paper).
+    Warning,
+    /// The statement is malformed and was rejected.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in rendered output and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Serialized as the lowercase name rather than the derive's variant tag, so
+// the JSON surface is conventional (`"severity": "warning"`).
+impl Serialize for Severity {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Severity {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::String(s) => match s.as_str() {
+                "info" => Ok(Severity::Info),
+                "warning" => Ok(Severity::Warning),
+                "error" => Ok(Severity::Error),
+                other => Err(serde::Error::custom(format!("unknown severity {other:?}"))),
+            },
+            _ => Err(serde::Error::msg("severity must be a string")),
+        }
+    }
+}
+
+/// One finding of the analyzer, anchored (when possible) to a byte span of
+/// the linted source and the resolved 1-based line/column of its start.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable lint code, e.g. `NDL002` (see `docs/lints.md`).
+    pub code: String,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Index of the statement the finding is about (0-based), if any —
+    /// mapping-level findings such as NDL016 span the whole program.
+    pub statement: Option<usize>,
+    /// Byte span into the linted source, if the finding has an anchor.
+    pub span: Option<Span>,
+    /// 1-based line of `span.start`.
+    pub line: Option<usize>,
+    /// 1-based column (in bytes) of `span.start`.
+    pub col: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Creates an unanchored diagnostic.
+    pub fn new(code: &str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            message: message.into(),
+            statement: None,
+            span: None,
+            line: None,
+            col: None,
+        }
+    }
+
+    /// Anchors the diagnostic to `span`, resolving line/column via `index`.
+    pub fn with_span(mut self, span: Span, index: &LineIndex) -> Diagnostic {
+        let (line, col) = index.line_col(span.start);
+        self.span = Some(span);
+        self.line = Some(line);
+        self.col = Some(col);
+        self
+    }
+
+    /// Attributes the diagnostic to statement `index`.
+    pub fn with_statement(mut self, index: usize) -> Diagnostic {
+        self.statement = Some(index);
+        self
+    }
+
+    /// Is this an error-severity finding?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// Resolves byte offsets of a source text to 1-based line/column pairs.
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    /// Byte offset of the first character of each line.
+    line_starts: Vec<usize>,
+    len: usize,
+}
+
+impl LineIndex {
+    /// Indexes `text`.
+    pub fn new(text: &str) -> LineIndex {
+        let mut line_starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: text.len(),
+        }
+    }
+
+    /// The 1-based `(line, column)` of byte `offset`; offsets past the end
+    /// resolve to one past the last column of the last line.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let offset = offset.min(self.len);
+        let line = self
+            .line_starts
+            .partition_point(|&start| start <= offset)
+            .saturating_sub(1);
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The byte range of 1-based `line` (without its newline), if it exists.
+    pub fn line_span(&self, line: usize) -> Option<(usize, usize)> {
+        let start = *self.line_starts.get(line.checked_sub(1)?)?;
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&next| next - 1)
+            .unwrap_or(self.len);
+        Some((start, end))
+    }
+}
+
+/// Renders diagnostics in a compact rustc-like layout with the offending
+/// source line and a caret marker:
+///
+/// ```text
+/// error[NDL002]: universal variable z occurs in no body atom of its part
+///  --> deps.ndl:3:10
+///   |
+/// 3 | forall x,z (S(x) -> R(x))
+///   |          ^
+/// ```
+pub fn render(diags: &[Diagnostic], file: &str, source: &str) -> String {
+    let index = LineIndex::new(source);
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+        let Some(span) = d.span else {
+            out.push_str(&format!(" --> {file}\n"));
+            continue;
+        };
+        let (line, col) = (d.line.unwrap_or(1), d.col.unwrap_or(1));
+        out.push_str(&format!(" --> {file}:{line}:{col}\n"));
+        if let Some((start, end)) = index.line_span(line) {
+            let gutter = line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let text = &source[start..end];
+            let width = span
+                .len()
+                .clamp(1, end.saturating_sub(start + col - 1).max(1));
+            out.push_str(&format!("{pad} |\n"));
+            out.push_str(&format!("{gutter} | {text}\n"));
+            out.push_str(&format!(
+                "{pad} | {}{}\n",
+                " ".repeat(col - 1),
+                "^".repeat(width)
+            ));
+        }
+    }
+    out
+}
+
+/// One-line totals, e.g. `2 errors, 1 warning, 0 info`.
+pub fn summary(diags: &[Diagnostic]) -> String {
+    let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+    let (e, w, i) = (
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info),
+    );
+    let plural = |n: usize, word: &str| {
+        if n == 1 {
+            format!("{n} {word}")
+        } else {
+            format!("{n} {word}s")
+        }
+    };
+    format!(
+        "{}, {}, {} info",
+        plural(e, "error"),
+        plural(w, "warning"),
+        i
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_index_resolves_offsets() {
+        let idx = LineIndex::new("ab\ncd\n\nefg");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(1), (1, 2));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(6), (3, 1));
+        assert_eq!(idx.line_col(7), (4, 1));
+        assert_eq!(idx.line_col(9), (4, 3));
+        assert_eq!(idx.line_col(1000), (4, 4));
+        assert_eq!(idx.line_span(2), Some((3, 5)));
+        assert_eq!(idx.line_span(4), Some((7, 10)));
+        assert_eq!(idx.line_span(5), None);
+    }
+
+    #[test]
+    fn severity_orders_and_serializes() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        let v = Severity::Warning.to_value();
+        assert_eq!(Severity::from_value(&v).unwrap(), Severity::Warning);
+        assert!(Severity::from_value(&serde::Value::String("nope".into())).is_err());
+    }
+
+    #[test]
+    fn render_includes_caret_line() {
+        let src = "S(x) -> R(x)\nforall x,z (S(x) -> R(x))";
+        let idx = LineIndex::new(src);
+        let d = Diagnostic::new("NDL002", Severity::Error, "unsafe variable z")
+            .with_span(Span::new(22, 23), &idx)
+            .with_statement(1);
+        let text = render(std::slice::from_ref(&d), "deps.ndl", src);
+        assert!(text.contains("error[NDL002]: unsafe variable z"));
+        assert!(text.contains("--> deps.ndl:2:10"));
+        assert!(text.contains("2 | forall x,z (S(x) -> R(x))"));
+        assert!(text.contains("|          ^"));
+        assert_eq!(d.line, Some(2));
+        assert_eq!(d.col, Some(10));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let diags = vec![
+            Diagnostic::new("NDL001", Severity::Error, "a"),
+            Diagnostic::new("NDL010", Severity::Warning, "b"),
+            Diagnostic::new("NDL017", Severity::Info, "c"),
+        ];
+        assert_eq!(summary(&diags), "1 error, 1 warning, 1 info");
+    }
+}

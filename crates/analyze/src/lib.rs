@@ -1,0 +1,76 @@
+//! # ndl-analyze
+//!
+//! Static analysis and linting for nested-dependency programs, built on the
+//! dependency classes of *Nested Dependencies: Structure and Reasoning*
+//! (PODS 2014):
+//!
+//! - [`diagnostic`] — spanned diagnostics with stable `NDL0xx` codes,
+//!   severities, byte-span → line/column resolution and a rustc-like
+//!   human renderer;
+//! - [`program`] — line-oriented dependency programs: statement splitting,
+//!   kind prefixes (`tgd:`, `so:`, `egd:`, `fact:`) and auto-detection;
+//! - [`rules`] — the lint rules: every `ndl-core` validation error lifted
+//!   to a spanned diagnostic, plus analyzer-only rules for unused
+//!   existentials, non-normalized statements (Section 3 of the paper),
+//!   nesting/Skolem-arity explosion and cyclic null structure of the
+//!   critical-instance chase (Section 4).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ndl_analyze::{lint_source, LintOptions, Severity};
+//! use ndl_core::prelude::SymbolTable;
+//!
+//! let mut syms = SymbolTable::new();
+//! let diags = lint_source(
+//!     &mut syms,
+//!     "forall x,z (S(x) -> R(x))\n",
+//!     &LintOptions::default(),
+//! );
+//! assert_eq!(diags[0].code, "NDL002"); // unsafe variable z
+//! assert_eq!(diags[0].severity, Severity::Error);
+//! assert_eq!((diags[0].line, diags[0].col), (Some(1), Some(10)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diagnostic;
+pub mod program;
+pub mod rules;
+
+pub use diagnostic::{render, summary, Diagnostic, LineIndex, Severity};
+pub use program::{parse_program, Statement, StmtAst};
+pub use rules::{lint_source, LintOptions};
+
+/// Serializes diagnostics to pretty-printed JSON (an array of objects).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    serde_json::to_string_pretty(&diags.to_vec()).expect("diagnostics serialize infallibly")
+}
+
+/// Parses diagnostics back from [`to_json`] output.
+pub fn from_json(text: &str) -> Result<Vec<Diagnostic>, serde::Error> {
+    serde_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndl_core::prelude::SymbolTable;
+
+    #[test]
+    fn json_round_trips() {
+        let mut syms = SymbolTable::new();
+        let diags = lint_source(
+            &mut syms,
+            "forall x,z (S(x) -> R(x))\nS(x) -> exists y R(x)\n",
+            &LintOptions::default(),
+        );
+        assert!(!diags.is_empty());
+        let json = to_json(&diags);
+        assert!(json.contains("\"NDL002\""));
+        assert!(json.contains("\"error\""));
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, diags);
+    }
+}

@@ -1,0 +1,461 @@
+//! The lint rules: core validation lifted to spanned diagnostics, plus the
+//! analyzer-only NDL01x rules over well-formed statements.
+//!
+//! | code   | severity | finding |
+//! |--------|----------|---------|
+//! | NDL001–NDL007 | error | parse / validation errors (see `ndl_core::error`) |
+//! | NDL010 | warning  | existential variable used by no head atom in scope |
+//! | NDL011 | warning  | vacuous parts (subtrees asserting only ⊤) |
+//! | NDL012 | warning  | statement splits into independent tgds (Section 3) |
+//! | NDL013 | warning  | duplicate atom in a body or head |
+//! | NDL014 | warning  | nesting depth exceeds the configured bound |
+//! | NDL015 | warning  | Skolem arity exceeds the configured bound (Section 4) |
+//! | NDL016 | warning  | critical-instance chase has cyclic nulls (Section 4) |
+//! | NDL017 | info     | universal variable occurs in a single atom |
+
+use crate::diagnostic::{Diagnostic, LineIndex, Severity};
+use crate::program::{parse_program, Statement, StmtAst};
+use ndl_chase::chase_mapping;
+use ndl_core::parse::{locate_applied, locate_ident, locate_quantified};
+use ndl_core::prelude::*;
+use ndl_hom::IncidenceGraph;
+use ndl_reasoning::{drop_vacuous_parts, split_independent_conjuncts};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// NDL010: an existential variable no head atom in scope uses.
+pub const UNUSED_EXISTENTIAL: &str = "NDL010";
+/// NDL011: parts whose whole subtree asserts only ⊤.
+pub const VACUOUS_PART: &str = "NDL011";
+/// NDL012: the statement is not normalized — it splits into independent tgds.
+pub const SPLITTABLE: &str = "NDL012";
+/// NDL013: the same atom occurs twice in one body or head.
+pub const DUPLICATE_ATOM: &str = "NDL013";
+/// NDL014: nesting depth above the configured bound.
+pub const DEEP_NESTING: &str = "NDL014";
+/// NDL015: Skolem arity (number of visible universals) above the bound.
+pub const SKOLEM_ARITY: &str = "NDL015";
+/// NDL016: the chased critical instance has Berge-cyclic null structure.
+pub const CYCLIC_NULLS: &str = "NDL016";
+/// NDL017: a universal variable occurring in a single atom (projection only).
+pub const SINGLETON_UNIVERSAL: &str = "NDL017";
+
+/// Tunable thresholds of the analyzer.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// NDL014 fires when a nested tgd's depth exceeds this (default 4).
+    /// Implication testing is exponential in nesting-related parameters
+    /// (Section 4), so deep programs deserve a nudge.
+    pub max_depth: usize,
+    /// NDL015 fires when a part introduces existentials while seeing more
+    /// than this many universal variables (default 5): each existential
+    /// Skolemizes to a function of that arity, and f-block sizes grow with
+    /// it (Section 4).
+    pub max_skolem_arity: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            max_depth: 4,
+            max_skolem_arity: 5,
+        }
+    }
+}
+
+/// Lints a dependency-program source: parses it into statements, validates
+/// everything against one shared schema (so cross-statement arity and
+/// source/target conflicts surface), runs the analyzer-only rules on
+/// well-formed statements, and chases the critical instance of the overall
+/// mapping for NDL016. Diagnostics come back ordered by position.
+pub fn lint_source(syms: &mut SymbolTable, src: &str, opts: &LintOptions) -> Vec<Diagnostic> {
+    let index = LineIndex::new(src);
+    let (stmts, parse_errs) = parse_program(syms, src);
+    let mut diags = Vec::new();
+    for (i, e) in &parse_errs {
+        diags.push(core_diag(e, &stmts[*i], syms, &index));
+    }
+
+    let mut schema = Schema::new();
+    let mut clean_tgds = Vec::new();
+    let mut clean_egds = Vec::new();
+    for stmt in &stmts {
+        let Some(ast) = &stmt.ast else { continue };
+        let mut errs = Vec::new();
+        match ast {
+            StmtAst::Tgd(t) => t.check(&mut schema, &mut errs),
+            StmtAst::So(t) => t.check(&mut schema, &mut errs),
+            StmtAst::Egd(e) => e.check(&mut schema, &mut errs),
+            StmtAst::Fact(f) => {
+                if let Err(e) = schema.declare(f.rel, f.args.len(), Side::Source) {
+                    errs.push(e);
+                }
+            }
+        }
+        let clean = errs.is_empty();
+        for e in &errs {
+            diags.push(core_diag(e, stmt, syms, &index));
+        }
+        if clean {
+            match ast {
+                StmtAst::Tgd(t) => {
+                    tgd_lints(t, stmt, syms, opts, &index, &mut diags);
+                    clean_tgds.push(t.clone());
+                }
+                StmtAst::Egd(e) => clean_egds.push(e.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    if !clean_tgds.is_empty() {
+        if let Ok(m) = NestedMapping::new(clean_tgds, clean_egds) {
+            check_critical_chase(&m, syms, &mut diags);
+        }
+    }
+
+    diags.sort_by(|a, b| {
+        let key = |d: &Diagnostic| {
+            (
+                d.statement.unwrap_or(usize::MAX),
+                d.span.map_or(usize::MAX, |s| s.start),
+                d.code.clone(),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    diags
+}
+
+/// Lifts a [`CoreError`] of `stmt` to a spanned diagnostic.
+fn core_diag(e: &CoreError, stmt: &Statement, syms: &SymbolTable, index: &LineIndex) -> Diagnostic {
+    let mut d =
+        Diagnostic::new(e.code(), Severity::Error, e.display(syms)).with_statement(stmt.index);
+    if let Some(sp) = e.locate(syms, &stmt.text) {
+        d = d.with_span(sp.offset_by(stmt.offset), index);
+    }
+    d
+}
+
+/// The analyzer-only rules over one well-formed nested tgd.
+fn tgd_lints(
+    t: &NestedTgd,
+    stmt: &Statement,
+    syms: &SymbolTable,
+    opts: &LintOptions,
+    index: &LineIndex,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let whole = Span::new(stmt.offset, stmt.offset + stmt.text.len());
+    let anchor_var = |name: &str| {
+        locate_quantified(&stmt.text, name, 0)
+            .or_else(|| locate_ident(&stmt.text, name, 0))
+            .map(|s| s.offset_by(stmt.offset))
+    };
+    let push = |diags: &mut Vec<Diagnostic>, code, sev, msg: String, span: Option<Span>| {
+        let mut d = Diagnostic::new(code, sev, msg).with_statement(stmt.index);
+        if let Some(sp) = span {
+            d = d.with_span(sp, index);
+        }
+        diags.push(d);
+    };
+
+    // NDL010: existentials used by no head atom of their part or a descendant.
+    for (pid, p) in t.parts().iter().enumerate() {
+        if p.existentials.is_empty() {
+            continue;
+        }
+        let mut used: BTreeSet<VarId> = head_vars(p);
+        for d in t.descendants(pid) {
+            used.extend(head_vars(t.part(d)));
+        }
+        for &v in &p.existentials {
+            if !used.contains(&v) {
+                let name = syms.var_name(v);
+                push(
+                    diags,
+                    UNUSED_EXISTENTIAL,
+                    Severity::Warning,
+                    format!("existential variable {name} is used by no head atom in scope"),
+                    anchor_var(name),
+                );
+            }
+        }
+    }
+
+    // NDL011: subtrees asserting only ⊤.
+    let dropped = t.num_parts() - drop_vacuous_parts(t).num_parts();
+    if dropped > 0 {
+        push(
+            diags,
+            VACUOUS_PART,
+            Severity::Warning,
+            format!(
+                "{dropped} part{} assert only true (no head atoms in the subtree)",
+                if dropped == 1 { "" } else { "s" }
+            ),
+            Some(whole),
+        );
+    }
+
+    // NDL012: not in normal form — root conjuncts share no existential.
+    let pieces = split_independent_conjuncts(t).len();
+    if pieces > 1 {
+        push(
+            diags,
+            SPLITTABLE,
+            Severity::Warning,
+            format!(
+                "statement is not normalized: it splits into {pieces} independent nested tgds \
+                 (no shared root existentials; Section 3)"
+            ),
+            Some(whole),
+        );
+    }
+
+    // NDL013: a body or head lists the same atom twice.
+    for p in t.parts() {
+        for atoms in [&p.body, &p.head] {
+            let mut seen: BTreeSet<&Atom> = BTreeSet::new();
+            let mut reported: BTreeSet<&Atom> = BTreeSet::new();
+            for a in atoms {
+                if !seen.insert(a) && reported.insert(a) {
+                    let name = syms.rel_name(a.rel);
+                    push(
+                        diags,
+                        DUPLICATE_ATOM,
+                        Severity::Warning,
+                        format!(
+                            "duplicate atom {name}/{} in the same conjunction",
+                            a.args.len()
+                        ),
+                        locate_applied(&stmt.text, name, Some(a.args.len()), 1)
+                            .map(|s| s.offset_by(stmt.offset)),
+                    );
+                }
+            }
+        }
+    }
+
+    // NDL014: deep nesting.
+    if t.depth() > opts.max_depth {
+        push(
+            diags,
+            DEEP_NESTING,
+            Severity::Warning,
+            format!(
+                "nesting depth {} exceeds {} — implication testing is exponential in \
+                 nesting parameters (Section 4)",
+                t.depth(),
+                opts.max_depth
+            ),
+            Some(whole),
+        );
+    }
+
+    // NDL015: wide Skolem functions.
+    for (pid, p) in t.parts().iter().enumerate() {
+        let arity = t.visible_universals(pid).len();
+        if !p.existentials.is_empty() && arity > opts.max_skolem_arity {
+            let name = syms.var_name(p.existentials[0]);
+            push(
+                diags,
+                SKOLEM_ARITY,
+                Severity::Warning,
+                format!(
+                    "existential {name} Skolemizes to a function of arity {arity} \
+                     (> {}); f-block sizes grow with Skolem arity (Section 4)",
+                    opts.max_skolem_arity
+                ),
+                anchor_var(name),
+            );
+        }
+    }
+
+    // NDL017: a universal occurring in a single atom only projects.
+    let mut occurrences: BTreeMap<VarId, usize> = BTreeMap::new();
+    for p in t.parts() {
+        for a in p.body.iter().chain(p.head.iter()) {
+            let distinct: BTreeSet<VarId> = a.args.iter().copied().collect();
+            for v in distinct {
+                *occurrences.entry(v).or_insert(0) += 1;
+            }
+        }
+    }
+    for p in t.parts() {
+        for &v in &p.universals {
+            if occurrences.get(&v) == Some(&1) {
+                let name = syms.var_name(v);
+                push(
+                    diags,
+                    SINGLETON_UNIVERSAL,
+                    Severity::Info,
+                    format!("universal variable {name} occurs in a single atom (projection only)"),
+                    anchor_var(name),
+                );
+            }
+        }
+    }
+}
+
+fn head_vars(p: &Part) -> BTreeSet<VarId> {
+    p.head.iter().flat_map(|a| a.args.iter().copied()).collect()
+}
+
+/// NDL016: chases the critical instance (one fact per source relation, all
+/// positions the same fresh constant) and checks the target's fact/null
+/// incidence graph for Berge cycles. A cycle means nulls are woven into
+/// unboundedly extensible structure, so chase-based reasoning procedures
+/// may diverge on this mapping (Section 4).
+fn check_critical_chase(m: &NestedMapping, syms: &mut SymbolTable, diags: &mut Vec<Diagnostic>) {
+    let crit = syms.constant("crit");
+    let mut source = Instance::new();
+    for (rel, arity, side) in m.schema.relations() {
+        if side == Side::Source {
+            source.insert(Fact::new(rel, vec![Value::Const(crit); arity]));
+        }
+    }
+    if source.is_empty() {
+        return;
+    }
+    let (res, _nulls) = chase_mapping(&source, m, syms);
+    let cyclic = IncidenceGraph::of(&res.target).cyclic_components();
+    if !cyclic.is_empty() {
+        let nulls: usize = cyclic.iter().map(Vec::len).sum();
+        diags.push(Diagnostic::new(
+            CYCLIC_NULLS,
+            Severity::Warning,
+            format!(
+                "critical-instance chase has cyclic null structure ({nulls} null{} in {} \
+                 cyclic component{}); chase-based procedures may diverge on this mapping \
+                 (Section 4)",
+                if nulls == 1 { "" } else { "s" },
+                cyclic.len(),
+                if cyclic.len() == 1 { "" } else { "s" },
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let mut syms = SymbolTable::new();
+        lint_source(&mut syms, src, &LintOptions::default())
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_errors() {
+        let diags = lint("S(x,y) -> exists z (R(x,z) & T(z,y))\nfact: S(a,b)\n");
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    }
+
+    #[test]
+    fn unsafe_variable_is_spanned() {
+        let diags = lint("# header\nforall x,z (S(x) -> R(x))\n");
+        let d = diags.iter().find(|d| d.code == "NDL002").expect("NDL002");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.statement, Some(0));
+        assert_eq!(d.line, Some(2));
+        assert_eq!(d.col, Some(10));
+    }
+
+    #[test]
+    fn cross_statement_schema_conflicts() {
+        // R is a target relation in statement 0 and a source one in 1.
+        let diags = lint("S(x) -> R(x)\nR(x) -> T(x)\n");
+        let d = diags.iter().find(|d| d.code == "NDL006").expect("NDL006");
+        assert_eq!(d.statement, Some(1));
+        assert_eq!(d.line, Some(2));
+        assert_eq!(d.col, Some(1));
+    }
+
+    #[test]
+    fn unused_existential_warns() {
+        let diags = lint("S(x) -> exists y R(x)\n");
+        let d = diags
+            .iter()
+            .find(|d| d.code == UNUSED_EXISTENTIAL)
+            .expect("NDL010");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.col, Some(16));
+    }
+
+    #[test]
+    fn splittable_statement_warns() {
+        let diags = lint("S(x) -> (R(x) & T(x))\n");
+        assert!(codes(&diags).contains(&SPLITTABLE), "{diags:?}");
+        // Correlated existentials keep the conjuncts together: no warning.
+        let ok = lint("S(x) -> exists y (R(x,y) & T(y,x))\n");
+        assert!(!codes(&ok).contains(&SPLITTABLE), "{ok:?}");
+    }
+
+    #[test]
+    fn duplicate_atom_warns_on_second_occurrence() {
+        let diags = lint("S(x) & S(x) -> R(x)\n");
+        let d = diags
+            .iter()
+            .find(|d| d.code == DUPLICATE_ATOM)
+            .expect("NDL013");
+        assert_eq!(d.col, Some(8));
+    }
+
+    #[test]
+    fn depth_and_skolem_arity_bounds() {
+        let mut syms = SymbolTable::new();
+        let opts = LintOptions {
+            max_depth: 1,
+            max_skolem_arity: 1,
+        };
+        let diags = lint_source(
+            &mut syms,
+            "forall x1,x2 (S(x1,x2) -> exists y (R(y,x1) & forall x3 (S(x1,x3) -> R(y,x3))))\n",
+            &opts,
+        );
+        assert!(codes(&diags).contains(&DEEP_NESTING), "{diags:?}");
+        assert!(codes(&diags).contains(&SKOLEM_ARITY), "{diags:?}");
+        let relaxed = lint_source(
+            &mut syms,
+            "forall x1,x2 (S(x1,x2) -> exists y (R(y,x1) & forall x3 (S(x1,x3) -> R(y,x3))))\n",
+            &LintOptions::default(),
+        );
+        assert!(!codes(&relaxed).contains(&DEEP_NESTING));
+        assert!(!codes(&relaxed).contains(&SKOLEM_ARITY));
+    }
+
+    #[test]
+    fn cyclic_null_structure_warns() {
+        // Two head atoms sharing two existentials: the chased critical
+        // instance has facts T(n1,n2), U(n1,n2) — a Berge cycle.
+        let diags = lint("S(x) -> exists y,z (T(y,z) & U(y,z))\n");
+        assert!(codes(&diags).contains(&CYCLIC_NULLS), "{diags:?}");
+        // A single wide fact is a star — acyclic.
+        let ok = lint("S(x) -> exists y,z T(y,z)\n");
+        assert!(!codes(&ok).contains(&CYCLIC_NULLS), "{ok:?}");
+    }
+
+    #[test]
+    fn singleton_universal_is_info() {
+        let diags = lint("S(x,y) -> R(x)\n");
+        let d = diags
+            .iter()
+            .find(|d| d.code == SINGLETON_UNIVERSAL)
+            .expect("NDL017");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("variable y"));
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_by_position() {
+        let diags = lint("forall x,z (S(x) -> R(x))\nS(q -> R(q)\n");
+        let stmts: Vec<_> = diags.iter().map(|d| d.statement).collect();
+        let mut sorted = stmts.clone();
+        sorted.sort();
+        assert_eq!(stmts, sorted);
+    }
+}

@@ -11,8 +11,7 @@ fn bench_example_310(c: &mut Criterion) {
     let mut syms = SymbolTable::new();
     let tau = tau_310(&mut syms);
     let tau_p = NestedMapping::parse(&mut syms, &["S2(x2) -> exists z R(x2,z)"], &[]).unwrap();
-    let tau_pp =
-        NestedMapping::parse(&mut syms, &["S1(x1) & S2(x2) -> R(x2,x1)"], &[]).unwrap();
+    let tau_pp = NestedMapping::parse(&mut syms, &["S1(x1) & S2(x2) -> R(x2,x1)"], &[]).unwrap();
     let opts = ImpliesOptions::default();
     c.bench_function("implies/ex310_negative", |b| {
         b.iter(|| {
@@ -45,7 +44,9 @@ fn bench_nested_premise(c: &mut Criterion) {
     c.bench_function("implies/nested_premise_glav_conclusion", |b| {
         b.iter(|| {
             let mut s = syms.clone();
-            implies_tgd(&nested, &weakening, &mut s, &opts).unwrap().holds
+            implies_tgd(&nested, &weakening, &mut s, &opts)
+                .unwrap()
+                .holds
         })
     });
 }
@@ -68,5 +69,10 @@ fn bench_with_egds(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_example_310, bench_nested_premise, bench_with_egds);
+criterion_group!(
+    benches,
+    bench_example_310,
+    bench_nested_premise,
+    bench_with_egds
+);
 criterion_main!(benches);

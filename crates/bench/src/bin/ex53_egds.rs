@@ -41,8 +41,7 @@ fn main() {
     // GLAV-equivalent exactly when the key egd is present.
     let tgds = &["forall z (Q(z) -> exists y (forall x1 (P1(z,x1) -> R2(y,x1))))"];
     let free = NestedMapping::parse(&mut syms, tgds, &[]).unwrap();
-    let keyed =
-        NestedMapping::parse(&mut syms, tgds, &["P1(z,u1) & P1(z,u2) -> u1 = u2"]).unwrap();
+    let keyed = NestedMapping::parse(&mut syms, tgds, &["P1(z,u1) & P1(z,u2) -> u1 = u2"]).unwrap();
     let opts = FblockOptions::default();
     let d_free = glav_equivalent(&free, &mut syms, &opts).unwrap();
     let d_keyed = glav_equivalent(&keyed, &mut syms, &opts).unwrap();

@@ -18,7 +18,10 @@ fn main() {
     p.clone_subtree(s2);
     p.clone_subtree(s4);
     p.clone_subtree(s4);
-    println!("3-pattern (p8 + one σ2 clone + two σ4 clones): {}", p.display());
+    println!(
+        "3-pattern (p8 + one σ2 clone + two σ4 clones): {}",
+        p.display()
+    );
     assert_eq!(p.max_clone_multiplicity(), 3);
     let mut nulls = NullFactory::new();
     let pair = canonical_instances(&sigma, &info, &p, &mut syms, &mut nulls);

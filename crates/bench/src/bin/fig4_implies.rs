@@ -14,8 +14,7 @@ fn main() {
     let tau = tau_310(&mut syms);
     println!("τ   = {}", tau.display(&syms));
     let tau_p = NestedMapping::parse(&mut syms, &["S2(x2) -> exists z R(x2,z)"], &[]).unwrap();
-    let tau_pp =
-        NestedMapping::parse(&mut syms, &["S1(x1) & S2(x2) -> R(x2,x1)"], &[]).unwrap();
+    let tau_pp = NestedMapping::parse(&mut syms, &["S1(x1) & S2(x2) -> R(x2,x1)"], &[]).unwrap();
     println!("τ'  = {}", tau_p.tgds[0].display(&syms));
     println!("τ'' = {}", tau_pp.tgds[0].display(&syms));
     let opts = ImpliesOptions::default();
@@ -23,10 +22,14 @@ fn main() {
     // --- Figure 4: the pattern sets --------------------------------------
     let p2 = k_patterns(&tau, 2, 10_000).unwrap();
     let p3 = k_patterns(&tau, 3, 10_000).unwrap();
-    println!("\nP_2(τ) (for τ' ⊨ τ, k = 2):  {:?}",
-        p2.iter().map(Pattern::display).collect::<Vec<_>>());
-    println!("P_3(τ) (for τ'' ⊨ τ, k = 3): {:?}",
-        p3.iter().map(Pattern::display).collect::<Vec<_>>());
+    println!(
+        "\nP_2(τ) (for τ' ⊨ τ, k = 2):  {:?}",
+        p2.iter().map(Pattern::display).collect::<Vec<_>>()
+    );
+    println!(
+        "P_3(τ) (for τ'' ⊨ τ, k = 3): {:?}",
+        p3.iter().map(Pattern::display).collect::<Vec<_>>()
+    );
     assert_eq!(p2.len(), 3); // p', p'', p''_2
     assert_eq!(p3.len(), 4); // p', p'', p''_2, p''_3
 
@@ -44,24 +47,41 @@ fn main() {
     let mut n1 = NullFactory::new();
     let st_p = tau_p.to_st_tgds().unwrap();
     let chased_p = chase_st(&pair.source, &st_p, &mut syms, &mut n1);
-    println!("\n  chase(I, τ')  = {}", n1.display_instance(&chased_p, &syms));
-    println!("  J → chase(I, τ')?  {}", homomorphic(&pair.target, &chased_p));
+    println!(
+        "\n  chase(I, τ')  = {}",
+        n1.display_instance(&chased_p, &syms)
+    );
+    println!(
+        "  J → chase(I, τ')?  {}",
+        homomorphic(&pair.target, &chased_p)
+    );
     assert!(!homomorphic(&pair.target, &chased_p));
 
     let mut n2 = NullFactory::new();
     let st_pp = tau_pp.to_st_tgds().unwrap();
     let chased_pp = chase_st(&pair.source, &st_pp, &mut syms, &mut n2);
-    println!("\n  chase(I, τ'') = {}", n2.display_instance(&chased_pp, &syms));
+    println!(
+        "\n  chase(I, τ'') = {}",
+        n2.display_instance(&chased_pp, &syms)
+    );
     let h = find_homomorphism(&pair.target, &chased_pp);
-    println!("  J → chase(I, τ'')? {} (the paper's [f(a1) ↦ a1])", h.is_some());
+    println!(
+        "  J → chase(I, τ'')? {} (the paper's [f(a1) ↦ a1])",
+        h.is_some()
+    );
     assert!(h.is_some());
 
     // --- the full IMPLIES verdicts ----------------------------------------
     let r1 = implies_tgd(&tau_p, &tau, &mut syms, &opts).unwrap();
     let r2 = implies_tgd(&tau_pp, &tau, &mut syms, &opts).unwrap();
-    println!("\nIMPLIES({{τ'}}, τ)  = {}   (v = {}, w = {}, k = {})", r1.holds, r1.v, r1.w, r1.k);
-    println!("IMPLIES({{τ''}}, τ) = {}   (v = {}, w = {}, k = {}, {} patterns checked)",
-        r2.holds, r2.v, r2.w, r2.k, r2.patterns_checked);
+    println!(
+        "\nIMPLIES({{τ'}}, τ)  = {}   (v = {}, w = {}, k = {})",
+        r1.holds, r1.v, r1.w, r1.k
+    );
+    println!(
+        "IMPLIES({{τ''}}, τ) = {}   (v = {}, w = {}, k = {}, {} patterns checked)",
+        r2.holds, r2.v, r2.w, r2.k, r2.patterns_checked
+    );
     assert!(!r1.holds && r1.k == 2);
     assert!(r2.holds && r2.k == 3 && r2.patterns_checked == 4);
     println!("\nmatches Example 3.10 ✓");

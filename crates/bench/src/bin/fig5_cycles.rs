@@ -47,8 +47,14 @@ fn main() {
     let mut n2 = NullFactory::new();
     let tri_core = core_of(&chase_so(&i3, &sigma, &mut n2));
     println!("\nbounded anchor (Example 4.8):");
-    println!("  core(chase(path ⊂ I_7)) size = {} (just an undirected edge)", path_core.len());
-    println!("  core(chase(I_3 ⊄ I_7))  size = {} (the triangle)", tri_core.len());
+    println!(
+        "  core(chase(path ⊂ I_7)) size = {} (just an undirected edge)",
+        path_core.len()
+    );
+    println!(
+        "  core(chase(I_3 ⊄ I_7))  size = {} (the triangle)",
+        tri_core.len()
+    );
     assert_eq!(path_core.len(), 2);
     assert_eq!(tri_core.len(), 6);
     println!("\nmatches Example 4.8 / Figure 5 ✓");

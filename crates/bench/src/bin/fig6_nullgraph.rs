@@ -23,7 +23,11 @@ fn main() {
     let ng = NullGraph::of(&core);
     println!("core(chase(I, σ)) for successor length 5:");
     println!("  {}", nulls.display_instance(&core, &syms));
-    println!("\nGaifman graph of facts: {} nodes, max degree {}", fg.len(), fg.max_degree());
+    println!(
+        "\nGaifman graph of facts: {} nodes, max degree {}",
+        fg.len(),
+        fg.max_degree()
+    );
     // Every f-block is a clique: each fact contains g(z), so all facts of
     // a block pairwise share it.
     assert_eq!(fg.max_degree(), fg.len() - 1, "the fact graph is a clique");
@@ -34,7 +38,10 @@ fn main() {
         ng.len(),
         null_path_length(&core, 64).unwrap()
     );
-    assert!(null_path_length(&core, 64).unwrap() >= 4, "Figure 6 shows a path of length 4");
+    assert!(
+        null_path_length(&core, 64).unwrap() >= 4,
+        "Figure 6 shows a path of length 4"
+    );
 
     // The sweep: growing path length => not nested (Theorem 4.16).
     let family = successor_family(&mut syms, true, &[4, 6, 8]);

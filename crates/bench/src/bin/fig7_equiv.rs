@@ -15,7 +15,10 @@ fn main() {
     let sigma = sigma_415(&mut syms);
     let nested = nested_415(&mut syms);
     println!("σ'     = {}", sigma.display(&syms));
-    println!("nested = {}   (the displayed equivalent)\n", nested.tgds[0].display(&syms));
+    println!(
+        "nested = {}   (the displayed equivalent)\n",
+        nested.tgds[0].display(&syms)
+    );
 
     // Figure 7 for successor length 5: clique fact graph, short null paths.
     let family5 = successor_family(&mut syms, true, &[5]);
@@ -23,7 +26,11 @@ fn main() {
     let core = core_of(&chase_so(&family5[0], &sigma, &mut nulls));
     let fg = FactGraph::of(&core);
     println!("core for successor length 5: {} facts", core.len());
-    assert_eq!(fg.max_degree(), fg.len() - 1, "fact graph is a clique (like Fig. 6)");
+    assert_eq!(
+        fg.max_degree(),
+        fg.len() - 1,
+        "fact graph is a clique (like Fig. 6)"
+    );
     let pl = null_path_length(&core, 64).unwrap();
     println!("fact graph: clique ✓;  null-graph longest simple path = {pl}");
     assert!(pl <= 2, "Figure 7's null graph is a star: path length ≤ 2");
@@ -44,7 +51,11 @@ fn main() {
         let so_chase = chase_so(inst, &sigma, &mut n);
         let (nested_chase, _) = chase_mapping(inst, &nested, &mut syms);
         let ok = hom_equivalent(&so_chase, &nested_chase.target);
-        println!("  |I| = {:2}: chase(I,σ') ↔ chase(I,nested)  {}", inst.len(), ok);
+        println!(
+            "  |I| = {:2}: chase(I,σ') ↔ chase(I,nested)  {}",
+            inst.len(),
+            ok
+        );
         assert!(ok);
     }
     println!("\nmatches Example 4.15 / Figure 7 ✓");

@@ -23,7 +23,10 @@ fn main() {
     let o = measure(&runner, &red2, 5, &mut syms2, "v_", |e| e);
     println!("\nFigure 8 enumeration for n = 5 (non-halting machine):");
     println!("  good triangle rows: {}", o.good_rows);
-    println!("  anchored chain (core f-block) size: {}", o.anchored_block_size);
+    println!(
+        "  anchored chain (core f-block) size: {}",
+        o.anchored_block_size
+    );
     assert_eq!(o.good_rows, 5);
     assert!(o.anchored_block_size >= 14); // visits all 15 triangle cells
 
@@ -32,9 +35,14 @@ fn main() {
     println!("   n   good rows   anchored block");
     let outs = sweep(&halter, &red, &[5, 7, 9, 11], &mut syms);
     for o in &outs {
-        println!("  {:2}   {:9}   {:14}", o.n, o.good_rows, o.anchored_block_size);
+        println!(
+            "  {:2}   {:9}   {:14}",
+            o.n, o.good_rows, o.anchored_block_size
+        );
     }
-    assert!(outs.windows(2).all(|w| w[0].anchored_block_size == w[1].anchored_block_size));
+    assert!(outs
+        .windows(2)
+        .all(|w| w[0].anchored_block_size == w[1].anchored_block_size));
     println!("  => bounded (the machine halts) ✓");
 
     println!("\nnon-halting machine forever_right():");
@@ -46,7 +54,9 @@ fn main() {
             o.n, o.good_rows, o.anchored_block_size, o.core_fdegree
         );
     }
-    assert!(outs2.windows(2).all(|w| w[1].anchored_block_size > w[0].anchored_block_size));
+    assert!(outs2
+        .windows(2)
+        .all(|w| w[1].anchored_block_size > w[0].anchored_block_size));
     println!("  => unbounded (the machine does not halt) ✓");
     println!("  => f-degree bounded while blocks grow: by Thm 4.12 this plain SO tgd");
     println!("     is not equivalent to any nested GLAV mapping either (Thm 5.2).");

@@ -10,12 +10,18 @@ use ndl_reasoning::{sweep_so, NotNestedReason};
 fn main() {
     let mut syms = SymbolTable::new();
     let tau = tau_413(&mut syms);
-    println!("τ = {}   (Section 1 / Proposition 4.13)\n", tau.display(&syms));
+    println!(
+        "τ = {}   (Section 1 / Proposition 4.13)\n",
+        tau.display(&syms)
+    );
     let family = successor_family(&mut syms, false, &[4, 6, 8, 10, 12]);
     let report = sweep_so(&tau, &family);
     println!("  |I|   core f-block size   core f-degree");
     for p in &report.points {
-        println!("  {:3}   {:17}   {:13}", p.source_size, p.fblock_size, p.fdegree);
+        println!(
+            "  {:3}   {:17}   {:13}",
+            p.source_size, p.fblock_size, p.fdegree
+        );
     }
     // Unbounded f-block size...
     assert!(report

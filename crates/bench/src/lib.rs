@@ -78,11 +78,7 @@ pub fn nested_415(syms: &mut SymbolTable) -> NestedMapping {
 
 /// A successor family with an optional `Q(o)` singleton, shared by the
 /// Section 4.2 sweeps.
-pub fn successor_family(
-    syms: &mut SymbolTable,
-    with_q: bool,
-    ns: &[usize],
-) -> Vec<Instance> {
+pub fn successor_family(syms: &mut SymbolTable, with_q: bool, ns: &[usize]) -> Vec<Instance> {
     let s = syms.rel("S");
     let q = syms.rel("Q");
     ns.iter()

@@ -55,7 +55,11 @@ impl ExperimentRecord {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        f.write_all(serde_json::to_string_pretty(self).expect("serializes").as_bytes())?;
+        f.write_all(
+            serde_json::to_string_pretty(self)
+                .expect("serializes")
+                .as_bytes(),
+        )?;
         Ok(path)
     }
 }

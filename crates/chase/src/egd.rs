@@ -32,7 +32,11 @@ pub struct EgdConflict {
 
 impl std::fmt::Display for EgdConflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "egd chase failed: {:?} = {:?} on rigid constants", self.left, self.right)
+        write!(
+            f,
+            "egd chase failed: {:?} = {:?} on rigid constants",
+            self.left, self.right
+        )
     }
 }
 
@@ -83,11 +87,7 @@ pub fn chase_egds(
         }
         current = source.map_values(&|v| uf.find(v));
     }
-    let renaming = source
-        .adom()
-        .into_iter()
-        .map(|v| (v, uf.find(v)))
-        .collect();
+    let renaming = source.adom().into_iter().map(|v| (v, uf.find(v))).collect();
     Ok(EgdChase {
         instance: current,
         renaming,
@@ -131,14 +131,22 @@ impl UnionFind {
         v
     }
 
-    fn union(&mut self, a: Value, b: Value, policy: RigidPolicy) -> std::result::Result<(), EgdConflict> {
+    fn union(
+        &mut self,
+        a: Value,
+        b: Value,
+        policy: RigidPolicy,
+    ) -> std::result::Result<(), EgdConflict> {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra == rb {
             return Ok(());
         }
         if policy == RigidPolicy::AllRigid && ra.is_const() && rb.is_const() {
-            return Err(EgdConflict { left: ra, right: rb });
+            return Err(EgdConflict {
+                left: ra,
+                right: rb,
+            });
         }
         // Prefer a constant representative; break ties deterministically.
         let (winner, loser) = match (ra.is_const(), rb.is_const()) {

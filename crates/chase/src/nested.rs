@@ -103,11 +103,7 @@ pub struct ChaseResult {
 
 /// Chases a ground source instance with a set of prepared nested tgds,
 /// allocating nulls in `nulls`.
-pub fn chase_nested(
-    source: &Instance,
-    tgds: &[Prepared],
-    nulls: &mut NullFactory,
-) -> ChaseResult {
+pub fn chase_nested(source: &Instance, tgds: &[Prepared], nulls: &mut NullFactory) -> ChaseResult {
     assert!(source.is_ground(), "source instance must be ground");
     let matcher = Matcher::new(source);
     let mut forest = ChaseForest::default();
@@ -116,7 +112,15 @@ pub fn chase_nested(
         let root = prep.tgd.root();
         for binding in matcher.all_matches(&prep.tgd.part(root).body, &Binding::new()) {
             let t = fire(
-                &matcher, prep, idx, root, binding, None, nulls, &mut forest, &mut target,
+                &matcher,
+                prep,
+                idx,
+                root,
+                binding,
+                None,
+                nulls,
+                &mut forest,
+                &mut target,
             );
             forest.roots.push(t);
         }
@@ -150,7 +154,10 @@ fn fire(
 ) -> TrigId {
     // Instantiate the head atoms: universal variables from the binding,
     // existential variables as Skolem-term nulls.
-    let facts: Vec<Fact> = prep.tgd.part(part).head
+    let facts: Vec<Fact> = prep
+        .tgd
+        .part(part)
+        .head
         .iter()
         .map(|atom| {
             let args: Vec<Value> = atom
@@ -186,7 +193,15 @@ fn fire(
     for &child in prep.tgd.children(part) {
         for child_binding in matcher.all_matches(&prep.tgd.part(child).body, &binding) {
             let c = fire(
-                matcher, prep, tgd_idx, child, child_binding, Some(id), nulls, forest, target,
+                matcher,
+                prep,
+                tgd_idx,
+                child,
+                child_binding,
+                Some(id),
+                nulls,
+                forest,
+                target,
             );
             forest.nodes[id].children.push(c);
         }

@@ -129,10 +129,7 @@ mod tests {
         let t = syms.rel("T");
         let a = Value::Const(syms.constant("a"));
         let b = Value::Const(syms.constant("b"));
-        let source = Instance::from_facts([
-            Fact::new(s, vec![a, a]),
-            Fact::new(s, vec![a, b]),
-        ]);
+        let source = Instance::from_facts([Fact::new(s, vec![a, a]), Fact::new(s, vec![a, b])]);
         let mut nulls = NullFactory::new();
         let target = chase_so(&source, &tgd, &mut nulls);
         assert_eq!(target.rel_len(t), 1);
@@ -150,10 +147,7 @@ mod tests {
         let target = chase_so(&source, &tgd, &mut nulls);
         assert_eq!(target.len(), 1);
         let n = target.nulls().into_iter().next().unwrap();
-        assert_eq!(
-            nulls.term(n).unwrap().display(&syms).to_string(),
-            "g(f(a))"
-        );
+        assert_eq!(nulls.term(n).unwrap().display(&syms).to_string(), "g(f(a))");
     }
 
     #[test]

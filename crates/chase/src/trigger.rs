@@ -308,7 +308,11 @@ mod tests {
         let q = syms.rel("Q");
         let x = syms.var("x");
         let y = syms.var("y");
-        assert!(has_match(&inst, &[Atom::new(s, vec![x, y])], &Binding::new()));
+        assert!(has_match(
+            &inst,
+            &[Atom::new(s, vec![x, y])],
+            &Binding::new()
+        ));
         assert!(!has_match(&inst, &[Atom::new(q, vec![x])], &Binding::new()));
     }
 
@@ -318,7 +322,10 @@ mod tests {
         let ms = all_matches(&inst, &[], &Binding::new());
         assert_eq!(ms.len(), 1);
         assert!(ms[0].is_empty());
-        assert_eq!(Matcher::new(&inst).all_matches(&[], &Binding::new()).len(), 1);
+        assert_eq!(
+            Matcher::new(&inst).all_matches(&[], &Binding::new()).len(),
+            1
+        );
     }
 
     #[test]

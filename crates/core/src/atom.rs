@@ -117,7 +117,10 @@ mod tests {
         let g = syms.func("g");
         let plain = TermAtom::new(r, vec![Term::app(f, vec![Term::Var(x)])]);
         assert!(!plain.has_nested_term());
-        let nested = TermAtom::new(r, vec![Term::app(g, vec![Term::app(f, vec![Term::Var(x)])])]);
+        let nested = TermAtom::new(
+            r,
+            vec![Term::app(g, vec![Term::app(f, vec![Term::Var(x)])])],
+        );
         assert!(nested.has_nested_term());
         assert_eq!(nested.display(&syms).to_string(), "R(g(f(x)))");
     }

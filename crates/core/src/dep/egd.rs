@@ -2,7 +2,7 @@
 //! dependencies as the special case used in Section 5 of the paper.
 
 use crate::atom::Atom;
-use crate::error::{CoreError, Result};
+use crate::error::{push_unique, CoreError, Result};
 use crate::schema::{Schema, Side};
 use crate::symbol::{RelId, SymbolTable, VarId};
 use serde::{Deserialize, Serialize};
@@ -62,13 +62,28 @@ impl Egd {
             .collect()
     }
 
-    /// Validates the egd and declares its relations as source-side.
+    /// Validates the egd and declares its relations as source-side. Stops
+    /// at the first problem; [`Egd::check`] collects them all.
     pub fn validate(&self, schema: &mut Schema) -> Result<()> {
+        let mut errs = Vec::new();
+        self.check(schema, &mut errs);
+        match errs.into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Collects every validation problem of this egd into `out` (the
+    /// diagnostics framework entry point).
+    pub fn check(&self, schema: &mut Schema, out: &mut Vec<CoreError>) {
         if self.body.is_empty() {
-            return Err(CoreError::Invalid("egd with empty body".into()));
+            push_unique(out, CoreError::Invalid("egd with empty body".into()));
+            return;
         }
         for a in &self.body {
-            schema.declare(a.rel, a.args.len(), Side::Source)?;
+            if let Err(e) = schema.declare(a.rel, a.args.len(), Side::Source) {
+                push_unique(out, e);
+            }
         }
         let body_vars: BTreeSet<_> = self
             .body
@@ -77,10 +92,9 @@ impl Egd {
             .collect();
         for v in [self.eq.0, self.eq.1] {
             if !body_vars.contains(&v) {
-                return Err(CoreError::UnboundVariable { var: v });
+                push_unique(out, CoreError::UnboundVariable { var: v });
             }
         }
-        Ok(())
     }
 
     /// Renders the egd, e.g. `P1(z,x) & P1(z,x2) -> x = x2`.

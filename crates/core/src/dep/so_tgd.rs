@@ -7,7 +7,7 @@
 //! SO tgd has no nested terms and no equalities.
 
 use crate::atom::{Atom, TermAtom};
-use crate::error::{CoreError, Result};
+use crate::error::{push_unique, CoreError, Result};
 use crate::schema::{Schema, Side};
 use crate::symbol::{FuncId, SymbolTable, VarId};
 use crate::term::Term;
@@ -75,9 +75,9 @@ impl SoTgd {
 
     /// Is this a *plain* SO tgd: no nested terms and no equalities?
     pub fn is_plain(&self) -> bool {
-        self.clauses.iter().all(|c| {
-            c.equalities.is_empty() && !c.head.iter().any(TermAtom::has_nested_term)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.equalities.is_empty() && !c.head.iter().any(TermAtom::has_nested_term))
     }
 
     /// The function symbols actually occurring in the formula (heads or
@@ -112,16 +112,37 @@ impl SoTgd {
     /// in some body atom (condition 4 of the definition); every function
     /// symbol used is quantified; sides are consistent.
     pub fn validate(&self, schema: &mut Schema) -> Result<()> {
+        let mut errs = Vec::new();
+        self.check(schema, &mut errs);
+        match errs.into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Collects every validation problem of this SO tgd into `out` (the
+    /// diagnostics framework entry point). A clause with an empty body is
+    /// reported and skipped — its variables would all be spuriously
+    /// unbound.
+    pub fn check(&self, schema: &mut Schema, out: &mut Vec<CoreError>) {
         let declared: BTreeSet<_> = self.funcs.iter().copied().collect();
         for (i, c) in self.clauses.iter().enumerate() {
             if c.body.is_empty() {
-                return Err(CoreError::Invalid(format!("clause {i} has an empty body")));
+                push_unique(
+                    out,
+                    CoreError::Invalid(format!("clause {i} has an empty body")),
+                );
+                continue;
             }
             for a in &c.body {
-                schema.declare(a.rel, a.args.len(), Side::Source)?;
+                if let Err(e) = schema.declare(a.rel, a.args.len(), Side::Source) {
+                    push_unique(out, e);
+                }
             }
             for ta in &c.head {
-                schema.declare(ta.rel, ta.args.len(), Side::Target)?;
+                if let Err(e) = schema.declare(ta.rel, ta.args.len(), Side::Target) {
+                    push_unique(out, e);
+                }
             }
             let bound: BTreeSet<_> = c.universals().into_iter().collect();
             let mut used_vars = Vec::new();
@@ -140,18 +161,20 @@ impl SoTgd {
             }
             for v in used_vars {
                 if !bound.contains(&v) {
-                    return Err(CoreError::UnboundVariable { var: v });
+                    push_unique(out, CoreError::UnboundVariable { var: v });
                 }
             }
             for f in used_funcs {
                 if !declared.contains(&f) {
-                    return Err(CoreError::Invalid(format!(
-                        "function symbol {f:?} not existentially quantified"
-                    )));
+                    push_unique(
+                        out,
+                        CoreError::Invalid(format!(
+                            "function symbol {f:?} not existentially quantified"
+                        )),
+                    );
                 }
             }
         }
-        Ok(())
     }
 
     /// Renders the SO tgd; clauses are separated by ` ; `, e.g.
@@ -167,14 +190,13 @@ impl SoTgd {
             .clauses
             .iter()
             .map(|c| {
-                let mut body: Vec<String> = c
-                    .body
-                    .iter()
-                    .map(|a| a.display(syms).to_string())
-                    .collect();
-                body.extend(c.equalities.iter().map(|(l, r)| {
-                    format!("{} = {}", l.display(syms), r.display(syms))
-                }));
+                let mut body: Vec<String> =
+                    c.body.iter().map(|a| a.display(syms).to_string()).collect();
+                body.extend(
+                    c.equalities
+                        .iter()
+                        .map(|(l, r)| format!("{} = {}", l.display(syms), r.display(syms))),
+                );
                 let head = if c.head.is_empty() {
                     "true".to_string()
                 } else {

@@ -3,7 +3,7 @@
 //! `∀x⃗ (φ(x⃗) → ∃y⃗ ψ(x⃗, y⃗))`.
 
 use crate::atom::Atom;
-use crate::error::{CoreError, Result};
+use crate::error::{push_unique, CoreError, Result};
 use crate::schema::{Schema, Side};
 use crate::symbol::{SymbolTable, VarId};
 use serde::{Deserialize, Serialize};
@@ -55,33 +55,53 @@ impl StTgd {
 
     /// Validates well-formedness and declares relations in `schema`:
     /// nonempty body, head variables bound, existentials distinct from
-    /// universals, source/target sides consistent.
+    /// universals, source/target sides consistent. Stops at the first
+    /// problem; [`StTgd::check`] collects them all.
     pub fn validate(&self, schema: &mut Schema) -> Result<()> {
+        let mut errs = Vec::new();
+        self.check(schema, &mut errs);
+        match errs.into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Collects every validation problem of this tgd into `out` (the
+    /// diagnostics framework entry point), declaring relations in `schema`
+    /// as a side effect.
+    pub fn check(&self, schema: &mut Schema, out: &mut Vec<CoreError>) {
         if self.body.is_empty() {
-            return Err(CoreError::Invalid("s-t tgd with empty body".into()));
+            push_unique(out, CoreError::Invalid("s-t tgd with empty body".into()));
+            return;
         }
         for a in &self.body {
-            schema.declare(a.rel, a.args.len(), Side::Source)?;
+            if let Err(e) = schema.declare(a.rel, a.args.len(), Side::Source) {
+                push_unique(out, e);
+            }
         }
         for a in &self.head {
-            schema.declare(a.rel, a.args.len(), Side::Target)?;
+            if let Err(e) = schema.declare(a.rel, a.args.len(), Side::Target) {
+                push_unique(out, e);
+            }
         }
         let universals: BTreeSet<_> = self.universals().into_iter().collect();
         let existentials: BTreeSet<_> = self.existentials.iter().copied().collect();
         if existentials.len() != self.existentials.len() {
-            return Err(CoreError::Invalid("duplicate existential variable".into()));
+            push_unique(
+                out,
+                CoreError::Invalid("duplicate existential variable".into()),
+            );
         }
-        if let Some(&v) = universals.intersection(&existentials).next() {
-            return Err(CoreError::ShadowedVariable { var: v });
+        for &v in universals.intersection(&existentials) {
+            push_unique(out, CoreError::ShadowedVariable { var: v });
         }
         for a in &self.head {
             for &v in &a.args {
                 if !universals.contains(&v) && !existentials.contains(&v) {
-                    return Err(CoreError::UnboundVariable { var: v });
+                    push_unique(out, CoreError::UnboundVariable { var: v });
                 }
             }
         }
-        Ok(())
     }
 
     /// Renders the tgd in the paper's (quantifier-suppressed) notation,

@@ -1,6 +1,13 @@
 //! Error types for the core crate.
+//!
+//! Every [`CoreError`] carries a stable diagnostic code ([`CoreError::code`])
+//! and can be re-anchored to a byte span of the statement it arose from
+//! ([`CoreError::locate`]) — the substrate of the `ndl-analyze` lint
+//! framework and of the `ndl lint` CLI.
 
-use crate::symbol::{RelId, VarId};
+use crate::parse::{locate_applied, locate_ident, locate_quantified};
+use crate::span::Span;
+use crate::symbol::{RelId, SymbolTable, VarId};
 use std::fmt;
 
 /// Result alias for core operations.
@@ -50,6 +57,93 @@ pub enum CoreError {
     Invalid(String),
 }
 
+impl CoreError {
+    /// The stable diagnostic code of this error kind (the `NDL0xx` table;
+    /// see `docs/lints.md` at the repository root).
+    pub fn code(&self) -> &'static str {
+        match self {
+            CoreError::Parse { .. } => "NDL001",
+            CoreError::UnsafeVariable { .. } => "NDL002",
+            CoreError::UnboundVariable { .. } => "NDL003",
+            CoreError::ShadowedVariable { .. } => "NDL004",
+            CoreError::ArityMismatch { .. } => "NDL005",
+            CoreError::SideMismatch { .. } => "NDL006",
+            CoreError::Invalid(_) => "NDL007",
+        }
+    }
+
+    /// Renders the message with symbol ids resolved to their names.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        match self {
+            CoreError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => format!(
+                "relation {} used with arity {found}, previously {expected}",
+                syms.rel_name(*rel)
+            ),
+            CoreError::SideMismatch { rel } => format!(
+                "relation {} used on both source and target side",
+                syms.rel_name(*rel)
+            ),
+            CoreError::UnsafeVariable { var } => format!(
+                "universal variable {} occurs in no body atom of its part",
+                syms.var_name(*var)
+            ),
+            CoreError::UnboundVariable { var } => {
+                format!("variable {} is unbound", syms.var_name(*var))
+            }
+            CoreError::ShadowedVariable { var } => format!(
+                "variable {} is quantified twice in nested scopes",
+                syms.var_name(*var)
+            ),
+            other => other.to_string(),
+        }
+    }
+
+    /// Best-effort re-location of the error in the statement `text` it was
+    /// produced from. Parse errors carry their own offset; validation
+    /// errors are anchored by finding the offending symbol's token (see
+    /// [`crate::parse::locate`]). `None` when the error has no natural
+    /// anchor (e.g. structural [`CoreError::Invalid`] problems).
+    pub fn locate(&self, syms: &SymbolTable, text: &str) -> Option<Span> {
+        match self {
+            CoreError::Parse { offset, .. } => Some(Span::point(*offset)),
+            CoreError::UnsafeVariable { var } => {
+                let name = syms.var_name(*var);
+                locate_quantified(text, name, 0).or_else(|| locate_ident(text, name, 0))
+            }
+            CoreError::UnboundVariable { var } => locate_ident(text, syms.var_name(*var), 0),
+            CoreError::ShadowedVariable { var } => {
+                // The second quantified occurrence is the offending one.
+                let name = syms.var_name(*var);
+                locate_quantified(text, name, 1)
+                    .or_else(|| locate_quantified(text, name, 0))
+                    .or_else(|| locate_ident(text, name, 0))
+            }
+            CoreError::ArityMismatch { rel, found, .. } => {
+                let name = syms.rel_name(*rel);
+                locate_applied(text, name, Some(*found), 0)
+                    .or_else(|| locate_applied(text, name, None, 0))
+            }
+            CoreError::SideMismatch { rel } => {
+                let name = syms.rel_name(*rel);
+                locate_applied(text, name, None, 0).or_else(|| locate_ident(text, name, 0))
+            }
+            CoreError::Invalid(_) => None,
+        }
+    }
+}
+
+/// Pushes `err` unless an identical diagnostic was already collected —
+/// validation walks can rediscover the same problem at several sites.
+pub(crate) fn push_unique(out: &mut Vec<CoreError>, err: CoreError) {
+    if !out.contains(&err) {
+        out.push(err);
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -65,7 +159,10 @@ impl fmt::Display for CoreError {
                 write!(f, "relation {rel:?} used on both source and target side")
             }
             CoreError::UnsafeVariable { var } => {
-                write!(f, "universal variable {var:?} occurs in no body atom of its part")
+                write!(
+                    f,
+                    "universal variable {var:?} occurs in no body atom of its part"
+                )
             }
             CoreError::UnboundVariable { var } => write!(f, "variable {var:?} is unbound"),
             CoreError::ShadowedVariable { var } => {
@@ -94,5 +191,70 @@ mod tests {
         assert!(e.to_string().contains("byte 4"));
         let e = CoreError::UnsafeVariable { var: VarId(1) };
         assert!(e.to_string().contains("no body atom"));
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(
+            CoreError::Parse {
+                offset: 0,
+                message: String::new()
+            }
+            .code(),
+            "NDL001"
+        );
+        assert_eq!(CoreError::UnsafeVariable { var: VarId(0) }.code(), "NDL002");
+        assert_eq!(
+            CoreError::UnboundVariable { var: VarId(0) }.code(),
+            "NDL003"
+        );
+        assert_eq!(
+            CoreError::ShadowedVariable { var: VarId(0) }.code(),
+            "NDL004"
+        );
+        assert_eq!(
+            CoreError::ArityMismatch {
+                rel: RelId(0),
+                expected: 1,
+                found: 2
+            }
+            .code(),
+            "NDL005"
+        );
+        assert_eq!(CoreError::SideMismatch { rel: RelId(0) }.code(), "NDL006");
+        assert_eq!(CoreError::Invalid(String::new()).code(), "NDL007");
+    }
+
+    #[test]
+    fn locate_anchors_validation_errors() {
+        let mut syms = SymbolTable::new();
+        let text = "forall x,z (S(x) -> R(x))";
+        let z = syms.var("z");
+        let e = CoreError::UnsafeVariable { var: z };
+        assert_eq!(e.locate(&syms, text), Some(Span::new(9, 10)));
+        assert!(e.display(&syms).contains("universal variable z"));
+
+        let text2 = "S(x) -> exists x (R(x))";
+        let x = syms.var("x");
+        let shadow = CoreError::ShadowedVariable { var: x };
+        // Implicit top-level universals: the exists list holds the only
+        // quantified occurrence, so the fallback finds it.
+        assert_eq!(shadow.locate(&syms, text2), Some(Span::new(15, 16)));
+
+        let r = syms.rel("R");
+        let text3 = "R(x,y) -> R(x,y,y)";
+        let arity = CoreError::ArityMismatch {
+            rel: r,
+            expected: 2,
+            found: 3,
+        };
+        assert_eq!(arity.locate(&syms, text3), Some(Span::new(10, 11)));
+
+        assert_eq!(CoreError::Invalid("x".into()).locate(&syms, text3), None);
+        let parse = CoreError::Parse {
+            offset: 7,
+            message: String::new(),
+        };
+        assert_eq!(parse.locate(&syms, text3), Some(Span::point(7)));
     }
 }

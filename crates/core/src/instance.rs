@@ -197,12 +197,9 @@ impl Instance {
 
     /// Is `self` a subinstance of `other` (fact-set inclusion)?
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
-        self.rels.iter().all(|(rel, tuples)| {
-            other
-                .rels
-                .get(rel)
-                .is_some_and(|os| tuples.is_subset(os))
-        })
+        self.rels
+            .iter()
+            .all(|(rel, tuples)| other.rels.get(rel).is_some_and(|os| tuples.is_subset(os)))
     }
 
     /// Renders all facts separated by `, `, in deterministic order.

@@ -34,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod atom;
 pub mod dep;
@@ -45,6 +46,7 @@ pub mod schema;
 #[cfg(test)]
 mod serde_tests;
 pub mod skolem;
+pub mod span;
 pub mod symbol;
 pub mod term;
 pub mod value;
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::parse::{parse_egd, parse_fact, parse_nested_tgd, parse_so_tgd, parse_st_tgd};
     pub use crate::schema::{Schema, Side};
     pub use crate::skolem::{skolemize, skolemize_with, SkolemInfo};
+    pub use crate::span::Span;
     pub use crate::symbol::{ConstId, FuncId, RelId, SymbolTable, VarId};
     pub use crate::term::{GroundTerm, Term};
     pub use crate::value::{NullId, Value};

@@ -5,7 +5,7 @@
 //! with egds over the source schema (Section 5).
 
 use crate::dep::{Egd, NestedTgd, SoTgd, StTgd};
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::parse;
 use crate::schema::Schema;
 use crate::symbol::SymbolTable;
@@ -29,18 +29,31 @@ pub struct NestedMapping {
 impl NestedMapping {
     /// Creates a mapping from validated parts.
     pub fn new(tgds: Vec<NestedTgd>, source_egds: Vec<Egd>) -> Result<Self> {
-        let mut schema = Schema::new();
-        for t in &tgds {
-            t.validate(&mut schema)?;
-        }
-        for e in &source_egds {
-            e.validate(&mut schema)?;
+        let mut errs = Vec::new();
+        let schema = Self::check(&tgds, &source_egds, &mut errs);
+        if let Some(e) = errs.into_iter().next() {
+            return Err(e);
         }
         Ok(NestedMapping {
             schema,
             tgds,
             source_egds,
         })
+    }
+
+    /// Validates every dependency against one shared schema, collecting all
+    /// problems into `out` instead of stopping at the first. Returns the
+    /// (possibly partial) schema — the diagnostics framework entry point
+    /// for whole programs.
+    pub fn check(tgds: &[NestedTgd], source_egds: &[Egd], out: &mut Vec<CoreError>) -> Schema {
+        let mut schema = Schema::new();
+        for t in tgds {
+            t.check(&mut schema, out);
+        }
+        for e in source_egds {
+            e.check(&mut schema, out);
+        }
+        schema
     }
 
     /// Parses a mapping from textual tgds (and optionally egds).
@@ -94,16 +107,27 @@ pub struct SoMapping {
 impl SoMapping {
     /// Creates a validated SO mapping.
     pub fn new(tgd: SoTgd, source_egds: Vec<Egd>) -> Result<Self> {
-        let mut schema = Schema::new();
-        tgd.validate(&mut schema)?;
-        for e in &source_egds {
-            e.validate(&mut schema)?;
+        let mut errs = Vec::new();
+        let schema = Self::check(&tgd, &source_egds, &mut errs);
+        if let Some(e) = errs.into_iter().next() {
+            return Err(e);
         }
         Ok(SoMapping {
             schema,
             tgd,
             source_egds,
         })
+    }
+
+    /// Validates the SO tgd and egds against one shared schema, collecting
+    /// all problems into `out`. Returns the (possibly partial) schema.
+    pub fn check(tgd: &SoTgd, source_egds: &[Egd], out: &mut Vec<CoreError>) -> Schema {
+        let mut schema = Schema::new();
+        tgd.check(&mut schema, out);
+        for e in source_egds {
+            e.check(&mut schema, out);
+        }
+        schema
     }
 
     /// Parses an SO mapping from text.
@@ -169,12 +193,8 @@ mod tests {
     #[test]
     fn display_joins_constraints() {
         let mut syms = SymbolTable::new();
-        let m = NestedMapping::parse(
-            &mut syms,
-            &["S(x) -> R(x)"],
-            &["S(x) & S(y) -> x = y"],
-        )
-        .unwrap();
+        let m =
+            NestedMapping::parse(&mut syms, &["S(x) -> R(x)"], &["S(x) & S(y) -> x = y"]).unwrap();
         let d = m.display(&syms);
         assert!(d.contains("S(x) -> R(x)"));
         assert!(d.contains("x = y"));

@@ -1,6 +1,7 @@
 //! Tokenizer for the textual dependency syntax.
 
 use crate::error::{CoreError, Result};
+use crate::span::Span;
 
 /// A lexical token.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,6 +39,15 @@ pub struct Spanned {
     pub tok: Tok,
     /// Byte offset of the first character.
     pub offset: usize,
+    /// Length of the token in bytes.
+    pub len: usize,
+}
+
+impl Spanned {
+    /// The byte span the token covers in the input.
+    pub fn span(&self) -> Span {
+        Span::new(self.offset, self.offset + self.len)
+    }
 }
 
 /// Tokenizes `input`; identifiers are `[A-Za-z_][A-Za-z0-9_']*`.
@@ -50,36 +60,68 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, offset: i });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    offset: i,
+                    len: 1,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, offset: i });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    offset: i,
+                    len: 1,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    offset: i,
+                    len: 1,
+                });
                 i += 1;
             }
             '&' => {
-                out.push(Spanned { tok: Tok::Amp, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Amp,
+                    offset: i,
+                    len: 1,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    offset: i,
+                    len: 1,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { tok: Tok::Dot, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    offset: i,
+                    len: 1,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { tok: Tok::Eq, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    offset: i,
+                    len: 1,
+                });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { tok: Tok::Arrow, offset: i });
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        offset: i,
+                        len: 2,
+                    });
                     i += 2;
                 } else {
                     return Err(CoreError::Parse {
@@ -91,7 +133,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             '/' => {
                 // Accept `/\` as conjunction.
                 if bytes.get(i + 1) == Some(&b'\\') {
-                    out.push(Spanned { tok: Tok::Amp, offset: i });
+                    out.push(Spanned {
+                        tok: Tok::Amp,
+                        offset: i,
+                        len: 2,
+                    });
                     i += 2;
                 } else {
                     return Err(CoreError::Parse {
@@ -117,7 +163,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                     "true" | "top" => Tok::True,
                     _ => Tok::Ident(word.to_string()),
                 };
-                out.push(Spanned { tok, offset: start });
+                out.push(Spanned {
+                    tok,
+                    offset: start,
+                    len: i - start,
+                });
             }
             _ => {
                 return Err(CoreError::Parse {
@@ -177,5 +227,7 @@ mod tests {
         let toks = lex("ab  ->").unwrap();
         assert_eq!(toks[0].offset, 0);
         assert_eq!(toks[1].offset, 4);
+        assert_eq!(toks[0].span(), Span::new(0, 2));
+        assert_eq!(toks[1].span(), Span::new(4, 6));
     }
 }

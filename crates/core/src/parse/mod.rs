@@ -1,6 +1,8 @@
 //! Text syntax for dependencies: lexer and recursive-descent parser.
 
 pub mod lexer;
+pub mod locate;
 pub mod parser;
 
+pub use locate::{locate_applied, locate_ident, locate_quantified};
 pub use parser::{parse_egd, parse_fact, parse_nested_tgd, parse_so_tgd, parse_st_tgd};

@@ -550,8 +550,7 @@ mod tests {
     fn parse_unquantified_nested_part() {
         // Example 3.4: ∀x1 S1(x1) → ((S2(x1) → T2(x1))).
         let mut syms = SymbolTable::new();
-        let t =
-            parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))").unwrap();
+        let t = parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))").unwrap();
         let mut sch = Schema::new();
         t.validate(&mut sch).unwrap();
         assert_eq!(t.num_parts(), 2);

@@ -97,7 +97,11 @@ impl Schema {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
-        format!("S: {}; T: {}", fmt_side(Side::Source), fmt_side(Side::Target))
+        format!(
+            "S: {}; T: {}",
+            fmt_side(Side::Source),
+            fmt_side(Side::Target)
+        )
     }
 }
 

@@ -51,9 +51,9 @@ impl SkolemInfo {
     /// The Skolem term `f(x⃗)` for existential variable `y`, if `y` is
     /// existential in this tgd.
     pub fn term_for(&self, y: VarId) -> Option<Term> {
-        self.assignment.get(&y).map(|(f, args)| {
-            Term::App(*f, args.iter().map(|&v| Term::Var(v)).collect())
-        })
+        self.assignment
+            .get(&y)
+            .map(|(f, args)| Term::App(*f, args.iter().map(|&v| Term::Var(v)).collect()))
     }
 }
 
@@ -90,10 +90,7 @@ pub fn skolemize_with(tgd: &NestedTgd, info: &SkolemInfo) -> SoTgd {
             continue;
         }
         let body = accumulated_body(tgd, part);
-        let head: Vec<TermAtom> = head_atoms
-            .iter()
-            .map(|a| skolemize_atom(a, info))
-            .collect();
+        let head: Vec<TermAtom> = head_atoms.iter().map(|a| skolemize_atom(a, info)).collect();
         clauses.push(SoClause::new(body, vec![], head));
     }
     SoTgd::new(info.funcs.clone(), clauses)

@@ -1,0 +1,89 @@
+//! Byte spans into dependency source text, the substrate of all spanned
+//! diagnostics (lexer tokens, parse errors, lint findings).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `start..end` into a source string.
+///
+/// Offsets index bytes, not characters; the dependency syntax is ASCII, so
+/// the two coincide for well-formed input. An empty span (`start == end`)
+/// marks a point, e.g. an unexpected-end-of-input parse error.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span; `start <= end` is the caller's responsibility.
+    pub fn new(start: usize, end: usize) -> Span {
+        debug_assert!(start <= end, "span {start}..{end} is inverted");
+        Span { start, end }
+    }
+
+    /// A zero-width span marking a single position.
+    pub fn point(offset: usize) -> Span {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is this a zero-width point span?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn cover(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Shifts both endpoints by `base` — used to relocate a span produced
+    /// against a single statement into the enclosing file.
+    pub fn offset_by(&self, base: usize) -> Span {
+        Span {
+            start: self.start + base,
+            end: self.end + base,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_queries() {
+        let s = Span::new(3, 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(Span::point(5).is_empty());
+        assert_eq!(s.to_string(), "3..7");
+    }
+
+    #[test]
+    fn cover_and_offset() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.cover(b), Span::new(2, 9));
+        assert_eq!(a.offset_by(10), Span::new(12, 15));
+    }
+}

@@ -35,9 +35,7 @@ pub fn f_degree(inst: &Instance) -> usize {
 
 /// The f-block of `inst` containing the null `n`, if any.
 pub fn block_of_null(inst: &Instance, n: NullId) -> Option<Instance> {
-    f_blocks(inst)
-        .into_iter()
-        .find(|b| b.nulls().contains(&n))
+    f_blocks(inst).into_iter().find(|b| b.nulls().contains(&n))
 }
 
 #[cfg(test)]

@@ -47,9 +47,7 @@ fn endo_avoiding(inst: &Instance, n: NullId) -> Option<HomMap> {
 /// Checks the defining property: `core` is a subinstance of `inst`,
 /// homomorphically equivalent to it, and itself a core.
 pub fn verify_core(core: &Instance, inst: &Instance) -> bool {
-    core.is_subinstance_of(inst)
-        && homomorphic(inst, core)
-        && is_core(core)
+    core.is_subinstance_of(inst) && homomorphic(inst, core) && is_core(core)
 }
 
 #[cfg(test)]
@@ -72,10 +70,7 @@ mod tests {
         let a = Value::Const(syms.constant("a"));
         let b = Value::Const(syms.constant("b"));
         // R(a,b) subsumes R(a,n0).
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![a, b]),
-            Fact::new(r, vec![a, null(0)]),
-        ]);
+        let inst = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![a, null(0)])]);
         let c = core_of(&inst);
         assert_eq!(c.len(), 1);
         assert!(c.contains_tuple(r, &[a, b]));

@@ -162,6 +162,81 @@ impl NullGraph {
     }
 }
 
+/// The bipartite incidence graph of a target instance: fact nodes on one
+/// side, null nodes on the other, an edge when the null occurs in the fact.
+///
+/// Viewing facts as hyperedges over their nulls, a cycle in this graph is
+/// exactly a Berge cycle of the hypergraph: either two facts sharing two
+/// nulls, or a longer alternating fact/null cycle. A single fact with many
+/// nulls is a star — acyclic — which makes this strictly finer than asking
+/// for a cycle in [`NullGraph`] (where any 3-null fact forms a triangle).
+#[derive(Clone, Debug)]
+pub struct IncidenceGraph {
+    /// The facts (nodes `0..facts.len()`).
+    pub facts: Vec<Fact>,
+    /// The nulls (nodes `facts.len()..`), ordered.
+    pub nulls: Vec<NullId>,
+    /// Adjacency lists over the combined node indexing.
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl IncidenceGraph {
+    /// Builds the incidence graph of `inst`.
+    pub fn of(inst: &Instance) -> IncidenceGraph {
+        let facts: Vec<Fact> = inst.facts().collect();
+        let nulls: Vec<NullId> = inst.nulls().into_iter().collect();
+        let base = facts.len();
+        let index: BTreeMap<NullId, usize> = nulls
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, base + i))
+            .collect();
+        let mut adj = vec![Vec::new(); base + nulls.len()];
+        for (i, f) in facts.iter().enumerate() {
+            let mut seen = std::collections::BTreeSet::new();
+            for n in f.nulls() {
+                if seen.insert(n) {
+                    let j = index[&n];
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        IncidenceGraph { facts, nulls, adj }
+    }
+
+    /// Connected components over the combined fact/null node indexing.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        components_of(&self.adj)
+    }
+
+    /// The nulls of every component containing a cycle (a connected
+    /// component with `edges >= nodes`). Empty iff the instance's facts
+    /// form a Berge-acyclic hypergraph over its nulls.
+    pub fn cyclic_components(&self) -> Vec<Vec<NullId>> {
+        let base = self.facts.len();
+        let mut out = Vec::new();
+        for comp in self.components() {
+            let nodes = comp.len();
+            let edges: usize = comp.iter().map(|&v| self.adj[v].len()).sum::<usize>() / 2;
+            if edges >= nodes {
+                out.push(
+                    comp.iter()
+                        .filter(|&&v| v >= base)
+                        .map(|&v| self.nulls[v - base])
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Is the null-occurrence structure Berge-acyclic?
+    pub fn is_acyclic(&self) -> bool {
+        self.cyclic_components().is_empty()
+    }
+}
+
 /// Connected components of an undirected adjacency structure.
 pub(crate) fn components_of(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = adj.len();
@@ -282,5 +357,63 @@ mod tests {
         assert!(FactGraph::of(&inst).is_empty());
         assert!(NullGraph::of(&inst).is_empty());
         assert!(FactGraph::of(&inst).is_connected());
+        assert!(IncidenceGraph::of(&inst).is_acyclic());
+    }
+
+    #[test]
+    fn single_wide_fact_is_acyclic() {
+        // One fact over three nulls: a K3 in the null graph, but a star in
+        // the incidence graph — no correlation cycle.
+        let mut syms = SymbolTable::new();
+        let r3 = syms.rel("R3");
+        let inst = Instance::from_facts([Fact::new(r3, vec![null(0), null(1), null(2)])]);
+        let g = IncidenceGraph::of(&inst);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn two_facts_sharing_two_nulls_are_cyclic() {
+        let (mut syms, r) = rel();
+        let t = syms.rel("T");
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(t, vec![null(0), null(1)]),
+        ]);
+        let g = IncidenceGraph::of(&inst);
+        let cyc = g.cyclic_components();
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(cyc[0], vec![NullId(0), NullId(1)]);
+    }
+
+    #[test]
+    fn fact_cycle_through_distinct_nulls_is_cyclic() {
+        let (_syms, r) = rel();
+        // R(n0,n1), R(n1,n2), R(n2,n0): a 6-cycle in the incidence graph.
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(2), null(0)]),
+        ]);
+        assert!(!IncidenceGraph::of(&inst).is_acyclic());
+    }
+
+    #[test]
+    fn chain_of_facts_is_acyclic() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        let inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(2), a]),
+        ]);
+        assert!(IncidenceGraph::of(&inst).is_acyclic());
+    }
+
+    #[test]
+    fn repeated_null_in_one_fact_is_not_a_cycle() {
+        let (_syms, r) = rel();
+        // R(n0,n0): the duplicate occurrence must not create a multi-edge.
+        let inst = Instance::from_facts([Fact::new(r, vec![null(0), null(0)])]);
+        assert!(IncidenceGraph::of(&inst).is_acyclic());
     }
 }

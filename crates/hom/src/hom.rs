@@ -95,15 +95,13 @@ fn search(
 ) -> bool {
     // Pick the unprocessed fact with the fewest unassigned nulls (MRV),
     // which maximizes propagation along shared nulls.
-    let next = (0..facts.len())
-        .filter(|&i| !done[i])
-        .min_by_key(|&i| {
-            facts[i]
-                .args
-                .iter()
-                .filter(|v| matches!(v, Value::Null(n) if !assign.contains_key(n)))
-                .count()
-        });
+    let next = (0..facts.len()).filter(|&i| !done[i]).min_by_key(|&i| {
+        facts[i]
+            .args
+            .iter()
+            .filter(|v| matches!(v, Value::Null(n) if !assign.contains_key(n)))
+            .count()
+    });
     let Some(i) = next else { return true };
     done[i] = true;
     let fact = &facts[i];
@@ -206,14 +204,8 @@ mod tests {
             Fact::new(r, vec![null(0), b]),
             Fact::new(r, vec![null(0), c]),
         ]);
-        let to_good = Instance::from_facts([
-            Fact::new(r, vec![a, b]),
-            Fact::new(r, vec![a, c]),
-        ]);
-        let to_bad = Instance::from_facts([
-            Fact::new(r, vec![a, b]),
-            Fact::new(r, vec![b, c]),
-        ]);
+        let to_good = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![a, c])]);
+        let to_bad = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, c])]);
         assert!(homomorphic(&from, &to_good));
         assert!(!homomorphic(&from, &to_bad));
     }
@@ -272,16 +264,14 @@ mod tests {
             Fact::new(r, vec![null(1), null(1)]),
         ]);
         // Endomorphism avoiding null 0 exists: 0 ↦ 1.
-        let h = find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| {
-            v == null(0)
-        })
-        .unwrap();
+        let h = find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| v == null(0))
+            .unwrap();
         assert_eq!(h[&NullId(0)], null(1));
         // Avoiding null 1 is impossible (the loop must map to a loop).
-        assert!(find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| {
-            v == null(1)
-        })
-        .is_none());
+        assert!(
+            find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| { v == null(1) })
+                .is_none()
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod paths;
 
 pub use blocks::{block_of_null, f_block_size, f_blocks, f_degree};
 pub use core::{core_of, is_core, verify_core};
-pub use graph::{FactGraph, NullGraph};
+pub use graph::{FactGraph, IncidenceGraph, NullGraph};
 pub use hom::{
     apply, apply_value, find_homomorphism, find_homomorphism_constrained, hom_equivalent,
     homomorphic, is_homomorphism, HomMap,

@@ -66,7 +66,10 @@ pub fn anchor_for_block(
     let mut nulls = NullFactory::new();
     let res = chase_nested(source, &prepared, &mut nulls);
     let core = core_of(&res.target);
-    let Some(block) = f_blocks(&core).into_iter().find(|b| b.nulls().contains(&null)) else {
+    let Some(block) = f_blocks(&core)
+        .into_iter()
+        .find(|b| b.nulls().contains(&null))
+    else {
         return Ok(None);
     };
     // Locate the chase tree that produced this null.
@@ -228,8 +231,7 @@ mod tests {
     #[test]
     fn effective_bound_is_positive_and_monotone_in_depth() {
         let mut syms = SymbolTable::new();
-        let shallow =
-            NestedMapping::parse(&mut syms, &["S(x) -> exists z R(x,z)"], &[]).unwrap();
+        let shallow = NestedMapping::parse(&mut syms, &["S(x) -> exists z R(x,z)"], &[]).unwrap();
         let deep = NestedMapping::parse(
             &mut syms,
             &["forall x1 (S1(x1) -> exists y (forall x2 (S2(x2) -> T(y,x2))))"],

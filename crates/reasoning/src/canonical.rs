@@ -40,7 +40,16 @@ pub fn canonical_instances(
         source: Instance::new(),
         target: Instance::new(),
     };
-    instantiate(tgd, info, pattern, 0, &Binding::new(), syms, nulls, &mut pair);
+    instantiate(
+        tgd,
+        info,
+        pattern,
+        0,
+        &Binding::new(),
+        syms,
+        nulls,
+        &mut pair,
+    );
     pair
 }
 
@@ -108,11 +117,7 @@ fn const_name_for_var(var: &str) -> String {
 /// `I_p` is chased with the egds (its fresh constants are flexible), and
 /// the resulting constant merges are replayed into `J_p`, including inside
 /// the Skolem terms labeling its nulls.
-pub fn legalize(
-    pair: &CanonicalPair,
-    egds: &[Egd],
-    nulls: &mut NullFactory,
-) -> CanonicalPair {
+pub fn legalize(pair: &CanonicalPair, egds: &[Egd], nulls: &mut NullFactory) -> CanonicalPair {
     if egds.is_empty() {
         return pair.clone();
     }
@@ -286,7 +291,10 @@ mod tests {
         // violates Σs.
         let p1 = syms.rel("P1");
         assert_eq!(pair.source.rel_len(p1), 2);
-        assert!(!ndl_chase::satisfies_egds(&pair.source, std::slice::from_ref(&egd)));
+        assert!(!ndl_chase::satisfies_egds(
+            &pair.source,
+            std::slice::from_ref(&egd)
+        ));
         let legal = legalize(&pair, std::slice::from_ref(&egd), &mut nulls);
         assert!(ndl_chase::satisfies_egds(&legal.source, &[egd]));
         assert_eq!(legal.source.rel_len(p1), 1);

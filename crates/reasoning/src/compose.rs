@@ -36,11 +36,7 @@ struct SkolemRule {
 /// composition to generate clauses for it — S2-atoms with no producer
 /// simply yield no clauses, which is semantically correct: those rules can
 /// never fire through M12).
-pub fn compose_glav(
-    m12: &[StTgd],
-    m23: &[StTgd],
-    syms: &mut SymbolTable,
-) -> Result<SoTgd> {
+pub fn compose_glav(m12: &[StTgd], m23: &[StTgd], syms: &mut SymbolTable) -> Result<SoTgd> {
     let mut funcs: Vec<FuncId> = Vec::new();
     // Skolemize Σ12.
     let rules12: Vec<SkolemRule> = m12
@@ -229,9 +225,7 @@ fn rename(t: &Term, renaming: &BTreeMap<VarId, VarId>) -> Term {
 fn substitute(t: &Term, theta: &BTreeMap<VarId, Term>) -> Term {
     match t {
         Term::Var(v) => theta.get(v).cloned().unwrap_or(Term::Var(*v)),
-        Term::App(f, args) => {
-            Term::App(*f, args.iter().map(|a| substitute(a, theta)).collect())
-        }
+        Term::App(f, args) => Term::App(*f, args.iter().map(|a| substitute(a, theta)).collect()),
     }
 }
 
@@ -256,10 +250,7 @@ pub fn two_step_chase(
 
 /// Freezes an instance: nulls become fresh constants (for chasing an
 /// intermediate instance as a source), returning the inverse map.
-pub fn freeze(
-    inst: &Instance,
-    syms: &mut SymbolTable,
-) -> (Instance, BTreeMap<ConstId, NullId>) {
+pub fn freeze(inst: &Instance, syms: &mut SymbolTable) -> (Instance, BTreeMap<ConstId, NullId>) {
     let mut inverse = BTreeMap::new();
     let mut forward: BTreeMap<NullId, ConstId> = BTreeMap::new();
     for n in inst.nulls() {
@@ -386,9 +377,7 @@ mod tests {
     #[test]
     fn multi_atom_bodies() {
         let mut syms = SymbolTable::new();
-        let m12 = vec![
-            parse_st_tgd(&mut syms, "A(x,y) -> exists u (Q(x,u) & Q(u,y))").unwrap(),
-        ];
+        let m12 = vec![parse_st_tgd(&mut syms, "A(x,y) -> exists u (Q(x,u) & Q(u,y))").unwrap()];
         let m23 = vec![parse_st_tgd(&mut syms, "Q(x,y) & Q(y,z) -> T(x,z)").unwrap()];
         let sigma13 = compose_glav(&m12, &m23, &mut syms).unwrap();
         assert_eq!(sigma13.clauses.len(), 4);
@@ -396,10 +385,8 @@ mod tests {
         let a = Value::Const(syms.constant("a"));
         let b = Value::Const(syms.constant("b"));
         let c = Value::Const(syms.constant("c"));
-        let source = Instance::from_facts([
-            Fact::new(a_rel, vec![a, b]),
-            Fact::new(a_rel, vec![b, c]),
-        ]);
+        let source =
+            Instance::from_facts([Fact::new(a_rel, vec![a, b]), Fact::new(a_rel, vec![b, c])]);
         assert!(verify_composition(&m12, &m23, &sigma13, &source, &mut syms));
     }
 

@@ -181,10 +181,7 @@ mod tests {
         let a = Value::Const(syms.constant("a"));
         let b = Value::Const(syms.constant("b"));
         let c = Value::Const(syms.constant("c"));
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![a, b]),
-            Fact::new(r, vec![b, c]),
-        ]);
+        let inst = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, c])]);
         let ans = q.evaluate(&inst);
         assert_eq!(ans, BTreeSet::from([vec![a, c]]));
     }
@@ -216,8 +213,7 @@ mod tests {
         // department, the flat one does not.
         let mut syms = SymbolTable::new();
         let sc = ndl_gen::clio_scenario(&mut syms, 2, 2, 5);
-        let q = ConjunctiveQuery::parse(&mut syms, "q(e,p) :- EmpOf(g,e) & ProjOf(g,p)")
-            .unwrap();
+        let q = ConjunctiveQuery::parse(&mut syms, "q(e,p) :- EmpOf(g,e) & ProjOf(g,p)").unwrap();
         let nested_ans = certain_answers(&q, &sc.source, &sc.nested, &mut syms);
         let flat_ans = certain_answers(&q, &sc.source, &sc.flat, &mut syms);
         assert!(!nested_ans.is_empty());
@@ -230,12 +226,8 @@ mod tests {
         // Logically inequivalent mappings that are CQ-equivalent: invented
         // values placed differently but hom-equivalently.
         let m1 = NestedMapping::parse(&mut syms, &["S(x) -> exists y R(x,y)"], &[]).unwrap();
-        let m2 = NestedMapping::parse(
-            &mut syms,
-            &["S(x) -> exists y,z (R(x,y) & R(x,z))"],
-            &[],
-        )
-        .unwrap();
+        let m2 = NestedMapping::parse(&mut syms, &["S(x) -> exists y,z (R(x,y) & R(x,z))"], &[])
+            .unwrap();
         let s = syms.rel("S");
         let family: Vec<Instance> = (0..3)
             .map(|i| {

@@ -160,8 +160,7 @@ mod tests {
             assert!(p.is_valid_for(&tgd));
             assert!(p.max_clone_multiplicity() <= 1);
         }
-        let keys: std::collections::BTreeSet<_> =
-            ps.iter().map(Pattern::canonical_key).collect();
+        let keys: std::collections::BTreeSet<_> = ps.iter().map(Pattern::canonical_key).collect();
         assert_eq!(keys.len(), 8);
         // The largest 1-pattern has both (non-isomorphic) σ3-subtree
         // variants plus σ2: σ1(σ2 σ3 σ3(σ4)) with 5 nodes.
@@ -222,7 +221,10 @@ mod tests {
         let mut syms = SymbolTable::new();
         let tgd = running_tgd(&mut syms);
         let err = k_patterns(&tgd, 4, 50).unwrap_err();
-        assert!(matches!(err, ReasoningError::PatternBudgetExceeded { budget: 50 }));
+        assert!(matches!(
+            err,
+            ReasoningError::PatternBudgetExceeded { budget: 50 }
+        ));
     }
 
     #[test]

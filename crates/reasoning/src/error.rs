@@ -26,7 +26,10 @@ impl fmt::Display for ReasoningError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReasoningError::PatternBudgetExceeded { budget } => {
-                write!(f, "k-pattern enumeration exceeded the budget of {budget} patterns")
+                write!(
+                    f,
+                    "k-pattern enumeration exceeded the budget of {budget} patterns"
+                )
             }
             ReasoningError::Failed(m) => write!(f, "reasoning failed: {m}"),
             ReasoningError::Core(e) => write!(f, "core error: {e}"),

@@ -226,9 +226,7 @@ pub fn fblock_size_bounded_by_exhaustive(
         if !facts.is_empty() {
             let inst = Instance::from_facts(facts.iter().cloned());
             if seen.insert(canonical_form(&inst)) {
-                if !m.source_egds.is_empty()
-                    && !ndl_chase::satisfies_egds(&inst, &m.source_egds)
-                {
+                if !m.source_egds.is_empty() && !ndl_chase::satisfies_egds(&inst, &m.source_egds) {
                     // Illegal source; skip but keep extending (a superset
                     // is also illegal, so prune).
                     continue;
@@ -279,12 +277,8 @@ mod tests {
     #[test]
     fn glav_mappings_are_bounded() {
         let mut syms = SymbolTable::new();
-        let m = NestedMapping::parse(
-            &mut syms,
-            &["S(x,y) -> exists z (R(x,z) & R(z,y))"],
-            &[],
-        )
-        .unwrap();
+        let m = NestedMapping::parse(&mut syms, &["S(x,y) -> exists z (R(x,z) & R(z,y))"], &[])
+            .unwrap();
         let a = has_bounded_fblock_size(&m, &mut syms, &opts()).unwrap();
         assert!(a.bounded);
         assert_eq!(a.max_observed, 2);
@@ -366,12 +360,8 @@ mod tests {
         let unconstrained = NestedMapping::parse(&mut syms, tgds, &[]).unwrap();
         let a = has_bounded_fblock_size(&unconstrained, &mut syms, &opts()).unwrap();
         assert!(!a.bounded);
-        let constrained = NestedMapping::parse(
-            &mut syms,
-            tgds,
-            &["P1(z,w1) & P1(z,w2) -> w1 = w2"],
-        )
-        .unwrap();
+        let constrained =
+            NestedMapping::parse(&mut syms, tgds, &["P1(z,w1) & P1(z,w2) -> w1 = w2"]).unwrap();
         let b = has_bounded_fblock_size(&constrained, &mut syms, &opts()).unwrap();
         assert!(b.bounded);
     }

@@ -162,8 +162,10 @@ pub fn equivalent(
     }
     let a_ctx = NestedMapping::new(a.tgds.clone(), egds.clone())?;
     let b_ctx = NestedMapping::new(b.tgds.clone(), egds)?;
-    Ok(implies_mapping(&a_ctx, &b_ctx, syms, opts)?
-        && implies_mapping(&b_ctx, &a_ctx, syms, opts)?)
+    Ok(
+        implies_mapping(&a_ctx, &b_ctx, syms, opts)?
+            && implies_mapping(&b_ctx, &a_ctx, syms, opts)?,
+    )
 }
 
 /// Finds the nested tgds of `m` that are implied by the others — a
@@ -244,11 +246,19 @@ mod tests {
         // Σ: S(x,y) -> R(x,y). σ: S(x,y) -> exists z R(x,z) — implied.
         let strong = mapping(&mut syms, &["S(x,y) -> R(x,y)"]);
         let weak = parse_nested_tgd(&mut syms, "S(x,y) -> exists z R(x,z)").unwrap();
-        assert!(implies_tgd(&strong, &weak, &mut syms, &opts()).unwrap().holds);
+        assert!(
+            implies_tgd(&strong, &weak, &mut syms, &opts())
+                .unwrap()
+                .holds
+        );
         // Converse fails.
         let weak_m = mapping(&mut syms, &["S(x,y) -> exists z R(x,z)"]);
         let strong_t = parse_nested_tgd(&mut syms, "S(x,y) -> R(x,y)").unwrap();
-        assert!(!implies_tgd(&weak_m, &strong_t, &mut syms, &opts()).unwrap().holds);
+        assert!(
+            !implies_tgd(&weak_m, &strong_t, &mut syms, &opts())
+                .unwrap()
+                .holds
+        );
     }
 
     /// The intro separation: the nested tgd is implied by a suitable GLAV
@@ -271,7 +281,11 @@ mod tests {
         assert!(implies_mapping(&nested_m, &glav, &mut syms, &opts()).unwrap());
         // ...but not conversely (the nested tgd correlates unboundedly many
         // x3 under one y).
-        assert!(!implies_tgd(&glav, &nested, &mut syms, &opts()).unwrap().holds);
+        assert!(
+            !implies_tgd(&glav, &nested, &mut syms, &opts())
+                .unwrap()
+                .holds
+        );
     }
 
     #[test]
@@ -283,7 +297,11 @@ mod tests {
         assert!(!r.holds);
         // A tgd with an empty head is vacuously implied.
         let trivial = parse_nested_tgd(&mut syms, "S(x) -> true").unwrap();
-        assert!(implies_tgd(&empty, &trivial, &mut syms, &opts()).unwrap().holds);
+        assert!(
+            implies_tgd(&empty, &trivial, &mut syms, &opts())
+                .unwrap()
+                .holds
+        );
     }
 
     #[test]
@@ -297,14 +315,22 @@ mod tests {
         let mut syms = SymbolTable::new();
         let premise_no_egd = mapping(&mut syms, &["S(x,y) -> T(y,y)"]);
         let sigma = parse_nested_tgd(&mut syms, "S(x,y) & S(x,z) -> T(y,z)").unwrap();
-        assert!(!implies_tgd(&premise_no_egd, &sigma, &mut syms, &opts()).unwrap().holds);
+        assert!(
+            !implies_tgd(&premise_no_egd, &sigma, &mut syms, &opts())
+                .unwrap()
+                .holds
+        );
         let premise_egd = NestedMapping::parse(
             &mut syms,
             &["S(x,y) -> T(y,y)"],
             &["S(x,y) & S(x,yp) -> y = yp"],
         )
         .unwrap();
-        assert!(implies_tgd(&premise_egd, &sigma, &mut syms, &opts()).unwrap().holds);
+        assert!(
+            implies_tgd(&premise_egd, &sigma, &mut syms, &opts())
+                .unwrap()
+                .holds
+        );
     }
 
     #[test]

@@ -53,8 +53,7 @@ pub use implies::{
 };
 pub use model_check::{satisfies_mapping, satisfies_nested, satisfies_plain_so, satisfies_so};
 pub use normalize::{
-    drop_vacuous_parts, normalize_mapping, prune_unused_existentials,
-    split_independent_conjuncts,
+    drop_vacuous_parts, normalize_mapping, prune_unused_existentials, split_independent_conjuncts,
 };
 pub use pattern::{Pattern, PatternNode};
 pub use realize::{realized_by_canonical, realized_patterns};

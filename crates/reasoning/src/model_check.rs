@@ -72,7 +72,16 @@ fn witness_exists(
         .filter(|y| used.contains(y))
         .collect();
     let candidates: Vec<Value> = target.adom().into_iter().collect();
-    search_witness(source, target, tgd, part, binding, &witnesses, 0, &candidates)
+    search_witness(
+        source,
+        target,
+        tgd,
+        part,
+        binding,
+        &witnesses,
+        0,
+        &candidates,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -173,7 +182,15 @@ pub fn satisfies_so(source: &Instance, target: &Instance, tgd: &SoTgd) -> bool {
         candidates.push(Value::Null(NullId(fresh_base + i as u32)));
     }
     let mut f: FuncGraph = BTreeMap::new();
-    solve(tgd, target, &obligations, 0, &mut f, &candidates, fresh_base)
+    solve(
+        tgd,
+        target,
+        &obligations,
+        0,
+        &mut f,
+        &candidates,
+        fresh_base,
+    )
 }
 
 type Point = (FuncId, Vec<Value>);
@@ -197,7 +214,14 @@ fn solve(
     // Option B: some equality fails.
     // Both options branch over values of yet-unassigned application points.
     satisfy_clause(
-        tgd, target, clause, binding, 0, f, candidates, fresh_base,
+        tgd,
+        target,
+        clause,
+        binding,
+        0,
+        f,
+        candidates,
+        fresh_base,
         &mut |f2| solve(tgd, target, obligations, i + 1, f2, candidates, fresh_base),
     )
 }
@@ -225,7 +249,15 @@ fn satisfy_clause(
                 if lv == rv {
                     // Equality holds: continue with remaining equalities.
                     satisfy_clause(
-                        tgd, target, clause, binding, eq_idx + 1, f, candidates, fresh_base, cont,
+                        tgd,
+                        target,
+                        clause,
+                        binding,
+                        eq_idx + 1,
+                        f,
+                        candidates,
+                        fresh_base,
+                        cont,
                     )
                 } else {
                     // Equality fails: the clause is vacuously satisfied.
@@ -235,7 +267,9 @@ fn satisfy_clause(
         });
     }
     // All equalities hold — every head atom must be in the target.
-    check_heads(target, clause, binding, 0, 0, f, candidates, fresh_base, cont)
+    check_heads(
+        target, clause, binding, 0, 0, f, candidates, fresh_base, cont,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -268,13 +302,29 @@ fn check_heads(
             return false;
         }
         return check_heads(
-            target, clause, binding, atom_idx + 1, 0, f, candidates, fresh_base, cont,
+            target,
+            clause,
+            binding,
+            atom_idx + 1,
+            0,
+            f,
+            candidates,
+            fresh_base,
+            cont,
         );
     }
     let term = &clause.head[atom_idx].args[arg_idx];
     eval_term(term, binding, f, candidates, fresh_base, &mut |_, f| {
         check_heads(
-            target, clause, binding, atom_idx, arg_idx + 1, f, candidates, fresh_base, cont,
+            target,
+            clause,
+            binding,
+            atom_idx,
+            arg_idx + 1,
+            f,
+            candidates,
+            fresh_base,
+            cont,
         )
     })
 }
@@ -293,21 +343,30 @@ fn eval_term(
     match term {
         Term::Var(v) => cont(binding[v], f),
         Term::App(g, args) => {
-            eval_args(args, 0, Vec::new(), binding, f, candidates, fresh_base, &mut |vals, f| {
-                let point: Point = (*g, vals.to_vec());
-                if let Some(&v) = f.get(&point) {
-                    return cont(v, f);
-                }
-                // Branch over all candidates (adom values + shared fresh).
-                for &cand in candidates {
-                    f.insert(point.clone(), cand);
-                    if cont(cand, f) {
-                        return true;
+            eval_args(
+                args,
+                0,
+                Vec::new(),
+                binding,
+                f,
+                candidates,
+                fresh_base,
+                &mut |vals, f| {
+                    let point: Point = (*g, vals.to_vec());
+                    if let Some(&v) = f.get(&point) {
+                        return cont(v, f);
                     }
-                    f.remove(&point);
-                }
-                false
-            })
+                    // Branch over all candidates (adom values + shared fresh).
+                    for &cand in candidates {
+                        f.insert(point.clone(), cand);
+                        if cont(cand, f) {
+                            return true;
+                        }
+                        f.remove(&point);
+                    }
+                    false
+                },
+            )
         }
     }
 }
@@ -449,10 +508,7 @@ mod tests {
         let source = Instance::from_facts([Fact::new(emp, vec![a])]);
         let j_self_loop = Instance::from_facts([Fact::new(mgr, vec![a, a])]);
         assert!(!satisfies_so(&source, &j_self_loop, &tgd));
-        let j_ok = Instance::from_facts([
-            Fact::new(mgr, vec![a, a]),
-            Fact::new(selfm, vec![a]),
-        ]);
+        let j_ok = Instance::from_facts([Fact::new(mgr, vec![a, a]), Fact::new(selfm, vec![a])]);
         assert!(satisfies_so(&source, &j_ok, &tgd));
         // With an external manager, no SelfMgr needed.
         let j_ext = Instance::from_facts([Fact::new(mgr, vec![a, b])]);
@@ -484,8 +540,7 @@ mod tests {
         let a = Value::Const(syms.constant("a"));
         let b = Value::Const(syms.constant("b"));
         let o = Value::Const(syms.constant("o"));
-        let source =
-            Instance::from_facts([Fact::new(s, vec![a, b]), Fact::new(q, vec![o])]);
+        let source = Instance::from_facts([Fact::new(s, vec![a, b]), Fact::new(q, vec![o])]);
         let mut nulls = NullFactory::new();
         let chased = chase_so(&source, &tgd, &mut nulls);
         assert!(satisfies_plain_so(&source, &chased, &tgd));

@@ -266,11 +266,8 @@ mod tests {
     fn split_when_independent() {
         let mut syms = SymbolTable::new();
         // Two root conjuncts with separate existentials: splittable.
-        let t = parse_nested_tgd(
-            &mut syms,
-            "forall x (S(x) -> exists y,z (R(x,y) & T(x,z)))",
-        )
-        .unwrap();
+        let t =
+            parse_nested_tgd(&mut syms, "forall x (S(x) -> exists y,z (R(x,y) & T(x,z)))").unwrap();
         let split = split_independent_conjuncts(&t);
         assert_eq!(split.len(), 2);
         for s in &split {
@@ -285,8 +282,8 @@ mod tests {
     fn no_split_when_correlated() {
         let mut syms = SymbolTable::new();
         // One shared existential: must stay together.
-        let t = parse_nested_tgd(&mut syms, "forall x (S(x) -> exists y (R(x,y) & T(x,y)))")
-            .unwrap();
+        let t =
+            parse_nested_tgd(&mut syms, "forall x (S(x) -> exists y (R(x,y) & T(x,y)))").unwrap();
         assert_eq!(split_independent_conjuncts(&t).len(), 1);
         // A nested part sharing y with a root head atom: also no split.
         let t2 = parse_nested_tgd(

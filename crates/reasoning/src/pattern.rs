@@ -6,8 +6,8 @@
 //! nesting of the labeling parts. The pattern of a chase tree forgets the
 //! variable assignments of its triggerings and keeps only the part labels.
 
-use ndl_core::prelude::*;
 use ndl_chase::{ChaseForest, TrigId};
+use ndl_core::prelude::*;
 use std::collections::BTreeMap;
 
 /// A node of a [`Pattern`].
@@ -123,8 +123,7 @@ impl Pattern {
         }
         self.nodes.iter().enumerate().all(|(i, n)| {
             n.children.iter().all(|&c| {
-                self.nodes[c].parent == Some(i)
-                    && tgd.parent(self.nodes[c].part) == Some(n.part)
+                self.nodes[c].parent == Some(i) && tgd.parent(self.nodes[c].part) == Some(n.part)
             })
         })
     }

@@ -24,11 +24,7 @@ use std::collections::BTreeMap;
 /// concrete source instance realizing the pattern; `false` means the
 /// canonical instance does not realize it (for patterns over-cloning
 /// ancestor-bound parts, no instance does).
-pub fn realized_by_canonical(
-    tgd: &NestedTgd,
-    pattern: &Pattern,
-    syms: &mut SymbolTable,
-) -> bool {
+pub fn realized_by_canonical(tgd: &NestedTgd, pattern: &Pattern, syms: &mut SymbolTable) -> bool {
     let info = SkolemInfo::for_nested(tgd, syms);
     let mut nulls = NullFactory::new();
     let pair = canonical_instances(tgd, &info, pattern, syms, &mut nulls);
@@ -64,8 +60,8 @@ mod tests {
     #[test]
     fn example_34_overclones_unrealizable() {
         let mut syms = SymbolTable::new();
-        let tgd = parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))")
-            .unwrap();
+        let tgd =
+            parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))").unwrap();
         let mut fine = Pattern::root_only(0);
         fine.add_child(0, 1);
         assert!(realized_by_canonical(&tgd, &fine, &mut syms));

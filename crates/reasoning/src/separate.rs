@@ -118,8 +118,8 @@ fn diagnose(points: &[SweepPoint]) -> Option<NotNestedReason> {
     };
     let fblock_growing = growing(&|p| p.fblock_size);
     let fdegree_flat = last3[0].fdegree == last3[2].fdegree;
-    let path_growing = last3.iter().all(|p| p.path_length.is_some())
-        && growing(&|p| p.path_length.unwrap());
+    let path_growing =
+        last3.iter().all(|p| p.path_length.is_some()) && growing(&|p| p.path_length.unwrap());
     if fblock_growing && fdegree_flat {
         return Some(NotNestedReason::FdegreeGap);
     }
@@ -233,10 +233,7 @@ mod tests {
             &[],
         )
         .unwrap();
-        let family: Vec<Instance> = [3, 5, 7]
-            .iter()
-            .map(|&n| successor(&mut syms, n))
-            .collect();
+        let family: Vec<Instance> = [3, 5, 7].iter().map(|&n| successor(&mut syms, n)).collect();
         let report = sweep_nested(&m, &family, &mut syms);
         assert_eq!(report.verdict, None);
     }

@@ -215,13 +215,12 @@ mod tests {
         let mut syms = SymbolTable::new();
         let tgds = &["forall z (Q(z) -> exists y (forall x1 (P1(z,x1) -> R(y,x1))))"];
         let free = NestedMapping::parse(&mut syms, tgds, &[]).unwrap();
-        assert!(glav_equivalent(&free, &mut syms, &opts()).unwrap().witness.is_none());
-        let keyed = NestedMapping::parse(
-            &mut syms,
-            tgds,
-            &["P1(z,w1) & P1(z,w2) -> w1 = w2"],
-        )
-        .unwrap();
+        assert!(glav_equivalent(&free, &mut syms, &opts())
+            .unwrap()
+            .witness
+            .is_none());
+        let keyed =
+            NestedMapping::parse(&mut syms, tgds, &["P1(z,w1) & P1(z,w2) -> w1 = w2"]).unwrap();
         let d = glav_equivalent(&keyed, &mut syms, &opts()).unwrap();
         assert!(d.analysis.bounded);
         let w = d.witness.unwrap();

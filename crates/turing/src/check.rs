@@ -75,13 +75,7 @@ pub fn good_cells(
     good
 }
 
-fn is_good(
-    enc: &EncodedRun,
-    schema: &RunSchema,
-    machine: &Machine,
-    t: usize,
-    p: usize,
-) -> bool {
+fn is_good(enc: &EncodedRun, schema: &RunSchema, machine: &Machine, t: usize, p: usize) -> bool {
     let inst = &enc.instance;
     let idx = &enc.indexes;
     let Some(actual) = read_cell(inst, schema, idx, t, p) else {

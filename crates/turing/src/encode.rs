@@ -54,7 +54,10 @@ impl RunSchema {
         let x2 = syms.fresh_var("kxp");
         let y = syms.fresh_var("ky");
         Egd::new(
-            vec![Atom::new(self.s, vec![x, y]), Atom::new(self.s, vec![x2, y])],
+            vec![
+                Atom::new(self.s, vec![x, y]),
+                Atom::new(self.s, vec![x2, y]),
+            ],
             (x, x2),
         )
     }
@@ -172,18 +175,10 @@ mod tests {
         assert_eq!(enc.instance.rel_len(schema.s), 5);
         assert_eq!(enc.instance.rel_len(schema.z), 1);
         // Cell facts: rows 1..=4, row t has t cells → 1+2+3+4 = 10.
-        let cells: usize = schema
-            .cell
-            .iter()
-            .map(|&r| enc.instance.rel_len(r))
-            .sum();
+        let cells: usize = schema.cell.iter().map(|&r| enc.instance.rel_len(r)).sum();
         assert_eq!(cells, 10);
         // One head fact per encoded row whose head is inside the triangle.
-        let heads: usize = schema
-            .head
-            .iter()
-            .map(|&r| enc.instance.rel_len(r))
-            .sum();
+        let heads: usize = schema.head.iter().map(|&r| enc.instance.rel_len(r)).sum();
         assert_eq!(heads, 4);
     }
 

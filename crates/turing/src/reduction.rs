@@ -63,7 +63,10 @@ pub fn build_reduction(machine: &Machine, syms: &mut SymbolTable) -> Reduction {
     let clauses = vec![
         // Good(x,y) ∧ S(y,y') → N(f(x,y'), f(x,y)).
         SoClause::new(
-            vec![Atom::new(good, vec![x, y]), Atom::new(schema.s, vec![y, yp])],
+            vec![
+                Atom::new(good, vec![x, y]),
+                Atom::new(schema.s, vec![y, yp]),
+            ],
             vec![],
             vec![TermAtom::new(n_rel, vec![fx(x, yp), fx(x, y)])],
         ),
@@ -93,7 +96,10 @@ pub fn build_reduction(machine: &Machine, syms: &mut SymbolTable) -> Reduction {
             vec![],
             vec![TermAtom::new(
                 n_rel,
-                vec![Term::app(g, vec![Term::Var(x)]), Term::app(g, vec![Term::Var(x)])],
+                vec![
+                    Term::app(g, vec![Term::Var(x)]),
+                    Term::app(g, vec![Term::Var(x)]),
+                ],
             )],
         ),
     ];
@@ -211,8 +217,14 @@ mod tests {
         let outcomes = sweep(&m, &red, &[4, 6, 8], &mut syms);
         assert!(outcomes.iter().all(|o| o.good_rows == 3));
         // Anchored block size is the same for every n past the halt time.
-        assert_eq!(outcomes[0].anchored_block_size, outcomes[1].anchored_block_size);
-        assert_eq!(outcomes[1].anchored_block_size, outcomes[2].anchored_block_size);
+        assert_eq!(
+            outcomes[0].anchored_block_size,
+            outcomes[1].anchored_block_size
+        );
+        assert_eq!(
+            outcomes[1].anchored_block_size,
+            outcomes[2].anchored_block_size
+        );
         assert!(outcomes[0].anchored_block_size > 0);
     }
 
@@ -222,9 +234,9 @@ mod tests {
         let m = forever_right();
         let red = build_reduction(&m, &mut syms);
         let outcomes = sweep(&m, &red, &[3, 5, 7], &mut syms);
-        assert!(outcomes.windows(2).all(|w| {
-            w[1].anchored_block_size > w[0].anchored_block_size
-        }));
+        assert!(outcomes
+            .windows(2)
+            .all(|w| { w[1].anchored_block_size > w[0].anchored_block_size }));
         // And per Theorem 5.2's argument the f-degree stays bounded while
         // the block grows: the enumeration is a path.
         let degrees: Vec<usize> = outcomes.iter().map(|o| o.core_fdegree).collect();

@@ -16,10 +16,11 @@ fn main() {
     let mut syms = SymbolTable::new();
 
     // Stage 1: normalize a staffing feed, inventing contract ids.
-    let m12 = vec![
-        parse_st_tgd(&mut syms, "Hire(p,team) -> exists c (Contract(p,c) & TeamOf(c,team))")
-            .unwrap(),
-    ];
+    let m12 = vec![parse_st_tgd(
+        &mut syms,
+        "Hire(p,team) -> exists c (Contract(p,c) & TeamOf(c,team))",
+    )
+    .unwrap()];
     // Stage 2: publish; invents a badge per contract.
     let m23 = vec![
         parse_st_tgd(&mut syms, "Contract(p,c) -> exists b Badge(c,b)").unwrap(),
@@ -37,7 +38,10 @@ fn main() {
     let sigma13 = compose_glav(&m12, &m23, &mut syms).expect("composition succeeds");
     println!("\ncomposed SO tgd (S1 → S3):");
     println!("  {}", sigma13.display(&syms));
-    println!("  plain? {}  (nested terms arise from invention over invention)", sigma13.is_plain());
+    println!(
+        "  plain? {}  (nested terms arise from invention over invention)",
+        sigma13.is_plain()
+    );
     assert!(!sigma13.is_plain());
 
     // Semantic verification on a concrete feed.
@@ -71,7 +75,13 @@ fn main() {
     let ans = certain_answers(&q, &source, &glav13, &mut syms);
     println!("\ncertain answers of {}:", q.display(&syms));
     for t in &ans {
-        println!("  ({})", t.iter().map(|v| v.display(&syms).to_string()).collect::<Vec<_>>().join(", "));
+        println!(
+            "  ({})",
+            t.iter()
+                .map(|v| v.display(&syms).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
     assert_eq!(ans.len(), 2);
     // Badge column: nothing certain.
@@ -81,7 +91,10 @@ fn main() {
         .iter()
         .filter(|t| t.iter().all(|v| v.is_const()))
         .collect();
-    println!("\nBadge answers over the universal solution: {} (certain: {})",
-        direct_answers.len(), certain.len());
+    println!(
+        "\nBadge answers over the universal solution: {} (certain: {})",
+        direct_answers.len(),
+        certain.len()
+    );
     assert!(certain.is_empty());
 }

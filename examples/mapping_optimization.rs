@@ -47,7 +47,10 @@ fn main() {
     )
     .unwrap();
     assert!(equivalent(&mapping, &minimized, &mut syms, &opts).unwrap());
-    println!("minimized mapping is equivalent ✓ ({} tgds)", minimized.tgds.len());
+    println!(
+        "minimized mapping is equivalent ✓ ({} tgds)",
+        minimized.tgds.len()
+    );
 
     // --- 2. Language downgrade ------------------------------------------
     println!("\nGLAV-expressibility audit:");

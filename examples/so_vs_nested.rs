@@ -40,12 +40,12 @@ fn print_report(name: &str, report: &SeparationReport) {
         );
     }
     match report.verdict {
-        Some(NotNestedReason::FdegreeGap) => println!(
-            "  => NOT nested-GLAV-expressible: f-blocks grow, f-degree bounded (Thm 4.12)"
-        ),
-        Some(NotNestedReason::UnboundedPathLength) => println!(
-            "  => NOT nested-GLAV-expressible: null-graph path length grows (Thm 4.16)"
-        ),
+        Some(NotNestedReason::FdegreeGap) => {
+            println!("  => NOT nested-GLAV-expressible: f-blocks grow, f-degree bounded (Thm 4.12)")
+        }
+        Some(NotNestedReason::UnboundedPathLength) => {
+            println!("  => NOT nested-GLAV-expressible: null-graph path length grows (Thm 4.16)")
+        }
         None => println!("  => no separation evidence on this family"),
     }
 }
@@ -57,7 +57,10 @@ fn main() {
     let tau = parse_so_tgd(&mut syms, "exists f . S(x,y) -> R(f(x),f(y))").unwrap();
     let family = successor_family(&mut syms, false, &[4, 6, 8, 10]);
     let report = sweep_so(&tau, &family);
-    print_report("τ = S(x,y) → R(f(x),f(y))   on successor relations", &report);
+    print_report(
+        "τ = S(x,y) → R(f(x),f(y))   on successor relations",
+        &report,
+    );
     assert_eq!(report.verdict, Some(NotNestedReason::FdegreeGap));
 
     // --- Example 4.14: path-length separation ----------------------------
@@ -103,7 +106,11 @@ fn main() {
         let so_chase = chase_so(inst, &sigma_p, &mut nulls);
         let (nested_chase, _) = chase_mapping(inst, &nested, &mut syms);
         let agree = hom_equivalent(&so_chase, &nested_chase.target);
-        println!("  |I| = {:2}: {}", inst.len(), if agree { "✓" } else { "✗" });
+        println!(
+            "  |I| = {:2}: {}",
+            inst.len(),
+            if agree { "✓" } else { "✗" }
+        );
         assert!(agree);
     }
     println!("\nall checks passed");

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ndl parse    (--nested|--st|--so|--egd) "<dependency>"
+//! ndl lint     <file> [--json] [--max-depth N] [--max-skolem-arity N]
 //! ndl skolemize "<nested tgd>"
 //! ndl chase    --tgd "<nested tgd>"... --fact "R(a,b)"... [--egd "<egd>"...] [--core]
 //! ndl implies  --premise "<tgd>"... [--egd "<egd>"...] --conclusion "<tgd>"
@@ -12,7 +13,10 @@
 //! ```
 //!
 //! All dependencies use the library's text syntax (see the README).
+//! `lint` exits with the number of error- and warning-severity diagnostics
+//! (capped at 100), so `ndl lint file && deploy` gates on a clean program.
 
+use nested_deps::analyze;
 use nested_deps::prelude::*;
 use nested_deps::reasoning::{certain_answers, compose_glav, ConjunctiveQuery};
 use std::process::ExitCode;
@@ -20,7 +24,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ndl parse (--nested|--st|--so|--egd) \"<dependency>\"
+  ndl lint <file> [--json] [--max-depth N] [--max-skolem-arity N]
   ndl skolemize \"<nested tgd>\"
   ndl chase --tgd \"<tgd>\"... --fact \"R(a,b)\"... [--egd \"<egd>\"...] [--core]
   ndl implies --premise \"<tgd>\"... [--egd \"<egd>\"...] --conclusion \"<tgd>\"
@@ -85,23 +90,67 @@ fn parse_facts(syms: &mut SymbolTable, facts: &[&str]) -> std::result::Result<In
     Ok(inst)
 }
 
-fn run(args: &[String]) -> CliResult {
+fn run(args: &[String]) -> std::result::Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     let rest = &args[1..];
     let mut syms = SymbolTable::new();
+    let done = |r: CliResult| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "parse" => cmd_parse(&mut syms, rest),
-        "skolemize" => cmd_skolemize(&mut syms, rest),
-        "chase" => cmd_chase(&mut syms, rest),
-        "implies" => cmd_implies(&mut syms, rest),
-        "equiv" => cmd_equiv(&mut syms, rest),
-        "classify" => cmd_classify(&mut syms, rest),
-        "compose" => cmd_compose(&mut syms, rest),
-        "certain" => cmd_certain(&mut syms, rest),
+        "parse" => done(cmd_parse(&mut syms, rest)),
+        "lint" => cmd_lint(&mut syms, rest),
+        "skolemize" => done(cmd_skolemize(&mut syms, rest)),
+        "chase" => done(cmd_chase(&mut syms, rest)),
+        "implies" => done(cmd_implies(&mut syms, rest)),
+        "equiv" => done(cmd_equiv(&mut syms, rest)),
+        "classify" => done(cmd_classify(&mut syms, rest)),
+        "compose" => done(cmd_compose(&mut syms, rest)),
+        "certain" => done(cmd_certain(&mut syms, rest)),
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// `ndl lint <file> [--json] [--max-depth N] [--max-skolem-arity N]`
+///
+/// Exit code is the number of error/warning diagnostics, capped at 100 —
+/// zero exactly when the program is clean (info findings don't fail).
+fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<ExitCode, String> {
+    let path = args
+        .iter()
+        .find(|a| {
+            !a.starts_with("--")
+                && flag_values(args, "--max-depth").first() != Some(&a.as_str())
+                && flag_values(args, "--max-skolem-arity").first() != Some(&a.as_str())
+        })
+        .ok_or("missing program file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut opts = LintOptions::default();
+    for flag in ["--max-depth", "--max-skolem-arity"] {
+        if has_flag(args, flag) && flag_values(args, flag).is_empty() {
+            return Err(format!("{flag} requires a value"));
+        }
+    }
+    if let Some(v) = flag_values(args, "--max-depth").first() {
+        opts.max_depth = v.parse().map_err(|_| format!("bad --max-depth {v:?}"))?;
+    }
+    if let Some(v) = flag_values(args, "--max-skolem-arity").first() {
+        opts.max_skolem_arity = v
+            .parse()
+            .map_err(|_| format!("bad --max-skolem-arity {v:?}"))?;
+    }
+    let diags = lint_source(syms, &src, &opts);
+    if has_flag(args, "--json") {
+        println!("{}", analyze::to_json(&diags));
+    } else {
+        print!("{}", analyze::render(&diags, path, &src));
+        println!("{}", analyze::summary(&diags));
+    }
+    let failing = diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .count();
+    Ok(ExitCode::from(failing.min(100) as u8))
 }
 
 fn cmd_parse(syms: &mut SymbolTable, args: &[String]) -> CliResult {
@@ -113,7 +162,11 @@ fn cmd_parse(syms: &mut SymbolTable, args: &[String]) -> CliResult {
         let t = parse_so_tgd(syms, text).map_err(err)?;
         let mut schema = Schema::new();
         t.validate(&mut schema).map_err(err)?;
-        println!("SO tgd ({}): {}", if t.is_plain() { "plain" } else { "full" }, t.display(syms));
+        println!(
+            "SO tgd ({}): {}",
+            if t.is_plain() { "plain" } else { "full" },
+            t.display(syms)
+        );
     } else if has_flag(args, "--egd") {
         let e = parse_egd(syms, text).map_err(err)?;
         let mut schema = Schema::new();
@@ -153,7 +206,11 @@ fn cmd_skolemize(syms: &mut SymbolTable, args: &[String]) -> CliResult {
 }
 
 fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
-    let m = parse_mapping(syms, &flag_values(args, "--tgd"), &flag_values(args, "--egd"))?;
+    let m = parse_mapping(
+        syms,
+        &flag_values(args, "--tgd"),
+        &flag_values(args, "--egd"),
+    )?;
     let source = parse_facts(syms, &flag_values(args, "--fact"))?;
     if !satisfies_egds(&source, &m.source_egds) {
         return Err("source instance violates the source egds".into());
@@ -189,8 +246,8 @@ fn cmd_implies(syms: &mut SymbolTable, args: &[String]) -> CliResult {
     }
     for text in conclusion_texts {
         let conclusion = parse_nested_tgd(syms, text).map_err(err)?;
-        let report = implies_tgd(&premise, &conclusion, syms, &ImpliesOptions::default())
-            .map_err(err)?;
+        let report =
+            implies_tgd(&premise, &conclusion, syms, &ImpliesOptions::default()).map_err(err)?;
         println!(
             "Σ ⊨ σ: {}   (v = {}, w = {}, k = {}, {} patterns checked)",
             report.holds, report.v, report.w, report.k, report.patterns_checked
@@ -213,7 +270,11 @@ fn cmd_equiv(syms: &mut SymbolTable, args: &[String]) -> CliResult {
 }
 
 fn cmd_classify(syms: &mut SymbolTable, args: &[String]) -> CliResult {
-    let m = parse_mapping(syms, &flag_values(args, "--tgd"), &flag_values(args, "--egd"))?;
+    let m = parse_mapping(
+        syms,
+        &flag_values(args, "--tgd"),
+        &flag_values(args, "--egd"),
+    )?;
     let d = glav_equivalent(&m, syms, &FblockOptions::default()).map_err(err)?;
     println!(
         "f-block size bounded: {} (clone bound k = {})",
@@ -266,13 +327,21 @@ fn cmd_compose(syms: &mut SymbolTable, args: &[String]) -> CliResult {
 }
 
 fn cmd_certain(syms: &mut SymbolTable, args: &[String]) -> CliResult {
-    let m = parse_mapping(syms, &flag_values(args, "--tgd"), &flag_values(args, "--egd"))?;
+    let m = parse_mapping(
+        syms,
+        &flag_values(args, "--tgd"),
+        &flag_values(args, "--egd"),
+    )?;
     let source = parse_facts(syms, &flag_values(args, "--fact"))?;
     let query_text = flag_values(args, "--query");
     let query_text = query_text.first().ok_or("missing --query")?;
     let q = ConjunctiveQuery::parse(syms, query_text).map_err(err)?;
     let answers = certain_answers(&q, &source, &m, syms);
-    println!("certain answers of {} ({}):", q.display(syms), answers.len());
+    println!(
+        "certain answers of {} ({}):",
+        q.display(syms),
+        answers.len()
+    );
     for t in answers {
         println!(
             "  ({})",

@@ -18,7 +18,9 @@
 //!   and path-length separation tools (Thms. 4.12/4.16), all also in the
 //!   presence of source egds (Thms. 5.5–5.7) ([`reasoning`]);
 //! - workload generators ([`gen`]) and the Theorem 5.1 Turing-machine
-//!   reduction ([`turing`]).
+//!   reduction ([`turing`]);
+//! - a static analyzer for dependency programs with spanned diagnostics
+//!   and stable `NDL0xx` lint codes ([`analyze`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@
 //! assert!(!decision.analysis.bounded);
 //! ```
 
+pub use ndl_analyze as analyze;
 pub use ndl_chase as chase;
 pub use ndl_core as core;
 pub use ndl_gen as gen;
@@ -58,10 +61,11 @@ pub use ndl_turing as turing;
 
 /// One-stop re-exports for applications.
 pub mod prelude {
+    pub use ndl_analyze::{lint_source, Diagnostic, LintOptions, Severity};
     pub use ndl_chase::{
-        all_matches, chase_egds, chase_mapping, chase_nested, chase_so, chase_st,
-        satisfies_egds, Binding, ChaseForest, ChaseResult, EgdChase, EgdConflict, NullFactory,
-        Prepared, RigidPolicy, Triggering,
+        all_matches, chase_egds, chase_mapping, chase_nested, chase_so, chase_st, satisfies_egds,
+        Binding, ChaseForest, ChaseResult, EgdChase, EgdConflict, NullFactory, Prepared,
+        RigidPolicy, Triggering,
     };
     pub use ndl_core::prelude::*;
     pub use ndl_gen::{
@@ -69,15 +73,15 @@ pub mod prelude {
         successor_with_zero, ClioScenario, InstanceGenOptions, TgdGenOptions,
     };
     pub use ndl_hom::{
-        core_of, f_block_size, f_blocks, f_degree, find_homomorphism, hom_equivalent,
-        homomorphic, is_core, null_path_length, verify_core, FactGraph, HomMap, NullGraph,
+        core_of, f_block_size, f_blocks, f_degree, find_homomorphism, hom_equivalent, homomorphic,
+        is_core, null_path_length, verify_core, FactGraph, HomMap, NullGraph,
     };
     pub use ndl_reasoning::{
         canonical_instances, clone_bound, equivalent, glav_equivalent, has_bounded_fblock_size,
         implies_mapping, implies_tgd, k_patterns, legalize, redundant_tgds, satisfies_mapping,
-        satisfies_nested, satisfies_plain_so, satisfies_so, sweep_nested, sweep_so,
-        CanonicalPair, FblockAnalysis, FblockOptions, GlavDecision, ImpliesOptions,
-        ImpliesReport, NotNestedReason, Pattern, ReasoningError, SeparationReport,
+        satisfies_nested, satisfies_plain_so, satisfies_so, sweep_nested, sweep_so, CanonicalPair,
+        FblockAnalysis, FblockOptions, GlavDecision, ImpliesOptions, ImpliesReport,
+        NotNestedReason, Pattern, ReasoningError, SeparationReport,
     };
     pub use ndl_turing::{
         build_reduction, busy_halter, forever_bounce, forever_right, Machine, Reduction,

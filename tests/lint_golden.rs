@@ -1,0 +1,99 @@
+//! Golden tests for `ndl lint --json` over the fixture programs in
+//! `tests/lints/`: stable codes, severities, line/column anchors, exit
+//! codes, and the JSON ↔ library round trip.
+
+use nested_deps::analyze::{self, lint_source, Diagnostic, LintOptions, Severity};
+use nested_deps::prelude::SymbolTable;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/lints/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs `ndl lint --json <fixture>` and returns (exit code, diagnostics).
+fn lint_json(name: &str) -> (i32, Vec<Diagnostic>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ndl"))
+        .args(["lint", "--json", &fixture(name)])
+        .output()
+        .expect("ndl runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let diags = analyze::from_json(&stdout).expect("CLI emits valid diagnostic JSON");
+    (out.status.code().expect("exit code"), diags)
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.code.as_str()).collect()
+}
+
+#[test]
+fn paper_running_example_is_clean() {
+    let (code, diags) = lint_json("paper_running.ndl");
+    assert_eq!(code, 0);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn mixed_fixture_reports_all_three_findings() {
+    let (code, diags) = lint_json("mixed.ndl");
+    assert_eq!(codes(&diags), ["NDL002", "NDL012", "NDL016"]);
+    // Unsafe variable z, anchored on its quantifier-list occurrence.
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert_eq!(diags[0].statement, Some(0));
+    assert_eq!((diags[0].line, diags[0].col), (Some(3), Some(10)));
+    // Non-normalized statement, spanning the whole statement.
+    assert_eq!(diags[1].severity, Severity::Warning);
+    assert_eq!(diags[1].statement, Some(1));
+    assert_eq!((diags[1].line, diags[1].col), (Some(4), Some(1)));
+    let span = diags[1].span.expect("statement span");
+    assert_eq!(span.len(), "P(x) -> (Q1(x) & Q2(x))".len());
+    // Mapping-level cyclic-null warning: no statement, no span.
+    assert_eq!(diags[2].severity, Severity::Warning);
+    assert_eq!(diags[2].statement, None);
+    assert_eq!(diags[2].span, None);
+    // Exit code counts error- and warning-severity findings.
+    assert_eq!(code, 3);
+}
+
+#[test]
+fn errors_fixture_covers_the_core_error_codes() {
+    let (code, diags) = lint_json("errors.ndl");
+    assert_eq!(codes(&diags), ["NDL001", "NDL003", "NDL005", "NDL006"]);
+    assert!(diags.iter().all(Diagnostic::is_error));
+    let positions: Vec<_> = diags.iter().map(|d| (d.line, d.col)).collect();
+    assert_eq!(
+        positions,
+        [
+            (Some(3), Some(5)),  // parse error at the dangling arrow
+            (Some(4), Some(15)), // unbound y in the head
+            (Some(5), Some(9)),  // the conflicting S3/2 occurrence
+            (Some(6), Some(1)),  // R3 re-used on the source side
+        ]
+    );
+    assert_eq!(code, 4);
+}
+
+#[test]
+fn cli_json_matches_library_output() {
+    for name in ["paper_running.ndl", "mixed.ndl", "errors.ndl"] {
+        let (_, cli) = lint_json(name);
+        let src = std::fs::read_to_string(fixture(name)).unwrap();
+        let mut syms = SymbolTable::new();
+        let lib = lint_source(&mut syms, &src, &LintOptions::default());
+        assert_eq!(cli, lib, "CLI and library disagree on {name}");
+        // And the library's own JSON round-trips losslessly.
+        assert_eq!(analyze::from_json(&analyze::to_json(&lib)).unwrap(), lib);
+    }
+}
+
+#[test]
+fn human_rendering_carets_the_offending_token() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ndl"))
+        .args(["lint", &fixture("mixed.ndl")])
+        .output()
+        .expect("ndl runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[NDL002]: universal variable z"));
+    assert!(text.contains("3 | forall x,z (S(x) -> R(x))"));
+    assert!(text.contains("  |          ^"));
+    assert!(text.contains("1 error, 2 warnings, 0 info"));
+}

@@ -35,7 +35,11 @@ fn universal_solutions_map_into_all_solutions() {
     ];
     for j in &solutions {
         assert!(satisfies_mapping(&source, j, &m), "{}", j.display(&syms));
-        assert!(homomorphic(&res.target, j), "chase must map into {}", j.display(&syms));
+        assert!(
+            homomorphic(&res.target, j),
+            "chase must map into {}",
+            j.display(&syms)
+        );
     }
     // A non-solution: the chase does NOT map into it.
     let non_solution = Instance::from_facts([Fact::new(r, vec![b, a])]);
@@ -48,8 +52,8 @@ fn universal_solutions_map_into_all_solutions() {
 #[test]
 fn closure_under_target_homomorphisms() {
     let mut syms = SymbolTable::new();
-    let m = NestedMapping::parse(&mut syms, &["S(x) -> exists y,z (R(x,y) & R(y,z))"], &[])
-        .unwrap();
+    let m =
+        NestedMapping::parse(&mut syms, &["S(x) -> exists y,z (R(x,y) & R(y,z))"], &[]).unwrap();
     let s = syms.rel("S");
     let a = Value::Const(syms.constant("a"));
     let source = Instance::from_facts([Fact::new(s, vec![a])]);
@@ -93,20 +97,14 @@ fn emp_mgr_selfmgr_semantics() {
     let b = Value::Const(syms.constant("bo"));
     let source = Instance::from_facts([Fact::new(emp, vec![a]), Fact::new(emp, vec![b])]);
     // Everyone managed by bo; bo manages himself, so SelfMgr(bo) required.
-    let j_missing = Instance::from_facts([
-        Fact::new(mgr, vec![a, b]),
-        Fact::new(mgr, vec![b, b]),
-    ]);
+    let j_missing = Instance::from_facts([Fact::new(mgr, vec![a, b]), Fact::new(mgr, vec![b, b])]);
     assert!(!satisfies_so(&source, &j_missing, &sigma));
     let mut j_ok = j_missing.clone();
     j_ok.insert(Fact::new(selfm, vec![b]));
     assert!(satisfies_so(&source, &j_ok, &sigma));
     // External management never forces SelfMgr.
     let ext = Value::Const(syms.constant("root"));
-    let j_ext = Instance::from_facts([
-        Fact::new(mgr, vec![a, ext]),
-        Fact::new(mgr, vec![b, ext]),
-    ]);
+    let j_ext = Instance::from_facts([Fact::new(mgr, vec![a, ext]), Fact::new(mgr, vec![b, ext])]);
     assert!(satisfies_so(&source, &j_ext, &sigma));
 }
 

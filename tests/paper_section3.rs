@@ -69,7 +69,10 @@ fn section2_skolemization() {
     assert!(so.is_plain());
     let y1 = syms.find_var("y1").unwrap();
     let y2 = syms.find_var("y2").unwrap();
-    assert_eq!(info.term_for(y1).unwrap().display(&syms).to_string(), "f(x1)");
+    assert_eq!(
+        info.term_for(y1).unwrap().display(&syms).to_string(),
+        "f(x1)"
+    );
     assert_eq!(
         info.term_for(y2).unwrap().display(&syms).to_string(),
         "g(x1,x3,x4)"
@@ -87,8 +90,7 @@ fn example_310_implies() {
     )
     .unwrap();
     let tau_p = NestedMapping::parse(&mut syms, &["S2(x2) -> exists z R(x2,z)"], &[]).unwrap();
-    let tau_pp =
-        NestedMapping::parse(&mut syms, &["S1(x1) & S2(x2) -> R(x2,x1)"], &[]).unwrap();
+    let tau_pp = NestedMapping::parse(&mut syms, &["S1(x1) & S2(x2) -> R(x2,x1)"], &[]).unwrap();
     let opts = ImpliesOptions::default();
 
     let r1 = implies_tgd(&tau_p, &tau, &mut syms, &opts).unwrap();
@@ -177,8 +179,7 @@ fn chase_trees_share_no_nulls() {
 #[test]
 fn example_34_unrealizable_patterns_are_harmless() {
     let mut syms = SymbolTable::new();
-    let sigma = parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))")
-        .unwrap();
+    let sigma = parse_nested_tgd(&mut syms, "forall x1 (S1(x1) -> ((S2(x1) -> T2(x1))))").unwrap();
     let m = NestedMapping::new(vec![sigma.clone()], vec![]).unwrap();
     // Equivalent single s-t tgd.
     let st = NestedMapping::parse(&mut syms, &["S1(x1) & S2(x1) -> T2(x1)"], &[]).unwrap();

@@ -133,7 +133,9 @@ fn theorem_410_exhaustive_cross_check() {
         &[],
     )
     .unwrap();
-    assert!(!fblock_size_bounded_by_exhaustive(&unbounded, 2, 4, &mut syms2));
+    assert!(!fblock_size_bounded_by_exhaustive(
+        &unbounded, 2, 4, &mut syms2
+    ));
 }
 
 use ndl_reasoning::fblock_size_bounded_by_exhaustive;

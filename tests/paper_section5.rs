@@ -48,7 +48,11 @@ fn theorem_57_implication_with_egds() {
     )
     .unwrap();
     let sigma = parse_nested_tgd(&mut syms, "S(x,y) & S(x,z) -> T(y,z)").unwrap();
-    assert!(implies_tgd(&premise, &sigma, &mut syms, &opts).unwrap().holds);
+    assert!(
+        implies_tgd(&premise, &sigma, &mut syms, &opts)
+            .unwrap()
+            .holds
+    );
     // Nested conclusion under egds.
     let nested_conclusion = parse_nested_tgd(
         &mut syms,
@@ -57,14 +61,18 @@ fn theorem_57_implication_with_egds() {
     .unwrap();
     // Premise gives T(y,y); under the egd, z = y for the nested part and
     // u := y works.
-    assert!(implies_tgd(&premise, &nested_conclusion, &mut syms, &opts)
-        .unwrap()
-        .holds);
+    assert!(
+        implies_tgd(&premise, &nested_conclusion, &mut syms, &opts)
+            .unwrap()
+            .holds
+    );
     // Without the egd the same implication fails.
     let premise_free = NestedMapping::parse(&mut syms, &["S(x,y) -> T(y,y)"], &[]).unwrap();
-    assert!(!implies_tgd(&premise_free, &nested_conclusion, &mut syms, &opts)
-        .unwrap()
-        .holds);
+    assert!(
+        !implies_tgd(&premise_free, &nested_conclusion, &mut syms, &opts)
+            .unwrap()
+            .holds
+    );
 }
 
 /// Theorem 5.6: GLAV-equivalence stays decidable with egds, and the
@@ -77,8 +85,7 @@ fn theorem_56_glav_equivalence_with_egds() {
     let free = NestedMapping::parse(&mut syms, tgds, &[]).unwrap();
     let d_free = glav_equivalent(&free, &mut syms, &opts).unwrap();
     assert!(d_free.witness.is_none());
-    let keyed = NestedMapping::parse(&mut syms, tgds, &["P1(z,w1) & P1(z,w2) -> w1 = w2"])
-        .unwrap();
+    let keyed = NestedMapping::parse(&mut syms, tgds, &["P1(z,w1) & P1(z,w2) -> w1 = w2"]).unwrap();
     let d_keyed = glav_equivalent(&keyed, &mut syms, &opts).unwrap();
     assert!(d_keyed.analysis.bounded);
     let witness = d_keyed.witness.unwrap();
@@ -96,7 +103,9 @@ fn theorem_51_reduction_observable() {
     let halter = busy_halter(2);
     let red = build_reduction(&halter, &mut syms);
     let outs = sweep(&halter, &red, &[4, 6, 8], &mut syms);
-    assert!(outs.windows(2).all(|w| w[0].anchored_block_size == w[1].anchored_block_size));
+    assert!(outs
+        .windows(2)
+        .all(|w| w[0].anchored_block_size == w[1].anchored_block_size));
     // Non-halting (two different non-halting machines).
     for machine in [forever_right(), forever_bounce()] {
         let mut syms2 = SymbolTable::new();
@@ -161,7 +170,10 @@ fn key_dependency_discipline() {
     let red = build_reduction(&machine, &mut syms);
     let run = machine.run(&[], 10);
     let enc = nested_deps::turing::encode_run(&run, 5, &red.schema, &mut syms, "k_");
-    assert!(satisfies_egds(&enc.instance, std::slice::from_ref(&red.key)));
+    assert!(satisfies_egds(
+        &enc.instance,
+        std::slice::from_ref(&red.key)
+    ));
     // An adversarial source with two predecessors of one element violates
     // the key dependency and is rejected by the egd chase.
     let mut bad = enc.instance.clone();

@@ -269,6 +269,92 @@ proptest! {
         }
     }
 
+    /// Pretty-print → parse round-trip for nested tgds: the parser accepts
+    /// every rendering the printer produces, and re-rendering is a fixed
+    /// point.
+    #[test]
+    fn nested_tgd_display_parse_round_trips(seed in 0u64..5_000, depth in 1usize..4) {
+        let mut syms = SymbolTable::new();
+        let tgd = random_nested_tgd(
+            &mut syms,
+            "rt",
+            &TgdGenOptions { max_depth: depth, max_children: 2, existential_prob: 0.6, seed },
+        );
+        let text = tgd.display(&syms);
+        let reparsed = parse_nested_tgd(&mut syms, &text);
+        prop_assert!(reparsed.is_ok(), "reparse failed on {}: {:?}", text, reparsed.err());
+        prop_assert_eq!(reparsed.unwrap().display(&syms), text);
+    }
+
+    /// Pretty-print → parse round-trip for s-t tgds and the SO tgds
+    /// produced by Skolemization.
+    #[test]
+    fn st_and_so_display_parse_round_trips(seed in 0u64..5_000) {
+        let mut syms = SymbolTable::new();
+        let tgd = random_nested_tgd(
+            &mut syms,
+            "rs",
+            &TgdGenOptions { max_depth: 1, max_children: 1, existential_prob: 0.6, seed },
+        );
+        let st = tgd.to_st_tgd().expect("depth-1 tgd is an s-t tgd");
+        let st_text = st.display(&syms);
+        let st_back = parse_st_tgd(&mut syms, &st_text);
+        prop_assert!(st_back.is_ok(), "s-t reparse failed on {}: {:?}", st_text, st_back.err());
+        prop_assert_eq!(st_back.unwrap().display(&syms), st_text);
+
+        let deep = random_nested_tgd(
+            &mut syms,
+            "rq",
+            &TgdGenOptions { max_depth: 3, max_children: 2, existential_prob: 0.7, seed },
+        );
+        let (so, _) = skolemize(&deep, &mut syms);
+        let so_text = so.display(&syms);
+        let so_back = parse_so_tgd(&mut syms, &so_text);
+        prop_assert!(so_back.is_ok(), "SO reparse failed on {}: {:?}", so_text, so_back.err());
+        prop_assert_eq!(so_back.unwrap().display(&syms), so_text);
+    }
+
+    /// Pretty-print → parse round-trip for egds (key constraints over
+    /// random arities and key positions).
+    #[test]
+    fn egd_display_parse_round_trips(arity in 1usize..5, key in 0usize..4) {
+        let mut syms = SymbolTable::new();
+        let rel = syms.rel("K");
+        let key = key.min(arity.saturating_sub(1));
+        for egd in Egd::key(&mut syms, rel, arity, &[key]) {
+            let text = egd.display(&syms);
+            let back = parse_egd(&mut syms, &text);
+            prop_assert!(back.is_ok(), "egd reparse failed on {}: {:?}", text, back.err());
+            prop_assert_eq!(back.unwrap().display(&syms), text);
+        }
+    }
+
+    /// The analyzer never reports error-severity diagnostics on well-formed
+    /// generated programs (warnings and info findings are fine).
+    #[test]
+    fn lint_accepts_generated_programs(seed in 0u64..2_000, n in 1usize..4) {
+        let mut syms = SymbolTable::new();
+        let mut src = String::new();
+        for i in 0..n {
+            let tgd = random_nested_tgd(
+                &mut syms,
+                &format!("l{seed}_{i}"),
+                &TgdGenOptions {
+                    max_depth: 3,
+                    max_children: 2,
+                    existential_prob: 0.7,
+                    seed: seed.wrapping_add(i as u64),
+                },
+            );
+            src.push_str(&tgd.display(&syms));
+            src.push('\n');
+        }
+        let diags = lint_source(&mut syms, &src, &LintOptions::default());
+        for d in &diags {
+            prop_assert!(d.severity != Severity::Error, "unexpected error {:?} on:\n{}", d, src);
+        }
+    }
+
     /// Legal canonical instances always satisfy the source egds
     /// (Definition 5.4).
     #[test]
