@@ -15,4 +15,10 @@ echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> engine tests: cargo test -q -p ndl-hom"
+cargo test -q -p ndl-hom --offline
+
+echo "==> benches compile: cargo bench --no-run"
+cargo bench --no-run --offline
+
 echo "CI green."

@@ -1,0 +1,94 @@
+//! Large-input homomorphism/core workloads (10² – 10⁴ facts) exercising
+//! the indexed engine: grid and random targets from `ndl-gen`. The
+//! scan-engine comparison (and the committed `BENCH_hom.json` numbers)
+//! lives in the `bench_hom` binary; these groups track the production
+//! engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_core::prelude::*;
+use ndl_gen::{abstract_subpattern, grid, random_target_instance, TargetGenOptions};
+use ndl_hom::{core_of, find_homomorphism};
+
+/// Grid side lengths giving ~10², ~10³ and ~10⁴ facts
+/// (a `w × w` grid has `2·w·(w-1)` edges).
+const GRID_SIDES: [usize; 3] = [8, 23, 71];
+
+fn bench_hom_large_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom_large/grid");
+    group.sample_size(10);
+    for &w in &GRID_SIDES {
+        let mut syms = SymbolTable::new();
+        let h = syms.rel("H");
+        let v = syms.rel("V");
+        let target = grid(&mut syms, h, v, w, w, "g");
+        let pattern = abstract_subpattern(&target, 8, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(target.len()),
+            &(pattern, target),
+            |b, (p, t)| b.iter(|| find_homomorphism(p, t).is_some()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hom_large_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom_large/random");
+    group.sample_size(10);
+    for &facts in &[100usize, 1_000, 10_000] {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let q = syms.rel("Q");
+        let target = random_target_instance(
+            &mut syms,
+            &[(s, 2), (q, 3)],
+            &TargetGenOptions {
+                facts,
+                // Medium density (domain ~ facts/2): the pattern stays
+                // nontrivial, while the scan baseline, which explodes on
+                // dense targets, stays measurable.
+                domain: (facts / 2).max(8),
+                redundant_nulls: 0,
+                seed: 7,
+            },
+        );
+        let pattern = abstract_subpattern(&target, 8, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(facts),
+            &(pattern, target),
+            |b, (p, t)| b.iter(|| find_homomorphism(p, t).is_some()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_core_large_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_large/random");
+    group.sample_size(10);
+    for &facts in &[100usize, 1_000, 10_000] {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let q = syms.rel("Q");
+        let inst = random_target_instance(
+            &mut syms,
+            &[(s, 2), (q, 3)],
+            &TargetGenOptions {
+                facts,
+                domain: (facts / 5).max(4),
+                redundant_nulls: (facts / 10).min(50),
+                seed: 7,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &inst, |b, j| {
+            b.iter(|| core_of(j).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hom_large_grid,
+    bench_hom_large_random,
+    bench_core_large_random
+);
+criterion_main!(benches);

@@ -5,40 +5,46 @@
 //! the model checkers in `ndl-reasoning`.
 
 use ndl_core::prelude::*;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A (partial) variable assignment.
 pub type Binding = BTreeMap<VarId, Value>;
 
-/// An indexed matcher over one instance: hash indexes `(rel, pos, value) →
-/// tuples` accelerate trigger enumeration when the same instance is
-/// matched against many times (every chase engine does this — one
-/// triggering per body match, thousands of matches per chase).
+/// An indexed matcher over one instance: a shared [`TupleIndex`]
+/// (`(rel, pos, value) → tuples`) accelerates trigger enumeration when the
+/// same instance is matched against many times (every chase engine does
+/// this — one triggering per body match, thousands of matches per chase).
 ///
 /// One-shot callers can keep using the free functions, which scan.
 pub struct Matcher<'a> {
     instance: &'a Instance,
-    /// `(rel, position, value) → tuples with that value at that position`.
-    index: HashMap<(RelId, u32, Value), Vec<&'a Vec<Value>>>,
+    index: TupleIndex,
 }
 
 impl<'a> Matcher<'a> {
     /// Builds the index (O(total tuple cells)).
     pub fn new(instance: &'a Instance) -> Self {
-        let mut index: HashMap<(RelId, u32, Value), Vec<&'a Vec<Value>>> = HashMap::new();
-        for rel in instance.active_relations().collect::<Vec<_>>() {
-            for tuple in instance.tuples(rel) {
-                for (pos, &v) in tuple.iter().enumerate() {
-                    index.entry((rel, pos as u32, v)).or_default().push(tuple);
-                }
-            }
+        Matcher {
+            instance,
+            index: TupleIndex::from_instance(instance),
         }
+    }
+
+    /// Wraps an already-built index of `instance`, avoiding a rebuild when
+    /// the caller (e.g. the homomorphism engine) extracted one earlier.
+    pub fn from_index(instance: &'a Instance, index: TupleIndex) -> Self {
+        debug_assert_eq!(index.len(), instance.len());
         Matcher { instance, index }
     }
 
     /// The instance this matcher indexes.
     pub fn instance(&self) -> &'a Instance {
         self.instance
+    }
+
+    /// Consumes the matcher, handing the index back for reuse.
+    pub fn into_index(self) -> TupleIndex {
+        self.index
     }
 
     /// Enumerates all extensions of `partial` satisfying every atom.
@@ -70,25 +76,14 @@ impl<'a> Matcher<'a> {
             .min_by_key(|&(_, c)| c)
             .expect("nonempty");
         let atom = remaining.swap_remove(best);
-        match self.candidates(atom, binding) {
-            Candidates::Indexed(tuples) => {
-                for tuple in tuples {
-                    if let Some(newly) = try_extend(atom, tuple, binding) {
-                        self.match_indexed(remaining, binding, out);
-                        for v in newly {
-                            binding.remove(&v);
-                        }
-                    }
-                }
+        for &id in self.candidates(atom, binding) {
+            if !self.index.is_live(id) {
+                continue;
             }
-            Candidates::Scan(rel) => {
-                for tuple in self.instance.tuples(rel) {
-                    if let Some(newly) = try_extend(atom, tuple, binding) {
-                        self.match_indexed(remaining, binding, out);
-                        for v in newly {
-                            binding.remove(&v);
-                        }
-                    }
+            if let Some(newly) = try_extend(atom, self.index.tuple(id), binding) {
+                self.match_indexed(remaining, binding, out);
+                for v in newly {
+                    binding.remove(&v);
                 }
             }
         }
@@ -97,38 +92,27 @@ impl<'a> Matcher<'a> {
     }
 
     fn candidate_count(&self, atom: &Atom, binding: &Binding) -> usize {
-        match self.candidates(atom, binding) {
-            Candidates::Indexed(ts) => ts.len(),
-            Candidates::Scan(rel) => self.instance.rel_len(rel),
-        }
+        self.candidates(atom, binding).len()
     }
 
-    /// The tightest available candidate list: the shortest index entry
-    /// over the atom's bound positions, or a full scan if none is bound.
-    fn candidates(&self, atom: &Atom, binding: &Binding) -> Candidates<'_, 'a> {
-        let mut best: Option<&Vec<&'a Vec<Value>>> = None;
+    /// The tightest available candidate list: the shortest posting list
+    /// over the atom's bound positions, or the whole relation if none is
+    /// bound.
+    fn candidates(&self, atom: &Atom, binding: &Binding) -> &[TupleId] {
+        let mut best: Option<&[TupleId]> = None;
         for (pos, var) in atom.args.iter().enumerate() {
             if let Some(&val) = binding.get(var) {
-                match self.index.get(&(atom.rel, pos as u32, val)) {
-                    None => return Candidates::Indexed(&[]), // no tuple matches
-                    Some(ts) => {
-                        if best.is_none_or(|b| ts.len() < b.len()) {
-                            best = Some(ts);
-                        }
-                    }
+                let ts = self.index.posting(atom.rel, pos as u32, val);
+                if ts.is_empty() {
+                    return &[]; // no tuple matches
+                }
+                if best.is_none_or(|b: &[TupleId]| ts.len() < b.len()) {
+                    best = Some(ts);
                 }
             }
         }
-        match best {
-            Some(ts) => Candidates::Indexed(ts),
-            None => Candidates::Scan(atom.rel),
-        }
+        best.unwrap_or_else(|| self.index.rel_ids(atom.rel))
     }
-}
-
-enum Candidates<'m, 'a> {
-    Indexed(&'m [&'a Vec<Value>]),
-    Scan(RelId),
 }
 
 /// Enumerates all extensions of `partial` under which every atom of `atoms`

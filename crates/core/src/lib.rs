@@ -8,6 +8,8 @@
 //! - interned symbols, values (constants/labeled nulls), terms and ground
 //!   terms ([`symbol`], [`value`], [`term`]);
 //! - schemas, atoms, facts and instances ([`schema`], [`atom`], [`instance`]);
+//! - a shared, updatable `(rel, pos, value) → tuples` index and fast
+//!   hash containers ([`index`]);
 //! - the dependency classes of the paper: s-t tgds, nested tgds, (plain)
 //!   SO tgds and source egds ([`dep`]);
 //! - a text parser and pretty printers ([`parse`]);
@@ -39,6 +41,7 @@
 pub mod atom;
 pub mod dep;
 pub mod error;
+pub mod index;
 pub mod instance;
 pub mod mapping;
 pub mod parse;
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use crate::atom::{Atom, TermAtom};
     pub use crate::dep::{Egd, NestedTgd, Part, PartId, SoClause, SoTgd, StTgd};
     pub use crate::error::{CoreError, Result};
+    pub use crate::index::{FxBuildHasher, FxHashMap, FxHashSet, TupleId, TupleIndex};
     pub use crate::instance::{Fact, Instance};
     pub use crate::mapping::{NestedMapping, SoMapping};
     pub use crate::parse::{parse_egd, parse_fact, parse_nested_tgd, parse_so_tgd, parse_st_tgd};

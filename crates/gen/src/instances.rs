@@ -111,6 +111,122 @@ pub fn random_instance(
     inst
 }
 
+/// Options for random *target* instance generation: a ground backbone plus
+/// redundant null facts for the core engine to retract.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetGenOptions {
+    /// Approximate total number of facts.
+    pub facts: usize,
+    /// Size of the constant pool.
+    pub domain: usize,
+    /// Number of distinct nulls to introduce; every one of them is
+    /// redundant (folds onto the ground backbone), so
+    /// `core_of` performs exactly this many retractions.
+    pub redundant_nulls: usize,
+    /// RNG seed (deterministic workloads for reproducible benches).
+    pub seed: u64,
+}
+
+/// A random target instance: a ground backbone of `facts - redundant_nulls`
+/// facts plus `redundant_nulls` null-carrying facts that all fold back onto
+/// the backbone, giving the core engine real retraction work with a known
+/// answer (`core_of` = the backbone). Every third null yields a two-fact
+/// block (a constant consistently replaced across two facts), the others
+/// single-fact blocks (one position of one fact blanked).
+pub fn random_target_instance(
+    syms: &mut SymbolTable,
+    rels: &[(RelId, usize)],
+    opts: &TargetGenOptions,
+) -> Instance {
+    let ground = random_instance(
+        syms,
+        rels,
+        &InstanceGenOptions {
+            facts: opts.facts.saturating_sub(opts.redundant_nulls),
+            domain: opts.domain,
+            seed: opts.seed,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let backbone: Vec<Fact> = ground.facts().collect();
+    let mut inst = ground;
+    if backbone.is_empty() {
+        return inst;
+    }
+    for i in 0..opts.redundant_nulls {
+        let n = Value::Null(NullId(i as u32));
+        let blank = |f: &Fact, c: Value| {
+            Fact::new(
+                f.rel,
+                f.args
+                    .iter()
+                    .map(|&v| if v == c { n } else { v })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        if i % 3 == 0 {
+            // Two-fact block: blank a constant consistently across (up to)
+            // two backbone facts containing it; `n ↦ c` retracts the block.
+            let probe = &backbone[rng.gen_range(0..backbone.len())];
+            let c = probe.args[rng.gen_range(0..probe.args.len())];
+            for f in backbone.iter().filter(|f| f.args.contains(&c)).take(2) {
+                inst.insert(blank(f, c));
+            }
+        } else {
+            // Single-fact block: blank one position of one backbone fact.
+            let f = &backbone[rng.gen_range(0..backbone.len())];
+            let c = f.args[rng.gen_range(0..f.args.len())];
+            let mut args = f.args.clone();
+            let pos = f.args.iter().position(|&v| v == c).expect("present");
+            args[pos] = n;
+            inst.insert(Fact::new(f.rel, args));
+        }
+    }
+    inst
+}
+
+/// Extracts a connected (via shared values) subinstance of `k` facts from
+/// `inst` and consistently replaces its constants by nulls — a
+/// homomorphism pattern that is satisfiable in `inst` by construction
+/// (mapping every null back to the constant it replaced).
+pub fn abstract_subpattern(inst: &Instance, k: usize, seed: u64) -> Instance {
+    let facts: Vec<Fact> = inst.facts().collect();
+    if facts.is_empty() || k == 0 {
+        return Instance::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = vec![facts[rng.gen_range(0..facts.len())].clone()];
+    let mut values: std::collections::BTreeSet<Value> = chosen[0].args.iter().copied().collect();
+    let mut used: std::collections::BTreeSet<Fact> = chosen.iter().cloned().collect();
+    while chosen.len() < k {
+        let Some(next) = facts
+            .iter()
+            .find(|f| !used.contains(f) && f.args.iter().any(|v| values.contains(v)))
+        else {
+            break; // component exhausted
+        };
+        values.extend(next.args.iter().copied());
+        used.insert(next.clone());
+        chosen.push(next.clone());
+    }
+    let mut null_of: std::collections::BTreeMap<Value, Value> = Default::default();
+    let mut pattern = Instance::new();
+    for f in &chosen {
+        let args: Vec<Value> = f
+            .args
+            .iter()
+            .map(|&v| {
+                let next = null_of.len() as u32;
+                *null_of
+                    .entry(v)
+                    .or_insert_with(|| Value::Null(NullId(next)))
+            })
+            .collect();
+        pattern.insert(Fact::new(f.rel, args));
+    }
+    pattern
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +272,40 @@ mod tests {
         let inst = grid(&mut syms, h, v, 3, 4, "g");
         assert_eq!(inst.rel_len(h), 2 * 4);
         assert_eq!(inst.rel_len(v), 3 * 3);
+    }
+
+    #[test]
+    fn target_instance_nulls_all_fold() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let q = syms.rel("Q");
+        let opts = TargetGenOptions {
+            facts: 120,
+            domain: 25,
+            redundant_nulls: 12,
+            seed: 3,
+        };
+        let a = random_target_instance(&mut syms, &[(s, 2), (q, 3)], &opts);
+        let b = random_target_instance(&mut syms, &[(s, 2), (q, 3)], &opts);
+        assert_eq!(a, b, "deterministic per seed");
+        assert_eq!(a.nulls().len(), 12);
+        // Every null is redundant by construction: the core is ground.
+        let core = ndl_hom::core_of(&a);
+        assert!(core.is_ground());
+        assert!(ndl_hom::verify_core(&core, &a));
+    }
+
+    #[test]
+    fn abstract_subpattern_is_satisfiable() {
+        let mut syms = SymbolTable::new();
+        let h = syms.rel("H");
+        let v = syms.rel("V");
+        let inst = grid(&mut syms, h, v, 6, 6, "g");
+        let pat = abstract_subpattern(&inst, 8, 11);
+        assert_eq!(pat.len(), 8);
+        assert!(!pat.nulls().is_empty());
+        assert!(ndl_hom::homomorphic(&pat, &inst));
+        assert_eq!(pat, abstract_subpattern(&inst, 8, 11), "deterministic");
     }
 
     #[test]

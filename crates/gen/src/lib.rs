@@ -13,6 +13,7 @@ pub mod tgds;
 
 pub use clio::{clio_scenario, ClioScenario};
 pub use instances::{
-    cycle, grid, random_instance, successor, successor_with_zero, InstanceGenOptions,
+    abstract_subpattern, cycle, grid, random_instance, random_target_instance, successor,
+    successor_with_zero, InstanceGenOptions, TargetGenOptions,
 };
 pub use tgds::{random_nested_tgd, TgdGenOptions};

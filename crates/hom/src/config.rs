@@ -1,0 +1,128 @@
+//! Engine tuning knobs: worker-thread cap and the sequential cutoff below
+//! which parallel dispatch is never worth its setup cost.
+//!
+//! The process-wide configuration is resolved once, on first use, from the
+//! environment:
+//!
+//! - `NDL_HOM_THREADS` — maximum worker threads for per-block searches and
+//!   per-null retraction probes (`1` forces the sequential paths; unset
+//!   defaults to [`std::thread::available_parallelism`]);
+//! - `NDL_HOM_SEQUENTIAL_CUTOFF` — minimum number of facts in the search
+//!   target before threads are spawned (default
+//!   [`HomConfig::DEFAULT_SEQUENTIAL_CUTOFF`]).
+//!
+//! Programmatic override: call [`HomConfig::set_global`] before any engine
+//! entry point. See `docs/performance.md` for guidance.
+
+use std::sync::OnceLock;
+
+/// Tuning knobs of the homomorphism/core engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HomConfig {
+    /// Maximum worker threads (1 = always sequential).
+    pub threads: usize,
+    /// Minimum total fact count before spawning worker threads.
+    pub sequential_cutoff: usize,
+}
+
+static GLOBAL: OnceLock<HomConfig> = OnceLock::new();
+
+impl Default for HomConfig {
+    fn default() -> Self {
+        HomConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            sequential_cutoff: Self::DEFAULT_SEQUENTIAL_CUTOFF,
+        }
+    }
+}
+
+impl HomConfig {
+    /// Default sequential cutoff: below this many facts, thread spawn and
+    /// join overhead (~10µs each) exceeds the search work saved.
+    pub const DEFAULT_SEQUENTIAL_CUTOFF: usize = 512;
+
+    /// The defaults with any `NDL_HOM_THREADS` / `NDL_HOM_SEQUENTIAL_CUTOFF`
+    /// environment overrides applied. Unparsable or zero values fall back
+    /// to the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = HomConfig::default();
+        if let Some(t) = parse_env("NDL_HOM_THREADS") {
+            cfg.threads = t;
+        }
+        if let Some(c) = parse_env("NDL_HOM_SEQUENTIAL_CUTOFF") {
+            cfg.sequential_cutoff = c;
+        }
+        cfg
+    }
+
+    /// The process-wide configuration (resolved from the environment on
+    /// first use).
+    pub fn global() -> HomConfig {
+        *GLOBAL.get_or_init(HomConfig::from_env)
+    }
+
+    /// Installs `cfg` as the process-wide configuration. Returns `false`
+    /// if a configuration was already resolved (first caller wins).
+    pub fn set_global(cfg: HomConfig) -> bool {
+        GLOBAL.set(cfg).is_ok()
+    }
+
+    /// How many workers to use for `work_items` independent searches over
+    /// a target of `target_facts` facts: 1 below the cutoff, otherwise
+    /// capped by the thread budget and the work available.
+    pub fn effective_threads(&self, work_items: usize, target_facts: usize) -> usize {
+        if target_facts < self.sequential_cutoff || work_items <= 1 {
+            1
+        } else {
+            self.threads.min(work_items).max(1)
+        }
+    }
+}
+
+fn parse_env(key: &str) -> Option<usize> {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_positive_threads() {
+        let cfg = HomConfig::default();
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.sequential_cutoff, HomConfig::DEFAULT_SEQUENTIAL_CUTOFF);
+    }
+
+    #[test]
+    fn effective_threads_respects_cutoff_and_cap() {
+        let cfg = HomConfig {
+            threads: 4,
+            sequential_cutoff: 100,
+        };
+        // Below the cutoff: sequential.
+        assert_eq!(cfg.effective_threads(8, 99), 1);
+        // Above: capped by both budget and work items.
+        assert_eq!(cfg.effective_threads(8, 1000), 4);
+        assert_eq!(cfg.effective_threads(2, 1000), 2);
+        assert_eq!(cfg.effective_threads(0, 1000), 1);
+        assert_eq!(cfg.effective_threads(1, 1000), 1);
+    }
+
+    #[test]
+    fn global_is_stable() {
+        let a = HomConfig::global();
+        let b = HomConfig::global();
+        assert_eq!(a, b);
+        // A second install is rejected.
+        assert!(!HomConfig::set_global(HomConfig {
+            threads: 1,
+            sequential_cutoff: 1,
+        }));
+    }
+}

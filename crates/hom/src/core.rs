@@ -9,45 +9,251 @@
 //! avoiding `n`. Such an endomorphism exists iff the f-block of `n` maps
 //! into `J` while avoiding `n` (nulls outside the block can stay fixed) —
 //! so the search is block-local against the whole instance.
+//!
+//! The engine is **incremental**: a retraction through `h` only removes
+//! the facts of one f-block that leave the image `h(B)` — every other fact
+//! is untouched. So the engine keeps one [`TupleIndex`] updated in place
+//! across retractions and re-probes only *dirty* nulls: a null whose probe
+//! failed stays failed while its block is unchanged and the instance only
+//! shrinks (homomorphisms into a shrinking target never appear), so only
+//! the surviving nulls of the retracted block ever need rechecking. Probes
+//! for distinct nulls are independent and run on `std::thread::scope`
+//! workers above the configured cutoff (see [`HomConfig`]); retractions
+//! are applied smallest-null-first, so results are identical to the
+//! sequential engine.
 
-use crate::blocks::block_of_null;
-use crate::hom::{apply_value, find_homomorphism_constrained, homomorphic, HomMap};
+use crate::blocks::f_blocks;
+use crate::config::HomConfig;
+use crate::hom::{apply_value, homomorphic, solve_block, HomMap};
 use ndl_core::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Computes the core of `inst`.
 pub fn core_of(inst: &Instance) -> Instance {
-    let mut current = inst.clone();
-    'outer: loop {
-        let nulls: Vec<NullId> = current.nulls().into_iter().collect();
-        for n in nulls {
-            if let Some(h) = endo_avoiding(&current, n) {
-                current = current.map_values(&|v| apply_value(&h, v));
-                debug_assert!(!current.nulls().contains(&n));
-                continue 'outer;
-            }
-        }
-        return current;
-    }
+    CoreEngine::new(inst).run().0
 }
 
-/// Is `inst` a core (no proper retraction)?
+/// Computes the core of `inst` together with its f-blocks, reusing the
+/// engine's block bookkeeping instead of rebuilding the fact graph of the
+/// result. The blocks equal `f_blocks(&core)` (same contents, same order).
+pub fn core_and_blocks(inst: &Instance) -> (Instance, Vec<Instance>) {
+    CoreEngine::new(inst).run()
+}
+
+/// The f-block size of the core of `inst` (0 for the empty instance) —
+/// the quantity the Section 4 boundedness ladders sample at every rung.
+pub fn core_f_block_size(inst: &Instance) -> usize {
+    core_and_blocks(inst)
+        .1
+        .iter()
+        .map(Instance::len)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Is `inst` a core (no proper retraction)? Probes all nulls, in parallel
+/// above the configured cutoff.
 pub fn is_core(inst: &Instance) -> bool {
-    inst.nulls()
-        .into_iter()
-        .all(|n| endo_avoiding(inst, n).is_none())
-}
-
-/// Finds an endomorphism of `inst` whose image avoids the null `n`
-/// (identity outside the f-block of `n`), if one exists.
-fn endo_avoiding(inst: &Instance, n: NullId) -> Option<HomMap> {
-    let block = block_of_null(inst, n)?;
-    find_homomorphism_constrained(&block, inst, &HomMap::new(), &|_, v| v == Value::Null(n))
+    let index = TupleIndex::from_instance(inst);
+    let blocks = f_blocks(inst);
+    let block_of = null_block_map(&blocks);
+    let nulls: Vec<NullId> = inst.nulls().into_iter().collect();
+    let probe = |n: NullId| -> bool {
+        // Does a retraction avoiding `n` exist?
+        endo_avoiding(&blocks[block_of[&n]], &index, n).is_some()
+    };
+    let workers = HomConfig::global().effective_threads(nulls.len(), index.len());
+    if workers <= 1 {
+        return !nulls.into_iter().any(probe);
+    }
+    let found = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&n) = nulls.get(i) else { return };
+                if probe(n) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            });
+        }
+    });
+    !found.load(Ordering::Relaxed)
 }
 
 /// Checks the defining property: `core` is a subinstance of `inst`,
 /// homomorphically equivalent to it, and itself a core.
 pub fn verify_core(core: &Instance, inst: &Instance) -> bool {
     core.is_subinstance_of(inst) && homomorphic(inst, core) && is_core(core)
+}
+
+/// Finds an endomorphism retracting `block` into the indexed instance
+/// while avoiding the null `n` (identity outside the block), if one
+/// exists.
+fn endo_avoiding(block: &Instance, index: &TupleIndex, n: NullId) -> Option<HomMap> {
+    let assignments = solve_block(block, index, &HomMap::new(), &|_, v| v == Value::Null(n))?;
+    Some(assignments.into_iter().collect())
+}
+
+/// `null → index of its block` over a block list.
+fn null_block_map(blocks: &[Instance]) -> FxHashMap<NullId, usize> {
+    let mut map = FxHashMap::default();
+    for (i, b) in blocks.iter().enumerate() {
+        for n in b.nulls() {
+            map.insert(n, i);
+        }
+    }
+    map
+}
+
+/// The incremental retraction engine.
+struct CoreEngine {
+    /// Index of the current instance, updated in place on retraction.
+    index: TupleIndex,
+    /// Live blocks (`None` once retracted/split); grows as blocks split.
+    blocks: Vec<Option<Instance>>,
+    /// `null → blocks index` for live nulls.
+    block_of: FxHashMap<NullId, usize>,
+    /// Nulls whose retraction probe must (re)run, in ascending order.
+    dirty: BTreeSet<NullId>,
+}
+
+impl CoreEngine {
+    fn new(inst: &Instance) -> CoreEngine {
+        let index = TupleIndex::from_instance(inst);
+        let mut engine = CoreEngine {
+            index,
+            blocks: Vec::new(),
+            block_of: FxHashMap::default(),
+            dirty: BTreeSet::new(),
+        };
+        for block in f_blocks(inst) {
+            engine.add_block(block);
+        }
+        engine
+    }
+
+    /// Registers a block, marking its nulls dirty.
+    fn add_block(&mut self, block: Instance) {
+        let idx = self.blocks.len();
+        for n in block.nulls() {
+            self.block_of.insert(n, idx);
+            self.dirty.insert(n);
+        }
+        self.blocks.push(Some(block));
+    }
+
+    /// Runs retractions to a fixpoint; returns the core and its f-blocks
+    /// (identical to `f_blocks` of the result, ordered by smallest fact).
+    fn run(mut self) -> (Instance, Vec<Instance>) {
+        while let Some((n, h)) = self.find_retraction() {
+            self.retract(n, &h);
+        }
+        let core = self.index.to_instance();
+        let mut live: Vec<Instance> = self.blocks.into_iter().flatten().collect();
+        // `f_blocks` lists components by their smallest fact; match it so
+        // the two APIs are interchangeable.
+        live.sort_by_cached_key(|b| b.facts().next().expect("blocks are nonempty"));
+        debug_assert_eq!(live.iter().map(Instance::len).sum::<usize>(), core.len());
+        (core, live)
+    }
+
+    /// Probes a retraction avoiding `n` against the current index.
+    fn probe(&self, n: NullId) -> Option<HomMap> {
+        let block = self.blocks[self.block_of[&n]].as_ref().expect("live block");
+        endo_avoiding(block, &self.index, n)
+    }
+
+    /// Finds the smallest dirty null admitting a retraction, cleaning every
+    /// probed-and-failed null along the way. Probes run in parallel chunks
+    /// above the configured cutoff; the smallest-null-first retraction
+    /// order (and hence the result) is independent of the worker count.
+    fn find_retraction(&mut self) -> Option<(NullId, HomMap)> {
+        let workers = HomConfig::global().effective_threads(self.dirty.len(), self.index.len());
+        loop {
+            let chunk: Vec<NullId> = self.dirty.iter().copied().take(workers.max(1)).collect();
+            if chunk.is_empty() {
+                return None;
+            }
+            if workers <= 1 {
+                let n = chunk[0];
+                match self.probe(n) {
+                    Some(h) => return Some((n, h)),
+                    None => {
+                        self.dirty.remove(&n);
+                        continue;
+                    }
+                }
+            }
+            // Parallel chunk: probe all, then commit the smallest success.
+            // Failures are clean regardless of position — a failed probe
+            // stays failed while the block is unchanged and the instance
+            // shrinks; `retract` re-dirties any null whose block changes.
+            let probes: Vec<OnceLock<Option<HomMap>>> =
+                (0..chunk.len()).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&n) = chunk.get(i) else { return };
+                        let _ = probes[i].set(self.probe(n));
+                    });
+                }
+            });
+            for (i, &n) in chunk.iter().enumerate() {
+                match probes[i].get().expect("probed") {
+                    Some(h) => return Some((n, h.clone())),
+                    None => {
+                        self.dirty.remove(&n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the retraction `h` of the block of `n`: removes the block
+    /// facts that leave the image `h(B)`, splits the survivors into their
+    /// new sub-blocks and marks the surviving nulls dirty.
+    fn retract(&mut self, n: NullId, h: &HomMap) {
+        let idx = self.block_of[&n];
+        let block = self.blocks[idx].take().expect("live block");
+        let image: BTreeSet<Fact> = block
+            .facts()
+            .map(|f| {
+                Fact::new(
+                    f.rel,
+                    f.args
+                        .iter()
+                        .map(|&v| apply_value(h, v))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let mut survivors = Instance::new();
+        for f in block.facts() {
+            if image.contains(&f) {
+                survivors.insert(f);
+            } else {
+                self.index.remove(&f);
+            }
+        }
+        for m in block.nulls() {
+            self.block_of.remove(&m);
+            self.dirty.remove(&m);
+        }
+        for sub in f_blocks(&survivors) {
+            debug_assert!(!sub.nulls().contains(&n), "retraction must drop {n:?}");
+            self.add_block(sub);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +373,60 @@ mod tests {
         let inst = Instance::new();
         assert!(is_core(&inst));
         assert!(core_of(&inst).is_empty());
+        let (c, blocks) = core_and_blocks(&inst);
+        assert!(c.is_empty());
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn core_and_blocks_matches_f_blocks() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        // Mixed shape: a folding even cycle, a redundant null fact, a
+        // ground fact, and a core path.
+        let mut inst = Instance::new();
+        for i in 0..4u32 {
+            let j = (i + 1) % 4;
+            inst.insert(Fact::new(r, vec![null(i), null(j)]));
+            inst.insert(Fact::new(r, vec![null(j), null(i)]));
+        }
+        inst.insert(Fact::new(r, vec![a, null(10)]));
+        inst.insert(Fact::new(r, vec![a, a]));
+        inst.insert(Fact::new(r, vec![null(20), null(21)]));
+        inst.insert(Fact::new(r, vec![null(21), null(22)]));
+        let (core, blocks) = core_and_blocks(&inst);
+        assert_eq!(core, core_of(&inst));
+        assert_eq!(blocks, f_blocks(&core));
+        assert_eq!(
+            core_f_block_size(&inst),
+            blocks.iter().map(Instance::len).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn agrees_with_scan_engine_on_fixtures() {
+        let (mut syms, r) = rel();
+        let a = Value::Const(syms.constant("a"));
+        let shapes = [
+            Instance::from_facts([Fact::new(r, vec![a, null(0)]), Fact::new(r, vec![a, a])]),
+            Instance::from_facts([
+                Fact::new(r, vec![null(0), null(1)]),
+                Fact::new(r, vec![null(1), null(2)]),
+                Fact::new(r, vec![null(2), null(2)]),
+            ]),
+            {
+                let mut even = Instance::new();
+                for i in 0..6u32 {
+                    let j = (i + 1) % 6;
+                    even.insert(Fact::new(r, vec![null(i), null(j)]));
+                    even.insert(Fact::new(r, vec![null(j), null(i)]));
+                }
+                even
+            },
+        ];
+        for inst in &shapes {
+            assert_eq!(core_of(inst), crate::scan::core_of_scan(inst), "{inst:?}");
+            assert_eq!(is_core(inst), crate::scan::is_core_scan(inst));
+        }
     }
 }

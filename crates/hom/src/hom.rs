@@ -5,14 +5,41 @@
 //! f-blocks share no nulls, `J1 → J2` holds iff every f-block of `J1` maps
 //! into `J2` independently — the decomposition used both for correctness in
 //! the IMPLIES procedure and as the main performance lever here.
+//!
+//! The engine (rebuilt for scale — the original scan engine survives as
+//! [`crate::scan`] for reference and benchmarking):
+//!
+//! - **Indexed candidates.** The target is consulted through a shared
+//!   [`TupleIndex`]: a fact with any bound position draws its candidate
+//!   tuples from the shortest matching posting list instead of scanning
+//!   the whole relation. Posting lists preserve the deterministic
+//!   `Instance` order, so the search visits candidates in exactly the
+//!   order the old full scan did (filtered), keeping found homomorphisms
+//!   reproducible.
+//! - **True MRV.** The next fact to match is the one with the fewest
+//!   remaining candidate tuples under the current assignment (ties to the
+//!   lowest fact index), not merely the fewest unassigned nulls.
+//! - **Undo-trail assignment.** One flat `FxHashMap` assignment per block
+//!   with a trail of newly bound nulls, unwound on backtrack — no
+//!   `BTreeMap` clone per block.
+//! - **Parallel blocks.** Independent f-blocks are searched on
+//!   `std::thread::scope` workers (capped by [`HomConfig`], sequential
+//!   below its cutoff), with a shared failure flag for early exit.
 
 use crate::blocks::f_blocks;
+use crate::config::HomConfig;
 use ndl_core::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// A homomorphism represented by its action on nulls (identity on
 /// constants).
 pub type HomMap = BTreeMap<NullId, Value>;
+
+/// A constraint on null assignments: `forbid(n, v)` blocks `h(n) = v`.
+/// `Sync` so independent block searches can share it across workers.
+pub type Forbid<'a> = &'a (dyn Fn(NullId, Value) -> bool + Sync);
 
 /// Applies a homomorphism to a value.
 pub fn apply_value(h: &HomMap, v: Value) -> Value {
@@ -50,110 +77,266 @@ pub fn hom_equivalent(a: &Instance, b: &Instance) -> bool {
 /// Finds a homomorphism from `from` into `to` extending `fixed` and never
 /// assigning `h(n) = v` when `forbid(n, v)` holds. The constraint hooks
 /// support core computation (find an endomorphism avoiding a given null).
+///
+/// Builds a [`TupleIndex`] over `to`; callers testing many sources against
+/// one target should build the index once and use
+/// [`find_homomorphism_into`].
 pub fn find_homomorphism_constrained(
     from: &Instance,
     to: &Instance,
     fixed: &HomMap,
-    forbid: &dyn Fn(NullId, Value) -> bool,
+    forbid: Forbid<'_>,
 ) -> Option<HomMap> {
+    let index = TupleIndex::from_instance(to);
+    find_homomorphism_into(from, &index, fixed, forbid)
+}
+
+/// Finds a homomorphism from `from` into the indexed target `to`,
+/// extending `fixed` under `forbid` — the reuse-friendly entry point: the
+/// caller keeps one [`TupleIndex`] across many searches (the core engine
+/// updates one in place across retractions).
+pub fn find_homomorphism_into(
+    from: &Instance,
+    to: &TupleIndex,
+    fixed: &HomMap,
+    forbid: Forbid<'_>,
+) -> Option<HomMap> {
+    let blocks = f_blocks(from);
     let mut total = fixed.clone();
-    // Independent per-f-block search.
-    for block in f_blocks(from) {
-        let solved = solve_block(&block, to, &total, forbid)?;
-        total = solved;
-    }
-    // Ground facts (no nulls) are their own blocks and were checked inside
-    // solve_block via containment.
+    total.extend(solve_blocks(&blocks, to, fixed, forbid)?);
     Some(total)
 }
 
-/// Backtracking search for one f-block. `assign` carries assignments made
-/// so far (for nulls of other blocks or pre-fixed nulls — disjoint from
-/// this block's free nulls except for `fixed` entries).
-fn solve_block(
+/// Solves every block independently (in parallel above the configured
+/// cutoff) and returns the union of their assignments. Blocks share no
+/// free nulls, so the union is well defined and independent of execution
+/// order.
+pub(crate) fn solve_blocks(
+    blocks: &[Instance],
+    to: &TupleIndex,
+    fixed: &HomMap,
+    forbid: Forbid<'_>,
+) -> Option<Vec<(NullId, Value)>> {
+    let workers = HomConfig::global().effective_threads(blocks.len(), to.len());
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for block in blocks {
+            out.extend(solve_block(block, to, fixed, forbid)?);
+        }
+        return Some(out);
+    }
+    let failed = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let results: Vec<OnceLock<Vec<(NullId, Value)>>> =
+        (0..blocks.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= blocks.len() {
+                    return;
+                }
+                match solve_block(&blocks[i], to, fixed, forbid) {
+                    Some(solution) => {
+                        let _ = results[i].set(solution);
+                    }
+                    None => {
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if failed.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut out = Vec::new();
+    for cell in results {
+        out.extend(cell.into_inner().expect("every block solved"));
+    }
+    Some(out)
+}
+
+/// Backtracking search for one (connected) f-block against the indexed
+/// target. Returns the assignments made for this block's nulls, or `None`
+/// if the block does not map.
+pub(crate) fn solve_block(
     block: &Instance,
-    to: &Instance,
-    assign: &HomMap,
-    forbid: &dyn Fn(NullId, Value) -> bool,
-) -> Option<HomMap> {
+    to: &TupleIndex,
+    fixed: &HomMap,
+    forbid: Forbid<'_>,
+) -> Option<Vec<(NullId, Value)>> {
     let facts: Vec<Fact> = block.facts().collect();
-    let mut assign = assign.clone();
+    let mut st = Trail::with_fixed(fixed);
     let mut done = vec![false; facts.len()];
-    if search(&facts, &mut done, to, &mut assign, forbid) {
-        Some(assign)
+    if search(&facts, &mut done, to, &mut st, forbid) {
+        Some(st.into_assignments())
     } else {
         None
+    }
+}
+
+/// The search state: a flat assignment map plus the trail of nulls bound
+/// during this block's search, unwound on backtrack.
+struct Trail {
+    map: FxHashMap<NullId, Value>,
+    log: Vec<NullId>,
+}
+
+impl Trail {
+    fn with_fixed(fixed: &HomMap) -> Trail {
+        let mut map = FxHashMap::default();
+        map.extend(fixed.iter().map(|(&n, &v)| (n, v)));
+        Trail {
+            map,
+            log: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn bind(&mut self, n: NullId, v: Value) {
+        self.map.insert(n, v);
+        self.log.push(n);
+    }
+
+    #[inline]
+    fn undo_to(&mut self, mark: usize) {
+        for n in self.log.drain(mark..) {
+            self.map.remove(&n);
+        }
+    }
+
+    /// The block's own assignments: exactly the trail entries (pre-fixed
+    /// nulls are in `map` but never logged).
+    fn into_assignments(self) -> Vec<(NullId, Value)> {
+        let Trail { map, log } = self;
+        log.into_iter().map(|n| (n, map[&n])).collect()
     }
 }
 
 fn search(
     facts: &[Fact],
     done: &mut [bool],
-    to: &Instance,
-    assign: &mut HomMap,
-    forbid: &dyn Fn(NullId, Value) -> bool,
+    to: &TupleIndex,
+    st: &mut Trail,
+    forbid: Forbid<'_>,
 ) -> bool {
-    // Pick the unprocessed fact with the fewest unassigned nulls (MRV),
-    // which maximizes propagation along shared nulls.
-    let next = (0..facts.len()).filter(|&i| !done[i]).min_by_key(|&i| {
-        facts[i]
-            .args
-            .iter()
-            .filter(|v| matches!(v, Value::Null(n) if !assign.contains_key(n)))
-            .count()
-    });
-    let Some(i) = next else { return true };
+    // True MRV: pick the unprocessed fact with the fewest candidate tuples
+    // under the current assignment (ties to the lowest index). A zero count
+    // is taken immediately — that fact fails and prunes the branch now.
+    let mut best: Option<(usize, usize)> = None;
+    for i in 0..facts.len() {
+        if done[i] {
+            continue;
+        }
+        let count = candidate_count(&facts[i], to, st);
+        if best.is_none_or(|(c, _)| count < c) {
+            best = Some((count, i));
+            if count == 0 {
+                break;
+            }
+        }
+    }
+    let Some((_, i)) = best else { return true };
     done[i] = true;
     let fact = &facts[i];
-    for tuple in to.tuples(fact.rel) {
-        if let Some(newly) = try_map(fact, tuple, assign, forbid) {
-            if search(facts, done, to, assign, forbid) {
+    for &id in candidates(fact, to, st) {
+        if !to.is_live(id) {
+            continue;
+        }
+        let mark = st.log.len();
+        if try_map(fact, to.tuple(id), st, forbid) {
+            if search(facts, done, to, st, forbid) {
                 done[i] = false;
                 return true;
             }
-            for n in newly {
-                assign.remove(&n);
-            }
+            st.undo_to(mark);
         }
     }
     done[i] = false;
     false
 }
 
-/// Tries to map `fact` onto `tuple`; on success extends `assign` and
-/// returns the newly assigned nulls, on failure leaves `assign` untouched.
-fn try_map(
-    fact: &Fact,
-    tuple: &[Value],
-    assign: &mut HomMap,
-    forbid: &dyn Fn(NullId, Value) -> bool,
-) -> Option<Vec<NullId>> {
+/// The value a fact position is bound to, if any: constants are rigid and
+/// assigned nulls are pinned.
+#[inline]
+fn bound_value(arg: Value, st: &Trail) -> Option<Value> {
+    match arg {
+        Value::Const(_) => Some(arg),
+        Value::Null(n) => st.map.get(&n).copied(),
+    }
+}
+
+/// Upper bound on the number of candidate target tuples for `fact`: the
+/// shortest posting list over its bound positions, or the relation size
+/// when nothing is bound.
+fn candidate_count(fact: &Fact, to: &TupleIndex, st: &Trail) -> usize {
+    let mut best = usize::MAX;
+    for (pos, &arg) in fact.args.iter().enumerate() {
+        if let Some(v) = bound_value(arg, st) {
+            best = best.min(to.posting_len(fact.rel, pos as u32, v));
+            if best == 0 {
+                return 0;
+            }
+        }
+    }
+    if best == usize::MAX {
+        to.rel_len(fact.rel)
+    } else {
+        best
+    }
+}
+
+/// The tightest candidate id list for `fact`: the shortest posting list
+/// over its bound positions, or the whole relation when nothing is bound.
+/// Ids come back in deterministic insertion order and may include dead
+/// entries (filtered by the caller).
+fn candidates<'a>(fact: &Fact, to: &'a TupleIndex, st: &Trail) -> &'a [TupleId] {
+    let mut best: Option<&'a [TupleId]> = None;
+    for (pos, &arg) in fact.args.iter().enumerate() {
+        if let Some(v) = bound_value(arg, st) {
+            let posting = to.posting(fact.rel, pos as u32, v);
+            if posting.is_empty() {
+                return &[];
+            }
+            if best.is_none_or(|b| posting.len() < b.len()) {
+                best = Some(posting);
+            }
+        }
+    }
+    best.unwrap_or_else(|| to.rel_ids(fact.rel))
+}
+
+/// Tries to map `fact` onto `tuple`; on success extends the assignment (new
+/// bindings logged on the trail), on failure leaves it untouched.
+fn try_map(fact: &Fact, tuple: &[Value], st: &mut Trail, forbid: Forbid<'_>) -> bool {
     debug_assert_eq!(fact.args.len(), tuple.len());
-    let mut newly = Vec::new();
+    let mark = st.log.len();
     for (&src, &dst) in fact.args.iter().zip(tuple.iter()) {
         let ok = match src {
             Value::Const(_) => src == dst,
-            Value::Null(n) => match assign.get(&n) {
+            Value::Null(n) => match st.map.get(&n) {
                 Some(&bound) => bound == dst,
                 None => {
                     if forbid(n, dst) {
                         false
                     } else {
-                        assign.insert(n, dst);
-                        newly.push(n);
+                        st.bind(n, dst);
                         true
                     }
                 }
             },
         };
         if !ok {
-            for n in newly {
-                assign.remove(&n);
-            }
-            return None;
+            st.undo_to(mark);
+            return false;
         }
     }
-    Some(newly)
+    true
 }
 
 #[cfg(test)]
@@ -306,5 +489,44 @@ mod tests {
             Fact::new(r, vec![null(2), null(2)]),
         ]);
         assert!(hom_equivalent(&lp, &path_loop));
+    }
+
+    #[test]
+    fn indexed_entry_point_reuses_one_index() {
+        let (mut syms, r) = syms_with_rel();
+        let a = Value::Const(syms.constant("a"));
+        let to = Instance::from_facts([Fact::new(r, vec![a, a])]);
+        let index = TupleIndex::from_instance(&to);
+        for i in 0..4u32 {
+            let from = Instance::from_facts([Fact::new(r, vec![null(i), a])]);
+            let h = find_homomorphism_into(&from, &index, &HomMap::new(), &|_, _| false).unwrap();
+            assert_eq!(h[&NullId(i)], a);
+        }
+    }
+
+    #[test]
+    fn agrees_with_scan_engine_on_fixtures() {
+        let (mut syms, r) = syms_with_rel();
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let shapes = [
+            Instance::from_facts([Fact::new(r, vec![null(0), null(1)])]),
+            Instance::from_facts([
+                Fact::new(r, vec![null(0), null(1)]),
+                Fact::new(r, vec![null(1), null(2)]),
+                Fact::new(r, vec![null(2), null(0)]),
+            ]),
+            Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, null(3)])]),
+            Instance::from_facts([Fact::new(r, vec![a, a])]),
+        ];
+        for from in &shapes {
+            for to in &shapes {
+                assert_eq!(
+                    homomorphic(from, to),
+                    crate::scan::homomorphic_scan(from, to),
+                    "from={from:?} to={to:?}"
+                );
+            }
+        }
     }
 }

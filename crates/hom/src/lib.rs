@@ -4,9 +4,19 @@
 //! as used throughout *Nested Dependencies: Structure and Reasoning*
 //! (PODS 2014):
 //!
-//! - [`hom`] — backtracking homomorphism search (constants rigid), with
-//!   per-f-block decomposition and constraint hooks;
-//! - [`core`] — core computation by iterated proper retractions;
+//! - [`hom`] — indexed backtracking homomorphism search (constants rigid)
+//!   over [`TupleIndex`](ndl_core::prelude::TupleIndex) posting lists, with
+//!   per-f-block decomposition (searched in parallel on large targets),
+//!   true minimum-remaining-candidates fact ordering, an undo-trail
+//!   assignment map and constraint hooks;
+//! - [`core`] — incremental core computation by iterated proper
+//!   retractions over a dirty-null worklist, with parallel retraction
+//!   probes;
+//! - [`config`] — engine tuning knobs ([`HomConfig`]): worker-thread cap
+//!   and sequential cutoff, with `NDL_HOM_THREADS` /
+//!   `NDL_HOM_SEQUENTIAL_CUTOFF` environment overrides;
+//! - [`scan`] — the pre-index scan engine, kept as a reference
+//!   implementation for property tests and benchmark baselines;
 //! - [`graph`] — the Gaifman graph of facts and the Gaifman graph of nulls;
 //! - [`blocks`] — f-blocks, f-block size and f-degree (Section 4);
 //! - [`paths`] — longest simple paths in the null graph (path length,
@@ -15,17 +25,20 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+pub mod config;
 pub mod core;
 pub mod graph;
 pub mod hom;
 pub mod paths;
+pub mod scan;
 
 pub use blocks::{block_of_null, f_block_size, f_blocks, f_degree};
-pub use core::{core_of, is_core, verify_core};
+pub use config::HomConfig;
+pub use core::{core_and_blocks, core_f_block_size, core_of, is_core, verify_core};
 pub use graph::{FactGraph, IncidenceGraph, NullGraph};
 pub use hom::{
-    apply, apply_value, find_homomorphism, find_homomorphism_constrained, hom_equivalent,
-    homomorphic, is_homomorphism, HomMap,
+    apply, apply_value, find_homomorphism, find_homomorphism_constrained, find_homomorphism_into,
+    hom_equivalent, homomorphic, is_homomorphism, Forbid, HomMap,
 };
 pub use paths::{
     longest_path_lower_bound, longest_simple_path, null_path_length, DEFAULT_NODE_LIMIT,

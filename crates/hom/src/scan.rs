@@ -1,0 +1,159 @@
+//! The pre-index scan engine, preserved verbatim as a reference
+//! implementation.
+//!
+//! [`hom`](crate::hom) and [`core`](crate::core) replaced this engine with
+//! an indexed, incremental, parallel one; this module keeps the original
+//! full-relation-scan search and clone-heavy retraction loop so that
+//! - property tests can assert the two engines agree on random inputs, and
+//! - `bench_hom` can measure the speedup against the same baseline that
+//!   produced the committed `BENCH_hom.json` numbers.
+//!
+//! Not intended for production callers — use [`crate::hom`] / [`crate::core`].
+
+use crate::blocks::f_blocks;
+use crate::hom::{apply_value, HomMap};
+use ndl_core::prelude::*;
+
+/// Finds a homomorphism from `from` into `to` by full-relation scans.
+pub fn find_homomorphism_scan(from: &Instance, to: &Instance) -> Option<HomMap> {
+    find_homomorphism_constrained_scan(from, to, &HomMap::new(), &|_, _| false)
+}
+
+/// Does a homomorphism from `from` into `to` exist (scan engine)?
+pub fn homomorphic_scan(from: &Instance, to: &Instance) -> bool {
+    find_homomorphism_scan(from, to).is_some()
+}
+
+/// Scan-engine variant of
+/// [`find_homomorphism_constrained`](crate::hom::find_homomorphism_constrained).
+pub fn find_homomorphism_constrained_scan(
+    from: &Instance,
+    to: &Instance,
+    fixed: &HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> Option<HomMap> {
+    let mut total = fixed.clone();
+    // Independent per-f-block search.
+    for block in f_blocks(from) {
+        let solved = solve_block(&block, to, &total, forbid)?;
+        total = solved;
+    }
+    Some(total)
+}
+
+/// Backtracking search for one f-block, cloning the assignment map.
+fn solve_block(
+    block: &Instance,
+    to: &Instance,
+    assign: &HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> Option<HomMap> {
+    let facts: Vec<Fact> = block.facts().collect();
+    let mut assign = assign.clone();
+    let mut done = vec![false; facts.len()];
+    if search(&facts, &mut done, to, &mut assign, forbid) {
+        Some(assign)
+    } else {
+        None
+    }
+}
+
+fn search(
+    facts: &[Fact],
+    done: &mut [bool],
+    to: &Instance,
+    assign: &mut HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> bool {
+    // Pick the unprocessed fact with the fewest unassigned nulls, which
+    // maximizes propagation along shared nulls.
+    let next = (0..facts.len()).filter(|&i| !done[i]).min_by_key(|&i| {
+        facts[i]
+            .args
+            .iter()
+            .filter(|v| matches!(v, Value::Null(n) if !assign.contains_key(n)))
+            .count()
+    });
+    let Some(i) = next else { return true };
+    done[i] = true;
+    let fact = &facts[i];
+    for tuple in to.tuples(fact.rel) {
+        if let Some(newly) = try_map(fact, tuple, assign, forbid) {
+            if search(facts, done, to, assign, forbid) {
+                done[i] = false;
+                return true;
+            }
+            for n in newly {
+                assign.remove(&n);
+            }
+        }
+    }
+    done[i] = false;
+    false
+}
+
+/// Tries to map `fact` onto `tuple`; on success extends `assign` and
+/// returns the newly assigned nulls, on failure leaves `assign` untouched.
+fn try_map(
+    fact: &Fact,
+    tuple: &[Value],
+    assign: &mut HomMap,
+    forbid: &dyn Fn(NullId, Value) -> bool,
+) -> Option<Vec<NullId>> {
+    debug_assert_eq!(fact.args.len(), tuple.len());
+    let mut newly = Vec::new();
+    for (&src, &dst) in fact.args.iter().zip(tuple.iter()) {
+        let ok = match src {
+            Value::Const(_) => src == dst,
+            Value::Null(n) => match assign.get(&n) {
+                Some(&bound) => bound == dst,
+                None => {
+                    if forbid(n, dst) {
+                        false
+                    } else {
+                        assign.insert(n, dst);
+                        newly.push(n);
+                        true
+                    }
+                }
+            },
+        };
+        if !ok {
+            for n in newly {
+                assign.remove(&n);
+            }
+            return None;
+        }
+    }
+    Some(newly)
+}
+
+/// Computes the core by whole-instance clone-and-rederive retractions
+/// (the original `core_of` loop).
+pub fn core_of_scan(inst: &Instance) -> Instance {
+    let mut current = inst.clone();
+    'outer: loop {
+        let nulls: Vec<NullId> = current.nulls().into_iter().collect();
+        for n in nulls {
+            if let Some(h) = endo_avoiding_scan(&current, n) {
+                current = current.map_values(&|v| apply_value(&h, v));
+                debug_assert!(!current.nulls().contains(&n));
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+/// Is `inst` a core (scan engine)?
+pub fn is_core_scan(inst: &Instance) -> bool {
+    inst.nulls()
+        .into_iter()
+        .all(|n| endo_avoiding_scan(inst, n).is_none())
+}
+
+/// Finds an endomorphism of `inst` whose image avoids the null `n`.
+fn endo_avoiding_scan(inst: &Instance, n: NullId) -> Option<HomMap> {
+    let block = crate::blocks::block_of_null(inst, n)?;
+    find_homomorphism_constrained_scan(&block, inst, &HomMap::new(), &|_, v| v == Value::Null(n))
+}

@@ -21,7 +21,7 @@ use crate::fblock::clone_bound;
 use crate::pattern::Pattern;
 use ndl_chase::{chase_nested, NullFactory, Prepared};
 use ndl_core::prelude::*;
-use ndl_hom::{core_of, f_blocks};
+use ndl_hom::core_and_blocks;
 
 /// The anchor constructed for one connected target fragment.
 #[derive(Clone, Debug)]
@@ -65,11 +65,8 @@ pub fn anchor_for_block(
     let prepared = Prepared::mapping(m, syms);
     let mut nulls = NullFactory::new();
     let res = chase_nested(source, &prepared, &mut nulls);
-    let core = core_of(&res.target);
-    let Some(block) = f_blocks(&core)
-        .into_iter()
-        .find(|b| b.nulls().contains(&null))
-    else {
+    let (_core, blocks) = core_and_blocks(&res.target);
+    let Some(block) = blocks.into_iter().find(|b| b.nulls().contains(&null)) else {
         return Ok(None);
     };
     // Locate the chase tree that produced this null.
@@ -98,8 +95,8 @@ pub fn anchor_for_block(
         let legal = legalize(&pair, &m.source_egds, &mut cnulls);
         let mut chase_nulls = NullFactory::new();
         let chased = chase_nested(&legal.source, &prepared, &mut chase_nulls).target;
-        let ccore = core_of(&chased);
-        if let Some(big) = f_blocks(&ccore).into_iter().max_by_key(Instance::len) {
+        let (_ccore, cblocks) = core_and_blocks(&chased);
+        if let Some(big) = cblocks.into_iter().max_by_key(Instance::len) {
             if big.len() >= target_size {
                 return Ok(Some(AnchorWitness {
                     source: legal.source,
@@ -127,6 +124,7 @@ pub fn anchor_for_block(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndl_hom::{core_of, f_blocks};
 
     /// The classic unbounded tgd: anchors exist for arbitrarily large
     /// blocks, with |I'| proportional to the block, not to the original

@@ -35,7 +35,7 @@ use crate::error::Result;
 use crate::pattern::Pattern;
 use ndl_chase::{chase_nested, NullFactory, Prepared};
 use ndl_core::prelude::*;
-use ndl_hom::{core_of, f_block_size};
+use ndl_hom::core_f_block_size;
 
 /// Options for the boundedness analysis.
 #[derive(Clone, Copy, Debug)]
@@ -136,7 +136,7 @@ pub fn has_bounded_fblock_size(
                     let legal = legalize(&pair, &m.source_egds, &mut nulls);
                     let mut chase_nulls = NullFactory::new();
                     let chased = chase_nested(&legal.source, &prepared, &mut chase_nulls).target;
-                    let size = f_block_size(&core_of(&chased));
+                    let size = core_f_block_size(&chased);
                     sizes.push(size);
                     max_observed = max_observed.max(size);
                 }
@@ -165,7 +165,7 @@ pub fn has_bounded_fblock_size(
                 let legal = legalize(&pair, &m.source_egds, &mut nulls);
                 let mut chase_nulls = NullFactory::new();
                 let chased = chase_nested(&legal.source, &prepared, &mut chase_nulls).target;
-                max_observed = max_observed.max(f_block_size(&core_of(&chased)));
+                max_observed = max_observed.max(core_f_block_size(&chased));
             }
         }
     }
@@ -233,7 +233,7 @@ pub fn fblock_size_bounded_by_exhaustive(
                 }
                 let mut nulls = NullFactory::new();
                 let chased = chase_nested(&inst, &prepared, &mut nulls).target;
-                if f_block_size(&core_of(&chased)) > b {
+                if core_f_block_size(&chased) > b {
                     return false;
                 }
             }

@@ -18,7 +18,7 @@ use crate::fblock::{clone_bound, has_bounded_fblock_size, FblockAnalysis, Fblock
 use crate::implies::{implies_mapping, ImpliesOptions};
 use ndl_chase::{chase_nested, NullFactory, Prepared};
 use ndl_core::prelude::*;
-use ndl_hom::{core_of, f_blocks};
+use ndl_hom::core_and_blocks;
 use std::collections::BTreeMap;
 
 /// The outcome of the GLAV-equivalence decision.
@@ -94,8 +94,8 @@ fn build_candidate(
             let legal = legalize(&pair, &m.source_egds, &mut nulls);
             let mut chase_nulls = NullFactory::new();
             let chased = chase_nested(&legal.source, &prepared, &mut chase_nulls).target;
-            let core = core_of(&chased);
-            for block in f_blocks(&core) {
+            let (_core, blocks) = core_and_blocks(&chased);
+            for block in blocks {
                 let st = block_to_tgd(&legal.source, &block, syms);
                 let key = st.display(syms);
                 if seen.insert(key) {
