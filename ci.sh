@@ -15,6 +15,14 @@ echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> analyze goldens: ndl analyze over examples/programs/"
+for f in examples/programs/*.ndl; do
+  name="$(basename "$f" .ndl)"
+  ./target/release/ndl analyze --json "$f" | diff -u "examples/programs/golden/$name.json" -
+done
+./target/release/ndl analyze --dot examples/programs/running.ndl \
+  | diff -u examples/programs/golden/running.dot -
+
 echo "==> engine tests: cargo test -q -p ndl-hom"
 cargo test -q -p ndl-hom --offline
 

@@ -1,0 +1,456 @@
+//! Chase cost bounds and the [`ChaseAnalysis`] handed to `ndl-chase`.
+//!
+//! The cost model assigns every position a **value degree** `vdeg(p)`:
+//! the chase can place at most `O(n^vdeg(p))` distinct values at position
+//! `p` when the source has `n` facts. Source positions start at degree 1;
+//! a head position copying variable `x` inherits the smallest degree among
+//! `x`'s body positions; a Skolem-term position sums the degrees of the
+//! variables inside the term (distinct argument tuples multiply, so
+//! degrees add). The **trigger degree** of a clause sums the value degrees
+//! of its distinct body variables, bounding its firings; the maximum over
+//! all clauses bounds the chase size (and work) polynomial. The fixpoint
+//! converges for richly acyclic programs; when it does not (degrees keep
+//! growing through a special cycle), the bound is reported as `None`.
+
+use crate::graph::{ClauseView, ProgramGraphs};
+use crate::program::Statement;
+use crate::termination::{Termination, TerminationClass};
+use ndl_chase::ChasePlan;
+use ndl_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Degrees never exceed this cap; hitting it means divergence.
+const DEGREE_CAP: usize = 64;
+
+/// Polynomial degree bounds for the chase of a program.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// `vdeg` per position of the position graph (meaningful only when
+    /// `size_degree` is `Some`).
+    pub position_degrees: Vec<usize>,
+    /// Degree of the chase-size/work polynomial: `O(n^d)` for a source of
+    /// `n` facts. `None` when the fixpoint diverged (the oblivious chase
+    /// is not polynomially bounded).
+    pub size_degree: Option<usize>,
+    /// Widest clause body (number of atoms) — join width.
+    pub max_body_atoms: usize,
+}
+
+impl CostModel {
+    /// Computes the degree fixpoint over the program's clauses.
+    pub fn of(graphs: &ProgramGraphs) -> CostModel {
+        let pg = &graphs.positions;
+        let ids: BTreeMap<(RelId, usize), usize> = pg
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, &rp)| (rp, i))
+            .collect();
+        let n = pg.positions.len();
+        let mut vdeg = vec![1usize; n];
+        let max_body_atoms = graphs
+            .clauses
+            .iter()
+            .map(|c| c.clause.body.len())
+            .max()
+            .unwrap_or(0);
+        let rounds_cap = n + graphs.skolem.funcs.len() + 8;
+        let mut converged = graphs.clauses.is_empty();
+        // Variable-to-body-position maps are round-invariant; building them
+        // once keeps the fixpoint linear in rounds × head positions.
+        let clause_body_pos: Vec<_> = graphs
+            .clauses
+            .iter()
+            .map(|cv| body_positions(cv, &ids))
+            .collect();
+        for _ in 0..rounds_cap {
+            let mut changed = false;
+            for (cv, body_pos) in graphs.clauses.iter().zip(&clause_body_pos) {
+                let minv = |x: VarId, vdeg: &[usize]| {
+                    body_pos
+                        .get(&x)
+                        .into_iter()
+                        .flatten()
+                        .map(|&p| vdeg[p])
+                        .min()
+                        .unwrap_or(1)
+                };
+                for ta in &cv.clause.head {
+                    for (i, t) in ta.args.iter().enumerate() {
+                        let Some(&q) = ids.get(&(ta.rel, i)) else {
+                            continue;
+                        };
+                        let cand = match t {
+                            Term::Var(x) => minv(*x, &vdeg),
+                            t @ Term::App(..) => {
+                                let mut funcs = BTreeSet::new();
+                                let mut vars = BTreeSet::new();
+                                collect(t, &mut funcs, &mut vars);
+                                vars.iter().map(|&x| minv(x, &vdeg)).sum()
+                            }
+                        };
+                        let cand = cand.min(DEGREE_CAP);
+                        if cand > vdeg[q] {
+                            vdeg[q] = cand;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        let size_degree = if converged && vdeg.iter().all(|&d| d < DEGREE_CAP) {
+            let max_tdeg = graphs
+                .clauses
+                .iter()
+                .map(|cv| {
+                    let body_pos = body_positions(cv, &ids);
+                    body_pos
+                        .values()
+                        .map(|ps| ps.iter().map(|&p| vdeg[p]).min().unwrap_or(1))
+                        .sum::<usize>()
+                })
+                .max()
+                .unwrap_or(0);
+            Some(max_tdeg.max(1))
+        } else {
+            None
+        };
+        CostModel {
+            position_degrees: vdeg,
+            size_degree,
+            max_body_atoms,
+        }
+    }
+}
+
+fn body_positions(
+    cv: &ClauseView,
+    ids: &BTreeMap<(RelId, usize), usize>,
+) -> BTreeMap<VarId, BTreeSet<usize>> {
+    let mut out: BTreeMap<VarId, BTreeSet<usize>> = BTreeMap::new();
+    for a in &cv.clause.body {
+        for (i, &v) in a.args.iter().enumerate() {
+            if let Some(&p) = ids.get(&(a.rel, i)) {
+                out.entry(v).or_default().insert(p);
+            }
+        }
+    }
+    out
+}
+
+fn collect(t: &Term, funcs: &mut BTreeSet<FuncId>, vars: &mut BTreeSet<VarId>) {
+    match t {
+        Term::Var(v) => {
+            vars.insert(*v);
+        }
+        Term::App(f, args) => {
+            funcs.insert(*f);
+            for a in args {
+                collect(a, funcs, vars);
+            }
+        }
+    }
+}
+
+/// The complete semantic analysis of a program: graphs, termination class,
+/// cost bounds and a statement firing order — everything the lint rules
+/// and the chase engines consume.
+#[derive(Debug)]
+pub struct ChaseAnalysis {
+    /// The dependency graphs and flattened clauses.
+    pub graphs: ProgramGraphs,
+    /// The termination verdict.
+    pub termination: Termination,
+    /// The cost bounds.
+    pub cost: CostModel,
+    /// Producer-before-consumer statement order (cycles broken by source
+    /// order) — the chase plan's firing order.
+    pub firing_order: Vec<usize>,
+}
+
+impl ChaseAnalysis {
+    /// Analyzes parsed statements. Skolemization interns fresh function
+    /// symbols into `syms`.
+    pub fn analyze(syms: &mut SymbolTable, stmts: &[Statement]) -> ChaseAnalysis {
+        let graphs = ProgramGraphs::build(syms, stmts);
+        let termination = Termination::of(&graphs, syms);
+        let cost = CostModel::of(&graphs);
+        let firing_order = firing_order(&graphs);
+        ChaseAnalysis {
+            graphs,
+            termination,
+            cost,
+            firing_order,
+        }
+    }
+
+    /// Convenience: parses and analyzes a program source. Parse errors are
+    /// returned alongside (malformed statements are skipped, as in
+    /// [`crate::lint_source`]).
+    pub fn analyze_source(syms: &mut SymbolTable, src: &str) -> (ChaseAnalysis, usize) {
+        let (stmts, errs) = crate::program::parse_program(syms, src);
+        (ChaseAnalysis::analyze(syms, &stmts), errs.len())
+    }
+
+    /// Derives the [`ChasePlan`] for the chase engines: firing order from
+    /// the analysis, termination guarantee iff the program is richly
+    /// acyclic (the engines' fixpoint semantics is oblivious), the size
+    /// degree for index pre-sizing, and `budget` as the step budget for
+    /// programs without a guarantee.
+    pub fn plan(&self, budget: Option<usize>) -> ChasePlan {
+        let guaranteed = self.termination.class == TerminationClass::RichlyAcyclic;
+        ChasePlan {
+            order: self.firing_order.clone(),
+            guaranteed_terminating: guaranteed,
+            size_degree: self.cost.size_degree.unwrap_or(1),
+            step_budget: if guaranteed { None } else { budget },
+            diagnosis: self.termination.diagnosis(),
+        }
+    }
+
+    /// The machine-readable report (`ndl analyze --json`), with all
+    /// symbols resolved to names.
+    pub fn report(&self, syms: &SymbolTable) -> AnalysisReport {
+        let pg = &self.graphs.positions;
+        AnalysisReport {
+            statements: self.graphs.statements,
+            analyzed_statements: self.graphs.analyzed.len(),
+            clauses: self.graphs.clauses.len(),
+            positions: pg.positions.len(),
+            regular_edges: pg.edges.iter().filter(|e| !e.special).count(),
+            special_edges_wa: pg.edges.iter().filter(|e| e.special && e.in_wa).count(),
+            special_edges_ra: pg.edges.iter().filter(|e| e.special).count(),
+            class: self.termination.class.as_str().to_string(),
+            witness: self.termination.witness_rendered.clone(),
+            max_rank: self.termination.max_rank,
+            size_degree: self.cost.size_degree,
+            max_body_atoms: self.cost.max_body_atoms,
+            relation_depths: self
+                .termination
+                .relation_depths
+                .iter()
+                .map(|&(rel, depth)| RelationDepth {
+                    relation: syms.rel_name(rel).to_string(),
+                    depth,
+                })
+                .collect(),
+            skolem_functions: self
+                .graphs
+                .skolem
+                .funcs
+                .iter()
+                .map(|f| SkolemFunctionReport {
+                    function: syms.func_name(f.func).to_string(),
+                    statement: f.stmt,
+                    fan_in: f.fan_in,
+                    fan_out: f.fan_out,
+                })
+                .collect(),
+            skolem_edges: self.graphs.skolem.edges.len(),
+            firing_order: self.firing_order.clone(),
+        }
+    }
+
+    /// Graphviz DOT rendering of both dependency graphs.
+    pub fn to_dot(&self, syms: &SymbolTable) -> String {
+        self.graphs.to_dot(syms)
+    }
+}
+
+/// Producer-before-consumer order over all statements: statement `s`
+/// precedes `t` when a head relation of `s` is read by `t`'s body. Kahn's
+/// algorithm with smallest-index tie-breaking; cycles (recursive programs)
+/// are broken at the smallest remaining index, so the order is total,
+/// deterministic and stable for acyclic programs.
+fn firing_order(graphs: &ProgramGraphs) -> Vec<usize> {
+    let n = graphs.statements;
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (&s, (_, heads)) in &graphs.stmt_rels {
+        for (&t, (bodies, _)) in &graphs.stmt_rels {
+            if s != t && heads.intersection(bodies).next().is_some() && succs[s].insert(t) {
+                indeg[t] += 1;
+            }
+        }
+    }
+    let mut remaining: BTreeSet<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let next = remaining
+            .iter()
+            .copied()
+            .find(|&s| indeg[s] == 0)
+            .unwrap_or_else(|| *remaining.iter().next().expect("nonempty"));
+        remaining.remove(&next);
+        order.push(next);
+        for &t in &succs[next] {
+            if remaining.contains(&t) {
+                indeg[t] = indeg[t].saturating_sub(1);
+            }
+        }
+    }
+    order
+}
+
+/// Null-generation depth of one relation (see [`AnalysisReport`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationDepth {
+    /// Relation name.
+    pub relation: String,
+    /// Maximum rank over the relation's positions.
+    pub depth: usize,
+}
+
+/// Metrics of one Skolem function (see [`AnalysisReport`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkolemFunctionReport {
+    /// Function name (as interned during Skolemization).
+    pub function: String,
+    /// Statement introducing the function (0-based).
+    pub statement: usize,
+    /// Distinct body positions feeding the function's arguments.
+    pub fan_in: usize,
+    /// Distinct positions its terms can reach.
+    pub fan_out: usize,
+}
+
+impl AnalysisReport {
+    /// Pretty-printed JSON (the `ndl analyze --json` output).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports serialize infallibly")
+    }
+
+    /// Parses a report back from [`AnalysisReport::to_json`] output.
+    pub fn from_json(text: &str) -> std::result::Result<AnalysisReport, serde::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// The serializable analysis report emitted by `ndl analyze --json`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Statements in the program.
+    pub statements: usize,
+    /// Statements that entered the analysis.
+    pub analyzed_statements: usize,
+    /// Skolemized clauses.
+    pub clauses: usize,
+    /// Position-graph nodes.
+    pub positions: usize,
+    /// Regular (value-copying) edges.
+    pub regular_edges: usize,
+    /// Special edges under the weak-acyclicity rule.
+    pub special_edges_wa: usize,
+    /// Special edges under the rich-acyclicity rule (a superset).
+    pub special_edges_ra: usize,
+    /// Termination class: `richly-acyclic`, `weakly-acyclic` or `cyclic`.
+    pub class: String,
+    /// Rendered special-edge cycle witnessing a negative verdict.
+    pub witness: Vec<String>,
+    /// Maximum position rank (`None` when cyclic).
+    pub max_rank: Option<usize>,
+    /// Chase-size polynomial degree (`None` when unbounded).
+    pub size_degree: Option<usize>,
+    /// Widest clause body.
+    pub max_body_atoms: usize,
+    /// Per-relation null-generation depths (positive only).
+    pub relation_depths: Vec<RelationDepth>,
+    /// Skolem functions with fan-in/fan-out.
+    pub skolem_functions: Vec<SkolemFunctionReport>,
+    /// Edges of the Skolem dependency graph.
+    pub skolem_edges: usize,
+    /// Producer-before-consumer statement order.
+    pub firing_order: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> (SymbolTable, ChaseAnalysis) {
+        let mut syms = SymbolTable::new();
+        let (a, _) = ChaseAnalysis::analyze_source(&mut syms, src);
+        (syms, a)
+    }
+
+    #[test]
+    fn copy_program_has_degree_one() {
+        let (_syms, a) = analyze("S(x,y) -> R(x,y)\n");
+        // One clause, two distinct body variables at degree 1 each: the
+        // trigger polynomial is O(n^2), values stay degree 1.
+        assert_eq!(a.cost.size_degree, Some(2));
+        assert!(a.cost.position_degrees.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn transitive_closure_degree() {
+        let (_syms, a) = analyze("E(x,y) & E(y,z) -> E(x,z)\n");
+        // Three body variables, each degree 1: O(n^3) triggers.
+        assert_eq!(a.cost.size_degree, Some(3));
+        assert_eq!(a.cost.max_body_atoms, 2);
+    }
+
+    #[test]
+    fn skolem_degrees_add() {
+        let (_syms, a) = analyze("S(x,y) -> exists z T(z)\nT(x) -> U(x)\n");
+        // z Skolemizes to f(x,y): degree 1 + 1 = 2 distinct nulls at T.1,
+        // copied to U.1.
+        assert_eq!(a.cost.size_degree, Some(2));
+        assert!(a.cost.position_degrees.contains(&2));
+    }
+
+    #[test]
+    fn oblivious_divergence_has_no_degree() {
+        let (_syms, a) = analyze("R(x,y) -> exists z R(x,z)\n");
+        // Weakly acyclic, not richly: vdeg(R.2) grows through the Skolem
+        // sum — no polynomial bound for the oblivious chase.
+        assert_eq!(a.termination.class, TerminationClass::WeaklyAcyclic);
+        assert_eq!(a.cost.size_degree, None);
+    }
+
+    #[test]
+    fn firing_order_is_topological() {
+        let (_syms, a) = analyze("T(x) -> U(x)\nS(x) -> T(x)\nP(x) -> S(x)\n");
+        assert_eq!(a.firing_order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn firing_order_breaks_cycles_deterministically() {
+        // Statements 0 and 1 feed each other; 2 is independent with no
+        // incoming edges, so it goes first, then the cycle breaks at 0.
+        let (_syms, a) = analyze("A(x) -> B(x)\nB(x) -> A(x)\nC(x) -> D(x)\n");
+        assert_eq!(a.firing_order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn plan_reflects_class() {
+        let (_syms, ra) = analyze("S(x) -> exists y T(x,y)\n");
+        let p = ra.plan(Some(100));
+        assert!(p.guaranteed_terminating);
+        assert_eq!(p.step_budget, None);
+        assert!(p.diagnosis.is_none());
+
+        let (_syms, cyc) = analyze("E(x,y) -> exists z E(y,z)\n");
+        let p = cyc.plan(Some(100));
+        assert!(!p.guaranteed_terminating);
+        assert_eq!(p.step_budget, Some(100));
+        assert!(p.diagnosis.unwrap().contains("not weakly acyclic"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let (syms, a) = analyze("S(x) -> exists y (R(x,y) & T(y,x))\nfact: S(a)\n");
+        let report = a.report(&syms);
+        assert_eq!(report.class, "richly-acyclic");
+        assert_eq!(report.statements, 2);
+        assert_eq!(report.skolem_functions.len(), 1);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -57,6 +57,51 @@ impl Deserialize for Severity {
     }
 }
 
+/// A secondary annotation attached to a [`Diagnostic`] — e.g. one hop of
+/// the special-edge cycle NDL020 reports. Notes render after the primary
+/// snippet, each with its own caret when anchored.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Note {
+    /// Human-readable explanation of this annotation.
+    pub message: String,
+    /// Statement the note points into, if any.
+    pub statement: Option<usize>,
+    /// Byte span into the linted source, if the note has an anchor.
+    pub span: Option<Span>,
+    /// 1-based line of `span.start`.
+    pub line: Option<usize>,
+    /// 1-based column (in characters) of `span.start`.
+    pub col: Option<usize>,
+}
+
+impl Note {
+    /// Creates an unanchored note.
+    pub fn new(message: impl Into<String>) -> Note {
+        Note {
+            message: message.into(),
+            statement: None,
+            span: None,
+            line: None,
+            col: None,
+        }
+    }
+
+    /// Anchors the note to `span`, resolving line/column via `index`.
+    pub fn with_span(mut self, span: Span, index: &LineIndex) -> Note {
+        let (line, col) = index.line_col(span.start);
+        self.span = Some(span);
+        self.line = Some(line);
+        self.col = Some(col);
+        self
+    }
+
+    /// Attributes the note to statement `index`.
+    pub fn with_statement(mut self, index: usize) -> Note {
+        self.statement = Some(index);
+        self
+    }
+}
+
 /// One finding of the analyzer, anchored (when possible) to a byte span of
 /// the linted source and the resolved 1-based line/column of its start.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -74,8 +119,10 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// 1-based line of `span.start`.
     pub line: Option<usize>,
-    /// 1-based column (in bytes) of `span.start`.
+    /// 1-based column (in characters) of `span.start`.
     pub col: Option<usize>,
+    /// Secondary annotations (e.g. the hops of an NDL020 cycle).
+    pub notes: Vec<Note>,
 }
 
 impl Diagnostic {
@@ -89,6 +136,7 @@ impl Diagnostic {
             span: None,
             line: None,
             col: None,
+            notes: Vec::new(),
         }
     }
 
@@ -107,6 +155,12 @@ impl Diagnostic {
         self
     }
 
+    /// Appends a secondary note.
+    pub fn with_note(mut self, note: Note) -> Diagnostic {
+        self.notes.push(note);
+        self
+    }
+
     /// Is this an error-severity finding?
     pub fn is_error(&self) -> bool {
         self.severity == Severity::Error
@@ -114,11 +168,14 @@ impl Diagnostic {
 }
 
 /// Resolves byte offsets of a source text to 1-based line/column pairs.
+/// Columns count **characters**, not bytes, so diagnostics and carets line
+/// up on multi-byte UTF-8 input.
 #[derive(Clone, Debug)]
 pub struct LineIndex {
     /// Byte offset of the first character of each line.
     line_starts: Vec<usize>,
-    len: usize,
+    /// The indexed text (kept to count characters within a line).
+    text: String,
 }
 
 impl LineIndex {
@@ -132,19 +189,25 @@ impl LineIndex {
         }
         LineIndex {
             line_starts,
-            len: text.len(),
+            text: text.to_string(),
         }
     }
 
-    /// The 1-based `(line, column)` of byte `offset`; offsets past the end
-    /// resolve to one past the last column of the last line.
+    /// The 1-based `(line, column)` of byte `offset`, the column counted in
+    /// characters; offsets past the end resolve to one past the last column
+    /// of the last line. An offset inside a multi-byte character resolves
+    /// to that character's column.
     pub fn line_col(&self, offset: usize) -> (usize, usize) {
-        let offset = offset.min(self.len);
+        let mut offset = offset.min(self.text.len());
+        while !self.text.is_char_boundary(offset) {
+            offset -= 1;
+        }
         let line = self
             .line_starts
             .partition_point(|&start| start <= offset)
             .saturating_sub(1);
-        (line + 1, offset - self.line_starts[line] + 1)
+        let col = self.text[self.line_starts[line]..offset].chars().count();
+        (line + 1, col + 1)
     }
 
     /// The byte range of 1-based `line` (without its newline), if it exists.
@@ -154,7 +217,7 @@ impl LineIndex {
             .line_starts
             .get(line)
             .map(|&next| next - 1)
-            .unwrap_or(self.len);
+            .unwrap_or(self.text.len());
         Some((start, end))
     }
 }
@@ -174,29 +237,52 @@ pub fn render(diags: &[Diagnostic], file: &str, source: &str) -> String {
     let mut out = String::new();
     for d in diags {
         out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
-        let Some(span) = d.span else {
-            out.push_str(&format!(" --> {file}\n"));
-            continue;
-        };
-        let (line, col) = (d.line.unwrap_or(1), d.col.unwrap_or(1));
-        out.push_str(&format!(" --> {file}:{line}:{col}\n"));
-        if let Some((start, end)) = index.line_span(line) {
-            let gutter = line.to_string();
-            let pad = " ".repeat(gutter.len());
-            let text = &source[start..end];
-            let width = span
-                .len()
-                .clamp(1, end.saturating_sub(start + col - 1).max(1));
-            out.push_str(&format!("{pad} |\n"));
-            out.push_str(&format!("{gutter} | {text}\n"));
-            out.push_str(&format!(
-                "{pad} | {}{}\n",
-                " ".repeat(col - 1),
-                "^".repeat(width)
-            ));
+        render_anchor(&mut out, file, source, &index, d.span, d.line, d.col);
+        for n in &d.notes {
+            out.push_str(&format!("note: {}\n", n.message));
+            render_anchor(&mut out, file, source, &index, n.span, n.line, n.col);
         }
     }
     out
+}
+
+/// Renders the ` --> file:line:col` locator and, when anchored, the source
+/// line with a caret marker. Caret padding and width count characters so
+/// the marker aligns on multi-byte UTF-8 lines.
+fn render_anchor(
+    out: &mut String,
+    file: &str,
+    source: &str,
+    index: &LineIndex,
+    span: Option<Span>,
+    line: Option<usize>,
+    col: Option<usize>,
+) {
+    let Some(span) = span else {
+        out.push_str(&format!(" --> {file}\n"));
+        return;
+    };
+    let (line, col) = (line.unwrap_or(1), col.unwrap_or(1));
+    out.push_str(&format!(" --> {file}:{line}:{col}\n"));
+    if let Some((start, end)) = index.line_span(line) {
+        let gutter = line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let text = &source[start..end];
+        let line_chars = text.chars().count();
+        // Characters the span covers, truncated to what lies on this line.
+        let span_end = span.end.clamp(span.start, end).min(source.len());
+        let span_chars = source
+            .get(span.start..span_end)
+            .map_or(1, |s| s.chars().count());
+        let width = span_chars.clamp(1, (line_chars + 1).saturating_sub(col).max(1));
+        out.push_str(&format!("{pad} |\n"));
+        out.push_str(&format!("{gutter} | {text}\n"));
+        out.push_str(&format!(
+            "{pad} | {}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
+    }
 }
 
 /// One-line totals, e.g. `2 errors, 1 warning, 0 info`.
@@ -264,6 +350,49 @@ mod tests {
         assert!(text.contains("|          ^"));
         assert_eq!(d.line, Some(2));
         assert_eq!(d.col, Some(10));
+    }
+
+    #[test]
+    fn multibyte_columns_count_characters() {
+        // Line 1 is a non-ASCII comment; line 2 holds multi-byte
+        // identifiers before the span. Byte-based columns would be off by
+        // three at the anchor ('ü' and the two 'é's before it).
+        let src = "# café σ mapping\nTür(é) -> R(é,zz)";
+        let idx = LineIndex::new(src);
+        let off = src.rfind("zz").unwrap();
+        assert_eq!(idx.line_col(off), (2, 15));
+        let d = Diagnostic::new("NDL002", Severity::Error, "unsafe variable zz")
+            .with_span(Span::new(off, off + 2), &idx);
+        assert_eq!((d.line, d.col), (Some(2), Some(15)));
+        let text = render(std::slice::from_ref(&d), "deps.ndl", src);
+        assert!(text.contains(" --> deps.ndl:2:15"));
+        // The caret sits under `zz`: 14 characters of padding, width 2.
+        assert!(
+            text.contains(&format!("  | {}^^\n", " ".repeat(14))),
+            "{text}"
+        );
+        // An offset inside a multi-byte character resolves to its column.
+        let e_off = src.rfind('é').unwrap();
+        assert_eq!(idx.line_col(e_off + 1), idx.line_col(e_off));
+    }
+
+    #[test]
+    fn notes_render_with_their_own_carets() {
+        let src = "S(x) -> R(x)\nR(x) -> S(x)";
+        let idx = LineIndex::new(src);
+        let d = Diagnostic::new("NDL020", Severity::Error, "cycle")
+            .with_span(Span::new(0, 1), &idx)
+            .with_note(
+                Note::new("back edge here")
+                    .with_statement(1)
+                    .with_span(Span::new(21, 22), &idx),
+            )
+            .with_note(Note::new("unanchored context"));
+        let text = render(std::slice::from_ref(&d), "p.ndl", src);
+        assert!(text.contains("note: back edge here"));
+        assert!(text.contains(" --> p.ndl:2:9"));
+        assert!(text.contains("2 | R(x) -> S(x)"));
+        assert!(text.contains("note: unanchored context\n --> p.ndl\n"));
     }
 
     #[test]

@@ -13,7 +13,17 @@
 //!   to a spanned diagnostic, plus analyzer-only rules for unused
 //!   existentials, non-normalized statements (Section 3 of the paper),
 //!   nesting/Skolem-arity explosion and cyclic null structure of the
-//!   critical-instance chase (Section 4).
+//!   critical-instance chase (Section 4);
+//! - [`graph`] — the semantic layer's data structures: the position graph
+//!   (regular and special edges under both the weak- and rich-acyclicity
+//!   rules) and the Skolem dependency graph, with Graphviz DOT output;
+//! - [`termination`] — the three-way chase-termination classification
+//!   (richly acyclic / weakly acyclic / cyclic) with witness cycles,
+//!   position ranks and per-relation null-generation depths;
+//! - [`cost`] — polynomial chase-size bounds from a value-degree fixpoint,
+//!   and [`ChaseAnalysis`]: the bundle of graphs, termination verdict,
+//!   cost model and firing order consumed by the NDL020–NDL025 lints, the
+//!   `ndl analyze` subcommand and the chase engines in `ndl-chase`.
 //!
 //! ## Quick example
 //!
@@ -35,13 +45,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cost;
 pub mod diagnostic;
+pub mod graph;
 pub mod program;
 pub mod rules;
+pub mod termination;
 
-pub use diagnostic::{render, summary, Diagnostic, LineIndex, Severity};
+pub use cost::{AnalysisReport, ChaseAnalysis, CostModel};
+pub use diagnostic::{render, summary, Diagnostic, LineIndex, Note, Severity};
+pub use graph::{PositionGraph, ProgramGraphs, SkolemGraph};
 pub use program::{parse_program, Statement, StmtAst};
 pub use rules::{lint_source, LintOptions};
+pub use termination::{Termination, TerminationClass};
 
 /// Serializes diagnostics to pretty-printed JSON (an array of objects).
 pub fn to_json(diags: &[Diagnostic]) -> String {

@@ -12,9 +12,24 @@
 //! | NDL015 | warning  | Skolem arity exceeds the configured bound (Section 4) |
 //! | NDL016 | warning  | critical-instance chase has cyclic nulls (Section 4) |
 //! | NDL017 | info     | universal variable occurs in a single atom |
+//! | NDL020 | error    | not weakly acyclic — chase termination not guaranteed |
+//! | NDL021 | warning  | weakly but not richly acyclic — oblivious chase may diverge |
+//! | NDL022 | warning  | chase-size polynomial degree exceeds the configured bound |
+//! | NDL023 | warning  | null-generation depth of a relation exceeds the bound |
+//! | NDL024 | warning  | Skolem fan-out exceeds the configured bound |
+//! | NDL025 | info     | clause joins at least the configured number of body atoms |
+//!
+//! NDL020–NDL025 come from the semantic layer ([`crate::graph`],
+//! [`crate::termination`], [`crate::cost`]): the position and Skolem
+//! dependency graphs of the Skolemized program. They run on every
+//! arity-consistent statement even when side discipline is violated
+//! (NDL006), because recursive programs are exactly where termination is
+//! at stake; NDL016's critical-instance signal corroborates them.
 
-use crate::diagnostic::{Diagnostic, LineIndex, Severity};
+use crate::cost::ChaseAnalysis;
+use crate::diagnostic::{Diagnostic, LineIndex, Note, Severity};
 use crate::program::{parse_program, Statement, StmtAst};
+use crate::termination::TerminationClass;
 use ndl_chase::chase_mapping;
 use ndl_core::parse::{locate_applied, locate_ident, locate_quantified};
 use ndl_core::prelude::*;
@@ -38,6 +53,21 @@ pub const SKOLEM_ARITY: &str = "NDL015";
 pub const CYCLIC_NULLS: &str = "NDL016";
 /// NDL017: a universal variable occurring in a single atom (projection only).
 pub const SINGLETON_UNIVERSAL: &str = "NDL017";
+/// NDL020: the program is not weakly acyclic — no chase variant is
+/// guaranteed to terminate. The special-edge cycle is attached as notes.
+pub const NON_TERMINATING: &str = "NDL020";
+/// NDL021: weakly but not richly acyclic — the restricted chase
+/// terminates, the oblivious (fixpoint) chase may diverge.
+pub const OBLIVIOUS_DIVERGENCE: &str = "NDL021";
+/// NDL022: the chase-size polynomial degree exceeds the configured bound.
+pub const SIZE_DEGREE: &str = "NDL022";
+/// NDL023: a relation's null-generation depth exceeds the bound.
+pub const NULL_DEPTH: &str = "NDL023";
+/// NDL024: a Skolem function's fan-out exceeds the configured bound.
+pub const SKOLEM_FANOUT: &str = "NDL024";
+/// NDL025: a Skolemized clause joins at least the configured number of
+/// body atoms (accumulated ancestor bodies included).
+pub const WIDE_JOIN: &str = "NDL025";
 
 /// Tunable thresholds of the analyzer.
 #[derive(Clone, Debug)]
@@ -51,6 +81,20 @@ pub struct LintOptions {
     /// Skolemizes to a function of that arity, and f-block sizes grow with
     /// it (Section 4).
     pub max_skolem_arity: usize,
+    /// NDL022 fires when the chase-size polynomial degree exceeds this
+    /// (default 6): `chase(I)` may have `O(|I|^d)` facts.
+    pub max_size_degree: usize,
+    /// NDL023 fires when a relation can hold nulls of generation depth
+    /// greater than this (default 2): nulls created from nulls created
+    /// from nulls make instances hard to interpret.
+    pub max_null_depth: usize,
+    /// NDL024 fires when one Skolem function's terms can spread to more
+    /// than this many positions (default 8).
+    pub max_skolem_fanout: usize,
+    /// NDL025 fires when a Skolemized clause joins at least this many
+    /// body atoms (default 8): trigger matching is exponential in join
+    /// width in the worst case.
+    pub max_body_atoms: usize,
 }
 
 impl Default for LintOptions {
@@ -58,6 +102,10 @@ impl Default for LintOptions {
         LintOptions {
             max_depth: 4,
             max_skolem_arity: 5,
+            max_size_degree: 6,
+            max_null_depth: 2,
+            max_skolem_fanout: 8,
+            max_body_atoms: 8,
         }
     }
 }
@@ -112,6 +160,8 @@ pub fn lint_source(syms: &mut SymbolTable, src: &str, opts: &LintOptions) -> Vec
             check_critical_chase(&m, syms, &mut diags);
         }
     }
+
+    semantic_lints(syms, &stmts, opts, &index, &mut diags);
 
     diags.sort_by(|a, b| {
         let key = |d: &Diagnostic| {
@@ -336,6 +386,148 @@ fn check_critical_chase(m: &NestedMapping, syms: &mut SymbolTable, diags: &mut V
     }
 }
 
+/// NDL020–NDL025: the semantic pass over the position and Skolem graphs.
+/// Runs on all arity-consistent statements — side-discipline violations do
+/// not exclude a statement (see [`crate::graph`] module docs).
+fn semantic_lints(
+    syms: &mut SymbolTable,
+    stmts: &[Statement],
+    opts: &LintOptions,
+    index: &LineIndex,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let analysis = ChaseAnalysis::analyze(syms, stmts);
+    let whole = |i: usize| {
+        let s = &stmts[i];
+        Span::new(s.offset, s.offset + s.text.len())
+    };
+    // An edge's note anchors at the *target* position's relation in the
+    // edge's statement, preferring the second occurrence (recursive
+    // statements mention the relation in body and head; the head
+    // occurrence is where the value arrives).
+    let anchor_edge = |e: &crate::graph::PosEdge| {
+        let (rel, _) = analysis.graphs.positions.positions[e.to];
+        let name = syms.rel_name(rel);
+        let text = &stmts[e.stmt].text;
+        locate_applied(text, name, None, 1)
+            .or_else(|| locate_applied(text, name, None, 0))
+            .map(|s| s.offset_by(stmts[e.stmt].offset))
+    };
+
+    match analysis.termination.class {
+        TerminationClass::Cyclic | TerminationClass::WeaklyAcyclic => {
+            let cyclic = analysis.termination.class == TerminationClass::Cyclic;
+            let (code, sev, message) = if cyclic {
+                (
+                    NON_TERMINATING,
+                    Severity::Error,
+                    "program is not weakly acyclic: no chase variant is guaranteed to \
+                     terminate (special-edge cycle in the position graph)"
+                        .to_string(),
+                )
+            } else {
+                (
+                    OBLIVIOUS_DIVERGENCE,
+                    Severity::Warning,
+                    "program is weakly but not richly acyclic: the restricted chase \
+                     terminates, the oblivious (fixpoint) chase may diverge"
+                        .to_string(),
+                )
+            };
+            let witness = &analysis.termination.witness;
+            let first_stmt = witness.first().map(|e| e.stmt);
+            let mut d = Diagnostic::new(code, sev, message);
+            if let Some(i) = first_stmt {
+                d = d.with_statement(i).with_span(whole(i), index);
+            }
+            for (e, rendered) in witness.iter().zip(&analysis.termination.witness_rendered) {
+                let kind = if e.special {
+                    "special edge"
+                } else {
+                    "regular edge"
+                };
+                let mut note = Note::new(format!("{kind} {rendered}")).with_statement(e.stmt);
+                if let Some(sp) = anchor_edge(e) {
+                    note = note.with_span(sp, index);
+                }
+                d = d.with_note(note);
+            }
+            diags.push(d);
+        }
+        TerminationClass::RichlyAcyclic => {}
+    }
+
+    if let Some(deg) = analysis.cost.size_degree {
+        if deg > opts.max_size_degree {
+            diags.push(Diagnostic::new(
+                SIZE_DEGREE,
+                Severity::Warning,
+                format!(
+                    "chase size is bounded by O(n^{deg}) (> degree {}); consider \
+                     splitting wide joins or narrowing Skolem arguments",
+                    opts.max_size_degree
+                ),
+            ));
+        }
+    }
+
+    for &(rel, depth) in &analysis.termination.relation_depths {
+        if depth > opts.max_null_depth {
+            diags.push(Diagnostic::new(
+                NULL_DEPTH,
+                Severity::Warning,
+                format!(
+                    "relation {} can hold nulls of generation depth {depth} (> {}): \
+                     nulls invented from nulls invented from nulls",
+                    syms.rel_name(rel),
+                    opts.max_null_depth
+                ),
+            ));
+        }
+    }
+
+    for f in &analysis.graphs.skolem.funcs {
+        if f.fan_out > opts.max_skolem_fanout {
+            let mut d = Diagnostic::new(
+                SKOLEM_FANOUT,
+                Severity::Warning,
+                format!(
+                    "Skolem function {} can spread to {} positions (> {}); its nulls \
+                     permeate the target schema",
+                    syms.func_name(f.func),
+                    f.fan_out,
+                    opts.max_skolem_fanout
+                ),
+            );
+            d = d.with_statement(f.stmt).with_span(whole(f.stmt), index);
+            diags.push(d);
+        }
+    }
+
+    let mut wide: BTreeMap<usize, usize> = BTreeMap::new();
+    for cv in &analysis.graphs.clauses {
+        if cv.clause.body.len() >= opts.max_body_atoms {
+            let w = wide.entry(cv.stmt).or_insert(0);
+            *w = (*w).max(cv.clause.body.len());
+        }
+    }
+    for (stmt, width) in wide {
+        diags.push(
+            Diagnostic::new(
+                WIDE_JOIN,
+                Severity::Info,
+                format!(
+                    "a Skolemized clause of this statement joins {width} body atoms \
+                     (>= {}); trigger matching is worst-case exponential in join width",
+                    opts.max_body_atoms
+                ),
+            )
+            .with_statement(stmt)
+            .with_span(whole(stmt), index),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +603,7 @@ mod tests {
         let opts = LintOptions {
             max_depth: 1,
             max_skolem_arity: 1,
+            ..LintOptions::default()
         };
         let diags = lint_source(
             &mut syms,
@@ -448,6 +641,88 @@ mod tests {
             .expect("NDL017");
         assert_eq!(d.severity, Severity::Info);
         assert!(d.message.contains("variable y"));
+    }
+
+    #[test]
+    fn non_weakly_acyclic_program_is_an_error_with_cycle_notes() {
+        let diags = lint("E(x,y) -> exists z E(y,z)\n");
+        let d = diags
+            .iter()
+            .find(|d| d.code == NON_TERMINATING)
+            .expect("NDL020");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.statement, Some(0));
+        assert!(!d.notes.is_empty());
+        assert!(
+            d.notes[0].message.starts_with("special edge"),
+            "{:?}",
+            d.notes
+        );
+        assert!(d.notes[0].span.is_some());
+        // NDL006 (side discipline) fires too — the semantic pass must not
+        // be suppressed by it.
+        assert!(codes(&diags).contains(&"NDL006"), "{diags:?}");
+    }
+
+    #[test]
+    fn blind_recursion_warns_about_oblivious_divergence() {
+        let diags = lint("T(x) -> exists y T(y)\n");
+        let d = diags
+            .iter()
+            .find(|d| d.code == OBLIVIOUS_DIVERGENCE)
+            .expect("NDL021");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!codes(&diags).contains(&NON_TERMINATING));
+    }
+
+    #[test]
+    fn clean_source_to_target_program_has_no_semantic_findings() {
+        let diags = lint("S(x,y) -> exists z (R(x,z) & T(z,y))\nfact: S(a,b)\n");
+        for code in [
+            NON_TERMINATING,
+            OBLIVIOUS_DIVERGENCE,
+            SIZE_DEGREE,
+            NULL_DEPTH,
+            SKOLEM_FANOUT,
+            WIDE_JOIN,
+        ] {
+            assert!(!codes(&diags).contains(&code), "{code}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn size_degree_and_wide_join_bounds() {
+        let mut syms = SymbolTable::new();
+        let opts = LintOptions {
+            max_size_degree: 2,
+            max_body_atoms: 2,
+            ..LintOptions::default()
+        };
+        let diags = lint_source(&mut syms, "E(x,y) & E(y,z) -> E(x,z)\n", &opts);
+        assert!(codes(&diags).contains(&SIZE_DEGREE), "{diags:?}");
+        assert!(codes(&diags).contains(&WIDE_JOIN), "{diags:?}");
+        let relaxed = lint("E(x,y) & E(y,z) -> E(x,z)\n");
+        assert!(!codes(&relaxed).contains(&SIZE_DEGREE));
+        assert!(!codes(&relaxed).contains(&WIDE_JOIN));
+    }
+
+    #[test]
+    fn null_depth_and_fanout_bounds() {
+        let mut syms = SymbolTable::new();
+        // A null pipeline: U's null feeds W's Skolem, so W holds nulls of
+        // generation depth 2 (the first special edge is RA-only — x is
+        // hidden inside the Skolem term — and does not count toward rank).
+        let src = "S(x) -> exists y T(y)\nT(x) -> exists z U(x,z)\nU(x,y) -> exists w W(y,w)\n";
+        let opts = LintOptions {
+            max_null_depth: 1,
+            max_skolem_fanout: 1,
+            ..LintOptions::default()
+        };
+        let diags = lint_source(&mut syms, src, &opts);
+        assert!(codes(&diags).contains(&NULL_DEPTH), "{diags:?}");
+        assert!(codes(&diags).contains(&SKOLEM_FANOUT), "{diags:?}");
+        let relaxed = lint(src);
+        assert!(!codes(&relaxed).contains(&SKOLEM_FANOUT), "{relaxed:?}");
     }
 
     #[test]

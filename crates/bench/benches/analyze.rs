@@ -1,0 +1,51 @@
+//! Semantic-analysis throughput: position/Skolem graph construction,
+//! termination classification and cost bounds over generated dependency
+//! programs of 10¹ – 10³ statements (`analyze_large`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_analyze::ChaseAnalysis;
+use ndl_core::prelude::*;
+use ndl_gen::{random_program, ProgramGenOptions};
+
+fn program(statements: usize) -> String {
+    random_program(&ProgramGenOptions {
+        statements,
+        relations: (statements / 4).max(4),
+        seed: 42,
+        ..Default::default()
+    })
+}
+
+fn bench_analyze_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_large");
+    for &n in &[10usize, 100, 1_000] {
+        let text = program(n);
+        // The full pipeline: parse, Skolemize, both graphs, SCC-based
+        // classification, ranks and the degree fixpoint.
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &text, |b, src| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                let (a, _) = ChaseAnalysis::analyze_source(&mut syms, src);
+                (a.termination.class, a.graphs.positions.edges.len())
+            })
+        });
+        // Graphs + classification alone, on pre-parsed statements.
+        let mut syms = SymbolTable::new();
+        let (stmts, _) = ndl_analyze::parse_program(&mut syms, &text);
+        group.bench_with_input(
+            BenchmarkId::new("classify", n),
+            &(syms, stmts),
+            |b, (syms, stmts)| {
+                b.iter(|| {
+                    let mut syms = syms.clone();
+                    let a = ChaseAnalysis::analyze(&mut syms, stmts);
+                    a.termination.class
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze_large);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Measures the semantic-analysis pipeline (parse → position/Skolem
+//! graphs → termination class → cost bounds) on generated dependency
+//! programs of 10¹ – 10³ statements, and records the throughput as
+//! `BENCH_analyze.json` (committed under `experiments/`; see
+//! `docs/performance.md`).
+//!
+//! Pass an output directory as the first argument to write elsewhere
+//! (e.g. `bench_analyze target/experiments` for a throwaway run).
+
+use ndl_analyze::ChaseAnalysis;
+use ndl_bench::ExperimentRecord;
+use ndl_core::prelude::*;
+use ndl_gen::{random_program, ProgramGenOptions};
+use std::path::Path;
+use std::time::Instant;
+
+/// Mean seconds per call over `reps` calls (plus one warm-up).
+fn time<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "experiments".into());
+    let mut record = ExperimentRecord::new(
+        "BENCH_analyze",
+        "semantic analysis (graphs + termination class + cost bounds) on generated programs",
+        "static analysis should stay near-linear up to 10^3-statement programs",
+    );
+
+    println!("semantic analysis throughput (mean ms per run)\n");
+    println!("  statements   positions   class            ms    stmts/s");
+    let mut ms_per_stmt = Vec::new();
+    for &n in &[10usize, 100, 1_000] {
+        let text = random_program(&ProgramGenOptions {
+            statements: n,
+            relations: (n / 4).max(4),
+            seed: 42,
+            ..Default::default()
+        });
+        let reps = if n <= 100 { 200 } else { 20 };
+        let secs = time(reps, || {
+            let mut syms = SymbolTable::new();
+            let (a, _) = ChaseAnalysis::analyze_source(&mut syms, &text);
+            a.termination.class
+        });
+        let mut syms = SymbolTable::new();
+        let (analysis, _) = ChaseAnalysis::analyze_source(&mut syms, &text);
+        let report = analysis.report(&syms);
+        let ms = secs * 1e3;
+        ms_per_stmt.push(ms / n as f64);
+        println!(
+            "  {:>10}   {:>9}   {:<14} {:>6.3}   {:>8.0}",
+            n,
+            report.positions,
+            report.class,
+            ms,
+            n as f64 / secs
+        );
+        record.row(&[
+            ("statements", n.to_string()),
+            ("positions", report.positions.to_string()),
+            ("clauses", report.clauses.to_string()),
+            ("class", report.class.clone()),
+            ("ms", format!("{ms:.3}")),
+            ("stmts_per_sec", format!("{:.0}", n as f64 / secs)),
+        ]);
+    }
+
+    // Acceptance: scaling stays near-linear — the per-statement cost at
+    // 10³ statements is within 20x of the cost at 10 statements.
+    let passed = ms_per_stmt[2] <= ms_per_stmt[0] * 20.0;
+    println!(
+        "\n=> near-linear scaling to 10^3 statements: {}",
+        if passed { "yes ✓" } else { "NO" }
+    );
+    record.passed = passed;
+    match record.write_to(Path::new(&out_dir)) {
+        Ok(path) => println!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

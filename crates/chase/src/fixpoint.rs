@@ -1,0 +1,327 @@
+//! Oblivious fixpoint chase for (recursive) SO-tgd programs.
+//!
+//! Unlike the single-pass engines in [`crate::so`] and [`crate::nested`] —
+//! which fire every dependency once against a *fixed* source and are
+//! therefore trivially terminating — this engine chases a **combined**
+//! instance to a fixpoint: derived facts are added back to the instance and
+//! may re-trigger any clause. That is the semantics under which the
+//! termination classes of the static analyzer are meaningful: the chase of
+//! a *richly acyclic* program always reaches a fixpoint, a weakly-acyclic
+//! but not richly acyclic program may diverge obliviously, and a cyclic
+//! program can diverge outright.
+//!
+//! The engine therefore takes a [`ChasePlan`]: it refuses programs the plan
+//! marks non-terminating (unless a step budget is supplied), fires clauses
+//! in the planned statement order, and pre-sizes its trigger index from the
+//! plan's chase-size degree.
+
+use crate::null::NullFactory;
+use crate::plan::ChasePlan;
+use crate::trigger::{Binding, Matcher};
+use ndl_core::prelude::*;
+use std::fmt;
+
+/// Why a fixpoint chase did not produce a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FixpointError {
+    /// The plan says the chase is not guaranteed to terminate and no step
+    /// budget was provided, so the engine refused to start. Carries the
+    /// analyzer's diagnosis (the NDL020/NDL021 finding) when available.
+    NonTerminating {
+        /// The analyzer's explanation, e.g. the special-edge cycle.
+        diagnosis: Option<String>,
+    },
+    /// The chase derived more than `budget` new facts without reaching a
+    /// fixpoint and was cut off.
+    BudgetExhausted {
+        /// The step budget that was exhausted.
+        budget: usize,
+        /// The analyzer's explanation, when available.
+        diagnosis: Option<String>,
+    },
+}
+
+impl fmt::Display for FixpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixpointError::NonTerminating { diagnosis } => {
+                write!(f, "chase is not guaranteed to terminate")?;
+                if let Some(d) = diagnosis {
+                    write!(f, ": {d}")?;
+                }
+                Ok(())
+            }
+            FixpointError::BudgetExhausted { budget, diagnosis } => {
+                write!(f, "chase exhausted its step budget of {budget} facts")?;
+                if let Some(d) = diagnosis {
+                    write!(f, " ({d})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixpointError {}
+
+/// The result of a completed fixpoint chase.
+#[derive(Clone, Debug)]
+pub struct FixpointChase {
+    /// The combined instance at fixpoint (source facts included).
+    pub instance: Instance,
+    /// Number of rounds until the fixpoint (the final, empty round
+    /// included).
+    pub rounds: usize,
+    /// Number of facts derived beyond the source.
+    pub derived: usize,
+}
+
+/// Chases `source` with the program `tgds` (one SO tgd per statement) to a
+/// fixpoint, firing statements in the order given by `plan` and allocating
+/// nulls in `nulls`.
+///
+/// Returns an error without chasing if `plan` marks the program
+/// non-terminating and provides no step budget; returns
+/// [`FixpointError::BudgetExhausted`] if a budget is set and more than that
+/// many facts are derived.
+///
+/// # Panics
+/// Panics if `source` is not ground (nulls created *during* the chase are
+/// fine — they are resolved through `nulls`).
+pub fn chase_fixpoint(
+    source: &Instance,
+    tgds: &[SoTgd],
+    plan: &ChasePlan,
+    nulls: &mut NullFactory,
+) -> std::result::Result<FixpointChase, FixpointError> {
+    assert!(source.is_ground(), "source instance must be ground");
+    if !plan.guaranteed_terminating && plan.step_budget.is_none() {
+        return Err(FixpointError::NonTerminating {
+            diagnosis: plan.diagnosis.clone(),
+        });
+    }
+
+    let mut instance = source.clone();
+    // Pre-size the trigger index from the plan's chase-size prediction; the
+    // index then grows incrementally instead of being rebuilt per round.
+    let cap = plan.predicted_tuples(source.len());
+    let mut index = TupleIndex::with_capacity(cap, cap.saturating_mul(2));
+    for f in instance.facts() {
+        index.insert(f.rel, f.args);
+    }
+
+    let order = plan.firing_order(tgds.len());
+    let mut rounds = 0usize;
+    let mut derived = 0usize;
+    loop {
+        rounds += 1;
+        // Fresh facts of this round, deduplicated against the instance and
+        // each other as they are produced, so the budget bounds the *work*
+        // of a round — one wide join must not materialize millions of
+        // facts before an after-the-fact check sees them.
+        let mut fresh: std::collections::BTreeSet<Fact> = std::collections::BTreeSet::new();
+        let matcher = Matcher::from_index(&instance, index);
+        for &si in &order {
+            for clause in &tgds[si].clauses {
+                for binding in matcher.all_matches(&clause.body, &Binding::new()) {
+                    let eq_ok = clause.equalities.iter().all(|(l, r)| {
+                        resolve_value(l, &binding, nulls) == resolve_value(r, &binding, nulls)
+                    });
+                    if !eq_ok {
+                        continue;
+                    }
+                    for ta in &clause.head {
+                        let args: Vec<Value> = ta
+                            .args
+                            .iter()
+                            .map(|t| resolve_value(t, &binding, nulls))
+                            .collect();
+                        let fact = Fact::new(ta.rel, args);
+                        if !instance.contains(&fact) && fresh.insert(fact) {
+                            if let Some(budget) = plan.step_budget {
+                                if derived + fresh.len() > budget {
+                                    return Err(FixpointError::BudgetExhausted {
+                                        budget,
+                                        diagnosis: plan.diagnosis.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        index = matcher.into_index();
+
+        let mut added = false;
+        for f in fresh {
+            if index.insert(f.rel, f.args.clone()) {
+                instance.insert(f);
+                added = true;
+                derived += 1;
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    Ok(FixpointChase {
+        instance,
+        rounds,
+        derived,
+    })
+}
+
+/// Grounds a term under a binding directly to a value: variables take
+/// their bound value, function applications intern a null for the
+/// application over their argument *values* ([`NullFactory::null_for_app`]).
+/// The Herbrand interpretation stays consistent across rounds (re-deriving
+/// the same term yields the same null) without ever expanding a null into
+/// its structural Skolem term — nested terms grow exponentially in rank,
+/// the hash-consed values do not.
+fn resolve_value(t: &Term, binding: &Binding, nulls: &mut NullFactory) -> Value {
+    match t {
+        Term::Var(v) => *binding
+            .get(v)
+            .expect("unbound variable while grounding term"),
+        Term::App(f, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| resolve_value(a, binding, nulls))
+                .collect();
+            Value::Null(nulls.null_for_app(*f, vals))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts(syms: &mut SymbolTable, names: &[&str]) -> Vec<Value> {
+        names
+            .iter()
+            .map(|n| Value::Const(syms.constant(n)))
+            .collect()
+    }
+
+    #[test]
+    fn transitive_closure_reaches_fixpoint() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "E(x,y) & E(y,z) -> E(x,z)").unwrap();
+        let e = syms.rel("E");
+        let v = consts(&mut syms, &["a", "b", "c", "d"]);
+        let source = Instance::from_facts([
+            Fact::new(e, vec![v[0], v[1]]),
+            Fact::new(e, vec![v[1], v[2]]),
+            Fact::new(e, vec![v[2], v[3]]),
+        ]);
+        let mut nulls = NullFactory::new();
+        let out = chase_fixpoint(&source, &[tgd], &ChasePlan::trusting(1), &mut nulls).unwrap();
+        // TC of a 4-path has 3+2+1 = 6 edges.
+        assert_eq!(out.instance.rel_len(e), 6);
+        assert_eq!(out.derived, 3);
+        assert!(out.rounds >= 2);
+        assert!(nulls.is_empty());
+    }
+
+    #[test]
+    fn richly_acyclic_program_with_nulls_terminates() {
+        let mut syms = SymbolTable::new();
+        let program = vec![
+            parse_so_tgd(&mut syms, "exists f . S(x) -> T(f(x))").unwrap(),
+            parse_so_tgd(&mut syms, "T(x) -> U(x)").unwrap(),
+        ];
+        let s = syms.rel("S");
+        let t = syms.rel("T");
+        let u = syms.rel("U");
+        let v = consts(&mut syms, &["a", "b"]);
+        let source = Instance::from_facts([Fact::new(s, vec![v[0]]), Fact::new(s, vec![v[1]])]);
+        let mut nulls = NullFactory::new();
+        let out = chase_fixpoint(&source, &program, &ChasePlan::trusting(2), &mut nulls).unwrap();
+        assert_eq!(out.instance.rel_len(t), 2);
+        assert_eq!(out.instance.rel_len(u), 2);
+        assert_eq!(nulls.len(), 2);
+        // Idempotent: re-firing T(f(a)) -> U(f(a)) reuses the same null, so
+        // the fixpoint is reached without budget pressure.
+        assert_eq!(out.derived, 4);
+    }
+
+    #[test]
+    fn refuses_unplanned_divergence() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f . T(x) -> T(f(x))").unwrap();
+        let t = syms.rel("T");
+        let v = consts(&mut syms, &["a"]);
+        let source = Instance::from_facts([Fact::new(t, vec![v[0]])]);
+        let plan = ChasePlan {
+            guaranteed_terminating: false,
+            diagnosis: Some("special-edge cycle T.1 -> T.1".into()),
+            ..ChasePlan::trusting(1)
+        };
+        let mut nulls = NullFactory::new();
+        let err =
+            chase_fixpoint(&source, std::slice::from_ref(&tgd), &plan, &mut nulls).unwrap_err();
+        assert!(matches!(err, FixpointError::NonTerminating { .. }));
+        assert!(err.to_string().contains("special-edge cycle"));
+
+        // With a budget the chase runs but is cut off.
+        let budgeted = ChasePlan {
+            step_budget: Some(10),
+            ..plan
+        };
+        let err = chase_fixpoint(&source, &[tgd], &budgeted, &mut nulls).unwrap_err();
+        assert_eq!(
+            err,
+            FixpointError::BudgetExhausted {
+                budget: 10,
+                diagnosis: Some("special-edge cycle T.1 -> T.1".into()),
+            }
+        );
+        // The budget bounded the work: at most budget + 1 facts derived.
+        assert!(nulls.len() <= 11);
+    }
+
+    #[test]
+    fn plan_order_is_respected_but_result_is_confluent() {
+        let mut syms = SymbolTable::new();
+        let program = vec![
+            parse_so_tgd(&mut syms, "P(x) -> Q(x)").unwrap(),
+            parse_so_tgd(&mut syms, "Q(x) -> R(x)").unwrap(),
+        ];
+        let p = syms.rel("P");
+        let r = syms.rel("R");
+        let v = consts(&mut syms, &["a"]);
+        let source = Instance::from_facts([Fact::new(p, vec![v[0]])]);
+        let forward = ChasePlan::trusting(2);
+        let backward = ChasePlan {
+            order: vec![1, 0],
+            ..ChasePlan::trusting(2)
+        };
+        let mut n1 = NullFactory::new();
+        let mut n2 = NullFactory::new();
+        let a = chase_fixpoint(&source, &program, &forward, &mut n1).unwrap();
+        let b = chase_fixpoint(&source, &program, &backward, &mut n2).unwrap();
+        assert_eq!(a.instance.rel_len(r), 1);
+        // Firing order changes the round count, not the fixpoint.
+        assert!(a.rounds <= b.rounds);
+        assert!(a.instance.is_subinstance_of(&b.instance));
+        assert!(b.instance.is_subinstance_of(&a.instance));
+    }
+
+    #[test]
+    fn equalities_gate_recursive_clauses() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "S(x,y) & x = y -> D(x)").unwrap();
+        let s = syms.rel("S");
+        let d = syms.rel("D");
+        let v = consts(&mut syms, &["a", "b"]);
+        let source = Instance::from_facts([
+            Fact::new(s, vec![v[0], v[0]]),
+            Fact::new(s, vec![v[0], v[1]]),
+        ]);
+        let mut nulls = NullFactory::new();
+        let out = chase_fixpoint(&source, &[tgd], &ChasePlan::trusting(1), &mut nulls).unwrap();
+        assert_eq!(out.instance.rel_len(d), 1);
+    }
+}

@@ -11,6 +11,9 @@
 //! - [`egd`] — the egd chase over source instances (Section 5), used both
 //!   to validate sources and to *legalize* canonical instances
 //!   (Definition 5.4);
+//! - [`fixpoint`] — the oblivious **fixpoint** chase for recursive SO-tgd
+//!   programs, driven by a [`plan::ChasePlan`] (firing order, termination
+//!   verdict, step budget, index sizing) from the static analyzer;
 //! - [`trigger`] — the shared conjunctive-query matching primitive;
 //! - [`null`] — labeled nulls in bijection with ground Skolem terms.
 //!
@@ -20,17 +23,22 @@
 #![warn(missing_docs)]
 
 pub mod egd;
+pub mod fixpoint;
 pub mod nested;
 pub mod null;
+pub mod plan;
 pub mod so;
 pub mod st;
 pub mod trigger;
 
 pub use egd::{chase_egds, satisfies_egds, EgdChase, EgdConflict, RigidPolicy};
+pub use fixpoint::{chase_fixpoint, FixpointChase, FixpointError};
 pub use nested::{
-    chase_mapping, chase_nested, ChaseForest, ChaseResult, Prepared, TrigId, Triggering,
+    chase_mapping, chase_nested, chase_nested_planned, ChaseForest, ChaseResult, Prepared, TrigId,
+    Triggering,
 };
 pub use null::NullFactory;
+pub use plan::ChasePlan;
 pub use so::{chase_so, chase_so_set, ground_term};
 pub use st::{chase_st, chase_st_with_forest};
 pub use trigger::{all_matches, has_match, Binding, Matcher};

@@ -128,6 +128,50 @@ pub fn chase_nested(source: &Instance, tgds: &[Prepared], nulls: &mut NullFactor
     ChaseResult { target, forest }
 }
 
+/// Chases with a [`ChasePlan`](crate::plan::ChasePlan): statements fire in
+/// the planned order (TrigId numbering and the forest follow that order;
+/// `tgd_idx` still refers to positions in `tgds`), and the trigger index
+/// over the source is pre-sized from the plan's prediction.
+///
+/// The single-pass nested chase always terminates, so — unlike the
+/// fixpoint engine — this never refuses a plan; the plan's termination
+/// verdict concerns the recursive/fixpoint semantics only.
+pub fn chase_nested_planned(
+    source: &Instance,
+    tgds: &[Prepared],
+    plan: &crate::plan::ChasePlan,
+    nulls: &mut NullFactory,
+) -> ChaseResult {
+    assert!(source.is_ground(), "source instance must be ground");
+    let cells: usize = source.facts().map(|f| f.args.len()).sum();
+    let mut index = TupleIndex::with_capacity(source.len(), cells);
+    for f in source.facts() {
+        index.insert(f.rel, f.args);
+    }
+    let matcher = Matcher::from_index(source, index);
+    let mut forest = ChaseForest::default();
+    let mut target = Instance::new();
+    for idx in plan.firing_order(tgds.len()) {
+        let prep = &tgds[idx];
+        let root = prep.tgd.root();
+        for binding in matcher.all_matches(&prep.tgd.part(root).body, &Binding::new()) {
+            let t = fire(
+                &matcher,
+                prep,
+                idx,
+                root,
+                binding,
+                None,
+                nulls,
+                &mut forest,
+                &mut target,
+            );
+            forest.roots.push(t);
+        }
+    }
+    ChaseResult { target, forest }
+}
+
 /// Convenience: prepares and chases a whole nested GLAV mapping.
 pub fn chase_mapping(
     source: &Instance,

@@ -5,6 +5,14 @@
 //! use. This makes the oblivious chase deterministic, lets re-fired
 //! triggers reuse their nulls, and lets figures print nulls exactly as the
 //! paper does (`f(a_1)`, `g(a_1,a_3,a_4)`, ...).
+//!
+//! Storage is hash-consed: a null is recorded as one function application
+//! over *values* (constants or previously allocated nulls), never as a
+//! fully expanded term. Deeply nested Herbrand terms therefore cost O(1)
+//! space per null — a chase whose nulls nest `k` levels deep would
+//! otherwise pay term sizes exponential in `k` (each application copies
+//! every argument subterm). Structural [`GroundTerm`]s are reconstructed
+//! on demand for display and for egd constant renaming.
 
 use ndl_core::prelude::*;
 use std::collections::HashMap;
@@ -12,8 +20,9 @@ use std::collections::HashMap;
 /// Allocator and registry of labeled nulls, keyed by ground Skolem term.
 #[derive(Clone, Debug, Default)]
 pub struct NullFactory {
-    terms: Vec<GroundTerm>,
-    ids: HashMap<GroundTerm, NullId>,
+    /// Per null, its defining application over already-interned values.
+    apps: Vec<(FuncId, Vec<Value>)>,
+    ids: HashMap<(FuncId, Vec<Value>), NullId>,
     offset: u32,
 }
 
@@ -35,18 +44,34 @@ impl NullFactory {
 
     /// The first id that would be allocated next (offset + count).
     pub fn next_id(&self) -> u32 {
-        self.offset + self.terms.len() as u32
+        self.offset + self.apps.len() as u32
     }
 
-    /// The null labeled by `term`, allocated on first use.
-    pub fn null_for(&mut self, term: &GroundTerm) -> NullId {
-        if let Some(&id) = self.ids.get(term) {
+    /// The null labeled by one function application over interned values.
+    /// This is the engine-facing fast path: arguments that are themselves
+    /// Skolem applications are passed as their nulls, so no structural
+    /// term is ever materialized.
+    pub fn null_for_app(&mut self, f: FuncId, args: Vec<Value>) -> NullId {
+        if let Some(&id) = self.ids.get(&(f, args.clone())) {
             return id;
         }
-        let id = NullId(self.offset + self.terms.len() as u32);
-        self.terms.push(term.clone());
-        self.ids.insert(term.clone(), id);
+        let id = NullId(self.offset + self.apps.len() as u32);
+        self.apps.push((f, args.clone()));
+        self.ids.insert((f, args), id);
         id
+    }
+
+    /// The null labeled by `term`, allocated on first use. Subterms are
+    /// interned bottom-up, so nested applications allocate (and reuse)
+    /// nulls for their arguments as well.
+    pub fn null_for(&mut self, term: &GroundTerm) -> NullId {
+        match term {
+            GroundTerm::Const(_) => panic!("constants do not label nulls"),
+            GroundTerm::App(f, args) => {
+                let vals: Vec<Value> = args.iter().map(|a| self.value_of(a)).collect();
+                self.null_for_app(*f, vals)
+            }
+        }
     }
 
     /// The value denoted by a ground term: constants denote themselves,
@@ -58,20 +83,31 @@ impl NullFactory {
         }
     }
 
-    /// The ground term labeling a null allocated by this factory.
-    pub fn term(&self, id: NullId) -> Option<&GroundTerm> {
+    /// The ground term labeling a null allocated by this factory,
+    /// reconstructed from the hash-consed applications. `None` for ids
+    /// outside this factory's range (including argument nulls minted by a
+    /// different factory).
+    pub fn term(&self, id: NullId) -> Option<GroundTerm> {
         let idx = id.0.checked_sub(self.offset)? as usize;
-        self.terms.get(idx)
+        let (f, args) = self.apps.get(idx)?;
+        let args = args
+            .iter()
+            .map(|&v| match v {
+                Value::Const(c) => Some(GroundTerm::Const(c)),
+                Value::Null(n) => self.term(n),
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(GroundTerm::App(*f, args))
     }
 
     /// Number of nulls allocated so far.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.apps.len()
     }
 
     /// Has no null been allocated yet?
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.apps.is_empty()
     }
 
     /// Renders a value, printing nulls as their ground Skolem terms when
@@ -121,7 +157,7 @@ mod tests {
         let n2 = nf.null_for(&t);
         assert_eq!(n1, n2);
         assert_eq!(nf.len(), 1);
-        assert_eq!(nf.term(n1), Some(&t));
+        assert_eq!(nf.term(n1), Some(t));
     }
 
     #[test]
@@ -131,6 +167,26 @@ mod tests {
         let mut nf = NullFactory::new();
         assert_eq!(nf.value_of(&GroundTerm::Const(a)), Value::Const(a));
         assert!(nf.is_empty());
+    }
+
+    #[test]
+    fn nested_terms_intern_their_subterms() {
+        let mut syms = SymbolTable::new();
+        let f = syms.func("f");
+        let g = syms.func("g");
+        let a = syms.constant("a");
+        let mut nf = NullFactory::new();
+        let inner = GroundTerm::App(f, vec![GroundTerm::Const(a)]);
+        let outer = GroundTerm::App(g, vec![inner.clone()]);
+        let outer_id = nf.null_for(&outer);
+        // g(f(a)) interns f(a) too, and reconstructs structurally.
+        assert_eq!(nf.len(), 2);
+        assert_eq!(nf.term(outer_id), Some(outer.clone()));
+        assert_eq!(nf.null_for(&inner), NullId(0));
+        // The compact path agrees with the structural one.
+        let inner_id = nf.null_for(&inner);
+        assert_eq!(nf.null_for_app(g, vec![Value::Null(inner_id)]), outer_id);
+        assert_eq!(nf.len(), 2);
     }
 
     #[test]
@@ -146,7 +202,7 @@ mod tests {
         let id2 = n2.null_for(&t);
         assert_eq!(id2, NullId(1));
         // Reverse lookup respects the offset.
-        assert_eq!(n2.term(id2), Some(&t));
+        assert_eq!(n2.term(id2), Some(t));
         assert_eq!(n2.term(id1), None);
         assert_eq!(n2.next_id(), 2);
     }

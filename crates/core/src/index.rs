@@ -130,6 +130,19 @@ impl TupleIndex {
         Self::default()
     }
 
+    /// Creates an empty index pre-sized for roughly `tuples` facts of
+    /// `cells` total tuple cells — the chase planner passes its predicted
+    /// chase size here so hot loops avoid rehash-and-grow cycles.
+    pub fn with_capacity(tuples: usize, cells: usize) -> Self {
+        TupleIndex {
+            entries: Vec::with_capacity(tuples),
+            live_flags: Vec::with_capacity(tuples),
+            posting: FxHashMap::with_capacity_and_hasher(cells, FxBuildHasher::default()),
+            id_of: FxHashMap::with_capacity_and_hasher(tuples, FxBuildHasher::default()),
+            ..Self::default()
+        }
+    }
+
     /// Builds the index of an instance (O(total tuple cells)), indexing
     /// facts in the instance's deterministic iteration order.
     pub fn from_instance(inst: &Instance) -> Self {
@@ -366,6 +379,16 @@ mod tests {
         assert!(idx.rel_ids(r).is_empty());
         assert_eq!(idx.active_relations().count(), 0);
         assert!(idx.to_instance().is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let (_syms, r, a, b, _) = setup();
+        let mut idx = TupleIndex::with_capacity(16, 32);
+        assert!(idx.is_empty());
+        idx.insert(r, vec![a, b]);
+        assert!(idx.contains(r, &[a, b]));
+        assert_eq!(idx.len(), 1);
     }
 
     #[test]

@@ -50,13 +50,18 @@ impl Spanned {
     }
 }
 
-/// Tokenizes `input`; identifiers are `[A-Za-z_][A-Za-z0-9_']*`.
+/// Tokenizes `input`. Identifiers start with an alphabetic character or
+/// `_` and continue with alphanumerics, `_` or `'`; the alphabetic classes
+/// are Unicode-aware, so relation and variable names like `café` or `σ1`
+/// lex as single tokens (offsets and lengths remain byte-based).
 pub fn lex(input: &str) -> Result<Vec<Spanned>> {
     let bytes = input.as_bytes();
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // Decode the full character at `i` (never mid-character: every
+        // branch below advances by a whole character's UTF-8 width).
+        let c = input[i..].chars().next().expect("offset at char boundary");
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
@@ -146,15 +151,14 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                     });
                 }
             }
-            c if c.is_ascii_alphabetic() || c == '_' => {
+            c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() {
-                    let c = bytes[i] as char;
-                    if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
-                        i += 1;
-                    } else {
+                for (off, c) in input[start..].char_indices() {
+                    i = start + off;
+                    if !(c.is_alphanumeric() || c == '_' || c == '\'') {
                         break;
                     }
+                    i += c.len_utf8();
                 }
                 let word = &input[start..i];
                 let tok = match word {
@@ -220,6 +224,20 @@ mod tests {
     fn lex_rejects_garbage() {
         assert!(lex("P(x) % Q(x)").is_err());
         assert!(lex("P(x) - Q(x)").is_err());
+    }
+
+    #[test]
+    fn unicode_identifiers_lex_as_single_tokens() {
+        let toks = lex("Café(σ1,x) -> Tür(σ1)").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("Café".into()));
+        assert_eq!(toks[0].span(), Span::new(0, "Café".len()));
+        assert_eq!(toks[2].tok, Tok::Ident("σ1".into()));
+        assert!(toks.iter().any(|t| t.tok == Tok::Ident("Tür".into())));
+        // A lone non-alphabetic multi-byte character is still rejected,
+        // with a whole-character error message (no mojibake).
+        let err = lex("P(x) → Q(x)").unwrap_err();
+        let msg = format!("{err:?}");
+        assert!(msg.contains('→'), "{msg}");
     }
 
     #[test]

@@ -55,6 +55,24 @@ impl SkolemInfo {
             .get(&y)
             .map(|(f, args)| Term::App(*f, args.iter().map(|&v| Term::Var(v)).collect()))
     }
+
+    /// The existential variable a Skolem function stands for (reverse of
+    /// the assignment), if `f` was introduced by this Skolemization.
+    pub fn existential_of(&self, f: FuncId) -> Option<VarId> {
+        self.assignment
+            .iter()
+            .find(|(_, (g, _))| *g == f)
+            .map(|(&y, _)| y)
+    }
+
+    /// The universal variables a Skolem function is applied to, if `f` was
+    /// introduced by this Skolemization.
+    pub fn args_of(&self, f: FuncId) -> Option<&[VarId]> {
+        self.assignment
+            .values()
+            .find(|(g, _)| *g == f)
+            .map(|(_, args)| args.as_slice())
+    }
 }
 
 /// Names `f, g, h` then `f4, f5, ...` like the paper's examples.
@@ -228,6 +246,20 @@ mod tests {
         let (so, _) = skolemize(&tgd, &mut syms);
         assert_eq!(so.clauses.len(), 1);
         assert_eq!(so.display(&syms), "exists f . S2(x2) -> R(x2,f(x2))");
+    }
+
+    #[test]
+    fn reverse_accessors_find_existential_and_args() {
+        let mut syms = SymbolTable::new();
+        let tgd = running_example(&mut syms);
+        let (_, info) = skolemize(&tgd, &mut syms);
+        let y2 = syms.var("y2");
+        let (g, _) = info.assignment[&y2];
+        assert_eq!(info.existential_of(g), Some(y2));
+        assert_eq!(info.args_of(g).map(<[_]>::len), Some(3));
+        let unrelated = syms.func("unrelated");
+        assert_eq!(info.existential_of(unrelated), None);
+        assert!(info.args_of(unrelated).is_none());
     }
 
     #[test]

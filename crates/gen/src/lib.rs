@@ -2,13 +2,15 @@
 //!
 //! Workload generators for benchmarks, examples and property tests:
 //! successor relations, directed cycles, grids, random instances, random
-//! nested tgds, and a Clio-style HR data-exchange scenario (the motivating
-//! workload of nested mappings in [10, 12] of the paper).
+//! nested tgds, random dependency-program *texts*, and a Clio-style HR
+//! data-exchange scenario (the motivating workload of nested mappings in
+//! [10, 12] of the paper).
 
 #![warn(missing_docs)]
 
 pub mod clio;
 pub mod instances;
+pub mod programs;
 pub mod tgds;
 
 pub use clio::{clio_scenario, ClioScenario};
@@ -16,4 +18,5 @@ pub use instances::{
     abstract_subpattern, cycle, grid, random_instance, random_target_instance, successor,
     successor_with_zero, InstanceGenOptions, TargetGenOptions,
 };
+pub use programs::{random_program, ProgramGenOptions};
 pub use tgds::{random_nested_tgd, TgdGenOptions};

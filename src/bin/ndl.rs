@@ -3,6 +3,7 @@
 //! ```text
 //! ndl parse    (--nested|--st|--so|--egd) "<dependency>"
 //! ndl lint     <file> [--json] [--max-depth N] [--max-skolem-arity N]
+//! ndl analyze  <file> [--json|--dot]
 //! ndl skolemize "<nested tgd>"
 //! ndl chase    --tgd "<nested tgd>"... --fact "R(a,b)"... [--egd "<egd>"...] [--core]
 //! ndl implies  --premise "<tgd>"... [--egd "<egd>"...] --conclusion "<tgd>"
@@ -15,6 +16,10 @@
 //! All dependencies use the library's text syntax (see the README).
 //! `lint` exits with the number of error- and warning-severity diagnostics
 //! (capped at 100), so `ndl lint file && deploy` gates on a clean program.
+//! `analyze` prints the semantic report for a program — position/Skolem
+//! graphs, chase-termination class and cost bounds — as a human summary,
+//! machine-readable JSON (`--json`) or Graphviz DOT (`--dot`).
+//! I/O and usage failures exit with code 101, distinct from lint findings.
 
 use nested_deps::analyze;
 use nested_deps::prelude::*;
@@ -29,7 +34,10 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            // I/O and internal failures use a code far above the lint
+            // findings range (which is capped at 100), so scripts can tell
+            // "program has findings" from "tool could not run".
+            ExitCode::from(101)
         }
     }
 }
@@ -37,6 +45,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   ndl parse (--nested|--st|--so|--egd) \"<dependency>\"
   ndl lint <file> [--json] [--max-depth N] [--max-skolem-arity N]
+  ndl analyze <file> [--json|--dot]
   ndl skolemize \"<nested tgd>\"
   ndl chase --tgd \"<tgd>\"... --fact \"R(a,b)\"... [--egd \"<egd>\"...] [--core]
   ndl implies --premise \"<tgd>\"... [--egd \"<egd>\"...] --conclusion \"<tgd>\"
@@ -100,6 +109,7 @@ fn run(args: &[String]) -> std::result::Result<ExitCode, String> {
     match cmd.as_str() {
         "parse" => done(cmd_parse(&mut syms, rest)),
         "lint" => cmd_lint(&mut syms, rest),
+        "analyze" => done(cmd_analyze(&mut syms, rest)),
         "skolemize" => done(cmd_skolemize(&mut syms, rest)),
         "chase" => done(cmd_chase(&mut syms, rest)),
         "implies" => done(cmd_implies(&mut syms, rest)),
@@ -151,6 +161,83 @@ fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<Exit
         .filter(|d| d.severity >= Severity::Warning)
         .count();
     Ok(ExitCode::from(failing.min(100) as u8))
+}
+
+/// `ndl analyze <file> [--json|--dot]`
+///
+/// Prints the semantic analysis of a dependency program: position and
+/// Skolem dependency graphs, the chase-termination class with its witness
+/// cycle, cost bounds and the derived firing order. `--json` emits the
+/// machine-readable [`analyze::AnalysisReport`]; `--dot` emits Graphviz.
+fn cmd_analyze(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing program file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (analysis, parse_errors) = analyze::ChaseAnalysis::analyze_source(syms, &src);
+    if has_flag(args, "--dot") {
+        print!("{}", analysis.to_dot(syms));
+        return Ok(());
+    }
+    let report = analysis.report(syms);
+    if has_flag(args, "--json") {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
+    println!(
+        "program: {} statements ({} analyzed, {} parse errors), {} clauses",
+        report.statements, report.analyzed_statements, parse_errors, report.clauses
+    );
+    println!(
+        "position graph: {} positions, {} regular edges, {} special ({} under rich acyclicity)",
+        report.positions, report.regular_edges, report.special_edges_wa, report.special_edges_ra
+    );
+    println!("termination: {}", report.class);
+    for line in &report.witness {
+        println!("  cycle: {line}");
+    }
+    match report.max_rank {
+        Some(r) => println!("max rank: {r}"),
+        None => println!("max rank: unbounded"),
+    }
+    for d in &report.relation_depths {
+        println!("  null depth of {}: {}", d.relation, d.depth);
+    }
+    match report.size_degree {
+        Some(d) => println!(
+            "chase size: O(n^{d}) (widest join: {} atoms)",
+            report.max_body_atoms
+        ),
+        None => println!(
+            "chase size: no polynomial bound (widest join: {} atoms)",
+            report.max_body_atoms
+        ),
+    }
+    println!(
+        "skolem graph: {} functions, {} nesting edges",
+        report.skolem_functions.len(),
+        report.skolem_edges
+    );
+    for f in &report.skolem_functions {
+        println!(
+            "  {} (statement {}): fan-in {}, fan-out {}",
+            f.function,
+            f.statement + 1,
+            f.fan_in,
+            f.fan_out
+        );
+    }
+    println!(
+        "firing order: {}",
+        report
+            .firing_order
+            .iter()
+            .map(|s| (s + 1).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
 }
 
 fn cmd_parse(syms: &mut SymbolTable, args: &[String]) -> CliResult {

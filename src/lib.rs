@@ -61,16 +61,19 @@ pub use ndl_turing as turing;
 
 /// One-stop re-exports for applications.
 pub mod prelude {
-    pub use ndl_analyze::{lint_source, Diagnostic, LintOptions, Severity};
+    pub use ndl_analyze::{
+        lint_source, AnalysisReport, ChaseAnalysis, Diagnostic, LintOptions, Severity, Termination,
+        TerminationClass,
+    };
     pub use ndl_chase::{
-        all_matches, chase_egds, chase_mapping, chase_nested, chase_so, chase_st, satisfies_egds,
-        Binding, ChaseForest, ChaseResult, EgdChase, EgdConflict, NullFactory, Prepared,
-        RigidPolicy, Triggering,
+        all_matches, chase_egds, chase_fixpoint, chase_mapping, chase_nested, chase_nested_planned,
+        chase_so, chase_st, satisfies_egds, Binding, ChaseForest, ChasePlan, ChaseResult, EgdChase,
+        EgdConflict, FixpointChase, FixpointError, NullFactory, Prepared, RigidPolicy, Triggering,
     };
     pub use ndl_core::prelude::*;
     pub use ndl_gen::{
-        clio_scenario, cycle, grid, random_instance, random_nested_tgd, successor,
-        successor_with_zero, ClioScenario, InstanceGenOptions, TgdGenOptions,
+        clio_scenario, cycle, grid, random_instance, random_nested_tgd, random_program, successor,
+        successor_with_zero, ClioScenario, InstanceGenOptions, ProgramGenOptions, TgdGenOptions,
     };
     pub use ndl_hom::{
         core_of, f_block_size, f_blocks, f_degree, find_homomorphism, hom_equivalent, homomorphic,

@@ -163,3 +163,84 @@ fn bad_input_fails_gracefully() {
     let (ok, _) = ndl(&["parse", "S(x ->"]);
     assert!(!ok);
 }
+
+/// Runs `ndl` and returns (exit code, stdout).
+fn ndl_code(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ndl"))
+        .args(args)
+        .output()
+        .expect("ndl runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.code().expect("exit code"), stdout)
+}
+
+#[test]
+fn analyze_summarizes_a_program() {
+    let dir = std::env::temp_dir().join("ndl_cli_analyze");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("copy.ndl");
+    std::fs::write(
+        &path,
+        "S(x,y) -> exists z (R(x,z) & T(z,y))\nfact: S(a,b)\n",
+    )
+    .unwrap();
+    let (code, out) = ndl_code(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(out.contains("termination: richly-acyclic"), "{out}");
+    assert!(out.contains("chase size: O(n^2)"), "{out}");
+    assert!(out.contains("fan-in 2, fan-out 2"), "{out}");
+
+    let (code, json) = ndl_code(&["analyze", "--json", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(json.contains("\"class\": \"richly-acyclic\""), "{json}");
+
+    let (code, dot) = ndl_code(&["analyze", "--dot", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(dot.starts_with("digraph analysis {"), "{dot}");
+    assert!(dot.contains("cluster_positions"), "{dot}");
+    assert!(dot.contains("cluster_skolem"), "{dot}");
+}
+
+#[test]
+fn analyze_reports_cycles_with_their_witness() {
+    let dir = std::env::temp_dir().join("ndl_cli_analyze");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cyclic.ndl");
+    std::fs::write(&path, "E(x,y) -> exists z E(y,z)\n").unwrap();
+    let (code, out) = ndl_code(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code, 0, "analyze reports, lint gates");
+    assert!(out.contains("termination: cyclic"), "{out}");
+    assert!(out.contains("cycle: E.2 =f=> E.2 (statement 1)"), "{out}");
+    assert!(out.contains("max rank: unbounded"), "{out}");
+    assert!(out.contains("chase size: no polynomial bound"), "{out}");
+}
+
+/// I/O and usage failures exit with 101, above the lint findings range.
+#[test]
+fn io_and_usage_failures_exit_with_101() {
+    for args in [
+        &["lint", "/no/such/file.ndl"][..],
+        &["analyze", "/no/such/file.ndl"],
+        &["analyze"],
+        &["nonsense"],
+    ] {
+        let (code, _) = ndl_code(args);
+        assert_eq!(code, 101, "args {args:?}");
+    }
+}
+
+/// The lint exit code counts findings but saturates at 100, so it can
+/// never collide with the 101 failure code.
+#[test]
+fn lint_exit_code_caps_at_100() {
+    let dir = std::env::temp_dir().join("ndl_cli_cap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("many_errors.ndl");
+    let mut src = String::new();
+    for i in 0..120 {
+        src.push_str(&format!("R{i}(x ->\n")); // 120 parse errors
+    }
+    std::fs::write(&path, src).unwrap();
+    let (code, _) = ndl_code(&["lint", "--json", path.to_str().unwrap()]);
+    assert_eq!(code, 100);
+}

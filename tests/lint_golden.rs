@@ -73,8 +73,71 @@ fn errors_fixture_covers_the_core_error_codes() {
 }
 
 #[test]
+fn semantic_fixture_reports_the_termination_error_with_its_cycle() {
+    let (code, diags) = lint_json("semantic.ndl");
+    assert_eq!(
+        codes(&diags),
+        ["NDL020", "NDL006", "NDL006", "NDL003", "NDL003"]
+    );
+    assert_eq!(code, 5);
+    // The NDL020 finding is an error spanning the whole first statement of
+    // the witness cycle, with one note per edge of the cycle — the special
+    // (null-creating) edge first, each anchored to its source position.
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.statement, Some(0));
+    assert_eq!((d.line, d.col), (Some(5), Some(1)));
+    assert_eq!(
+        d.span.expect("statement span").len(),
+        "A(x) -> exists y B(x,y)".len()
+    );
+    assert_eq!(d.notes.len(), 2);
+    assert_eq!(
+        d.notes[0].message,
+        "special edge A.1 =f_1=> B.2 (statement 1)"
+    );
+    assert_eq!((d.notes[0].line, d.notes[0].col), (Some(5), Some(18)));
+    assert_eq!(d.notes[1].message, "regular edge B.2 -> A.1 (statement 2)");
+    assert_eq!((d.notes[1].line, d.notes[1].col), (Some(6), Some(11)));
+}
+
+/// Columns count characters, not bytes: the statement on line 7 sits after
+/// multi-byte comment lines and itself contains multi-byte tokens before
+/// the offending variables.
+#[test]
+fn semantic_fixture_columns_are_character_based() {
+    let (_, diags) = lint_json("semantic.ndl");
+    let unbound: Vec<_> = diags.iter().filter(|d| d.code == "NDL003").collect();
+    // Byte-based columns would report 24 and 31 (ï and ï, ü, ß take two
+    // bytes each); character columns are 22 and 27.
+    assert_eq!((unbound[0].line, unbound[0].col), (Some(7), Some(22)));
+    assert_eq!((unbound[1].line, unbound[1].col), (Some(7), Some(27)));
+}
+
+#[test]
+fn semantic_fixture_renders_the_note_chain_with_aligned_carets() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ndl"))
+        .args(["lint", &fixture("semantic.ndl")])
+        .output()
+        .expect("ndl runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[NDL020]: program is not weakly acyclic"));
+    assert!(text.contains("note: special edge A.1 =f_1=> B.2 (statement 1)"));
+    assert!(text.contains("note: regular edge B.2 -> A.1 (statement 2)"));
+    // The caret under the unbound süß aligns by character count.
+    assert!(text.contains("7 | S(naïve) -> R(naïve, süß, w)"));
+    assert!(text.contains("  |                      ^^^"));
+    assert_eq!(out.status.code(), Some(5));
+}
+
+#[test]
 fn cli_json_matches_library_output() {
-    for name in ["paper_running.ndl", "mixed.ndl", "errors.ndl"] {
+    for name in [
+        "paper_running.ndl",
+        "mixed.ndl",
+        "errors.ndl",
+        "semantic.ndl",
+    ] {
         let (_, cli) = lint_json(name);
         let src = std::fs::read_to_string(fixture(name)).unwrap();
         let mut syms = SymbolTable::new();
