@@ -23,10 +23,19 @@ done
 ./target/release/ndl analyze --dot examples/programs/running.ndl \
   | diff -u examples/programs/golden/running.dot -
 
+echo "==> chase goldens: ndl chase --stats over terminating example programs"
+for name in running pipeline; do
+  ./target/release/ndl chase --stats --no-timings "examples/programs/$name.ndl" \
+    | diff -u "examples/programs/golden/$name.chase.json" -
+done
+
 echo "==> engine tests: cargo test -q -p ndl-hom"
 cargo test -q -p ndl-hom --offline
 
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run --offline
+
+echo "==> bench_chase builds (record regeneration stays opt-in)"
+cargo build --release --offline -p ndl-bench --bin bench_chase
 
 echo "CI green."

@@ -213,6 +213,57 @@ impl ChaseAnalysis {
         }
     }
 
+    /// The program's tgd statements as SO tgds for the fixpoint chase,
+    /// each paired with the index of the statement it came from. Reuses
+    /// the analyzer's Skolemized clauses — re-Skolemizing the source would
+    /// intern *fresh* function symbols, so the chase's nulls would no
+    /// longer line up with the analyzer's Skolem graph. Non-tgd statements
+    /// (facts, egds, parse failures) contribute nothing.
+    pub fn so_tgds(&self) -> Vec<(usize, SoTgd)> {
+        let mut by_stmt: BTreeMap<usize, Vec<SoClause>> = BTreeMap::new();
+        for cv in &self.graphs.clauses {
+            by_stmt.entry(cv.stmt).or_default().push(cv.clause.clone());
+        }
+        by_stmt
+            .into_iter()
+            .map(|(stmt, clauses)| {
+                let mut funcs = BTreeSet::new();
+                let mut vars = BTreeSet::new();
+                for c in &clauses {
+                    for (l, r) in &c.equalities {
+                        collect(l, &mut funcs, &mut vars);
+                        collect(r, &mut funcs, &mut vars);
+                    }
+                    for ta in &c.head {
+                        for t in &ta.args {
+                            collect(t, &mut funcs, &mut vars);
+                        }
+                    }
+                }
+                (
+                    stmt,
+                    SoTgd::new(funcs.into_iter().collect::<Vec<_>>(), clauses),
+                )
+            })
+            .collect()
+    }
+
+    /// The [`ChasePlan`] for the tgd list of [`Self::so_tgds`]: like
+    /// [`Self::plan`], but with the firing order remapped from statement
+    /// indices to positions in that list (the fixpoint engine indexes its
+    /// tgd slice, not the program's statements).
+    pub fn tgd_plan(&self, budget: Option<usize>) -> ChasePlan {
+        let stmts: BTreeSet<usize> = self.graphs.clauses.iter().map(|cv| cv.stmt).collect();
+        let pos: BTreeMap<usize, usize> = stmts.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut plan = self.plan(budget);
+        plan.order = self
+            .firing_order
+            .iter()
+            .filter_map(|s| pos.get(s).copied())
+            .collect();
+        plan
+    }
+
     /// The machine-readable report (`ndl analyze --json`), with all
     /// symbols resolved to names.
     pub fn report(&self, syms: &SymbolTable) -> AnalysisReport {
@@ -440,6 +491,26 @@ mod tests {
         assert!(!p.guaranteed_terminating);
         assert_eq!(p.step_budget, Some(100));
         assert!(p.diagnosis.unwrap().contains("not weakly acyclic"));
+    }
+
+    #[test]
+    fn so_tgds_and_tgd_plan_line_up() {
+        let (_syms, a) = analyze("fact: S(a)\nT(x) -> exists z U(x,z)\nS(x) -> T(x)\n");
+        let tgds = a.so_tgds();
+        // Statements 1 and 2 are tgds; the fact contributes nothing.
+        assert_eq!(tgds.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2]);
+        // The Skolemized clause reuses the analyzer's function symbol.
+        assert_eq!(tgds[0].1.funcs.len(), 1);
+        assert_eq!(
+            tgds[0].1.funcs[0], a.graphs.skolem.funcs[0].func,
+            "so_tgds must not re-Skolemize"
+        );
+        // Statement firing order is producer-first (2 before 1); the tgd
+        // plan remaps it to positions in the tgd list: [1, 0].
+        assert_eq!(a.firing_order, vec![0, 2, 1]);
+        let plan = a.tgd_plan(None);
+        assert_eq!(plan.order, vec![1, 0]);
+        assert!(plan.guaranteed_terminating);
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //! source instances (random and structured workloads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndl_analyze::{parse_program, ChaseAnalysis, StmtAst};
 use ndl_bench::{intro_nested, tau_413};
-use ndl_chase::{chase_nested, chase_so, NullFactory, Prepared};
+use ndl_chase::{chase_fixpoint_with, chase_nested, chase_so, NullFactory, Prepared};
 use ndl_core::prelude::*;
 use ndl_gen::{random_instance, successor, InstanceGenOptions};
+use ndl_obs::{ChaseStats, NoopObserver};
+use std::fmt::Write as _;
 
 fn bench_nested_chase(c: &mut Criterion) {
     let mut group = c.benchmark_group("chase/nested");
@@ -84,5 +87,55 @@ fn bench_st_chase(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nested_chase, bench_so_chase, bench_st_chase);
+fn bench_fixpoint_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/fixpoint");
+    for &n in &[30usize, 60, 120] {
+        // Transitive closure of a path: quadratic derived-fact growth,
+        // the worst case for trigger matching and deduplication.
+        let mut text = String::from("E(x,y) & E(y,z) -> E(x,z)\n");
+        for i in 0..n {
+            let _ = writeln!(text, "fact: E(v{i}, v{})", i + 1);
+        }
+        let mut syms = SymbolTable::new();
+        let (stmts, errs) = parse_program(&mut syms, &text);
+        assert!(errs.is_empty());
+        let analysis = ChaseAnalysis::analyze(&mut syms, &stmts);
+        let mut source = Instance::new();
+        for s in &stmts {
+            if let Some(StmtAst::Fact(f)) = &s.ast {
+                source.insert(f.clone());
+            }
+        }
+        let tgds: Vec<_> = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+        let plan = analysis.tgd_plan(Some(10_000_000));
+        group.bench_with_input(BenchmarkId::new("noop", n), &source, |b, src| {
+            b.iter(|| {
+                let mut nulls = NullFactory::new();
+                chase_fixpoint_with(src, &tgds, &plan, &mut nulls, &mut NoopObserver)
+                    .expect("terminates")
+                    .instance
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stats", n), &source, |b, src| {
+            b.iter(|| {
+                let mut nulls = NullFactory::new();
+                let mut stats = ChaseStats::new();
+                chase_fixpoint_with(src, &tgds, &plan, &mut nulls, &mut stats)
+                    .expect("terminates")
+                    .instance
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nested_chase,
+    bench_so_chase,
+    bench_st_chase,
+    bench_fixpoint_chase
+);
 criterion_main!(benches);

@@ -14,12 +14,33 @@
 //! marks non-terminating (unless a step budget is supplied), fires clauses
 //! in the planned statement order, and pre-sizes its trigger index from the
 //! plan's chase-size degree.
+//!
+//! The engine is instrumented through [`ChaseObserver`]
+//! ([`chase_fixpoint_with`]): triggers examined vs. fired per statement,
+//! facts derived, dedup hits, nulls interned, and per-round /
+//! per-statement wall time. [`chase_fixpoint`] runs with the no-op sink,
+//! which monomorphizes the instrumentation away.
 
 use crate::null::NullFactory;
 use crate::plan::ChasePlan;
 use crate::trigger::{Binding, Matcher};
 use ndl_core::prelude::*;
+use ndl_obs::{ChaseObserver, NoopObserver, StmtRound};
 use std::fmt;
+use std::time::Instant;
+
+/// How far a cut-off chase got before the budget ran out — carried inside
+/// [`FixpointError::BudgetExhausted`] so callers (and `ndl chase --stats`)
+/// can report partial progress instead of losing it on the error path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixpointProgress {
+    /// Rounds started (the cut-off round included).
+    pub rounds: usize,
+    /// Facts derived beyond the source, the uncommitted fresh facts of the
+    /// cut-off round included — this is exactly the count the budget
+    /// bounds, so `derived > budget` by exactly one on cutoff.
+    pub derived: usize,
+}
 
 /// Why a fixpoint chase did not produce a result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,6 +59,8 @@ pub enum FixpointError {
         budget: usize,
         /// The analyzer's explanation, when available.
         diagnosis: Option<String>,
+        /// How far the chase got before the cutoff.
+        progress: FixpointProgress,
     },
 }
 
@@ -51,8 +74,17 @@ impl fmt::Display for FixpointError {
                 }
                 Ok(())
             }
-            FixpointError::BudgetExhausted { budget, diagnosis } => {
-                write!(f, "chase exhausted its step budget of {budget} facts")?;
+            FixpointError::BudgetExhausted {
+                budget,
+                diagnosis,
+                progress,
+            } => {
+                write!(
+                    f,
+                    "chase exhausted its step budget of {budget} facts \
+                     after deriving {} facts in {} rounds",
+                    progress.derived, progress.rounds
+                )?;
                 if let Some(d) = diagnosis {
                     write!(f, " ({d})")?;
                 }
@@ -78,7 +110,8 @@ pub struct FixpointChase {
 
 /// Chases `source` with the program `tgds` (one SO tgd per statement) to a
 /// fixpoint, firing statements in the order given by `plan` and allocating
-/// nulls in `nulls`.
+/// nulls in `nulls`. Equivalent to [`chase_fixpoint_with`] under the no-op
+/// observer.
 ///
 /// Returns an error without chasing if `plan` marks the program
 /// non-terminating and provides no step budget; returns
@@ -94,8 +127,24 @@ pub fn chase_fixpoint(
     plan: &ChasePlan,
     nulls: &mut NullFactory,
 ) -> std::result::Result<FixpointChase, FixpointError> {
+    chase_fixpoint_with(source, tgds, plan, nulls, &mut NoopObserver)
+}
+
+/// [`chase_fixpoint`] reporting its work to a [`ChaseObserver`]: one
+/// [`StmtRound`] aggregate per statement per round, round boundaries with
+/// commit counts, and a final outcome event (also emitted on refusal and
+/// budget exhaustion, so stats survive the error paths).
+pub fn chase_fixpoint_with<O: ChaseObserver>(
+    source: &Instance,
+    tgds: &[SoTgd],
+    plan: &ChasePlan,
+    nulls: &mut NullFactory,
+    obs: &mut O,
+) -> std::result::Result<FixpointChase, FixpointError> {
     assert!(source.is_ground(), "source instance must be ground");
+    obs.chase_start(tgds.len(), source.len());
     if !plan.guaranteed_terminating && plan.step_budget.is_none() {
+        obs.chase_end(0, 0, "refused");
         return Err(FixpointError::NonTerminating {
             diagnosis: plan.diagnosis.clone(),
         });
@@ -115,6 +164,8 @@ pub fn chase_fixpoint(
     let mut derived = 0usize;
     loop {
         rounds += 1;
+        obs.round_start(rounds);
+        let round_t = O::ENABLED.then(Instant::now);
         // Fresh facts of this round, deduplicated against the instance and
         // each other as they are produced, so the budget bounds the *work*
         // of a round — one wide join must not materialize millions of
@@ -122,14 +173,27 @@ pub fn chase_fixpoint(
         let mut fresh: std::collections::BTreeSet<Fact> = std::collections::BTreeSet::new();
         let matcher = Matcher::from_index(&instance, index);
         for &si in &order {
+            let mut sr = StmtRound {
+                round: rounds,
+                stmt: si,
+                ..StmtRound::default()
+            };
+            let stmt_t = O::ENABLED.then(Instant::now);
+            let nulls_before = nulls.len();
             for clause in &tgds[si].clauses {
                 for binding in matcher.all_matches(&clause.body, &Binding::new()) {
+                    sr.examined += 1;
+                    // Equalities gate the clause and must be side-effect
+                    // free: they are evaluated through non-interning probes
+                    // so a failing equality never allocates Skolem nulls
+                    // for a clause that does not fire.
                     let eq_ok = clause.equalities.iter().all(|(l, r)| {
-                        resolve_value(l, &binding, nulls) == resolve_value(r, &binding, nulls)
+                        probe_term(l, &binding, nulls) == probe_term(r, &binding, nulls)
                     });
                     if !eq_ok {
                         continue;
                     }
+                    sr.fired += 1;
                     for ta in &clause.head {
                         let args: Vec<Value> = ta
                             .args
@@ -138,33 +202,66 @@ pub fn chase_fixpoint(
                             .collect();
                         let fact = Fact::new(ta.rel, args);
                         if !instance.contains(&fact) && fresh.insert(fact) {
+                            sr.derived += 1;
                             if let Some(budget) = plan.step_budget {
                                 if derived + fresh.len() > budget {
+                                    // Keep the partial aggregates: flush the
+                                    // cut-off statement's counters and close
+                                    // the run before erroring out.
+                                    sr.nulls_interned = (nulls.len() - nulls_before) as u64;
+                                    if let Some(t) = stmt_t {
+                                        sr.elapsed_ns = t.elapsed().as_nanos() as u64;
+                                    }
+                                    obs.statement(&sr);
+                                    let cut = derived + fresh.len();
+                                    obs.round_end(
+                                        rounds,
+                                        fresh.len() as u64,
+                                        round_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                                    );
+                                    obs.chase_end(rounds, cut as u64, "budget-exhausted");
                                     return Err(FixpointError::BudgetExhausted {
                                         budget,
                                         diagnosis: plan.diagnosis.clone(),
+                                        progress: FixpointProgress {
+                                            rounds,
+                                            derived: cut,
+                                        },
                                     });
                                 }
                             }
+                        } else {
+                            sr.dedup_hits += 1;
                         }
                     }
                 }
             }
+            sr.nulls_interned = (nulls.len() - nulls_before) as u64;
+            if let Some(t) = stmt_t {
+                sr.elapsed_ns = t.elapsed().as_nanos() as u64;
+            }
+            obs.statement(&sr);
         }
         index = matcher.into_index();
 
-        let mut added = false;
+        let mut added = 0u64;
         for f in fresh {
             if index.insert(f.rel, f.args.clone()) {
                 instance.insert(f);
-                added = true;
+                added += 1;
                 derived += 1;
             }
         }
-        if !added {
+        obs.round_end(
+            rounds,
+            added,
+            round_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        );
+        if added == 0 {
             break;
         }
     }
+    obs.chase_end(rounds, derived as u64, "fixpoint");
     Ok(FixpointChase {
         instance,
         rounds,
@@ -194,9 +291,51 @@ fn resolve_value(t: &Term, binding: &Binding, nulls: &mut NullFactory) -> Value 
     }
 }
 
+/// The canonical, non-interning form of a ground term under a binding:
+/// subterms already interned by `nulls` collapse (bottom-up) to their null
+/// values, un-interned applications stay structural. Within one factory
+/// state, two ground terms are equal in the Herbrand interpretation iff
+/// their probes are equal — interned subtrees meet as identical `Value`s,
+/// un-interned ones as identical structure, and the two kinds never
+/// coincide (an interned null's defining application is interned, so a
+/// structurally equal term would have collapsed too).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ProbeTerm {
+    /// A constant, or an application already interned as a null.
+    Value(Value),
+    /// An application not (yet) interned.
+    App(FuncId, Vec<ProbeTerm>),
+}
+
+fn probe_term(t: &Term, binding: &Binding, nulls: &NullFactory) -> ProbeTerm {
+    match t {
+        Term::Var(v) => {
+            ProbeTerm::Value(*binding.get(v).expect("unbound variable while probing term"))
+        }
+        Term::App(f, args) => {
+            let probes: Vec<ProbeTerm> =
+                args.iter().map(|a| probe_term(a, binding, nulls)).collect();
+            let vals: Option<Vec<Value>> = probes
+                .iter()
+                .map(|p| match p {
+                    ProbeTerm::Value(v) => Some(*v),
+                    ProbeTerm::App(..) => None,
+                })
+                .collect();
+            if let Some(vals) = vals {
+                if let Some(id) = nulls.lookup_app(*f, &vals) {
+                    return ProbeTerm::Value(Value::Null(id));
+                }
+            }
+            ProbeTerm::App(*f, probes)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndl_obs::ChaseStats;
 
     fn consts(syms: &mut SymbolTable, names: &[&str]) -> Vec<Value> {
         names
@@ -271,13 +410,20 @@ mod tests {
             ..plan
         };
         let err = chase_fixpoint(&source, &[tgd], &budgeted, &mut nulls).unwrap_err();
-        assert_eq!(
-            err,
-            FixpointError::BudgetExhausted {
-                budget: 10,
-                diagnosis: Some("special-edge cycle T.1 -> T.1".into()),
-            }
-        );
+        let FixpointError::BudgetExhausted {
+            budget,
+            diagnosis,
+            progress,
+        } = &err
+        else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(*budget, 10);
+        assert_eq!(diagnosis.as_deref(), Some("special-edge cycle T.1 -> T.1"));
+        // Partial progress survives the error path: the cutoff happens on
+        // the first fact past the budget.
+        assert_eq!(progress.derived, 11);
+        assert!(progress.rounds >= 1);
         // The budget bounded the work: at most budget + 1 facts derived.
         assert!(nulls.len() <= 11);
     }
@@ -323,5 +469,180 @@ mod tests {
         let mut nulls = NullFactory::new();
         let out = chase_fixpoint(&source, &[tgd], &ChasePlan::trusting(1), &mut nulls).unwrap();
         assert_eq!(out.instance.rel_len(d), 1);
+    }
+
+    #[test]
+    fn failing_equalities_do_not_intern_nulls() {
+        // Regression test for the equality-gate null leak: evaluating
+        // `f(x) = f(y)` used to intern f(a) and f(b) even though the
+        // equality fails and the clause never fires. The factory must stay
+        // empty.
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f . S(x,y) & f(x) = f(y) -> D(x)").unwrap();
+        let s = syms.rel("S");
+        let d = syms.rel("D");
+        let v = consts(&mut syms, &["a", "b"]);
+        let source = Instance::from_facts([Fact::new(s, vec![v[0], v[1]])]);
+        let mut nulls = NullFactory::new();
+        let out = chase_fixpoint(&source, &[tgd], &ChasePlan::trusting(1), &mut nulls).unwrap();
+        assert_eq!(out.instance.rel_len(d), 0);
+        assert_eq!(out.derived, 0);
+        assert_eq!(
+            nulls.len(),
+            0,
+            "failing equality gates must not intern Skolem nulls"
+        );
+    }
+
+    #[test]
+    fn passing_function_equalities_still_fire() {
+        // The probe path must agree with the interning path on success:
+        // S(a,a) satisfies f(x) = f(y), and repeated-variable bodies
+        // satisfy it trivially across rounds.
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f . S(x,y) & f(x) = f(y) -> D(x,f(x))").unwrap();
+        let s = syms.rel("S");
+        let d = syms.rel("D");
+        let v = consts(&mut syms, &["a", "b"]);
+        let source = Instance::from_facts([
+            Fact::new(s, vec![v[0], v[0]]),
+            Fact::new(s, vec![v[0], v[1]]),
+        ]);
+        let mut nulls = NullFactory::new();
+        let out = chase_fixpoint(&source, &[tgd], &ChasePlan::trusting(1), &mut nulls).unwrap();
+        // Only S(a,a) passes the gate; its head interns exactly f(a).
+        assert_eq!(out.instance.rel_len(d), 1);
+        assert_eq!(nulls.len(), 1);
+    }
+
+    #[test]
+    fn probe_matches_interned_subterms_across_rounds() {
+        // Once a null is interned by a fired head, a later equality over
+        // the same term must see it through the probe: T(f(x)) facts from
+        // round one satisfy `z = f(x)` when z is bound to the interned
+        // null in round two.
+        let mut syms = SymbolTable::new();
+        let program = [
+            parse_so_tgd(&mut syms, "exists f . S(x) -> T(x,f(x))").unwrap(),
+            parse_so_tgd(&mut syms, "exists f . S(x) & T(x,z) & z = f(x) -> U(x)").unwrap(),
+        ];
+        // The two statements must share the Skolem function symbol for the
+        // equality to refer to statement one's nulls.
+        let f1 = program[0].funcs[0];
+        let mut second = program[1].clone();
+        rename_funcs(&mut second, f1);
+        let program = vec![program[0].clone(), second];
+        let s = syms.rel("S");
+        let u = syms.rel("U");
+        let v = consts(&mut syms, &["a"]);
+        let source = Instance::from_facts([Fact::new(s, vec![v[0]])]);
+        let mut nulls = NullFactory::new();
+        let out = chase_fixpoint(&source, &program, &ChasePlan::trusting(2), &mut nulls).unwrap();
+        assert_eq!(out.instance.rel_len(u), 1);
+        assert_eq!(nulls.len(), 1);
+    }
+
+    /// Rewrites every function symbol of `tgd` to `f` (test helper for
+    /// sharing Skolem functions across independently parsed statements).
+    fn rename_funcs(tgd: &mut SoTgd, f: FuncId) {
+        fn rec(t: &mut Term, f: FuncId) {
+            if let Term::App(g, args) = t {
+                *g = f;
+                for a in args {
+                    rec(a, f);
+                }
+            }
+        }
+        tgd.funcs = vec![f];
+        for c in &mut tgd.clauses {
+            for (l, r) in &mut c.equalities {
+                rec(l, f);
+                rec(r, f);
+            }
+            for ta in &mut c.head {
+                for a in &mut ta.args {
+                    rec(a, f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_the_whole_run() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "E(x,y) & E(y,z) -> E(x,z)").unwrap();
+        let e = syms.rel("E");
+        let v = consts(&mut syms, &["a", "b", "c", "d"]);
+        let source = Instance::from_facts([
+            Fact::new(e, vec![v[0], v[1]]),
+            Fact::new(e, vec![v[1], v[2]]),
+            Fact::new(e, vec![v[2], v[3]]),
+        ]);
+        let mut n1 = NullFactory::new();
+        let mut n2 = NullFactory::new();
+        let plain = chase_fixpoint(
+            &source,
+            std::slice::from_ref(&tgd),
+            &ChasePlan::trusting(1),
+            &mut n1,
+        )
+        .unwrap();
+        let mut stats = ChaseStats::new();
+        let observed = chase_fixpoint_with(
+            &source,
+            std::slice::from_ref(&tgd),
+            &ChasePlan::trusting(1),
+            &mut n2,
+            &mut stats,
+        )
+        .unwrap();
+        // Instrumentation is observation only: results are identical.
+        assert_eq!(plain.instance, observed.instance);
+        assert_eq!(plain.rounds, observed.rounds);
+        assert_eq!(plain.derived, observed.derived);
+        // And the aggregates are consistent.
+        assert_eq!(stats.outcome, "fixpoint");
+        assert_eq!(stats.rounds, observed.rounds);
+        assert_eq!(stats.derived as usize, observed.derived);
+        assert_eq!(stats.source_facts as usize, source.len());
+        assert!(stats.triggers_fired <= stats.triggers_examined);
+        assert_eq!(
+            stats.statements.iter().map(|s| s.derived).sum::<u64>(),
+            stats.derived
+        );
+        assert_eq!(stats.round_fresh.len(), stats.rounds);
+        assert_eq!(stats.round_fresh.iter().sum::<u64>(), stats.derived);
+        assert!(stats.elapsed_ns > 0, "enabled observers are timed");
+        assert_eq!(stats.nulls_interned, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_stats() {
+        let mut syms = SymbolTable::new();
+        let tgd = parse_so_tgd(&mut syms, "exists f . T(x) -> T(f(x))").unwrap();
+        let t = syms.rel("T");
+        let v = consts(&mut syms, &["a"]);
+        let source = Instance::from_facts([Fact::new(t, vec![v[0]])]);
+        let plan = ChasePlan {
+            guaranteed_terminating: false,
+            step_budget: Some(5),
+            ..ChasePlan::trusting(1)
+        };
+        let mut nulls = NullFactory::new();
+        let mut stats = ChaseStats::new();
+        let err = chase_fixpoint_with(&source, &[tgd], &plan, &mut nulls, &mut stats).unwrap_err();
+        let FixpointError::BudgetExhausted { progress, .. } = err else {
+            panic!("expected budget exhaustion");
+        };
+        assert_eq!(stats.outcome, "budget-exhausted");
+        assert_eq!(stats.derived as usize, progress.derived);
+        assert_eq!(stats.rounds, progress.rounds);
+        assert_eq!(progress.derived, 6);
+        // The cut-off statement's partial counters were flushed.
+        assert_eq!(
+            stats.statements.iter().map(|s| s.derived).sum::<u64>(),
+            stats.derived
+        );
+        assert!(stats.nulls_interned >= 1);
     }
 }

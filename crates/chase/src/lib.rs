@@ -32,7 +32,9 @@ pub mod st;
 pub mod trigger;
 
 pub use egd::{chase_egds, satisfies_egds, EgdChase, EgdConflict, RigidPolicy};
-pub use fixpoint::{chase_fixpoint, FixpointChase, FixpointError};
+pub use fixpoint::{
+    chase_fixpoint, chase_fixpoint_with, FixpointChase, FixpointError, FixpointProgress,
+};
 pub use nested::{
     chase_mapping, chase_nested, chase_nested_planned, ChaseForest, ChaseResult, Prepared, TrigId,
     Triggering,

@@ -61,6 +61,15 @@ impl NullFactory {
         id
     }
 
+    /// The null already interned for one function application over values,
+    /// if any — a **non-interning** probe. Engines use this to evaluate
+    /// equality gates without the side effect of allocating nulls for
+    /// clauses that never fire (a failing equality must leave the factory
+    /// untouched).
+    pub fn lookup_app(&self, f: FuncId, args: &[Value]) -> Option<NullId> {
+        self.ids.get(&(f, args.to_vec())).copied()
+    }
+
     /// The null labeled by `term`, allocated on first use. Subterms are
     /// interned bottom-up, so nested applications allocate (and reuse)
     /// nulls for their arguments as well.

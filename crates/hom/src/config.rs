@@ -45,13 +45,23 @@ impl HomConfig {
 
     /// The defaults with any `NDL_HOM_THREADS` / `NDL_HOM_SEQUENTIAL_CUTOFF`
     /// environment overrides applied. Unparsable or zero values fall back
-    /// to the defaults.
+    /// to the defaults **and report a one-time warning** through
+    /// [`ndl_obs::warn_once`] — a typo'd override must not be silently
+    /// ignored (front ends surface the warning, e.g. the `ndl` CLI on
+    /// stderr).
     pub fn from_env() -> Self {
+        Self::from_env_with(&|key| std::env::var(key).ok())
+    }
+
+    /// [`Self::from_env`] over an injected variable source — the testable
+    /// entry point (process environment mutation is racy under the
+    /// multi-threaded test harness).
+    pub fn from_env_with(get: &dyn Fn(&str) -> Option<String>) -> Self {
         let mut cfg = HomConfig::default();
-        if let Some(t) = parse_env("NDL_HOM_THREADS") {
+        if let Some(t) = parse_override("NDL_HOM_THREADS", get) {
             cfg.threads = t;
         }
-        if let Some(c) = parse_env("NDL_HOM_SEQUENTIAL_CUTOFF") {
+        if let Some(c) = parse_override("NDL_HOM_SEQUENTIAL_CUTOFF", get) {
             cfg.sequential_cutoff = c;
         }
         cfg
@@ -81,11 +91,18 @@ impl HomConfig {
     }
 }
 
-fn parse_env(key: &str) -> Option<usize> {
-    std::env::var(key)
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+fn parse_override(key: &str, get: &dyn Fn(&str) -> Option<String>) -> Option<usize> {
+    let raw = get(key)?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            ndl_obs::warn_once(
+                key,
+                format!("ignoring {key}={raw:?}: expected a positive integer, using the default"),
+            );
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +129,40 @@ mod tests {
         assert_eq!(cfg.effective_threads(2, 1000), 2);
         assert_eq!(cfg.effective_threads(0, 1000), 1);
         assert_eq!(cfg.effective_threads(1, 1000), 1);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_bad_values_warn() {
+        // Valid overrides apply without noise.
+        let good = HomConfig::from_env_with(&|key| match key {
+            "NDL_HOM_THREADS" => Some("3".to_string()),
+            "NDL_HOM_SEQUENTIAL_CUTOFF" => Some(" 64 ".to_string()),
+            _ => None,
+        });
+        assert_eq!(good.threads, 3);
+        assert_eq!(good.sequential_cutoff, 64);
+        assert!(!ndl_obs::warnings()
+            .iter()
+            .any(|w| w.key == "NDL_HOM_SEQUENTIAL_CUTOFF"));
+
+        // Unparsable and zero values fall back to the defaults — and are
+        // reported, not swallowed.
+        let bad = HomConfig::from_env_with(&|key| match key {
+            "NDL_HOM_THREADS" => Some("lots".to_string()),
+            "NDL_HOM_SEQUENTIAL_CUTOFF" => Some("0".to_string()),
+            _ => None,
+        });
+        assert_eq!(bad, HomConfig::default());
+        let warned: Vec<String> = ndl_obs::warnings().into_iter().map(|w| w.key).collect();
+        assert!(warned.iter().any(|k| k == "NDL_HOM_THREADS"));
+        assert!(warned.iter().any(|k| k == "NDL_HOM_SEQUENTIAL_CUTOFF"));
+        let msg = ndl_obs::warnings()
+            .into_iter()
+            .find(|w| w.key == "NDL_HOM_THREADS")
+            .unwrap()
+            .message;
+        assert!(msg.contains("\"lots\""), "{msg}");
+        assert!(msg.contains("positive integer"), "{msg}");
     }
 
     #[test]

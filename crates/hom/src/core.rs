@@ -26,20 +26,36 @@ use crate::blocks::f_blocks;
 use crate::config::HomConfig;
 use crate::hom::{apply_value, homomorphic, solve_block, HomMap};
 use ndl_core::prelude::*;
+use ndl_obs::{HomObserver, NoopObserver};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Computes the core of `inst`.
 pub fn core_of(inst: &Instance) -> Instance {
-    CoreEngine::new(inst).run().0
+    core_of_observed(inst, &NoopObserver)
+}
+
+/// [`core_of`] reporting its work to a [`HomObserver`] (retraction probes,
+/// block searches, backtracks, worker dispatches). With [`NoopObserver`]
+/// this compiles to the uninstrumented engine.
+pub fn core_of_observed<O: HomObserver>(inst: &Instance, obs: &O) -> Instance {
+    CoreEngine::new(inst, obs).run().0
 }
 
 /// Computes the core of `inst` together with its f-blocks, reusing the
 /// engine's block bookkeeping instead of rebuilding the fact graph of the
 /// result. The blocks equal `f_blocks(&core)` (same contents, same order).
 pub fn core_and_blocks(inst: &Instance) -> (Instance, Vec<Instance>) {
-    CoreEngine::new(inst).run()
+    core_and_blocks_observed(inst, &NoopObserver)
+}
+
+/// [`core_and_blocks`] reporting its work to a [`HomObserver`].
+pub fn core_and_blocks_observed<O: HomObserver>(
+    inst: &Instance,
+    obs: &O,
+) -> (Instance, Vec<Instance>) {
+    CoreEngine::new(inst, obs).run()
 }
 
 /// The f-block size of the core of `inst` (0 for the empty instance) —
@@ -56,18 +72,26 @@ pub fn core_f_block_size(inst: &Instance) -> usize {
 /// Is `inst` a core (no proper retraction)? Probes all nulls, in parallel
 /// above the configured cutoff.
 pub fn is_core(inst: &Instance) -> bool {
+    is_core_observed(inst, &NoopObserver)
+}
+
+/// [`is_core`] reporting its work to a [`HomObserver`].
+pub fn is_core_observed<O: HomObserver>(inst: &Instance, obs: &O) -> bool {
     let index = TupleIndex::from_instance(inst);
     let blocks = f_blocks(inst);
     let block_of = null_block_map(&blocks);
     let nulls: Vec<NullId> = inst.nulls().into_iter().collect();
     let probe = |n: NullId| -> bool {
         // Does a retraction avoiding `n` exist?
-        endo_avoiding(&blocks[block_of[&n]], &index, n).is_some()
+        let retracted = endo_avoiding(&blocks[block_of[&n]], &index, n, obs).is_some();
+        obs.retraction_probe(retracted);
+        retracted
     };
     let workers = HomConfig::global().effective_threads(nulls.len(), index.len());
     if workers <= 1 {
         return !nulls.into_iter().any(probe);
     }
+    obs.threads_dispatched(workers);
     let found = AtomicBool::new(false);
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
@@ -97,8 +121,19 @@ pub fn verify_core(core: &Instance, inst: &Instance) -> bool {
 /// Finds an endomorphism retracting `block` into the indexed instance
 /// while avoiding the null `n` (identity outside the block), if one
 /// exists.
-fn endo_avoiding(block: &Instance, index: &TupleIndex, n: NullId) -> Option<HomMap> {
-    let assignments = solve_block(block, index, &HomMap::new(), &|_, v| v == Value::Null(n))?;
+fn endo_avoiding<O: HomObserver>(
+    block: &Instance,
+    index: &TupleIndex,
+    n: NullId,
+    obs: &O,
+) -> Option<HomMap> {
+    let assignments = solve_block(
+        block,
+        index,
+        &HomMap::new(),
+        &|_, v| v == Value::Null(n),
+        obs,
+    )?;
     Some(assignments.into_iter().collect())
 }
 
@@ -114,7 +149,7 @@ fn null_block_map(blocks: &[Instance]) -> FxHashMap<NullId, usize> {
 }
 
 /// The incremental retraction engine.
-struct CoreEngine {
+struct CoreEngine<'o, O: HomObserver> {
     /// Index of the current instance, updated in place on retraction.
     index: TupleIndex,
     /// Live blocks (`None` once retracted/split); grows as blocks split.
@@ -123,16 +158,19 @@ struct CoreEngine {
     block_of: FxHashMap<NullId, usize>,
     /// Nulls whose retraction probe must (re)run, in ascending order.
     dirty: BTreeSet<NullId>,
+    /// Event sink shared with worker threads.
+    obs: &'o O,
 }
 
-impl CoreEngine {
-    fn new(inst: &Instance) -> CoreEngine {
+impl<'o, O: HomObserver> CoreEngine<'o, O> {
+    fn new(inst: &Instance, obs: &'o O) -> CoreEngine<'o, O> {
         let index = TupleIndex::from_instance(inst);
         let mut engine = CoreEngine {
             index,
             blocks: Vec::new(),
             block_of: FxHashMap::default(),
             dirty: BTreeSet::new(),
+            obs,
         };
         for block in f_blocks(inst) {
             engine.add_block(block);
@@ -168,7 +206,9 @@ impl CoreEngine {
     /// Probes a retraction avoiding `n` against the current index.
     fn probe(&self, n: NullId) -> Option<HomMap> {
         let block = self.blocks[self.block_of[&n]].as_ref().expect("live block");
-        endo_avoiding(block, &self.index, n)
+        let found = endo_avoiding(block, &self.index, n, self.obs);
+        self.obs.retraction_probe(found.is_some());
+        found
     }
 
     /// Finds the smallest dirty null admitting a retraction, cleaning every
@@ -196,6 +236,7 @@ impl CoreEngine {
             // Failures are clean regardless of position — a failed probe
             // stays failed while the block is unchanged and the instance
             // shrinks; `retract` re-dirties any null whose block changes.
+            self.obs.threads_dispatched(workers);
             let probes: Vec<OnceLock<Option<HomMap>>> =
                 (0..chunk.len()).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);

@@ -29,6 +29,7 @@
 use crate::blocks::f_blocks;
 use crate::config::HomConfig;
 use ndl_core::prelude::*;
+use ndl_obs::{HomObserver, NoopObserver};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -101,9 +102,23 @@ pub fn find_homomorphism_into(
     fixed: &HomMap,
     forbid: Forbid<'_>,
 ) -> Option<HomMap> {
+    find_homomorphism_into_observed(from, to, fixed, forbid, &NoopObserver)
+}
+
+/// [`find_homomorphism_into`] reporting its work to a [`HomObserver`]:
+/// MRV decisions, posting-list probes, backtracks, block searches and
+/// worker dispatches. With [`NoopObserver`] this compiles to the
+/// uninstrumented search.
+pub fn find_homomorphism_into_observed<O: HomObserver>(
+    from: &Instance,
+    to: &TupleIndex,
+    fixed: &HomMap,
+    forbid: Forbid<'_>,
+    obs: &O,
+) -> Option<HomMap> {
     let blocks = f_blocks(from);
     let mut total = fixed.clone();
-    total.extend(solve_blocks(&blocks, to, fixed, forbid)?);
+    total.extend(solve_blocks(&blocks, to, fixed, forbid, obs)?);
     Some(total)
 }
 
@@ -111,20 +126,22 @@ pub fn find_homomorphism_into(
 /// cutoff) and returns the union of their assignments. Blocks share no
 /// free nulls, so the union is well defined and independent of execution
 /// order.
-pub(crate) fn solve_blocks(
+pub(crate) fn solve_blocks<O: HomObserver>(
     blocks: &[Instance],
     to: &TupleIndex,
     fixed: &HomMap,
     forbid: Forbid<'_>,
+    obs: &O,
 ) -> Option<Vec<(NullId, Value)>> {
     let workers = HomConfig::global().effective_threads(blocks.len(), to.len());
     if workers <= 1 {
         let mut out = Vec::new();
         for block in blocks {
-            out.extend(solve_block(block, to, fixed, forbid)?);
+            out.extend(solve_block(block, to, fixed, forbid, obs)?);
         }
         return Some(out);
     }
+    obs.threads_dispatched(workers);
     let failed = AtomicBool::new(false);
     let next = AtomicUsize::new(0);
     let results: Vec<OnceLock<Vec<(NullId, Value)>>> =
@@ -139,7 +156,7 @@ pub(crate) fn solve_blocks(
                 if i >= blocks.len() {
                     return;
                 }
-                match solve_block(&blocks[i], to, fixed, forbid) {
+                match solve_block(&blocks[i], to, fixed, forbid, obs) {
                     Some(solution) => {
                         let _ = results[i].set(solution);
                     }
@@ -164,16 +181,19 @@ pub(crate) fn solve_blocks(
 /// Backtracking search for one (connected) f-block against the indexed
 /// target. Returns the assignments made for this block's nulls, or `None`
 /// if the block does not map.
-pub(crate) fn solve_block(
+pub(crate) fn solve_block<O: HomObserver>(
     block: &Instance,
     to: &TupleIndex,
     fixed: &HomMap,
     forbid: Forbid<'_>,
+    obs: &O,
 ) -> Option<Vec<(NullId, Value)>> {
     let facts: Vec<Fact> = block.facts().collect();
     let mut st = Trail::with_fixed(fixed);
     let mut done = vec![false; facts.len()];
-    if search(&facts, &mut done, to, &mut st, forbid) {
+    let solved = search(&facts, &mut done, to, &mut st, forbid, obs);
+    obs.block_search(facts.len(), solved);
+    if solved {
         Some(st.into_assignments())
     } else {
         None
@@ -218,22 +238,25 @@ impl Trail {
     }
 }
 
-fn search(
+fn search<O: HomObserver>(
     facts: &[Fact],
     done: &mut [bool],
     to: &TupleIndex,
     st: &mut Trail,
     forbid: Forbid<'_>,
+    obs: &O,
 ) -> bool {
     // True MRV: pick the unprocessed fact with the fewest candidate tuples
     // under the current assignment (ties to the lowest index). A zero count
     // is taken immediately — that fact fails and prunes the branch now.
     let mut best: Option<(usize, usize)> = None;
+    let mut probes = 0u64;
     for i in 0..facts.len() {
         if done[i] {
             continue;
         }
         let count = candidate_count(&facts[i], to, st);
+        probes += 1;
         if best.is_none_or(|(c, _)| count < c) {
             best = Some((count, i));
             if count == 0 {
@@ -241,7 +264,11 @@ fn search(
             }
         }
     }
+    if O::ENABLED && probes > 0 {
+        obs.index_probes(probes);
+    }
     let Some((_, i)) = best else { return true };
+    obs.mrv_decision();
     done[i] = true;
     let fact = &facts[i];
     for &id in candidates(fact, to, st) {
@@ -250,13 +277,14 @@ fn search(
         }
         let mark = st.log.len();
         if try_map(fact, to.tuple(id), st, forbid) {
-            if search(facts, done, to, st, forbid) {
+            if search(facts, done, to, st, forbid, obs) {
                 done[i] = false;
                 return true;
             }
             st.undo_to(mark);
         }
     }
+    obs.backtrack();
     done[i] = false;
     false
 }

@@ -34,11 +34,14 @@ pub mod scan;
 
 pub use blocks::{block_of_null, f_block_size, f_blocks, f_degree};
 pub use config::HomConfig;
-pub use core::{core_and_blocks, core_f_block_size, core_of, is_core, verify_core};
+pub use core::{
+    core_and_blocks, core_and_blocks_observed, core_f_block_size, core_of, core_of_observed,
+    is_core, is_core_observed, verify_core,
+};
 pub use graph::{FactGraph, IncidenceGraph, NullGraph};
 pub use hom::{
     apply, apply_value, find_homomorphism, find_homomorphism_constrained, find_homomorphism_into,
-    hom_equivalent, homomorphic, is_homomorphism, Forbid, HomMap,
+    find_homomorphism_into_observed, hom_equivalent, homomorphic, is_homomorphism, Forbid, HomMap,
 };
 pub use paths::{
     longest_path_lower_bound, longest_simple_path, null_path_length, DEFAULT_NODE_LIMIT,

@@ -1,0 +1,140 @@
+//! JSONL event tracing: one JSON object per observer event, appended to any
+//! [`std::io::Write`] sink (`ndl chase --trace <out.jsonl>` writes a file).
+//!
+//! Events are coarse — chase rounds and per-statement aggregates — so a
+//! trace stays proportional to `rounds × statements`, not to the number of
+//! triggers examined. The schema is documented in `docs/observability.md`.
+
+use crate::observer::{ChaseObserver, StmtRound};
+use std::io::Write;
+
+/// A [`ChaseObserver`] appending one JSON line per event to `sink`.
+///
+/// I/O errors are counted, not propagated: observers must not change
+/// engine behavior, so a full disk degrades the trace, never the chase.
+#[derive(Debug)]
+pub struct JsonlTracer<W: Write> {
+    sink: W,
+    events: u64,
+    io_errors: u64,
+}
+
+impl<W: Write> JsonlTracer<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> JsonlTracer<W> {
+        JsonlTracer {
+            sink,
+            events: 0,
+            io_errors: 0,
+        }
+    }
+
+    /// Events successfully written.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Write errors swallowed (0 on a healthy sink).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Flushes and returns the sink.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.sink.flush();
+        self.sink
+    }
+
+    fn emit(&mut self, line: &str) {
+        match writeln!(self.sink, "{line}") {
+            Ok(()) => self.events += 1,
+            Err(_) => self.io_errors += 1,
+        }
+    }
+}
+
+impl<W: Write> ChaseObserver for JsonlTracer<W> {
+    fn chase_start(&mut self, statements: usize, source_facts: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"chase_start\",\"statements\":{statements},\"source_facts\":{source_facts}}}"
+        ));
+    }
+
+    fn round_start(&mut self, round: usize) {
+        self.emit(&format!("{{\"event\":\"round_start\",\"round\":{round}}}"));
+    }
+
+    fn statement(&mut self, sr: &StmtRound) {
+        self.emit(&format!(
+            "{{\"event\":\"statement\",\"round\":{},\"stmt\":{},\"examined\":{},\"fired\":{},\"derived\":{},\"dedup_hits\":{},\"nulls_interned\":{},\"elapsed_ns\":{}}}",
+            sr.round, sr.stmt, sr.examined, sr.fired, sr.derived, sr.dedup_hits, sr.nulls_interned, sr.elapsed_ns
+        ));
+    }
+
+    fn round_end(&mut self, round: usize, fresh: u64, elapsed_ns: u64) {
+        self.emit(&format!(
+            "{{\"event\":\"round_end\",\"round\":{round},\"fresh\":{fresh},\"elapsed_ns\":{elapsed_ns}}}"
+        ));
+    }
+
+    fn chase_end(&mut self, rounds: usize, derived: u64, outcome: &str) {
+        // `outcome` is one of the engine's fixed labels — no escaping needed.
+        self.emit(&format!(
+            "{{\"event\":\"chase_end\",\"rounds\":{rounds},\"derived\":{derived},\"outcome\":\"{outcome}\"}}"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_one_json_object_per_event() {
+        let mut t = JsonlTracer::new(Vec::new());
+        t.chase_start(2, 3);
+        t.round_start(1);
+        t.statement(&StmtRound {
+            round: 1,
+            stmt: 0,
+            examined: 4,
+            fired: 4,
+            derived: 2,
+            dedup_hits: 0,
+            nulls_interned: 1,
+            elapsed_ns: 0,
+        });
+        t.round_end(1, 2, 0);
+        t.chase_end(2, 2, "fixpoint");
+        assert_eq!(t.events(), 5);
+        assert_eq!(t.io_errors(), 0);
+        let text = String::from_utf8(t.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Every line parses as a JSON object with an "event" key.
+        for line in &lines {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            let obj = v.as_object().expect("object");
+            assert!(obj.iter().any(|(k, _)| k == "event"), "{line}");
+        }
+        assert!(lines[2].contains("\"examined\":4"));
+        assert!(lines[4].contains("\"outcome\":\"fixpoint\""));
+    }
+
+    #[test]
+    fn io_errors_are_swallowed() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut t = JsonlTracer::new(Broken);
+        t.round_start(1);
+        assert_eq!(t.events(), 0);
+        assert_eq!(t.io_errors(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! A process-wide, one-time warning registry.
+//!
+//! Configuration code often runs once, early, and with no observer in
+//! sight — e.g. `HomConfig::from_env` resolving `NDL_HOM_THREADS` before
+//! any engine entry point. When such code must report a problem it calls
+//! [`warn_once`]; front ends ([`crate::take_warnings`]) surface the
+//! collected warnings at a convenient point (the `ndl` CLI prints them to
+//! stderr after each command). Each key warns at most once per process, so
+//! a misconfigured environment variable read on every engine call does not
+//! flood the log.
+
+use std::sync::{Mutex, OnceLock};
+
+/// One recorded warning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// Deduplication key, e.g. the environment variable name.
+    pub key: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+fn registry() -> &'static Mutex<Vec<Warning>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Warning>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records a warning unless one with the same `key` was already recorded
+/// (including already-taken ones). Returns whether it was recorded.
+pub fn warn_once(key: &str, message: impl Into<String>) -> bool {
+    let mut reg = registry().lock().expect("warning registry");
+    if reg.iter().any(|w| w.key == key) {
+        return false;
+    }
+    reg.push(Warning {
+        key: key.to_string(),
+        message: message.into(),
+    });
+    true
+}
+
+/// A snapshot of all recorded warnings, in recording order (taken ones
+/// included — the registry remembers keys for deduplication).
+pub fn warnings() -> Vec<Warning> {
+    registry().lock().expect("warning registry").clone()
+}
+
+/// Returns the warnings not yet taken and marks them taken. Keys stay
+/// registered, so [`warn_once`] still deduplicates against them.
+pub fn take_warnings() -> Vec<Warning> {
+    static TAKEN: OnceLock<Mutex<usize>> = OnceLock::new();
+    let reg = registry().lock().expect("warning registry");
+    let mut taken = TAKEN
+        .get_or_init(|| Mutex::new(0))
+        .lock()
+        .expect("taken cursor");
+    let fresh = reg[*taken..].to_vec();
+    *taken = reg.len();
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warn_once_deduplicates_by_key() {
+        assert!(warn_once("TEST_KEY_A", "first"));
+        assert!(!warn_once("TEST_KEY_A", "second"));
+        let hits: Vec<Warning> = warnings()
+            .into_iter()
+            .filter(|w| w.key == "TEST_KEY_A")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].message, "first");
+    }
+
+    #[test]
+    fn take_returns_each_warning_once() {
+        warn_once("TEST_KEY_TAKE", "only");
+        // No other test takes, so the first take after recording must
+        // surface our key exactly once, and later takes must not repeat it.
+        let count = |v: &[Warning]| v.iter().filter(|w| w.key == "TEST_KEY_TAKE").count();
+        assert_eq!(count(&take_warnings()), 1);
+        assert_eq!(count(&take_warnings()), 0);
+        assert!(!warn_once("TEST_KEY_TAKE", "again"));
+    }
+}

@@ -23,7 +23,8 @@ use crate::error::Result;
 use crate::pattern::Pattern;
 use ndl_chase::{chase_nested, NullFactory, Prepared};
 use ndl_core::prelude::*;
-use ndl_hom::homomorphic;
+use ndl_hom::{find_homomorphism_into_observed, HomMap};
+use ndl_obs::{HomObserver, NoopObserver};
 
 /// Options for the IMPLIES procedure.
 #[derive(Clone, Copy, Debug)]
@@ -81,6 +82,20 @@ pub fn implies_tgd(
     syms: &mut SymbolTable,
     opts: &ImpliesOptions,
 ) -> Result<ImpliesReport> {
+    implies_tgd_observed(premise, conclusion, syms, opts, &NoopObserver)
+}
+
+/// [`implies_tgd`] reporting its homomorphism searches to a
+/// [`HomObserver`] (the per-pattern `J_p → chase(I_p, Σ)` checks dominate
+/// the procedure's cost). With [`ndl_obs::NoopObserver`] this compiles to
+/// the uninstrumented procedure.
+pub fn implies_tgd_observed<O: HomObserver>(
+    premise: &NestedMapping,
+    conclusion: &NestedTgd,
+    syms: &mut SymbolTable,
+    opts: &ImpliesOptions,
+    obs: &O,
+) -> Result<ImpliesReport> {
     let info = SkolemInfo::for_nested(conclusion, syms);
     let skolemized = skolemize_with(conclusion, &info);
     let v = skolemized.occurring_funcs().len();
@@ -106,7 +121,12 @@ pub fn implies_tgd(
         let chased = chase_nested(&source, &prepared, &mut chase_nulls).target;
         // Subinstance fast path: the identity is a homomorphism, so the
         // backtracking search only runs on genuine candidates.
-        if !target.is_subinstance_of(&chased) && !homomorphic(&target, &chased) {
+        let maps = target.is_subinstance_of(&chased) || {
+            let index = TupleIndex::from_instance(&chased);
+            find_homomorphism_into_observed(&target, &index, &HomMap::new(), &|_, _| false, obs)
+                .is_some()
+        };
+        if !maps {
             return Ok(ImpliesReport {
                 holds: false,
                 v,
@@ -140,8 +160,20 @@ pub fn implies_mapping(
     syms: &mut SymbolTable,
     opts: &ImpliesOptions,
 ) -> Result<bool> {
+    implies_mapping_observed(premise, other, syms, opts, &NoopObserver)
+}
+
+/// [`implies_mapping`] reporting its homomorphism searches to a
+/// [`HomObserver`].
+pub fn implies_mapping_observed<O: HomObserver>(
+    premise: &NestedMapping,
+    other: &NestedMapping,
+    syms: &mut SymbolTable,
+    opts: &ImpliesOptions,
+    obs: &O,
+) -> Result<bool> {
     for tgd in &other.tgds {
-        if !implies_tgd(premise, tgd, syms, opts)?.holds {
+        if !implies_tgd_observed(premise, tgd, syms, opts, obs)?.holds {
             return Ok(false);
         }
     }

@@ -48,8 +48,8 @@ pub use fblock::{
     FblockOptions, GrowthEvidence,
 };
 pub use implies::{
-    equivalent, implies_mapping, implies_tgd, redundant_tgds, Counterexample, ImpliesOptions,
-    ImpliesReport,
+    equivalent, implies_mapping, implies_mapping_observed, implies_tgd, implies_tgd_observed,
+    redundant_tgds, Counterexample, ImpliesOptions, ImpliesReport,
 };
 pub use model_check::{satisfies_mapping, satisfies_nested, satisfies_plain_so, satisfies_so};
 pub use normalize::{

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! ndl parse    (--nested|--st|--so|--egd) "<dependency>"
-//! ndl lint     <file> [--json] [--max-depth N] [--max-skolem-arity N]
-//! ndl analyze  <file> [--json|--dot]
+//! ndl lint     <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
+//! ndl analyze  <file> [--json|--dot] [--stats]
 //! ndl skolemize "<nested tgd>"
+//! ndl chase    <file> [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
 //! ndl chase    --tgd "<nested tgd>"... --fact "R(a,b)"... [--egd "<egd>"...] [--core]
 //! ndl implies  --premise "<tgd>"... [--egd "<egd>"...] --conclusion "<tgd>"
 //! ndl equiv    --left "<tgd>"... --right "<tgd>"... [--egd "<egd>"...]
@@ -19,16 +20,34 @@
 //! `analyze` prints the semantic report for a program — position/Skolem
 //! graphs, chase-termination class and cost bounds — as a human summary,
 //! machine-readable JSON (`--json`) or Graphviz DOT (`--dot`).
-//! I/O and usage failures exit with code 101, distinct from lint findings.
+//!
+//! `chase <file>` runs the **planned fixpoint chase** of a program file end
+//! to end: tgd statements become the chase program, `fact:` statements the
+//! source instance, and the analyzer's plan supplies the firing order and
+//! termination verdict. `--budget N` bounds programs without a termination
+//! guarantee; `--stats` prints the engine's counters as JSON instead of the
+//! instance (`--no-timings` zeroes wall-clock fields for diffable output);
+//! `--trace f.jsonl` appends one JSON event per round/statement to `f`.
+//! `lint`/`analyze` accept `--stats` for a one-line timing/size summary on
+//! stderr. I/O and usage failures exit with code 101, distinct from lint
+//! findings.
 
 use nested_deps::analyze;
+use nested_deps::obs;
 use nested_deps::prelude::*;
 use nested_deps::reasoning::{certain_answers, compose_glav, ConjunctiveQuery};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let out = run(&args);
+    // Configuration problems (e.g. an unparsable NDL_HOM_THREADS override)
+    // are collected process-wide and surfaced here, once, on stderr.
+    for w in obs::take_warnings() {
+        eprintln!("warning: {}", w.message);
+    }
+    match out {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -44,9 +63,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ndl parse (--nested|--st|--so|--egd) \"<dependency>\"
-  ndl lint <file> [--json] [--max-depth N] [--max-skolem-arity N]
-  ndl analyze <file> [--json|--dot]
+  ndl lint <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
+  ndl analyze <file> [--json|--dot] [--stats]
   ndl skolemize \"<nested tgd>\"
+  ndl chase <file> [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
   ndl chase --tgd \"<tgd>\"... --fact \"R(a,b)\"... [--egd \"<egd>\"...] [--core]
   ndl implies --premise \"<tgd>\"... [--egd \"<egd>\"...] --conclusion \"<tgd>\"
   ndl equiv --left \"<tgd>\"... --right \"<tgd>\"... [--egd \"<egd>\"...]
@@ -74,6 +94,24 @@ fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// The first positional (non-flag) argument, skipping the value slot after
+/// every flag in `value_flags`.
+fn positional_arg<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a str> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if value_flags.contains(&a.as_str()) {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with("--") {
+            return Some(a);
+        }
+        i += 1;
+    }
+    None
 }
 
 fn err<E: std::fmt::Display>(e: E) -> String {
@@ -149,7 +187,16 @@ fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<Exit
             .parse()
             .map_err(|_| format!("bad --max-skolem-arity {v:?}"))?;
     }
+    let started = Instant::now();
     let diags = lint_source(syms, &src, &opts);
+    if has_flag(args, "--stats") {
+        eprintln!(
+            "{{\"command\":\"lint\",\"bytes\":{},\"diagnostics\":{},\"elapsed_ns\":{}}}",
+            src.len(),
+            diags.len(),
+            started.elapsed().as_nanos()
+        );
+    }
     if has_flag(args, "--json") {
         println!("{}", analyze::to_json(&diags));
     } else {
@@ -175,7 +222,17 @@ fn cmd_analyze(syms: &mut SymbolTable, args: &[String]) -> CliResult {
         .find(|a| !a.starts_with("--"))
         .ok_or("missing program file")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let started = Instant::now();
     let (analysis, parse_errors) = analyze::ChaseAnalysis::analyze_source(syms, &src);
+    if has_flag(args, "--stats") {
+        eprintln!(
+            "{{\"command\":\"analyze\",\"statements\":{},\"clauses\":{},\"positions\":{},\"elapsed_ns\":{}}}",
+            analysis.graphs.statements,
+            analysis.graphs.clauses.len(),
+            analysis.graphs.positions.positions.len(),
+            started.elapsed().as_nanos()
+        );
+    }
     if has_flag(args, "--dot") {
         print!("{}", analysis.to_dot(syms));
         return Ok(());
@@ -293,6 +350,13 @@ fn cmd_skolemize(syms: &mut SymbolTable, args: &[String]) -> CliResult {
 }
 
 fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
+    // File mode: `ndl chase <file> ...` — no inline --tgd flags, a
+    // positional program file instead.
+    if flag_values(args, "--tgd").is_empty() {
+        let path = positional_arg(args, &["--trace", "--budget"])
+            .ok_or("chase needs a program file or --tgd/--fact flags")?;
+        return cmd_chase_file(syms, path, args);
+    }
     let m = parse_mapping(
         syms,
         &flag_values(args, "--tgd"),
@@ -319,6 +383,124 @@ fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
         println!("  {}", nulls.display_fact(&fact, syms));
     }
     Ok(())
+}
+
+/// `ndl chase <file> [--stats] [--no-timings] [--trace <out.jsonl>]
+/// [--budget N]` — the planned fixpoint chase of a program file.
+///
+/// Tgd statements form the chase program (Skolemized once, by the
+/// analyzer), `fact:` statements the source instance; egd statements are
+/// validated against the source. The analyzer's plan drives firing order
+/// and termination: non-terminating programs are refused unless `--budget`
+/// bounds them, and a budgeted run that is cut off still reports its
+/// partial progress.
+fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliResult {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (stmts, parse_errs) = analyze::parse_program(syms, &src);
+    if let Some((stmt, e)) = parse_errs.first() {
+        return Err(format!("{path} statement {} does not parse: {e}", stmt + 1));
+    }
+    let analysis = analyze::ChaseAnalysis::analyze(syms, &stmts);
+    let mut source = Instance::new();
+    let mut egds = Vec::new();
+    for s in &stmts {
+        match &s.ast {
+            Some(analyze::StmtAst::Fact(f)) => {
+                source.insert(f.clone());
+            }
+            Some(analyze::StmtAst::Egd(e)) => egds.push(e.clone()),
+            _ => {}
+        }
+    }
+    if !satisfies_egds(&source, &egds) {
+        return Err("the fact statements violate the program's egds".into());
+    }
+    let budget = match flag_values(args, "--budget").first() {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("bad --budget {v:?}"))?,
+        ),
+        None => {
+            if has_flag(args, "--budget") {
+                return Err("--budget requires a value".into());
+            }
+            None
+        }
+    };
+    let tgds: Vec<SoTgd> = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+    let plan = analysis.tgd_plan(budget);
+
+    let mut nulls = NullFactory::new();
+    let mut stats = ChaseStats::new();
+    let trace_path = flag_values(args, "--trace").first().copied();
+    if has_flag(args, "--trace") && trace_path.is_none() {
+        return Err("--trace requires a file path".into());
+    }
+    let mut tracer = match trace_path {
+        Some(tp) => {
+            let file = std::fs::File::create(tp).map_err(|e| format!("cannot write {tp}: {e}"))?;
+            Some(JsonlTracer::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let outcome = match &mut tracer {
+        Some(t) => {
+            let mut obs = (&mut stats, t);
+            chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut obs)
+        }
+        None => chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut stats),
+    };
+    if let Some(t) = tracer {
+        if t.io_errors() > 0 {
+            eprintln!(
+                "warning: {} trace events could not be written",
+                t.io_errors()
+            );
+        }
+        t.into_inner();
+    }
+    if has_flag(args, "--no-timings") {
+        stats.redact_timings();
+    }
+
+    match outcome {
+        Ok(res) => {
+            if has_flag(args, "--stats") {
+                println!("{}", stats.to_json());
+                return Ok(());
+            }
+            println!(
+                "fixpoint: {} facts ({} derived, {} nulls) in {} rounds",
+                res.instance.len(),
+                res.derived,
+                nulls.len(),
+                res.rounds
+            );
+            for fact in res.instance.facts() {
+                println!("  {}", nulls.display_fact(&fact, syms));
+            }
+            Ok(())
+        }
+        // A budgeted cutoff is a legitimate bounded run, not a tool
+        // failure: report the partial progress (or partial stats) and exit
+        // clean, leaving code 101 for real errors.
+        Err(FixpointError::BudgetExhausted {
+            budget, progress, ..
+        }) => {
+            if has_flag(args, "--stats") {
+                println!("{}", stats.to_json());
+                return Ok(());
+            }
+            println!(
+                "budget exhausted: {} facts derived in {} rounds (budget {})",
+                progress.derived, progress.rounds, budget
+            );
+            Ok(())
+        }
+        Err(e @ FixpointError::NonTerminating { .. }) => {
+            Err(format!("{e}; re-run with --budget N to chase it anyway"))
+        }
+    }
 }
 
 fn cmd_implies(syms: &mut SymbolTable, args: &[String]) -> CliResult {

@@ -56,6 +56,7 @@ pub use ndl_chase as chase;
 pub use ndl_core as core;
 pub use ndl_gen as gen;
 pub use ndl_hom as hom;
+pub use ndl_obs as obs;
 pub use ndl_reasoning as reasoning;
 pub use ndl_turing as turing;
 
@@ -66,9 +67,10 @@ pub mod prelude {
         TerminationClass,
     };
     pub use ndl_chase::{
-        all_matches, chase_egds, chase_fixpoint, chase_mapping, chase_nested, chase_nested_planned,
-        chase_so, chase_st, satisfies_egds, Binding, ChaseForest, ChasePlan, ChaseResult, EgdChase,
-        EgdConflict, FixpointChase, FixpointError, NullFactory, Prepared, RigidPolicy, Triggering,
+        all_matches, chase_egds, chase_fixpoint, chase_fixpoint_with, chase_mapping, chase_nested,
+        chase_nested_planned, chase_so, chase_st, satisfies_egds, Binding, ChaseForest, ChasePlan,
+        ChaseResult, EgdChase, EgdConflict, FixpointChase, FixpointError, FixpointProgress,
+        NullFactory, Prepared, RigidPolicy, Triggering,
     };
     pub use ndl_core::prelude::*;
     pub use ndl_gen::{
@@ -79,6 +81,7 @@ pub mod prelude {
         core_of, f_block_size, f_blocks, f_degree, find_homomorphism, hom_equivalent, homomorphic,
         is_core, null_path_length, verify_core, FactGraph, HomMap, NullGraph,
     };
+    pub use ndl_obs::{ChaseObserver, ChaseStats, HomObserver, HomStats, JsonlTracer, Stats};
     pub use ndl_reasoning::{
         canonical_instances, clone_bound, equivalent, glav_equivalent, has_bounded_fblock_size,
         implies_mapping, implies_tgd, k_patterns, legalize, redundant_tgds, satisfies_mapping,

@@ -244,3 +244,120 @@ fn lint_exit_code_caps_at_100() {
     let (code, _) = ndl_code(&["lint", "--json", path.to_str().unwrap()]);
     assert_eq!(code, 100);
 }
+
+fn ndl_err(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ndl"))
+        .args(args)
+        .output()
+        .expect("ndl runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// `ndl chase <file>` runs the planned fixpoint chase end to end.
+#[test]
+fn chase_file_reaches_fixpoint() {
+    let (ok, out) = ndl(&["chase", "examples/programs/running.ndl"]);
+    assert!(ok);
+    assert!(out.contains("fixpoint: 3 facts (1 derived, 1 nulls) in 2 rounds"));
+    assert!(out.contains("R3(f(a),b)"));
+}
+
+/// `--stats` replaces the fact listing with the collected chase statistics
+/// as JSON on stdout; `--no-timings` zeroes the clock fields so the output
+/// is deterministic.
+#[test]
+fn chase_file_stats_json_is_deterministic() {
+    let (ok, out, _) = ndl_err(&[
+        "chase",
+        "examples/programs/running.ndl",
+        "--stats",
+        "--no-timings",
+    ]);
+    assert!(ok);
+    assert!(out.contains("\"outcome\": \"fixpoint\""));
+    assert!(out.contains("\"rounds\": 2"));
+    assert!(out.contains("\"elapsed_ns\": 0"));
+    let again = ndl_err(&[
+        "chase",
+        "examples/programs/running.ndl",
+        "--stats",
+        "--no-timings",
+    ]);
+    assert_eq!(out, again.1, "redacted stats output is reproducible");
+}
+
+/// `--trace` writes one JSONL event per lifecycle point.
+#[test]
+fn chase_file_trace_writes_jsonl() {
+    let dir = std::env::temp_dir().join("ndl_cli_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("running.jsonl");
+    let (ok, _) = ndl(&[
+        "chase",
+        "examples/programs/running.ndl",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let trace = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = trace.lines().collect();
+    assert!(lines.first().unwrap().contains("\"event\":\"chase_start\""));
+    assert!(lines.last().unwrap().contains("\"event\":\"chase_end\""));
+    assert!(trace.contains("\"event\":\"statement\""));
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"round_start\""))
+            .count(),
+        lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"round_end\""))
+            .count(),
+    );
+}
+
+/// A non-terminating program is refused with a diagnosis and a hint to
+/// re-run with an explicit budget; with `--budget N` the bounded run is a
+/// legitimate result and exits clean, reporting the partial progress.
+#[test]
+fn chase_file_refusal_and_budget() {
+    let (ok, _, err) = ndl_err(&["chase", "examples/programs/recursive.ndl"]);
+    assert!(!ok);
+    assert!(err.contains("not guaranteed to terminate"));
+    assert!(err.contains("--budget"));
+
+    let (ok, out, _) = ndl_err(&[
+        "chase",
+        "examples/programs/recursive.ndl",
+        "--budget",
+        "10",
+        "--stats",
+        "--no-timings",
+    ]);
+    assert!(ok, "a budgeted cutoff is a legitimate bounded run");
+    assert!(out.contains("\"outcome\": \"budget-exhausted\""));
+    assert!(out.contains("\"derived\": 11"));
+}
+
+/// `lint --stats` and `analyze --stats` report run statistics on stderr,
+/// keeping stdout identical to an unflagged run.
+#[test]
+fn lint_and_analyze_stats_go_to_stderr() {
+    let (ok, out, err) = ndl_err(&["lint", "examples/programs/running.ndl", "--stats"]);
+    assert!(ok);
+    assert!(err.contains("\"command\":\"lint\""));
+    assert!(err.contains("\"diagnostics\":0"));
+    let plain = ndl(&["lint", "examples/programs/running.ndl"]);
+    assert_eq!(out, plain.1, "--stats must not perturb stdout");
+
+    let (ok, out, err) = ndl_err(&["analyze", "examples/programs/running.ndl", "--stats"]);
+    assert!(ok);
+    assert!(err.contains("\"command\":\"analyze\""));
+    assert!(err.contains("\"statements\":4"));
+    let plain = ndl(&["analyze", "examples/programs/running.ndl"]);
+    assert_eq!(out, plain.1, "--stats must not perturb stdout");
+}

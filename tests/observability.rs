@@ -1,0 +1,151 @@
+//! Property tests pinning the observability layer to the semantics of
+//! the engines it watches: observers may count, but they must never
+//! change a result, and what they count must be internally consistent.
+
+use nested_deps::analyze::{parse_program, StmtAst};
+use nested_deps::hom::{core_of_observed, is_core_observed};
+use nested_deps::obs::NoopObserver;
+use nested_deps::prelude::*;
+use proptest::prelude::*;
+
+type ChaseOutcome = std::result::Result<FixpointChase, FixpointError>;
+
+/// Runs the planned fixpoint chase on a generated program source twice —
+/// once with the no-op observer, once collecting [`ChaseStats`] — and
+/// returns both outcomes plus the interned-null counts.
+fn chase_twice(text: &str) -> Option<(ChaseOutcome, ChaseOutcome, ChaseStats, usize, usize)> {
+    let mut syms = SymbolTable::new();
+    let (stmts, errs) = parse_program(&mut syms, text);
+    if !errs.is_empty() {
+        return None;
+    }
+    let analysis = ChaseAnalysis::analyze(&mut syms, &stmts);
+    let mut source = Instance::new();
+    for s in &stmts {
+        if let Some(StmtAst::Fact(f)) = &s.ast {
+            source.insert(f.clone());
+        }
+    }
+    let tgds: Vec<_> = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+    let plan = analysis.tgd_plan(Some(2_000));
+
+    let mut plain_nulls = NullFactory::new();
+    let plain = chase_fixpoint_with(&source, &tgds, &plan, &mut plain_nulls, &mut NoopObserver);
+    let mut stats = ChaseStats::new();
+    let mut observed_nulls = NullFactory::new();
+    let observed = chase_fixpoint_with(&source, &tgds, &plan, &mut observed_nulls, &mut stats);
+    Some((
+        plain,
+        observed,
+        stats,
+        plain_nulls.len(),
+        observed_nulls.len(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Attaching an observer never changes the chase: the observed run
+    /// is bit-identical to the plain run — same instance, same interned
+    /// nulls, same error on the budget path.
+    #[test]
+    fn observed_chase_is_bit_identical(seed in 0u64..10_000, statements in 2usize..14) {
+        let text = random_program(&ProgramGenOptions {
+            statements,
+            relations: (statements / 2).max(3),
+            seed,
+            ..Default::default()
+        });
+        if let Some((plain, observed, _, plain_nulls, observed_nulls)) = chase_twice(&text) {
+            prop_assert_eq!(plain_nulls, observed_nulls);
+            match (plain, observed) {
+                (Ok(p), Ok(o)) => {
+                    prop_assert_eq!(p.instance, o.instance);
+                    prop_assert_eq!(p.rounds, o.rounds);
+                    prop_assert_eq!(p.derived, o.derived);
+                }
+                (Err(p), Err(o)) => prop_assert_eq!(format!("{p:?}"), format!("{o:?}")),
+                (p, o) => prop_assert!(false, "outcomes diverge: {p:?} vs {o:?}"),
+            }
+        }
+    }
+
+    /// What the stats sink counts is internally consistent: fired
+    /// triggers never exceed examined ones, the aggregate totals are the
+    /// sums of the per-statement rows, interned nulls match the factory,
+    /// and the per-round fresh counts cover every round.
+    #[test]
+    fn chase_stats_invariants_hold(seed in 0u64..10_000, statements in 2usize..14) {
+        let text = random_program(&ProgramGenOptions {
+            statements,
+            relations: (statements / 2).max(3),
+            seed,
+            ..Default::default()
+        });
+        if let Some((_, observed, stats, _, observed_nulls)) = chase_twice(&text) {
+            prop_assert!(stats.triggers_fired <= stats.triggers_examined);
+            prop_assert_eq!(stats.round_fresh.len(), stats.rounds);
+            prop_assert_eq!(stats.nulls_interned, observed_nulls as u64);
+            let by_stmt: u64 = stats.statements.iter().map(|s| s.derived).sum();
+            prop_assert_eq!(stats.derived, by_stmt);
+            let examined: u64 = stats.statements.iter().map(|s| s.examined).sum();
+            prop_assert_eq!(stats.triggers_examined, examined);
+            let fired: u64 = stats.statements.iter().map(|s| s.fired).sum();
+            prop_assert_eq!(stats.triggers_fired, fired);
+            let interned: u64 = stats.statements.iter().map(|s| s.nulls_interned).sum();
+            prop_assert_eq!(stats.nulls_interned, interned);
+            match observed {
+                Ok(res) => prop_assert_eq!(stats.derived, res.derived as u64),
+                Err(FixpointError::BudgetExhausted { progress, .. }) => {
+                    prop_assert_eq!(stats.derived, progress.derived as u64);
+                    prop_assert_eq!(stats.rounds, progress.rounds);
+                }
+                Err(e) => prop_assert!(false, "unplanned refusal: {e:?}"),
+            }
+        }
+    }
+
+    /// The observed core engine agrees with the plain one on chased
+    /// targets (the instances with nulls the paper cares about), and the
+    /// counters it reports are consistent with what happened.
+    #[test]
+    fn observed_core_agrees_with_plain(seed in 0u64..10_000, depth in 1usize..4, facts in 1usize..10) {
+        let mut syms = SymbolTable::new();
+        let tgd = random_nested_tgd(&mut syms, "p", &TgdGenOptions {
+            max_depth: depth,
+            max_children: 2,
+            existential_prob: 0.7,
+            seed,
+        });
+        let mapping = NestedMapping::new(vec![tgd], vec![]).expect("generated tgd is valid");
+        let rels: Vec<(RelId, usize)> = mapping
+            .schema
+            .relations()
+            .filter(|&(_, _, s)| s == Side::Source)
+            .map(|(r, a, _)| (r, a))
+            .collect();
+        let source = random_instance(&mut syms, &rels, &InstanceGenOptions {
+            facts,
+            domain: 3,
+            seed: seed.wrapping_mul(97).wrapping_add(13),
+        });
+        let (res, _) = chase_mapping(&source, &mapping, &mut syms);
+
+        let plain = core_of(&res.target);
+        let stats = HomStats::new();
+        let observed = core_of_observed(&res.target, &stats);
+        prop_assert_eq!(&plain, &observed);
+
+        let snap = stats.snapshot();
+        prop_assert!(snap.retractions <= snap.retraction_probes);
+        prop_assert!(snap.blocks_solved <= snap.block_searches);
+        if observed.len() < res.target.len() {
+            prop_assert!(snap.retractions > 0, "a shrinking core must report retractions");
+        }
+
+        let check = HomStats::new();
+        prop_assert!(is_core_observed(&observed, &check));
+        prop_assert_eq!(check.snapshot().retractions, 0);
+    }
+}
