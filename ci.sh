@@ -38,4 +38,7 @@ cargo bench --no-run --offline
 echo "==> bench_chase builds (record regeneration stays opt-in)"
 cargo build --release --offline -p ndl-bench --bin bench_chase
 
+echo "==> bench_store builds (record regeneration stays opt-in)"
+cargo build --release --offline -p ndl-bench --bin bench_store
+
 echo "CI green."

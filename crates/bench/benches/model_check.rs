@@ -64,7 +64,7 @@ fn bench_plain_so_negative(c: &mut Criterion) {
         let mut nulls = NullFactory::new();
         let mut target = chase_so(&source, &tau, &mut nulls);
         // Remove one fact: no homomorphism remains, search must refute.
-        let victim = target.facts().nth(n / 2).unwrap();
+        let victim = target.facts().nth(n / 2).unwrap().to_fact();
         target.remove(&victim);
         group.bench_with_input(
             BenchmarkId::from_parameter(n),

@@ -1,0 +1,40 @@
+//! Fact blocks (f-blocks) of a target instance: the connected components of
+//! the Gaifman graph of facts (paper, Section 2), and the structural
+//! measures built on them — **f-block size** and **f-degree** (Section 4).
+
+use super::graph::FactGraph;
+use ndl_core::btree::BTreeInstance as Instance;
+use ndl_core::prelude::*;
+
+/// The f-blocks of `inst`: connected components of its fact graph, as
+/// subinstances. Ground facts form singleton blocks.
+pub fn f_blocks(inst: &Instance) -> Vec<Instance> {
+    let g = FactGraph::of(inst);
+    g.components()
+        .into_iter()
+        .map(|comp| Instance::from_facts(comp.into_iter().map(|i| g.facts[i].clone())))
+        .collect()
+}
+
+/// The f-block size of `inst`: the maximum cardinality of its f-blocks
+/// (0 for the empty instance).
+pub fn f_block_size(inst: &Instance) -> usize {
+    let g = FactGraph::of(inst);
+    g.components()
+        .into_iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The f-degree of `inst`: the maximum degree of its fact graph
+/// (Section 4.2). The degree of a fact is the number of facts it shares a
+/// null with.
+pub fn f_degree(inst: &Instance) -> usize {
+    FactGraph::of(inst).max_degree()
+}
+
+/// The f-block of `inst` containing the null `n`, if any.
+pub fn block_of_null(inst: &Instance, n: NullId) -> Option<Instance> {
+    f_blocks(inst).into_iter().find(|b| b.nulls().contains(&n))
+}

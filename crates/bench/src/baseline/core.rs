@@ -22,10 +22,12 @@
 //! are applied smallest-null-first, so results are identical to the
 //! sequential engine.
 
-use crate::blocks::null_blocks;
-use crate::config::HomConfig;
-use crate::hom::{apply_value, homomorphic, solve_block, HomMap};
+use super::blocks::f_blocks;
+use super::hom::{apply_value, homomorphic, solve_block, HomMap};
+use super::index::TupleIndex;
+use ndl_core::btree::BTreeInstance as Instance;
 use ndl_core::prelude::*;
+use ndl_hom::HomConfig;
 use ndl_obs::{HomObserver, NoopObserver};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -55,19 +57,7 @@ pub fn core_and_blocks_observed<O: HomObserver>(
     inst: &Instance,
     obs: &O,
 ) -> (Instance, Vec<Instance>) {
-    let (core, mut blocks) = CoreEngine::new(inst, obs).run();
-    // The engine tracks only null-carrying blocks (ground facts are inert
-    // in retraction); reconstitute the singleton ground blocks that
-    // `f_blocks` reports, then match its order (components by smallest
-    // fact).
-    for f in core.facts() {
-        if f.args.iter().all(|v| matches!(v, Value::Const(_))) {
-            blocks.push(Instance::from_facts([f.to_fact()]));
-        }
-    }
-    blocks.sort_by_cached_key(|b| b.facts().next().expect("blocks are nonempty").to_fact());
-    debug_assert_eq!(blocks.iter().map(Instance::len).sum::<usize>(), core.len());
-    (core, blocks)
+    CoreEngine::new(inst, obs).run()
 }
 
 /// The f-block size of the core of `inst` (0 for the empty instance) —
@@ -90,7 +80,7 @@ pub fn is_core(inst: &Instance) -> bool {
 /// [`is_core`] reporting its work to a [`HomObserver`].
 pub fn is_core_observed<O: HomObserver>(inst: &Instance, obs: &O) -> bool {
     let index = TupleIndex::from_instance(inst);
-    let blocks = null_blocks(inst);
+    let blocks = f_blocks(inst);
     let block_of = null_block_map(&blocks);
     let nulls: Vec<NullId> = inst.nulls().into_iter().collect();
     let probe = |n: NullId| -> bool {
@@ -184,7 +174,7 @@ impl<'o, O: HomObserver> CoreEngine<'o, O> {
             dirty: BTreeSet::new(),
             obs,
         };
-        for block in null_blocks(inst) {
+        for block in f_blocks(inst) {
             engine.add_block(block);
         }
         engine
@@ -200,15 +190,18 @@ impl<'o, O: HomObserver> CoreEngine<'o, O> {
         self.blocks.push(Some(block));
     }
 
-    /// Runs retractions to a fixpoint; returns the core and its surviving
-    /// null-carrying blocks (unsorted — `core_and_blocks` adds the ground
-    /// singletons and imposes the `f_blocks` order).
+    /// Runs retractions to a fixpoint; returns the core and its f-blocks
+    /// (identical to `f_blocks` of the result, ordered by smallest fact).
     fn run(mut self) -> (Instance, Vec<Instance>) {
         while let Some((n, h)) = self.find_retraction() {
             self.retract(n, &h);
         }
         let core = self.index.to_instance();
-        let live: Vec<Instance> = self.blocks.into_iter().flatten().collect();
+        let mut live: Vec<Instance> = self.blocks.into_iter().flatten().collect();
+        // `f_blocks` lists components by their smallest fact; match it so
+        // the two APIs are interchangeable.
+        live.sort_by_cached_key(|b| b.facts().next().expect("blocks are nonempty"));
+        debug_assert_eq!(live.iter().map(Instance::len).sum::<usize>(), core.len());
         (core, live)
     }
 
@@ -289,194 +282,19 @@ impl<'o, O: HomObserver> CoreEngine<'o, O> {
             .collect();
         let mut survivors = Instance::new();
         for f in block.facts() {
-            if image.contains(&f.to_fact()) {
-                survivors.insert_tuple(f.rel, f.args);
+            if image.contains(&f) {
+                survivors.insert(f);
             } else {
-                self.index.remove_tuple(f.rel, f.args);
+                self.index.remove(&f);
             }
         }
         for m in block.nulls() {
             self.block_of.remove(&m);
             self.dirty.remove(&m);
         }
-        for sub in null_blocks(&survivors) {
+        for sub in f_blocks(&survivors) {
             debug_assert!(!sub.nulls().contains(&n), "retraction must drop {n:?}");
             self.add_block(sub);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn null(i: u32) -> Value {
-        Value::Null(NullId(i))
-    }
-
-    fn rel() -> (SymbolTable, RelId) {
-        let mut syms = SymbolTable::new();
-        let r = syms.rel("R");
-        (syms, r)
-    }
-
-    #[test]
-    fn redundant_null_fact_is_folded() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        let b = Value::Const(syms.constant("b"));
-        // R(a,b) subsumes R(a,n0).
-        let inst = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![a, null(0)])]);
-        let c = core_of(&inst);
-        assert_eq!(c.len(), 1);
-        assert!(c.contains_tuple(r, &[a, b]));
-        assert!(verify_core(&c, &inst));
-    }
-
-    #[test]
-    fn directed_null_path_is_a_core() {
-        let (_syms, r) = rel();
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(1), null(2)]),
-            Fact::new(r, vec![null(2), null(3)]),
-        ]);
-        assert!(is_core(&inst));
-        assert_eq!(core_of(&inst), inst);
-    }
-
-    #[test]
-    fn path_with_loop_collapses_to_loop() {
-        let (_syms, r) = rel();
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(1), null(2)]),
-            Fact::new(r, vec![null(2), null(2)]),
-        ]);
-        let c = core_of(&inst);
-        assert_eq!(c.len(), 1);
-        assert_eq!(c.nulls().len(), 1);
-        assert!(verify_core(&c, &inst));
-    }
-
-    #[test]
-    fn odd_undirected_cycle_is_a_core() {
-        // Example 4.8: core(chase(I_n, σ)) is the undirected n-cycle for
-        // odd n.
-        let (_syms, r) = rel();
-        let mut inst = Instance::new();
-        let n = 5u32;
-        for i in 0..n {
-            let j = (i + 1) % n;
-            inst.insert(Fact::new(r, vec![null(i), null(j)]));
-            inst.insert(Fact::new(r, vec![null(j), null(i)]));
-        }
-        assert!(is_core(&inst));
-    }
-
-    #[test]
-    fn even_undirected_cycle_collapses_to_edge() {
-        let (_syms, r) = rel();
-        let mut inst = Instance::new();
-        let n = 6u32;
-        for i in 0..n {
-            let j = (i + 1) % n;
-            inst.insert(Fact::new(r, vec![null(i), null(j)]));
-            inst.insert(Fact::new(r, vec![null(j), null(i)]));
-        }
-        let c = core_of(&inst);
-        // A single undirected edge: 2 facts, 2 nulls.
-        assert_eq!(c.len(), 2);
-        assert_eq!(c.nulls().len(), 2);
-        assert!(verify_core(&c, &inst));
-    }
-
-    #[test]
-    fn cross_block_folding() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        // Block 1: R(a, n0); block 2: R(a, n1), R(n1, n1).
-        // Block 1 folds into block 2 (n0 ↦ n1).
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![a, null(0)]),
-            Fact::new(r, vec![a, null(1)]),
-            Fact::new(r, vec![null(1), null(1)]),
-        ]);
-        let c = core_of(&inst);
-        assert_eq!(c.nulls().len(), 1);
-        assert_eq!(c.len(), 2);
-        assert!(verify_core(&c, &inst));
-    }
-
-    #[test]
-    fn ground_instance_is_its_own_core() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        let b = Value::Const(syms.constant("b"));
-        let inst = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, a])]);
-        assert_eq!(core_of(&inst), inst);
-        assert!(is_core(&inst));
-    }
-
-    #[test]
-    fn empty_instance_core() {
-        let inst = Instance::new();
-        assert!(is_core(&inst));
-        assert!(core_of(&inst).is_empty());
-        let (c, blocks) = core_and_blocks(&inst);
-        assert!(c.is_empty());
-        assert!(blocks.is_empty());
-    }
-
-    #[test]
-    fn core_and_blocks_matches_f_blocks() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        // Mixed shape: a folding even cycle, a redundant null fact, a
-        // ground fact, and a core path.
-        let mut inst = Instance::new();
-        for i in 0..4u32 {
-            let j = (i + 1) % 4;
-            inst.insert(Fact::new(r, vec![null(i), null(j)]));
-            inst.insert(Fact::new(r, vec![null(j), null(i)]));
-        }
-        inst.insert(Fact::new(r, vec![a, null(10)]));
-        inst.insert(Fact::new(r, vec![a, a]));
-        inst.insert(Fact::new(r, vec![null(20), null(21)]));
-        inst.insert(Fact::new(r, vec![null(21), null(22)]));
-        let (core, blocks) = core_and_blocks(&inst);
-        assert_eq!(core, core_of(&inst));
-        assert_eq!(blocks, crate::f_blocks(&core));
-        assert_eq!(
-            core_f_block_size(&inst),
-            blocks.iter().map(Instance::len).max().unwrap()
-        );
-    }
-
-    #[test]
-    fn agrees_with_scan_engine_on_fixtures() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        let shapes = [
-            Instance::from_facts([Fact::new(r, vec![a, null(0)]), Fact::new(r, vec![a, a])]),
-            Instance::from_facts([
-                Fact::new(r, vec![null(0), null(1)]),
-                Fact::new(r, vec![null(1), null(2)]),
-                Fact::new(r, vec![null(2), null(2)]),
-            ]),
-            {
-                let mut even = Instance::new();
-                for i in 0..6u32 {
-                    let j = (i + 1) % 6;
-                    even.insert(Fact::new(r, vec![null(i), null(j)]));
-                    even.insert(Fact::new(r, vec![null(j), null(i)]));
-                }
-                even
-            },
-        ];
-        for inst in &shapes {
-            assert_eq!(core_of(inst), crate::scan::core_of_scan(inst), "{inst:?}");
-            assert_eq!(is_core(inst), crate::scan::is_core_scan(inst));
         }
     }
 }

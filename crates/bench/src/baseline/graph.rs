@@ -5,24 +5,23 @@
 //! - the **Gaifman graph of nulls** (null graph): nodes are nulls, with an
 //!   edge between two nulls that occur in the same fact.
 
+use ndl_core::btree::BTreeInstance as Instance;
 use ndl_core::prelude::*;
 use std::collections::BTreeMap;
 
-/// The Gaifman graph of facts of an instance. Nodes borrow their tuples
-/// from the instance's columnar store — building the graph allocates no
-/// per-fact tuple copies.
+/// The Gaifman graph of facts of an instance.
 #[derive(Clone, Debug)]
-pub struct FactGraph<'a> {
+pub struct FactGraph {
     /// The facts (graph nodes), in the instance's deterministic order.
-    pub facts: Vec<FactRef<'a>>,
+    pub facts: Vec<Fact>,
     /// Adjacency lists over fact indexes (no self-loops, deduplicated).
     pub adj: Vec<Vec<usize>>,
 }
 
-impl<'a> FactGraph<'a> {
+impl FactGraph {
     /// Builds the fact graph of `inst`.
-    pub fn of(inst: &'a Instance) -> FactGraph<'a> {
-        let facts: Vec<FactRef<'a>> = inst.facts().collect();
+    pub fn of(inst: &Instance) -> FactGraph {
+        let facts: Vec<Fact> = inst.facts().collect();
         let mut by_null: BTreeMap<NullId, Vec<usize>> = BTreeMap::new();
         for (i, f) in facts.iter().enumerate() {
             for n in f.nulls() {
@@ -124,7 +123,7 @@ impl NullGraph {
     }
 }
 
-impl FactGraph<'_> {
+impl FactGraph {
     /// Renders the fact graph in Graphviz DOT format (undirected), with
     /// facts as node labels — used by the Figure 6/7 tooling.
     pub fn to_dot(&self, syms: &SymbolTable) -> String {
@@ -173,19 +172,19 @@ impl NullGraph {
 /// nulls is a star — acyclic — which makes this strictly finer than asking
 /// for a cycle in [`NullGraph`] (where any 3-null fact forms a triangle).
 #[derive(Clone, Debug)]
-pub struct IncidenceGraph<'a> {
-    /// The facts (nodes `0..facts.len()`), borrowed from the store.
-    pub facts: Vec<FactRef<'a>>,
+pub struct IncidenceGraph {
+    /// The facts (nodes `0..facts.len()`).
+    pub facts: Vec<Fact>,
     /// The nulls (nodes `facts.len()..`), ordered.
     pub nulls: Vec<NullId>,
     /// Adjacency lists over the combined node indexing.
     pub adj: Vec<Vec<usize>>,
 }
 
-impl<'a> IncidenceGraph<'a> {
+impl IncidenceGraph {
     /// Builds the incidence graph of `inst`.
-    pub fn of(inst: &'a Instance) -> IncidenceGraph<'a> {
-        let facts: Vec<FactRef<'a>> = inst.facts().collect();
+    pub fn of(inst: &Instance) -> IncidenceGraph {
+        let facts: Vec<Fact> = inst.facts().collect();
         let nulls: Vec<NullId> = inst.nulls().into_iter().collect();
         let base = facts.len();
         let index: BTreeMap<NullId, usize> = nulls
@@ -264,158 +263,4 @@ pub(crate) fn components_of(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
         comps.push(comp);
     }
     comps
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn null(i: u32) -> Value {
-        Value::Null(NullId(i))
-    }
-
-    fn rel() -> (SymbolTable, RelId) {
-        let mut syms = SymbolTable::new();
-        let r = syms.rel("R");
-        (syms, r)
-    }
-
-    #[test]
-    fn fact_graph_edges_via_shared_nulls() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), a]),
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(2), a]),
-        ]);
-        let g = FactGraph::of(&inst);
-        assert_eq!(g.len(), 3);
-        assert_eq!(g.components().len(), 2);
-        assert!(!g.is_connected());
-        assert_eq!(g.max_degree(), 1);
-    }
-
-    #[test]
-    fn ground_facts_are_isolated() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        let b = Value::Const(syms.constant("b"));
-        let inst = Instance::from_facts([Fact::new(r, vec![a, a]), Fact::new(r, vec![b, a])]);
-        let g = FactGraph::of(&inst);
-        assert_eq!(g.components().len(), 2);
-        assert_eq!(g.max_degree(), 0);
-    }
-
-    #[test]
-    fn null_graph_edges_via_cooccurrence() {
-        let (mut syms, r3) = rel();
-        let r3 = {
-            let _ = r3;
-            syms.rel("R3")
-        };
-        // R3(n0, n1, n2): triangle among the three nulls.
-        let inst = Instance::from_facts([Fact::new(r3, vec![null(0), null(1), null(2)])]);
-        let g = NullGraph::of(&inst);
-        assert_eq!(g.len(), 3);
-        assert!(g.is_clique());
-        assert_eq!(g.max_degree(), 2);
-    }
-
-    #[test]
-    fn null_graph_path_shape() {
-        let (_syms, r) = rel();
-        // Chain: R(n0,n1), R(n1,n2) — a path of nulls.
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(1), null(2)]),
-        ]);
-        let g = NullGraph::of(&inst);
-        assert_eq!(g.len(), 3);
-        assert!(!g.is_clique());
-        assert_eq!(g.max_degree(), 2);
-        assert_eq!(g.adj[0].len(), 1);
-    }
-
-    #[test]
-    fn dot_export_shapes() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), a]),
-            Fact::new(r, vec![null(0), null(1)]),
-        ]);
-        let fg = FactGraph::of(&inst).to_dot(&syms);
-        assert!(fg.starts_with("graph fact_graph"));
-        assert!(fg.contains("n0 -- n1"));
-        assert!(fg.contains("R(_N0,a)"));
-        let ng = NullGraph::of(&inst).to_dot(&syms);
-        assert!(ng.contains("n0 -- n1"));
-    }
-
-    #[test]
-    fn empty_instance_graphs() {
-        let inst = Instance::new();
-        assert!(FactGraph::of(&inst).is_empty());
-        assert!(NullGraph::of(&inst).is_empty());
-        assert!(FactGraph::of(&inst).is_connected());
-        assert!(IncidenceGraph::of(&inst).is_acyclic());
-    }
-
-    #[test]
-    fn single_wide_fact_is_acyclic() {
-        // One fact over three nulls: a K3 in the null graph, but a star in
-        // the incidence graph — no correlation cycle.
-        let mut syms = SymbolTable::new();
-        let r3 = syms.rel("R3");
-        let inst = Instance::from_facts([Fact::new(r3, vec![null(0), null(1), null(2)])]);
-        let g = IncidenceGraph::of(&inst);
-        assert!(g.is_acyclic());
-    }
-
-    #[test]
-    fn two_facts_sharing_two_nulls_are_cyclic() {
-        let (mut syms, r) = rel();
-        let t = syms.rel("T");
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(t, vec![null(0), null(1)]),
-        ]);
-        let g = IncidenceGraph::of(&inst);
-        let cyc = g.cyclic_components();
-        assert_eq!(cyc.len(), 1);
-        assert_eq!(cyc[0], vec![NullId(0), NullId(1)]);
-    }
-
-    #[test]
-    fn fact_cycle_through_distinct_nulls_is_cyclic() {
-        let (_syms, r) = rel();
-        // R(n0,n1), R(n1,n2), R(n2,n0): a 6-cycle in the incidence graph.
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(1), null(2)]),
-            Fact::new(r, vec![null(2), null(0)]),
-        ]);
-        assert!(!IncidenceGraph::of(&inst).is_acyclic());
-    }
-
-    #[test]
-    fn chain_of_facts_is_acyclic() {
-        let (mut syms, r) = rel();
-        let a = Value::Const(syms.constant("a"));
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(1), null(2)]),
-            Fact::new(r, vec![null(2), a]),
-        ]);
-        assert!(IncidenceGraph::of(&inst).is_acyclic());
-    }
-
-    #[test]
-    fn repeated_null_in_one_fact_is_not_a_cycle() {
-        let (_syms, r) = rel();
-        // R(n0,n0): the duplicate occurrence must not create a multi-edge.
-        let inst = Instance::from_facts([Fact::new(r, vec![null(0), null(0)])]);
-        assert!(IncidenceGraph::of(&inst).is_acyclic());
-    }
 }

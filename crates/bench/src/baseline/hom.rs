@@ -26,9 +26,11 @@
 //!   `std::thread::scope` workers (capped by [`HomConfig`], sequential
 //!   below its cutoff), with a shared failure flag for early exit.
 
-use crate::blocks::f_blocks;
-use crate::config::HomConfig;
+use super::blocks::f_blocks;
+use super::index::{TupleId, TupleIndex};
+use ndl_core::btree::BTreeInstance as Instance;
 use ndl_core::prelude::*;
+use ndl_hom::HomConfig;
 use ndl_obs::{HomObserver, NoopObserver};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -188,7 +190,7 @@ pub(crate) fn solve_block<O: HomObserver>(
     forbid: Forbid<'_>,
     obs: &O,
 ) -> Option<Vec<(NullId, Value)>> {
-    let facts: Vec<FactRef<'_>> = block.facts().collect();
+    let facts: Vec<Fact> = block.facts().collect();
     let mut st = Trail::with_fixed(fixed);
     let mut done = vec![false; facts.len()];
     let solved = search(&facts, &mut done, to, &mut st, forbid, obs);
@@ -239,7 +241,7 @@ impl Trail {
 }
 
 fn search<O: HomObserver>(
-    facts: &[FactRef<'_>],
+    facts: &[Fact],
     done: &mut [bool],
     to: &TupleIndex,
     st: &mut Trail,
@@ -255,7 +257,7 @@ fn search<O: HomObserver>(
         if done[i] {
             continue;
         }
-        let count = candidate_count(facts[i], to, st);
+        let count = candidate_count(&facts[i], to, st);
         probes += 1;
         if best.is_none_or(|(c, _)| count < c) {
             best = Some((count, i));
@@ -270,7 +272,7 @@ fn search<O: HomObserver>(
     let Some((_, i)) = best else { return true };
     obs.mrv_decision();
     done[i] = true;
-    let fact = facts[i];
+    let fact = &facts[i];
     for &id in candidates(fact, to, st) {
         if !to.is_live(id) {
             continue;
@@ -302,7 +304,7 @@ fn bound_value(arg: Value, st: &Trail) -> Option<Value> {
 /// Upper bound on the number of candidate target tuples for `fact`: the
 /// shortest posting list over its bound positions, or the relation size
 /// when nothing is bound.
-fn candidate_count(fact: FactRef<'_>, to: &TupleIndex, st: &Trail) -> usize {
+fn candidate_count(fact: &Fact, to: &TupleIndex, st: &Trail) -> usize {
     let mut best = usize::MAX;
     for (pos, &arg) in fact.args.iter().enumerate() {
         if let Some(v) = bound_value(arg, st) {
@@ -323,7 +325,7 @@ fn candidate_count(fact: FactRef<'_>, to: &TupleIndex, st: &Trail) -> usize {
 /// over its bound positions, or the whole relation when nothing is bound.
 /// Ids come back in deterministic insertion order and may include dead
 /// entries (filtered by the caller).
-fn candidates<'a>(fact: FactRef<'_>, to: &'a TupleIndex, st: &Trail) -> &'a [TupleId] {
+fn candidates<'a>(fact: &Fact, to: &'a TupleIndex, st: &Trail) -> &'a [TupleId] {
     let mut best: Option<&'a [TupleId]> = None;
     for (pos, &arg) in fact.args.iter().enumerate() {
         if let Some(v) = bound_value(arg, st) {
@@ -341,7 +343,7 @@ fn candidates<'a>(fact: FactRef<'_>, to: &'a TupleIndex, st: &Trail) -> &'a [Tup
 
 /// Tries to map `fact` onto `tuple`; on success extends the assignment (new
 /// bindings logged on the trail), on failure leaves it untouched.
-fn try_map(fact: FactRef<'_>, tuple: &[Value], st: &mut Trail, forbid: Forbid<'_>) -> bool {
+fn try_map(fact: &Fact, tuple: &[Value], st: &mut Trail, forbid: Forbid<'_>) -> bool {
     debug_assert_eq!(fact.args.len(), tuple.len());
     let mark = st.log.len();
     for (&src, &dst) in fact.args.iter().zip(tuple.iter()) {
@@ -365,196 +367,4 @@ fn try_map(fact: FactRef<'_>, tuple: &[Value], st: &mut Trail, forbid: Forbid<'_
         }
     }
     true
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn syms_with_rel() -> (SymbolTable, RelId) {
-        let mut syms = SymbolTable::new();
-        let r = syms.rel("R");
-        (syms, r)
-    }
-
-    fn null(i: u32) -> Value {
-        Value::Null(NullId(i))
-    }
-
-    #[test]
-    fn constants_are_rigid() {
-        let (mut syms, r) = syms_with_rel();
-        let a = Value::Const(syms.constant("a"));
-        let b = Value::Const(syms.constant("b"));
-        let from = Instance::from_facts([Fact::new(r, vec![a])]);
-        let to = Instance::from_facts([Fact::new(r, vec![b])]);
-        assert!(!homomorphic(&from, &to));
-        let to2 = Instance::from_facts([Fact::new(r, vec![a]), Fact::new(r, vec![b])]);
-        assert!(homomorphic(&from, &to2));
-    }
-
-    #[test]
-    fn null_can_map_to_constant_or_null() {
-        let (mut syms, r) = syms_with_rel();
-        let a = Value::Const(syms.constant("a"));
-        let from = Instance::from_facts([Fact::new(r, vec![null(0), null(0)])]);
-        let to = Instance::from_facts([Fact::new(r, vec![a, a])]);
-        let h = find_homomorphism(&from, &to).unwrap();
-        assert_eq!(h[&NullId(0)], a);
-        assert!(is_homomorphism(&h, &from, &to));
-    }
-
-    #[test]
-    fn shared_nulls_propagate() {
-        let (mut syms, r) = syms_with_rel();
-        let a = Value::Const(syms.constant("a"));
-        let b = Value::Const(syms.constant("b"));
-        let c = Value::Const(syms.constant("c"));
-        // R(n0, b), R(n0, c): n0 must work for both facts.
-        let from = Instance::from_facts([
-            Fact::new(r, vec![null(0), b]),
-            Fact::new(r, vec![null(0), c]),
-        ]);
-        let to_good = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![a, c])]);
-        let to_bad = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, c])]);
-        assert!(homomorphic(&from, &to_good));
-        assert!(!homomorphic(&from, &to_bad));
-    }
-
-    #[test]
-    fn directed_path_does_not_fold() {
-        // A directed 3-path of nulls has no hom into a directed 2-path.
-        let (_syms, r) = syms_with_rel();
-        let from = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(1), null(2)]),
-            Fact::new(r, vec![null(2), null(3)]),
-        ]);
-        let to = Instance::from_facts([
-            Fact::new(r, vec![null(10), null(11)]),
-            Fact::new(r, vec![null(11), null(12)]),
-        ]);
-        assert!(!homomorphic(&from, &to));
-        // But it maps into a self-loop.
-        let lp = Instance::from_facts([Fact::new(r, vec![null(20), null(20)])]);
-        assert!(homomorphic(&from, &lp));
-    }
-
-    #[test]
-    fn odd_cycle_does_not_map_to_shorter_odd_cycle_edge() {
-        // Undirected 5-cycle (as symmetric directed edges) has no hom into
-        // a single undirected edge (= 2-coloring would be required... it is
-        // bipartite! A 5-cycle is NOT 2-colorable, so no hom to an edge).
-        let (_syms, r) = syms_with_rel();
-        let mut from = Instance::new();
-        for i in 0..5u32 {
-            let j = (i + 1) % 5;
-            from.insert(Fact::new(r, vec![null(i), null(j)]));
-            from.insert(Fact::new(r, vec![null(j), null(i)]));
-        }
-        let edge = Instance::from_facts([
-            Fact::new(r, vec![null(10), null(11)]),
-            Fact::new(r, vec![null(11), null(10)]),
-        ]);
-        assert!(!homomorphic(&from, &edge));
-        // An even cycle does map to an edge.
-        let mut even = Instance::new();
-        for i in 0..4u32 {
-            let j = (i + 1) % 4;
-            even.insert(Fact::new(r, vec![null(i), null(j)]));
-            even.insert(Fact::new(r, vec![null(j), null(i)]));
-        }
-        assert!(homomorphic(&even, &edge));
-    }
-
-    #[test]
-    fn constrained_search_respects_forbid() {
-        let (_syms, r) = syms_with_rel();
-        let inst = Instance::from_facts([
-            Fact::new(r, vec![null(0), null(1)]),
-            Fact::new(r, vec![null(1), null(1)]),
-        ]);
-        // Endomorphism avoiding null 0 exists: 0 ↦ 1.
-        let h = find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| v == null(0))
-            .unwrap();
-        assert_eq!(h[&NullId(0)], null(1));
-        // Avoiding null 1 is impossible (the loop must map to a loop).
-        assert!(
-            find_homomorphism_constrained(&inst, &inst, &HomMap::new(), &|_, v| { v == null(1) })
-                .is_none()
-        );
-    }
-
-    #[test]
-    fn fixed_assignments_are_honored() {
-        let (mut syms, r) = syms_with_rel();
-        let a = Value::Const(syms.constant("a"));
-        let b = Value::Const(syms.constant("b"));
-        let from = Instance::from_facts([Fact::new(r, vec![null(0)])]);
-        let to = Instance::from_facts([Fact::new(r, vec![a]), Fact::new(r, vec![b])]);
-        let mut fixed = HomMap::new();
-        fixed.insert(NullId(0), b);
-        let h = find_homomorphism_constrained(&from, &to, &fixed, &|_, _| false).unwrap();
-        assert_eq!(h[&NullId(0)], b);
-    }
-
-    #[test]
-    fn ground_facts_require_containment() {
-        let (mut syms, r) = syms_with_rel();
-        let a = Value::Const(syms.constant("a"));
-        let from = Instance::from_facts([Fact::new(r, vec![a, a])]);
-        let to = Instance::new();
-        assert!(!homomorphic(&from, &to));
-        assert!(homomorphic(&from, &from));
-    }
-
-    #[test]
-    fn hom_equivalence_of_loop_and_long_path_with_loop() {
-        let (_syms, r) = syms_with_rel();
-        let lp = Instance::from_facts([Fact::new(r, vec![null(0), null(0)])]);
-        let path_loop = Instance::from_facts([
-            Fact::new(r, vec![null(1), null(2)]),
-            Fact::new(r, vec![null(2), null(2)]),
-        ]);
-        assert!(hom_equivalent(&lp, &path_loop));
-    }
-
-    #[test]
-    fn indexed_entry_point_reuses_one_index() {
-        let (mut syms, r) = syms_with_rel();
-        let a = Value::Const(syms.constant("a"));
-        let to = Instance::from_facts([Fact::new(r, vec![a, a])]);
-        let index = TupleIndex::from_instance(&to);
-        for i in 0..4u32 {
-            let from = Instance::from_facts([Fact::new(r, vec![null(i), a])]);
-            let h = find_homomorphism_into(&from, &index, &HomMap::new(), &|_, _| false).unwrap();
-            assert_eq!(h[&NullId(i)], a);
-        }
-    }
-
-    #[test]
-    fn agrees_with_scan_engine_on_fixtures() {
-        let (mut syms, r) = syms_with_rel();
-        let a = Value::Const(syms.constant("a"));
-        let b = Value::Const(syms.constant("b"));
-        let shapes = [
-            Instance::from_facts([Fact::new(r, vec![null(0), null(1)])]),
-            Instance::from_facts([
-                Fact::new(r, vec![null(0), null(1)]),
-                Fact::new(r, vec![null(1), null(2)]),
-                Fact::new(r, vec![null(2), null(0)]),
-            ]),
-            Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, null(3)])]),
-            Instance::from_facts([Fact::new(r, vec![a, a])]),
-        ];
-        for from in &shapes {
-            for to in &shapes {
-                assert_eq!(
-                    homomorphic(from, to),
-                    crate::scan::homomorphic_scan(from, to),
-                    "from={from:?} to={to:?}"
-                );
-            }
-        }
-    }
 }

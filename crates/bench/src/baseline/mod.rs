@@ -1,0 +1,33 @@
+//! The pre-columnar engine stack, preserved as a benchmark baseline and
+//! equivalence oracle.
+//!
+//! This module is a faithful replica of the workspace's storage layer and
+//! engines as they stood **before** the arena-backed [`FactStore`]
+//! refactor (`ndl_core::store`): instances are
+//! [`BTreeInstance`](ndl_core::btree::BTreeInstance)s
+//! (`BTreeMap<RelId, BTreeSet<Vec<Value>>>`), the tuple index stores one
+//! owned `Vec<Value>` per entry, and every crate boundary re-materializes
+//! owned [`Fact`](ndl_core::prelude::Fact)s. The algorithms are identical
+//! to the current engines — MRV homomorphism search, incremental core
+//! engine, planned fixpoint chase — so any performance difference measured
+//! by `bench_store` is attributable to the storage representation, and any
+//! output difference caught by the equivalence tests is a bug.
+//!
+//! Nothing here is wired into the production crates; it exists for
+//! `bench_store` (see `experiments/BENCH_store.json`) and the
+//! old-vs-new proptests.
+
+pub mod blocks;
+pub mod core;
+pub mod fixpoint;
+pub mod graph;
+pub mod hom;
+pub mod index;
+pub mod trigger;
+
+pub use self::core::{core_of, core_of_observed};
+pub use blocks::f_blocks;
+pub use fixpoint::{chase_fixpoint, FixpointChase, FixpointError};
+pub use hom::{find_homomorphism, homomorphic};
+pub use index::TupleIndex;
+pub use trigger::{all_matches, Matcher};

@@ -1,0 +1,218 @@
+//! Conjunctive-query matching: enumerate the assignments under which a
+//! conjunction of atoms holds in an instance, extending a partial binding.
+//!
+//! This is the trigger-finding primitive shared by all chase engines and by
+//! the model checkers in `ndl-reasoning`.
+
+use super::index::{TupleId, TupleIndex};
+use ndl_core::btree::BTreeInstance as Instance;
+use ndl_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// A (partial) variable assignment.
+pub type Binding = BTreeMap<VarId, Value>;
+
+/// An indexed matcher over one instance: a shared [`TupleIndex`]
+/// (`(rel, pos, value) → tuples`) accelerates trigger enumeration when the
+/// same instance is matched against many times (every chase engine does
+/// this — one triggering per body match, thousands of matches per chase).
+///
+/// One-shot callers can keep using the free functions, which scan.
+pub struct Matcher<'a> {
+    instance: &'a Instance,
+    index: TupleIndex,
+}
+
+impl<'a> Matcher<'a> {
+    /// Builds the index (O(total tuple cells)).
+    pub fn new(instance: &'a Instance) -> Self {
+        Matcher {
+            instance,
+            index: TupleIndex::from_instance(instance),
+        }
+    }
+
+    /// Wraps an already-built index of `instance`, avoiding a rebuild when
+    /// the caller (e.g. the homomorphism engine) extracted one earlier.
+    pub fn from_index(instance: &'a Instance, index: TupleIndex) -> Self {
+        debug_assert_eq!(index.len(), instance.len());
+        Matcher { instance, index }
+    }
+
+    /// The instance this matcher indexes.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// Consumes the matcher, handing the index back for reuse.
+    pub fn into_index(self) -> TupleIndex {
+        self.index
+    }
+
+    /// Enumerates all extensions of `partial` satisfying every atom.
+    pub fn all_matches(&self, atoms: &[Atom], partial: &Binding) -> Vec<Binding> {
+        let mut results = Vec::new();
+        let mut binding = partial.clone();
+        let mut remaining: Vec<&Atom> = atoms.iter().collect();
+        self.match_indexed(&mut remaining, &mut binding, &mut results);
+        results
+    }
+
+    /// Recursive join with dynamic atom selection: always match next the
+    /// atom with the smallest candidate list under the current binding.
+    fn match_indexed(
+        &self,
+        remaining: &mut Vec<&Atom>,
+        binding: &mut Binding,
+        out: &mut Vec<Binding>,
+    ) {
+        if remaining.is_empty() {
+            out.push(binding.clone());
+            return;
+        }
+        // Pick the most selective atom.
+        let (best, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, atom)| (i, self.candidate_count(atom, binding)))
+            .min_by_key(|&(_, c)| c)
+            .expect("nonempty");
+        let atom = remaining.swap_remove(best);
+        for &id in self.candidates(atom, binding) {
+            if !self.index.is_live(id) {
+                continue;
+            }
+            if let Some(newly) = try_extend(atom, self.index.tuple(id), binding) {
+                self.match_indexed(remaining, binding, out);
+                for v in newly {
+                    binding.remove(&v);
+                }
+            }
+        }
+        // Restore the removed atom (order within `remaining` is irrelevant).
+        remaining.push(atom);
+    }
+
+    fn candidate_count(&self, atom: &Atom, binding: &Binding) -> usize {
+        self.candidates(atom, binding).len()
+    }
+
+    /// The tightest available candidate list: the shortest posting list
+    /// over the atom's bound positions, or the whole relation if none is
+    /// bound.
+    fn candidates(&self, atom: &Atom, binding: &Binding) -> &[TupleId] {
+        let mut best: Option<&[TupleId]> = None;
+        for (pos, var) in atom.args.iter().enumerate() {
+            if let Some(&val) = binding.get(var) {
+                let ts = self.index.posting(atom.rel, pos as u32, val);
+                if ts.is_empty() {
+                    return &[]; // no tuple matches
+                }
+                if best.is_none_or(|b: &[TupleId]| ts.len() < b.len()) {
+                    best = Some(ts);
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.index.rel_ids(atom.rel))
+    }
+}
+
+/// Enumerates all extensions of `partial` under which every atom of `atoms`
+/// holds in `instance`. Atoms are matched in an order that prefers atoms
+/// with many already-bound variables (cheap greedy join ordering).
+pub fn all_matches(instance: &Instance, atoms: &[Atom], partial: &Binding) -> Vec<Binding> {
+    let mut order: Vec<&Atom> = atoms.iter().collect();
+    let mut results = Vec::new();
+    let mut binding = partial.clone();
+    // Greedy static order: most constants-bound-first is dynamic; a simple
+    // heuristic is to sort by (unbound var count under the initial binding,
+    // relation size), which already avoids the worst cartesian blowups.
+    order.sort_by_key(|a| {
+        let unbound = a
+            .args
+            .iter()
+            .filter(|v| !partial.contains_key(v))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        (unbound, instance.rel_len(a.rel))
+    });
+    match_rec(instance, &order, 0, &mut binding, &mut results);
+    results
+}
+
+/// Does at least one extension of `partial` satisfy all atoms?
+pub fn has_match(instance: &Instance, atoms: &[Atom], partial: &Binding) -> bool {
+    // Cheap short-circuiting variant.
+    let mut order: Vec<&Atom> = atoms.iter().collect();
+    order.sort_by_key(|a| instance.rel_len(a.rel));
+    let mut binding = partial.clone();
+    exists_rec(instance, &order, 0, &mut binding)
+}
+
+fn match_rec(
+    instance: &Instance,
+    atoms: &[&Atom],
+    i: usize,
+    binding: &mut Binding,
+    out: &mut Vec<Binding>,
+) {
+    if i == atoms.len() {
+        out.push(binding.clone());
+        return;
+    }
+    let atom = atoms[i];
+    for tuple in instance.tuples(atom.rel) {
+        if let Some(newly_bound) = try_extend(atom, tuple, binding) {
+            match_rec(instance, atoms, i + 1, binding, out);
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        }
+    }
+}
+
+fn exists_rec(instance: &Instance, atoms: &[&Atom], i: usize, binding: &mut Binding) -> bool {
+    if i == atoms.len() {
+        return true;
+    }
+    let atom = atoms[i];
+    for tuple in instance.tuples(atom.rel) {
+        if let Some(newly_bound) = try_extend(atom, tuple, binding) {
+            if exists_rec(instance, atoms, i + 1, binding) {
+                for v in newly_bound {
+                    binding.remove(&v);
+                }
+                return true;
+            }
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        }
+    }
+    false
+}
+
+/// Tries to unify `atom` with `tuple` under `binding`. On success, extends
+/// `binding` in place and returns the variables newly bound (for rollback);
+/// on failure, leaves `binding` untouched and returns `None`.
+fn try_extend(atom: &Atom, tuple: &[Value], binding: &mut Binding) -> Option<Vec<VarId>> {
+    debug_assert_eq!(atom.args.len(), tuple.len());
+    let mut newly = Vec::new();
+    for (&var, &val) in atom.args.iter().zip(tuple.iter()) {
+        match binding.get(&var) {
+            Some(&bound) => {
+                if bound != val {
+                    for v in newly {
+                        binding.remove(&v);
+                    }
+                    return None;
+                }
+            }
+            None => {
+                binding.insert(var, val);
+                newly.push(var);
+            }
+        }
+    }
+    Some(newly)
+}

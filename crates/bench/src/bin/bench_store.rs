@@ -1,0 +1,230 @@
+//! Quantifies the columnar [`FactStore`](ndl_core::store::FactStore)
+//! refactor: the current engines (arena-backed columns, stable `FactId`s,
+//! O(1) hash dedup, borrowed tuple views) against the pre-refactor replica
+//! preserved in [`ndl_bench::baseline`] (`BTreeMap`-of-`BTreeSet` instances,
+//! owned-tuple index entries, per-boundary `Fact` clones). Same algorithms
+//! on both sides — planned fixpoint chase and the incremental core engine —
+//! so every speedup measured here is the storage representation's.
+//!
+//! Outputs are double-checked before timing: the old and new engines must
+//! produce identical facts (including `NullId`s) on every workload.
+//! The results land in `BENCH_store.json` (committed under `experiments/`;
+//! see `docs/architecture.md` and `docs/performance.md`).
+//!
+//! Pass an output directory as the first argument to write elsewhere
+//! (e.g. `bench_store target/experiments` for a throwaway run).
+
+use ndl_analyze::{parse_program, ChaseAnalysis, StmtAst};
+use ndl_bench::{baseline, ExperimentRecord};
+use ndl_chase::{ChasePlan, NullFactory};
+use ndl_core::btree::BTreeInstance;
+use ndl_core::prelude::*;
+use ndl_gen::{random_target_instance, TargetGenOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Mean seconds per call over `reps` calls (plus one warm-up).
+fn time<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+/// A path of `n` edges closed under transitivity: n(n+1)/2 derived
+/// reachability pairs, so trigger matching and deduplication dominate.
+fn tc_path(n: usize) -> String {
+    let mut text = String::from("E(x,y) & E(y,z) -> E(x,z)\n");
+    for i in 0..n {
+        let _ = writeln!(text, "fact: E(v{i}, v{})", i + 1);
+    }
+    text
+}
+
+/// A `depth`-stage existential pipeline seeded with `seeds` facts: one
+/// null-interning firing per chain per round, `depth * seeds` derivations.
+fn pipeline_chain(depth: usize, seeds: usize) -> String {
+    let mut text = String::new();
+    for i in 0..depth {
+        let _ = writeln!(text, "S{i}(x,y) -> exists z S{}(y,z)", i + 1);
+    }
+    for j in 0..seeds {
+        let _ = writeln!(text, "fact: S0(c{j}, d{j})");
+    }
+    text
+}
+
+/// Parses a workload program into source instance, SO tgds and the
+/// analyzer's plan — the same pipeline the `ndl chase` subcommand runs.
+fn prepare(text: &str) -> (Instance, Vec<SoTgd>, ChasePlan) {
+    let mut syms = SymbolTable::new();
+    let (stmts, errs) = parse_program(&mut syms, text);
+    assert!(errs.is_empty(), "workload programs parse");
+    let analysis = ChaseAnalysis::analyze(&mut syms, &stmts);
+    let mut source = Instance::new();
+    for s in &stmts {
+        if let Some(StmtAst::Fact(f)) = &s.ast {
+            source.insert(f.clone());
+        }
+    }
+    let tgds = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+    let plan = analysis.tgd_plan(Some(10_000_000));
+    (source, tgds, plan)
+}
+
+/// The old engines run over `BTreeInstance`s; replicate fact-for-fact.
+fn to_btree(inst: &Instance) -> BTreeInstance {
+    BTreeInstance::from_facts(inst.facts().map(|f| f.to_fact()))
+}
+
+struct Row {
+    workload: String,
+    facts: usize,
+    old_ms: f64,
+    new_ms: f64,
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "experiments".into());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Chase: the old engine clones the source instance, pays O(log n)
+    // BTree dedup per candidate fact and re-materializes owned tuples at
+    // every boundary; the new engine runs entirely inside one TupleIndex
+    // over the columnar store.
+    let chase_workloads: Vec<(String, String, u32)> = vec![
+        ("chase/tc-path/45".into(), tc_path(45), 20),
+        ("chase/tc-path/140".into(), tc_path(140), 3),
+        ("chase/pipeline/40x100".into(), pipeline_chain(40, 100), 10),
+    ];
+    for (name, text, reps) in &chase_workloads {
+        let (source, tgds, plan) = prepare(text);
+        let old_source = to_btree(&source);
+        // Equivalence gate: identical facts, same NullIds, same counts.
+        let mut n_new = NullFactory::new();
+        let new_res = ndl_chase::chase_fixpoint(&source, &tgds, &plan, &mut n_new)
+            .expect("workload terminates");
+        let mut n_old = NullFactory::new();
+        let old_res = baseline::chase_fixpoint(&old_source, &tgds, &plan, &mut n_old)
+            .expect("workload terminates");
+        assert_eq!(
+            new_res
+                .instance
+                .facts()
+                .map(|f| f.to_fact())
+                .collect::<Vec<_>>(),
+            old_res.instance.facts().collect::<Vec<_>>(),
+            "engines disagree on {name}"
+        );
+        assert_eq!(new_res.derived, old_res.derived);
+        let facts = new_res.instance.len();
+        eprintln!("{name} ({facts} facts)...");
+        let old_secs = time(*reps, || {
+            let mut nulls = NullFactory::new();
+            baseline::chase_fixpoint(&old_source, &tgds, &plan, &mut nulls)
+                .expect("workload terminates")
+                .instance
+                .len()
+        });
+        let new_secs = time(*reps, || {
+            let mut nulls = NullFactory::new();
+            ndl_chase::chase_fixpoint(&source, &tgds, &plan, &mut nulls)
+                .expect("workload terminates")
+                .instance
+                .len()
+        });
+        rows.push(Row {
+            workload: name.clone(),
+            facts,
+            old_ms: old_secs * 1e3,
+            new_ms: new_secs * 1e3,
+        });
+    }
+
+    // Core: retraction probing is index-heavy — every candidate fold is
+    // checked against the live fact set, where the old engine pays owned
+    // tuple comparisons and the new one probes hashed columns.
+    for &facts in &[1_000usize, 10_000] {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let q = syms.rel("Q");
+        let inst = random_target_instance(
+            &mut syms,
+            &[(s, 2), (q, 3)],
+            &TargetGenOptions {
+                facts,
+                domain: (facts / 5).max(4),
+                redundant_nulls: (facts / 10).min(50),
+                seed: 7,
+            },
+        );
+        let old_inst = to_btree(&inst);
+        let new_core = ndl_hom::core_of(&inst);
+        let old_core = baseline::core_of(&old_inst);
+        assert_eq!(
+            new_core.facts().map(|f| f.to_fact()).collect::<Vec<_>>(),
+            old_core.facts().collect::<Vec<_>>(),
+            "engines disagree on core/random {facts}"
+        );
+        let name = format!("core/random/{facts}");
+        eprintln!("{name}...");
+        let reps = if facts >= 10_000 { 3 } else { 10 };
+        let old_secs = time(reps, || baseline::core_of(&old_inst).len());
+        let new_secs = time(reps, || ndl_hom::core_of(&inst).len());
+        rows.push(Row {
+            workload: name,
+            facts: inst.len(),
+            old_ms: old_secs * 1e3,
+            new_ms: new_secs * 1e3,
+        });
+    }
+
+    println!("columnar FactStore vs pre-refactor BTree engines (mean ms per run)\n");
+    println!("  workload                 facts     old ms     new ms   speedup");
+    for r in &rows {
+        println!(
+            "  {:<22} {:>7}  {:>9.3}  {:>9.3}  {:>6.1}x",
+            r.workload,
+            r.facts,
+            r.old_ms,
+            r.new_ms,
+            r.old_ms / r.new_ms
+        );
+    }
+
+    // Acceptance: ≥2x on every 10³–10⁴-fact chase and core workload.
+    let passed = rows.iter().all(|r| r.old_ms / r.new_ms >= 2.0);
+    println!(
+        "\n=> >=2x speedup on all chase and core workloads: {}",
+        if passed { "pass" } else { "FAIL" }
+    );
+
+    let mut record = ExperimentRecord::new(
+        "BENCH_store",
+        "arena-backed columnar FactStore engines vs pre-refactor BTree replica \
+         (identical algorithms, old storage) on chase and core workloads",
+        "engine optimization (no paper claim); acceptance: >=2x on 10^3-10^4-fact \
+         chase and core workloads, outputs bit-identical",
+    );
+    for r in &rows {
+        record.row(&[
+            ("workload", r.workload.clone()),
+            ("facts", r.facts.to_string()),
+            ("old_ms", format!("{:.3}", r.old_ms)),
+            ("new_ms", format!("{:.3}", r.new_ms)),
+            ("speedup", format!("{:.1}", r.old_ms / r.new_ms)),
+        ]);
+    }
+    record.passed = passed;
+    let path = record
+        .write_to(std::path::Path::new(&out_dir))
+        .expect("record written");
+    println!("record: {}", path.display());
+    if !passed {
+        std::process::exit(1);
+    }
+}

@@ -38,7 +38,7 @@ fn main() {
         let nested_tgd = m.tgds[0].clone();
         let j_pos = res.target.clone();
         let mut j_neg = res.target.clone();
-        let victim = j_neg.facts().next().unwrap();
+        let victim = j_neg.facts().next().unwrap().to_fact();
         j_neg.remove(&victim);
 
         // Plain SO tgd and its chase.
@@ -49,7 +49,7 @@ fn main() {
         let mut nulls = NullFactory::new();
         let so_pos = chase_so(&source2, &tau, &mut nulls);
         let mut so_neg = so_pos.clone();
-        let victim2 = so_neg.facts().nth(n / 2).unwrap();
+        let victim2 = so_neg.facts().nth(n / 2).unwrap().to_fact();
         so_neg.remove(&victim2);
 
         let (r1, t1) = time(|| satisfies_nested(&source, &j_pos, &nested_tgd), 20);

@@ -150,12 +150,14 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
         });
     }
 
-    let mut instance = source.clone();
-    // Pre-size the trigger index from the plan's chase-size prediction; the
-    // index then grows incrementally instead of being rebuilt per round.
+    // The single growing state of the chase: one tuple index whose store
+    // holds every committed fact. Dedup, the budget check and the final
+    // instance all come from it — no shadow `Instance` is maintained.
+    // Pre-sized from the plan's chase-size prediction, the index grows
+    // incrementally instead of being rebuilt per round.
     let cap = plan.predicted_tuples(source.len());
     let mut index = TupleIndex::with_capacity(cap, cap.saturating_mul(2));
-    for f in instance.facts() {
+    for f in source.facts() {
         index.insert(f.rel, f.args);
     }
 
@@ -166,12 +168,15 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
         rounds += 1;
         obs.round_start(rounds);
         let round_t = O::ENABLED.then(Instant::now);
-        // Fresh facts of this round, deduplicated against the instance and
-        // each other as they are produced, so the budget bounds the *work*
-        // of a round — one wide join must not materialize millions of
-        // facts before an after-the-fact check sees them.
+        // Fresh facts of this round, deduplicated against the committed
+        // facts (O(1) store probe) and each other as they are produced, so
+        // the budget bounds the *work* of a round — one wide join must not
+        // materialize millions of facts before an after-the-fact check
+        // sees them. The `BTreeSet` keeps the commit order (and hence
+        // `FactId` assignment) deterministic and sorted.
         let mut fresh: std::collections::BTreeSet<Fact> = std::collections::BTreeSet::new();
-        let matcher = Matcher::from_index(&instance, index);
+        let mut head_buf: Vec<Value> = Vec::new();
+        let matcher = Matcher::over(&index);
         for &si in &order {
             let mut sr = StmtRound {
                 round: rounds,
@@ -180,60 +185,74 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
             };
             let stmt_t = O::ENABLED.then(Instant::now);
             let nulls_before = nulls.len();
+            let mut budget_hit = false;
             for clause in &tgds[si].clauses {
-                for binding in matcher.all_matches(&clause.body, &Binding::new()) {
+                // Matches are streamed, not collected: nothing is cloned
+                // per match, and head tuples are resolved into a reused
+                // buffer — a `Fact` is only allocated for candidates that
+                // are not already committed (the store probe is O(1) on
+                // the borrowed buffer).
+                let flow = matcher.try_for_each_match(&clause.body, &Binding::new(), |binding| {
                     sr.examined += 1;
                     // Equalities gate the clause and must be side-effect
                     // free: they are evaluated through non-interning probes
                     // so a failing equality never allocates Skolem nulls
                     // for a clause that does not fire.
                     let eq_ok = clause.equalities.iter().all(|(l, r)| {
-                        probe_term(l, &binding, nulls) == probe_term(r, &binding, nulls)
+                        probe_term(l, binding, nulls) == probe_term(r, binding, nulls)
                     });
                     if !eq_ok {
-                        continue;
+                        return std::ops::ControlFlow::Continue(());
                     }
                     sr.fired += 1;
                     for ta in &clause.head {
-                        let args: Vec<Value> = ta
-                            .args
-                            .iter()
-                            .map(|t| resolve_value(t, &binding, nulls))
-                            .collect();
-                        let fact = Fact::new(ta.rel, args);
-                        if !instance.contains(&fact) && fresh.insert(fact) {
+                        head_buf.clear();
+                        for t in &ta.args {
+                            head_buf.push(resolve_value(t, binding, nulls));
+                        }
+                        if index.contains(ta.rel, &head_buf) {
+                            sr.dedup_hits += 1;
+                        } else if fresh.insert(Fact::new(ta.rel, head_buf.clone())) {
                             sr.derived += 1;
                             if let Some(budget) = plan.step_budget {
                                 if derived + fresh.len() > budget {
-                                    // Keep the partial aggregates: flush the
-                                    // cut-off statement's counters and close
-                                    // the run before erroring out.
-                                    sr.nulls_interned = (nulls.len() - nulls_before) as u64;
-                                    if let Some(t) = stmt_t {
-                                        sr.elapsed_ns = t.elapsed().as_nanos() as u64;
-                                    }
-                                    obs.statement(&sr);
-                                    let cut = derived + fresh.len();
-                                    obs.round_end(
-                                        rounds,
-                                        fresh.len() as u64,
-                                        round_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
-                                    );
-                                    obs.chase_end(rounds, cut as u64, "budget-exhausted");
-                                    return Err(FixpointError::BudgetExhausted {
-                                        budget,
-                                        diagnosis: plan.diagnosis.clone(),
-                                        progress: FixpointProgress {
-                                            rounds,
-                                            derived: cut,
-                                        },
-                                    });
+                                    budget_hit = true;
+                                    return std::ops::ControlFlow::Break(());
                                 }
                             }
                         } else {
                             sr.dedup_hits += 1;
                         }
                     }
+                    std::ops::ControlFlow::Continue(())
+                });
+                debug_assert_eq!(flow.is_break(), budget_hit);
+                if budget_hit {
+                    // Keep the partial aggregates: flush the cut-off
+                    // statement's counters and close the run before
+                    // erroring out.
+                    sr.nulls_interned = (nulls.len() - nulls_before) as u64;
+                    if let Some(t) = stmt_t {
+                        sr.elapsed_ns = t.elapsed().as_nanos() as u64;
+                    }
+                    obs.statement(&sr);
+                    let cut = derived + fresh.len();
+                    obs.round_end(
+                        rounds,
+                        fresh.len() as u64,
+                        round_t.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    );
+                    obs.store(&index.store().counters());
+                    obs.chase_end(rounds, cut as u64, "budget-exhausted");
+                    let budget = plan.step_budget.expect("budget hit implies a budget");
+                    return Err(FixpointError::BudgetExhausted {
+                        budget,
+                        diagnosis: plan.diagnosis.clone(),
+                        progress: FixpointProgress {
+                            rounds,
+                            derived: cut,
+                        },
+                    });
                 }
             }
             sr.nulls_interned = (nulls.len() - nulls_before) as u64;
@@ -242,12 +261,11 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
             }
             obs.statement(&sr);
         }
-        index = matcher.into_index();
+        drop(matcher);
 
         let mut added = 0u64;
         for f in fresh {
-            if index.insert(f.rel, f.args.clone()) {
-                instance.insert(f);
+            if index.insert(f.rel, &f.args) {
                 added += 1;
                 derived += 1;
             }
@@ -261,9 +279,12 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
             break;
         }
     }
+    obs.store(&index.store().counters());
     obs.chase_end(rounds, derived as u64, "fixpoint");
+    // The chase never retracts, so the store has no tombstones: hand it to
+    // the instance wholesale instead of re-inserting every fact.
     Ok(FixpointChase {
-        instance,
+        instance: index.into_instance(),
         rounds,
         derived,
     })
@@ -282,11 +303,22 @@ fn resolve_value(t: &Term, binding: &Binding, nulls: &mut NullFactory) -> Value 
             .get(v)
             .expect("unbound variable while grounding term"),
         Term::App(f, args) => {
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| resolve_value(a, binding, nulls))
-                .collect();
-            Value::Null(nulls.null_for_app(*f, vals))
+            // Argument values land in a stack buffer for the usual small
+            // arities; the interning probe borrows it, so re-deriving a
+            // known application allocates nothing.
+            let mut stack = [Value::Null(NullId(0)); 8];
+            if args.len() <= stack.len() {
+                for (slot, a) in stack.iter_mut().zip(args) {
+                    *slot = resolve_value(a, binding, nulls);
+                }
+                Value::Null(nulls.null_for_app_slice(*f, &stack[..args.len()]))
+            } else {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| resolve_value(a, binding, nulls))
+                    .collect();
+                Value::Null(nulls.null_for_app_slice(*f, &vals))
+            }
         }
     }
 }
@@ -614,6 +646,15 @@ mod tests {
         assert_eq!(stats.round_fresh.iter().sum::<u64>(), stats.derived);
         assert!(stats.elapsed_ns > 0, "enabled observers are timed");
         assert_eq!(stats.nulls_interned, 0);
+        // Store counters cover source inserts plus every committed
+        // derivation; the fixpoint chase never tombstones or compacts.
+        assert_eq!(
+            stats.store.inserts,
+            stats.source_facts + stats.derived,
+            "every committed fact is one store insert"
+        );
+        assert_eq!(stats.store.tombstones, 0);
+        assert_eq!(stats.store.compactions, 0);
     }
 
     #[test]

@@ -143,12 +143,12 @@ pub fn chase_nested_planned(
     nulls: &mut NullFactory,
 ) -> ChaseResult {
     assert!(source.is_ground(), "source instance must be ground");
-    let cells: usize = source.facts().map(|f| f.args.len()).sum();
+    let cells: usize = source.facts_unordered().map(|f| f.args.len()).sum();
     let mut index = TupleIndex::with_capacity(source.len(), cells);
     for f in source.facts() {
         index.insert(f.rel, f.args);
     }
-    let matcher = Matcher::from_index(source, index);
+    let matcher = Matcher::over(&index);
     let mut forest = ChaseForest::default();
     let mut target = Instance::new();
     for idx in plan.firing_order(tgds.len()) {

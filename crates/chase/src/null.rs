@@ -15,14 +15,17 @@
 //! on demand for display and for egd constant renaming.
 
 use ndl_core::prelude::*;
-use std::collections::HashMap;
 
 /// Allocator and registry of labeled nulls, keyed by ground Skolem term.
+///
+/// The interning map is keyed per function symbol, with argument vectors as
+/// the inner keys: probes borrow `&[Value]` (via `Vec<Value>: Borrow<[Value]>`)
+/// so the hot re-derivation path never allocates.
 #[derive(Clone, Debug, Default)]
 pub struct NullFactory {
     /// Per null, its defining application over already-interned values.
     apps: Vec<(FuncId, Vec<Value>)>,
-    ids: HashMap<(FuncId, Vec<Value>), NullId>,
+    ids: FxHashMap<FuncId, FxHashMap<Vec<Value>, NullId>>,
     offset: u32,
 }
 
@@ -52,12 +55,27 @@ impl NullFactory {
     /// Skolem applications are passed as their nulls, so no structural
     /// term is ever materialized.
     pub fn null_for_app(&mut self, f: FuncId, args: Vec<Value>) -> NullId {
-        if let Some(&id) = self.ids.get(&(f, args.clone())) {
+        let per_f = self.ids.entry(f).or_default();
+        if let Some(&id) = per_f.get(args.as_slice()) {
             return id;
         }
         let id = NullId(self.offset + self.apps.len() as u32);
         self.apps.push((f, args.clone()));
-        self.ids.insert((f, args), id);
+        per_f.insert(args, id);
+        id
+    }
+
+    /// [`null_for_app`](Self::null_for_app) over a borrowed argument slice:
+    /// the interned id is returned without allocating when the application
+    /// has been seen before (the common case once the chase starts
+    /// re-deriving facts); the owned vectors are built only on first use.
+    pub fn null_for_app_slice(&mut self, f: FuncId, args: &[Value]) -> NullId {
+        if let Some(&id) = self.ids.get(&f).and_then(|per_f| per_f.get(args)) {
+            return id;
+        }
+        let id = NullId(self.offset + self.apps.len() as u32);
+        self.apps.push((f, args.to_vec()));
+        self.ids.entry(f).or_default().insert(args.to_vec(), id);
         id
     }
 
@@ -67,7 +85,7 @@ impl NullFactory {
     /// clauses that never fire (a failing equality must leave the factory
     /// untouched).
     pub fn lookup_app(&self, f: FuncId, args: &[Value]) -> Option<NullId> {
-        self.ids.get(&(f, args.to_vec())).copied()
+        self.ids.get(&f)?.get(args).copied()
     }
 
     /// The null labeled by `term`, allocated on first use. Subterms are
@@ -133,6 +151,11 @@ impl NullFactory {
 
     /// Renders a fact with Skolem-term nulls.
     pub fn display_fact(&self, fact: &Fact, syms: &SymbolTable) -> String {
+        self.display_fact_ref(fact.as_ref(), syms)
+    }
+
+    /// Renders a borrowed fact view with Skolem-term nulls.
+    pub fn display_fact_ref(&self, fact: FactRef<'_>, syms: &SymbolTable) -> String {
         let args = fact
             .args
             .iter()
@@ -145,7 +168,7 @@ impl NullFactory {
     /// Renders an instance with Skolem-term nulls, facts separated by `, `.
     pub fn display_instance(&self, inst: &Instance, syms: &SymbolTable) -> String {
         inst.facts()
-            .map(|f| self.display_fact(&f, syms))
+            .map(|f| self.display_fact_ref(f, syms))
             .collect::<Vec<_>>()
             .join(", ")
     }

@@ -32,9 +32,30 @@ pub fn ground_term(t: &Term, binding: &Binding) -> GroundTerm {
 /// Herbrand interpretation (syntactic identity of ground terms), and
 /// nested terms denote nulls labeled by nested ground terms.
 pub fn chase_so(source: &Instance, tgd: &SoTgd, nulls: &mut NullFactory) -> Instance {
+    chase_so_set(source, std::slice::from_ref(tgd), nulls)
+}
+
+/// Chases with a set of SO tgds sharing one null factory. The source is
+/// indexed once and every derived fact is inserted straight into one
+/// target — no per-tgd intermediate instance, no merge pass.
+pub fn chase_so_set(source: &Instance, tgds: &[SoTgd], nulls: &mut NullFactory) -> Instance {
     assert!(source.is_ground(), "source instance must be ground");
     let matcher = Matcher::new(source);
     let mut target = Instance::new();
+    for tgd in tgds {
+        chase_so_into(&matcher, tgd, nulls, &mut target);
+    }
+    target
+}
+
+/// Fires one SO tgd against an already-indexed source, inserting the
+/// derived facts into `target`.
+fn chase_so_into(
+    matcher: &Matcher<'_>,
+    tgd: &SoTgd,
+    nulls: &mut NullFactory,
+    target: &mut Instance,
+) {
     for clause in &tgd.clauses {
         for binding in matcher.all_matches(&clause.body, &Binding::new()) {
             let eq_ok = clause
@@ -54,16 +75,6 @@ pub fn chase_so(source: &Instance, tgd: &SoTgd, nulls: &mut NullFactory) -> Inst
             }
         }
     }
-    target
-}
-
-/// Chases with a set of SO tgds sharing one null factory.
-pub fn chase_so_set(source: &Instance, tgds: &[SoTgd], nulls: &mut NullFactory) -> Instance {
-    let mut target = Instance::new();
-    for t in tgds {
-        target.extend(&chase_so(source, t, nulls));
-    }
-    target
 }
 
 #[cfg(test)]

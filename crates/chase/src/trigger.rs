@@ -6,54 +6,85 @@
 
 use ndl_core::prelude::*;
 use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 
 /// A (partial) variable assignment.
 pub type Binding = BTreeMap<VarId, Value>;
 
-/// An indexed matcher over one instance: a shared [`TupleIndex`]
+/// An indexed matcher: a shared [`TupleIndex`]
 /// (`(rel, pos, value) → tuples`) accelerates trigger enumeration when the
 /// same instance is matched against many times (every chase engine does
 /// this — one triggering per body match, thousands of matches per chase).
 ///
+/// The matcher either owns its index ([`Matcher::new`] builds one from an
+/// instance) or borrows one the caller maintains ([`Matcher::over`]) — the
+/// fixpoint engine keeps a single growing index across rounds and borrows
+/// it per round instead of moving it in and out.
+///
 /// One-shot callers can keep using the free functions, which scan.
 pub struct Matcher<'a> {
-    instance: &'a Instance,
-    index: TupleIndex,
+    index: IndexSource<'a>,
+}
+
+enum IndexSource<'a> {
+    Owned(TupleIndex),
+    Borrowed(&'a TupleIndex),
 }
 
 impl<'a> Matcher<'a> {
     /// Builds the index (O(total tuple cells)).
-    pub fn new(instance: &'a Instance) -> Self {
+    pub fn new(instance: &Instance) -> Self {
         Matcher {
-            instance,
-            index: TupleIndex::from_instance(instance),
+            index: IndexSource::Owned(TupleIndex::from_instance(instance)),
         }
     }
 
-    /// Wraps an already-built index of `instance`, avoiding a rebuild when
-    /// the caller (e.g. the homomorphism engine) extracted one earlier.
-    pub fn from_index(instance: &'a Instance, index: TupleIndex) -> Self {
-        debug_assert_eq!(index.len(), instance.len());
-        Matcher { instance, index }
+    /// Matches against an index the caller owns and keeps updating —
+    /// no rebuild, no move. Read-only: the borrow ends when the matcher
+    /// is dropped, so the caller can insert between rounds.
+    pub fn over(index: &'a TupleIndex) -> Self {
+        Matcher {
+            index: IndexSource::Borrowed(index),
+        }
     }
 
-    /// The instance this matcher indexes.
-    pub fn instance(&self) -> &'a Instance {
-        self.instance
-    }
-
-    /// Consumes the matcher, handing the index back for reuse.
-    pub fn into_index(self) -> TupleIndex {
-        self.index
+    fn idx(&self) -> &TupleIndex {
+        match &self.index {
+            IndexSource::Owned(i) => i,
+            IndexSource::Borrowed(i) => i,
+        }
     }
 
     /// Enumerates all extensions of `partial` satisfying every atom.
     pub fn all_matches(&self, atoms: &[Atom], partial: &Binding) -> Vec<Binding> {
         let mut results = Vec::new();
+        self.for_each_match(atoms, partial, |b| results.push(b.clone()));
+        results
+    }
+
+    /// Streams every match to `f` without materializing bindings — the
+    /// match enumeration order is identical to [`Matcher::all_matches`],
+    /// but nothing is cloned per match. The fixpoint engine's hot path:
+    /// a chase examines every match once and keeps none of them.
+    pub fn for_each_match(&self, atoms: &[Atom], partial: &Binding, mut f: impl FnMut(&Binding)) {
+        let _ = self.try_for_each_match(atoms, partial, |b| {
+            f(b);
+            ControlFlow::Continue(())
+        });
+    }
+
+    /// [`Matcher::for_each_match`] with early exit: enumeration stops as
+    /// soon as `f` returns [`ControlFlow::Break`] (budget cutoffs,
+    /// existence checks).
+    pub fn try_for_each_match(
+        &self,
+        atoms: &[Atom],
+        partial: &Binding,
+        mut f: impl FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         let mut binding = partial.clone();
         let mut remaining: Vec<&Atom> = atoms.iter().collect();
-        self.match_indexed(&mut remaining, &mut binding, &mut results);
-        results
+        self.match_indexed(&mut remaining, &mut binding, &mut f)
     }
 
     /// Recursive join with dynamic atom selection: always match next the
@@ -62,47 +93,61 @@ impl<'a> Matcher<'a> {
         &self,
         remaining: &mut Vec<&Atom>,
         binding: &mut Binding,
-        out: &mut Vec<Binding>,
-    ) {
+        f: &mut impl FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if remaining.is_empty() {
-            out.push(binding.clone());
-            return;
+            return f(binding);
         }
-        // Pick the most selective atom.
-        let (best, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, atom)| (i, self.candidate_count(atom, binding)))
-            .min_by_key(|&(_, c)| c)
-            .expect("nonempty");
+        // Pick the most selective atom, keeping its candidate list — the
+        // selection scan already computed it.
+        let mut best = 0;
+        let mut best_ids: &[TupleId] = &[];
+        let mut best_len = usize::MAX;
+        for (i, atom) in remaining.iter().enumerate() {
+            let ids = self.candidates(atom, binding);
+            if ids.len() < best_len {
+                best = i;
+                best_ids = ids;
+                best_len = ids.len();
+                if best_len == 0 {
+                    break;
+                }
+            }
+        }
         let atom = remaining.swap_remove(best);
-        for &id in self.candidates(atom, binding) {
-            if !self.index.is_live(id) {
+        let index = self.idx();
+        // Rollback scratch, reused across every candidate at this level.
+        let mut newly: Vec<VarId> = Vec::new();
+        for &id in best_ids {
+            if !index.is_live(id) {
                 continue;
             }
-            if let Some(newly) = try_extend(atom, self.index.tuple(id), binding) {
-                self.match_indexed(remaining, binding, out);
-                for v in newly {
-                    binding.remove(&v);
+            newly.clear();
+            if try_extend(atom, index.tuple(id), binding, &mut newly) {
+                let flow = self.match_indexed(remaining, binding, f);
+                for v in &newly {
+                    binding.remove(v);
+                }
+                if flow.is_break() {
+                    remaining.push(atom);
+                    return flow;
                 }
             }
         }
         // Restore the removed atom (order within `remaining` is irrelevant).
         remaining.push(atom);
-    }
-
-    fn candidate_count(&self, atom: &Atom, binding: &Binding) -> usize {
-        self.candidates(atom, binding).len()
+        ControlFlow::Continue(())
     }
 
     /// The tightest available candidate list: the shortest posting list
     /// over the atom's bound positions, or the whole relation if none is
     /// bound.
     fn candidates(&self, atom: &Atom, binding: &Binding) -> &[TupleId] {
+        let index = self.idx();
         let mut best: Option<&[TupleId]> = None;
         for (pos, var) in atom.args.iter().enumerate() {
             if let Some(&val) = binding.get(var) {
-                let ts = self.index.posting(atom.rel, pos as u32, val);
+                let ts = index.posting(atom.rel, pos as u32, val);
                 if ts.is_empty() {
                     return &[]; // no tuple matches
                 }
@@ -111,7 +156,7 @@ impl<'a> Matcher<'a> {
                 }
             }
         }
-        best.unwrap_or_else(|| self.index.rel_ids(atom.rel))
+        best.unwrap_or_else(|| index.rel_ids(atom.rel))
     }
 }
 
@@ -159,11 +204,13 @@ fn match_rec(
         return;
     }
     let atom = atoms[i];
+    let mut newly: Vec<VarId> = Vec::new();
     for tuple in instance.tuples(atom.rel) {
-        if let Some(newly_bound) = try_extend(atom, tuple, binding) {
+        newly.clear();
+        if try_extend(atom, tuple, binding, &mut newly) {
             match_rec(instance, atoms, i + 1, binding, out);
-            for v in newly_bound {
-                binding.remove(&v);
+            for v in &newly {
+                binding.remove(v);
             }
         }
     }
@@ -174,16 +221,16 @@ fn exists_rec(instance: &Instance, atoms: &[&Atom], i: usize, binding: &mut Bind
         return true;
     }
     let atom = atoms[i];
+    let mut newly: Vec<VarId> = Vec::new();
     for tuple in instance.tuples(atom.rel) {
-        if let Some(newly_bound) = try_extend(atom, tuple, binding) {
-            if exists_rec(instance, atoms, i + 1, binding) {
-                for v in newly_bound {
-                    binding.remove(&v);
-                }
-                return true;
+        newly.clear();
+        if try_extend(atom, tuple, binding, &mut newly) {
+            let found = exists_rec(instance, atoms, i + 1, binding);
+            for v in &newly {
+                binding.remove(v);
             }
-            for v in newly_bound {
-                binding.remove(&v);
+            if found {
+                return true;
             }
         }
     }
@@ -191,19 +238,20 @@ fn exists_rec(instance: &Instance, atoms: &[&Atom], i: usize, binding: &mut Bind
 }
 
 /// Tries to unify `atom` with `tuple` under `binding`. On success, extends
-/// `binding` in place and returns the variables newly bound (for rollback);
-/// on failure, leaves `binding` untouched and returns `None`.
-fn try_extend(atom: &Atom, tuple: &[Value], binding: &mut Binding) -> Option<Vec<VarId>> {
+/// `binding` in place, appends the newly bound variables to `newly` (for
+/// rollback — the caller clears and reuses the buffer) and returns `true`;
+/// on failure, leaves `binding` and `newly` untouched.
+fn try_extend(atom: &Atom, tuple: &[Value], binding: &mut Binding, newly: &mut Vec<VarId>) -> bool {
     debug_assert_eq!(atom.args.len(), tuple.len());
-    let mut newly = Vec::new();
+    debug_assert!(newly.is_empty());
     for (&var, &val) in atom.args.iter().zip(tuple.iter()) {
         match binding.get(&var) {
             Some(&bound) => {
                 if bound != val {
-                    for v in newly {
+                    for v in newly.drain(..) {
                         binding.remove(&v);
                     }
-                    return None;
+                    return false;
                 }
             }
             None => {
@@ -212,7 +260,7 @@ fn try_extend(atom: &Atom, tuple: &[Value], binding: &mut Binding) -> Option<Vec
             }
         }
     }
-    Some(newly)
+    true
 }
 
 #[cfg(test)]

@@ -1,0 +1,206 @@
+//! The original B-tree-backed instance representation, preserved verbatim.
+//!
+//! [`Instance`](crate::instance::Instance) replaced this layout with the
+//! columnar arena [`FactStore`](crate::store::FactStore); this module keeps
+//! the old `BTreeMap<RelId, BTreeSet<Vec<Value>>>` container so that
+//! - property tests can assert the two representations are observationally
+//!   equivalent on random operation sequences, and
+//! - `bench_store` can measure the speedup against the same baseline that
+//!   produced the committed pre-refactor benchmark numbers.
+//!
+//! Not intended for production callers — use [`crate::instance::Instance`].
+
+use crate::instance::Fact;
+use crate::symbol::{RelId, SymbolTable};
+use crate::value::{NullId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finite instance stored as per-relation B-tree sets (the pre-columnar
+/// layout): log-time dedup per insert, one heap allocation per tuple.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BTreeInstance {
+    rels: BTreeMap<RelId, BTreeSet<Vec<Value>>>,
+}
+
+impl BTreeInstance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an instance from an iterator of facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Self {
+        let mut inst = BTreeInstance::new();
+        for f in facts {
+            inst.insert(f);
+        }
+        inst
+    }
+
+    /// Inserts a fact; returns `true` if it was not already present.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.rels.entry(fact.rel).or_default().insert(fact.args)
+    }
+
+    /// Inserts a fact given by relation and arguments.
+    pub fn insert_tuple(&mut self, rel: RelId, args: impl Into<Vec<Value>>) -> bool {
+        self.rels.entry(rel).or_default().insert(args.into())
+    }
+
+    /// Removes a fact; returns `true` if it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        if let Some(set) = self.rels.get_mut(&fact.rel) {
+            let removed = set.remove(&fact.args);
+            if set.is_empty() {
+                self.rels.remove(&fact.rel);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Does the instance contain the fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.rels
+            .get(&fact.rel)
+            .is_some_and(|s| s.contains(&fact.args))
+    }
+
+    /// Does the instance contain the tuple under `rel`?
+    pub fn contains_tuple(&self, rel: RelId, args: &[Value]) -> bool {
+        self.rels.get(&rel).is_some_and(|s| s.contains(args))
+    }
+
+    /// Total number of facts (summed per relation on every call).
+    pub fn len(&self) -> usize {
+        self.rels.values().map(BTreeSet::len).sum()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterates over all facts in sorted order, cloning each tuple.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels.iter().flat_map(|(&rel, tuples)| {
+            tuples.iter().map(move |args| Fact {
+                rel,
+                args: args.clone(),
+            })
+        })
+    }
+
+    /// The tuples of one relation.
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.rels.get(&rel).into_iter().flatten()
+    }
+
+    /// Number of tuples in one relation.
+    pub fn rel_len(&self, rel: RelId) -> usize {
+        self.rels.get(&rel).map_or(0, BTreeSet::len)
+    }
+
+    /// The relations with at least one tuple.
+    pub fn active_relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// The active domain: all values occurring in some fact.
+    pub fn adom(&self) -> BTreeSet<Value> {
+        self.rels
+            .values()
+            .flatten()
+            .flat_map(|t| t.iter().copied())
+            .collect()
+    }
+
+    /// The labeled nulls occurring in the instance.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.rels
+            .values()
+            .flatten()
+            .flat_map(|t| t.iter().filter_map(|v| v.as_null()))
+            .collect()
+    }
+
+    /// Does the instance consist of constants only?
+    pub fn is_ground(&self) -> bool {
+        self.rels
+            .values()
+            .flatten()
+            .all(|t| t.iter().all(|v| v.is_const()))
+    }
+
+    /// Applies a value mapping to every fact, producing a new instance.
+    pub fn map_values(&self, h: &dyn Fn(Value) -> Value) -> BTreeInstance {
+        let mut out = BTreeInstance::new();
+        for (&rel, tuples) in &self.rels {
+            for t in tuples {
+                out.insert_tuple(rel, t.iter().map(|&v| h(v)).collect::<Vec<_>>());
+            }
+        }
+        out
+    }
+
+    /// Unions another instance into this one.
+    pub fn extend(&mut self, other: &BTreeInstance) {
+        for (&rel, tuples) in &other.rels {
+            let set = self.rels.entry(rel).or_default();
+            for t in tuples {
+                set.insert(t.clone());
+            }
+        }
+    }
+
+    /// The subinstance of facts satisfying the predicate.
+    pub fn filter(&self, keep: &dyn Fn(&Fact) -> bool) -> BTreeInstance {
+        BTreeInstance::from_facts(self.facts().filter(|f| keep(f)))
+    }
+
+    /// Is `self` a subinstance of `other` (fact-set inclusion)?
+    pub fn is_subinstance_of(&self, other: &BTreeInstance) -> bool {
+        self.rels
+            .iter()
+            .all(|(rel, tuples)| other.rels.get(rel).is_some_and(|os| tuples.is_subset(os)))
+    }
+
+    /// Renders all facts separated by `, `, in sorted order.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        self.facts()
+            .map(|f| f.display(syms).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl FromIterator<Fact> for BTreeInstance {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        BTreeInstance::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+    use crate::value::Value;
+
+    #[test]
+    fn baseline_semantics_preserved() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let mut i = BTreeInstance::new();
+        assert!(i.insert_tuple(r, vec![b, a]));
+        assert!(i.insert_tuple(r, vec![a, b]));
+        assert!(!i.insert_tuple(r, vec![a, b]));
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.display(&syms), "R(a,b), R(b,a)");
+        assert!(i.remove(&Fact::new(r, vec![a, b])));
+        assert!(i.remove(&Fact::new(r, vec![b, a])));
+        assert!(i.is_empty());
+    }
+}

@@ -1,102 +1,35 @@
-//! Shared tuple index: the `(rel, pos, value) → tuples` hash index that
+//! Shared tuple index: the `(rel, pos, value) → facts` hash index that
 //! accelerates every matching problem in the workspace — trigger
 //! enumeration in `ndl-chase` and homomorphism/core search in `ndl-hom`.
 //!
-//! The index is **updatable in place**: facts can be inserted and removed
-//! without rebuilding, which the incremental core engine relies on (each
-//! retraction removes a handful of facts from a large instance). Removal
-//! marks entries dead and filters them at read time; posting lists keep
-//! their build order, which is the deterministic `Instance` iteration
-//! order — all consumers therefore enumerate candidates in the same order
-//! as a sorted full scan would, keeping results reproducible.
+//! The index owns a columnar [`FactStore`] and adds posting lists keyed by
+//! stable [`FactId`]s: `(rel, pos, value) → SmallIdVec<FactId>`. Dedup and
+//! containment are answered by the store's O(1) hash buckets (no tuple
+//! cloning, no second exact-match map); posting lists append on first
+//! insertion and are filtered through liveness bits at read time, so the
+//! index is **updatable in place** — the incremental core engine retracts
+//! a handful of facts from a large instance without a rebuild.
 //!
-//! Hashing uses a hand-rolled Fx-style multiply-xor hasher ([`FxHasher`]):
-//! the keys are tiny (ids and small tuples), where SipHash's
-//! per-finalization cost dominates; Fx is the standard fix (rustc uses the
-//! same scheme) and keeps the workspace free of external dependencies.
+//! Posting lists keep their build order. [`TupleIndex::from_instance`]
+//! indexes facts in the instance's deterministic sorted order, so all
+//! consumers enumerate candidates in the same order as a sorted full scan
+//! would, keeping results reproducible.
 
 use crate::instance::{Fact, Instance};
+use crate::store::{FactId, FactStore, Inserted, SmallIdVec};
 use crate::symbol::RelId;
 use crate::value::Value;
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
 
-/// A fast, non-cryptographic hasher for small keys (ids, short tuples),
-/// after the `rustc-hash` / FxHash scheme: rotate, xor, multiply.
-#[derive(Default)]
-pub struct FxHasher {
-    hash: u64,
-}
+pub use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 
-/// The odd constant of the Fx multiply step (π's fractional bits).
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Stable id of a tuple inside a [`TupleIndex`] — an alias of the store's
+/// [`FactId`]. Ids are assigned in insertion order and survive removal
+/// (tombstones), so iterating a posting list visits tuples in the
+/// deterministic order they were indexed.
+pub type TupleId = FactId;
 
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.add(b as u64);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, i: u8) {
-        self.add(i as u64);
-    }
-
-    #[inline]
-    fn write_u16(&mut self, i: u16) {
-        self.add(i as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, i: u32) {
-        self.add(i as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, i: u64) {
-        self.add(i);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, i: usize) {
-        self.add(i as u64);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-impl std::fmt::Debug for FxHasher {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "FxHasher({:#x})", self.hash)
-    }
-}
-
-/// Builds [`FxHasher`]s for the std hash containers.
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-/// A `HashMap` keyed with the fast [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
-/// A `HashSet` keyed with the fast [`FxHasher`].
-pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
-
-/// Dense id of a tuple inside a [`TupleIndex`]. Ids are assigned in
-/// insertion order and never reused, so iterating a posting list visits
-/// tuples in the deterministic order they were indexed.
-pub type TupleId = u32;
-
-/// An updatable `(rel, pos, value) → tuples` hash index over a set of
-/// facts.
+/// An updatable `(rel, pos, value) → facts` hash index over a columnar
+/// fact store.
 ///
 /// Supports the two access paths every search engine here needs:
 /// - [`TupleIndex::posting`]: all tuples with `value` at `pos` of `rel`
@@ -104,24 +37,14 @@ pub type TupleId = u32;
 /// - [`TupleIndex::rel_ids`]: all tuples of a relation (the scan fallback
 ///   when nothing is bound).
 ///
-/// Removal is O(1) (a dead mark); posting lists are filtered through
-/// [`TupleIndex::is_live`] at read time.
+/// Removal is O(1) (a tombstone in the store); posting lists are filtered
+/// through [`TupleIndex::is_live`] at read time.
 #[derive(Clone, Debug, Default)]
 pub struct TupleIndex {
-    /// Tuple store; `TupleId`s index into it. Dead entries stay in place.
-    entries: Vec<(RelId, Vec<Value>)>,
-    /// Liveness flags parallel to `entries`.
-    live_flags: Vec<bool>,
+    /// The columnar arena: rows, liveness, dedup buckets, counters.
+    store: FactStore,
     /// `(rel, pos, value) → ids` posting lists, in insertion order.
-    posting: FxHashMap<(RelId, u32, Value), Vec<TupleId>>,
-    /// `rel → ids` in insertion order (deterministic relation iteration).
-    by_rel: BTreeMap<RelId, Vec<TupleId>>,
-    /// `rel → live tuple count`.
-    live_by_rel: BTreeMap<RelId, usize>,
-    /// Exact-fact lookup for containment and removal.
-    id_of: FxHashMap<(RelId, Vec<Value>), TupleId>,
-    /// Total live tuples.
-    live: usize,
+    posting: FxHashMap<(RelId, u32, Value), SmallIdVec>,
 }
 
 impl TupleIndex {
@@ -135,101 +58,87 @@ impl TupleIndex {
     /// chase size here so hot loops avoid rehash-and-grow cycles.
     pub fn with_capacity(tuples: usize, cells: usize) -> Self {
         TupleIndex {
-            entries: Vec::with_capacity(tuples),
-            live_flags: Vec::with_capacity(tuples),
+            store: FactStore::with_capacity(tuples),
             posting: FxHashMap::with_capacity_and_hasher(cells, FxBuildHasher::default()),
-            id_of: FxHashMap::with_capacity_and_hasher(tuples, FxBuildHasher::default()),
-            ..Self::default()
         }
     }
 
     /// Builds the index of an instance (O(total tuple cells)), indexing
-    /// facts in the instance's deterministic iteration order.
+    /// facts in the instance's deterministic sorted iteration order.
     pub fn from_instance(inst: &Instance) -> Self {
-        let mut idx = TupleIndex::new();
-        for rel in inst.active_relations() {
-            for tuple in inst.tuples(rel) {
-                idx.insert(rel, tuple.clone());
-            }
+        let mut idx = TupleIndex::with_capacity(inst.len(), inst.len() * 2);
+        for f in inst.facts() {
+            idx.insert(f.rel, f.args);
         }
         idx
     }
 
-    /// Inserts a tuple; returns `true` if it was not already live.
-    pub fn insert(&mut self, rel: RelId, args: Vec<Value>) -> bool {
-        if self.id_of.contains_key(&(rel, args.clone())) {
-            return false;
-        }
-        let id = self.entries.len() as TupleId;
-        for (pos, &v) in args.iter().enumerate() {
-            self.posting
-                .entry((rel, pos as u32, v))
-                .or_default()
-                .push(id);
-        }
-        self.by_rel.entry(rel).or_default().push(id);
-        *self.live_by_rel.entry(rel).or_default() += 1;
-        self.id_of.insert((rel, args.clone()), id);
-        self.entries.push((rel, args));
-        self.live_flags.push(true);
-        self.live += 1;
-        true
+    /// The underlying store (counters, id-level access).
+    pub fn store(&self) -> &FactStore {
+        &self.store
     }
 
-    /// Removes a fact; returns `true` if it was live. The entry is marked
-    /// dead; posting lists are filtered lazily.
-    pub fn remove(&mut self, fact: &Fact) -> bool {
-        match self.id_of.remove(&(fact.rel, fact.args.clone())) {
-            None => false,
-            Some(id) => {
-                self.live_flags[id as usize] = false;
-                self.live -= 1;
-                *self.live_by_rel.get_mut(&fact.rel).expect("live rel") -= 1;
+    /// Inserts a tuple; returns `true` if it was not already live.
+    /// O(1) expected; a re-insertion of a tombstoned fact revives its
+    /// original id (posting lists still hold it).
+    pub fn insert(&mut self, rel: RelId, args: impl AsRef<[Value]>) -> bool {
+        let args = args.as_ref();
+        match self.store.insert(rel, args) {
+            Inserted::Present(_) => false,
+            Inserted::Revived(_) => true,
+            Inserted::Fresh(id) => {
+                for (pos, &v) in args.iter().enumerate() {
+                    self.posting
+                        .entry((rel, pos as u32, v))
+                        .or_default()
+                        .push(id);
+                }
                 true
             }
         }
     }
 
-    /// Is the fact live in the index?
+    /// Removes a fact; returns `true` if it was live. The row is
+    /// tombstoned; posting lists are filtered lazily.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        self.store.retract(fact.rel, &fact.args).is_some()
+    }
+
+    /// Removes a tuple by relation and arguments; returns `true` if live.
+    pub fn remove_tuple(&mut self, rel: RelId, args: &[Value]) -> bool {
+        self.store.retract(rel, args).is_some()
+    }
+
+    /// Is the fact live in the index? O(1) expected.
     pub fn contains(&self, rel: RelId, args: &[Value]) -> bool {
-        // Keyed lookup without allocating: scan the shortest posting.
-        match args.first() {
-            None => self
-                .by_rel
-                .get(&rel)
-                .is_some_and(|ids| ids.iter().any(|&id| self.is_live(id))),
-            Some(&v) => self.posting.get(&(rel, 0, v)).is_some_and(|ids| {
-                ids.iter()
-                    .any(|&id| self.is_live(id) && self.tuple(id) == args)
-            }),
-        }
+        self.store.contains(rel, args)
     }
 
-    /// Total number of live tuples.
+    /// Total number of live tuples. O(1).
     pub fn len(&self) -> usize {
-        self.live
+        self.store.len()
     }
 
-    /// Is the index empty (no live tuples)?
+    /// Is the index empty (no live tuples)? O(1).
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.store.is_empty()
     }
 
     /// Number of live tuples of `rel`.
     pub fn rel_len(&self, rel: RelId) -> usize {
-        self.live_by_rel.get(&rel).copied().unwrap_or(0)
+        self.store.rel_len(rel)
     }
 
     /// Is the tuple id live?
     #[inline]
     pub fn is_live(&self, id: TupleId) -> bool {
-        self.live_flags[id as usize]
+        self.store.is_live(id)
     }
 
     /// The tuple stored under `id` (live or dead).
     #[inline]
     pub fn tuple(&self, id: TupleId) -> &[Value] {
-        &self.entries[id as usize].1
+        self.store.tuple(id)
     }
 
     /// The posting list of `(rel, pos, value)`: ids of tuples with `value`
@@ -238,39 +147,42 @@ impl TupleIndex {
     pub fn posting(&self, rel: RelId, pos: u32, value: Value) -> &[TupleId] {
         self.posting
             .get(&(rel, pos, value))
-            .map_or(&[][..], Vec::as_slice)
+            .map_or(&[][..], SmallIdVec::as_slice)
     }
 
     /// Upper bound on the length of [`TupleIndex::posting`] (counts dead
     /// ids too) — the selectivity estimate used for join/MRV ordering.
     pub fn posting_len(&self, rel: RelId, pos: u32, value: Value) -> usize {
-        self.posting.get(&(rel, pos, value)).map_or(0, Vec::len)
+        self.posting
+            .get(&(rel, pos, value))
+            .map_or(0, SmallIdVec::len)
     }
 
     /// All tuple ids of `rel` in insertion order (may contain dead ids).
     pub fn rel_ids(&self, rel: RelId) -> &[TupleId] {
-        self.by_rel.get(&rel).map_or(&[][..], Vec::as_slice)
+        self.store.rel_row_ids(rel)
     }
 
     /// The live relations (those with at least one live tuple).
     pub fn active_relations(&self) -> impl Iterator<Item = RelId> + '_ {
-        self.live_by_rel
-            .iter()
-            .filter(|&(_, &n)| n > 0)
-            .map(|(&rel, _)| rel)
+        self.store.active_relations()
     }
 
     /// Rebuilds an [`Instance`] from the live tuples.
     pub fn to_instance(&self) -> Instance {
         let mut inst = Instance::new();
-        for (&rel, ids) in &self.by_rel {
-            for &id in ids {
-                if self.is_live(id) {
-                    inst.insert_tuple(rel, self.tuple(id).to_vec());
-                }
-            }
+        for (_, rel, args) in self.store.iter() {
+            inst.insert_tuple(rel, args);
         }
         inst
+    }
+
+    /// Consumes the index, converting its store into an [`Instance`]
+    /// without copying a single tuple — the fixpoint chase finishes this
+    /// way. Tombstoned rows stay tombstoned; the instance filters them
+    /// like any retracted fact.
+    pub fn into_instance(self) -> Instance {
+        Instance::from_store(self.store)
     }
 }
 
@@ -344,6 +256,10 @@ mod tests {
         assert!(idx.insert(r, vec![a, b]));
         assert!(idx.contains(r, &[a, b]));
         assert_eq!(idx.len(), 1);
+        // Revival keeps the original id — no duplicate row, and the
+        // posting list holds the id exactly once.
+        assert_eq!(idx.store().rows(), 1);
+        assert_eq!(idx.posting(r, 0, a).len(), 1);
     }
 
     #[test]
@@ -362,11 +278,8 @@ mod tests {
             .iter()
             .map(|&id| idx.tuple(id))
             .collect();
-        let scanned: Vec<Vec<Value>> = inst.tuples(r).cloned().collect();
-        assert_eq!(
-            tuples,
-            scanned.iter().map(Vec::as_slice).collect::<Vec<_>>()
-        );
+        let scanned: Vec<&[Value]> = inst.tuples(r).collect();
+        assert_eq!(tuples, scanned);
     }
 
     #[test]
@@ -389,17 +302,6 @@ mod tests {
         idx.insert(r, vec![a, b]);
         assert!(idx.contains(r, &[a, b]));
         assert_eq!(idx.len(), 1);
-    }
-
-    #[test]
-    fn fx_hasher_distributes() {
-        // Smoke-test the hasher: distinct small keys get distinct hashes.
-        use std::hash::BuildHasher;
-        let bh = FxBuildHasher::default();
-        let mut seen = std::collections::BTreeSet::new();
-        for i in 0u32..1000 {
-            seen.insert(bh.hash_one(i));
-        }
-        assert_eq!(seen.len(), 1000);
+        assert_eq!(idx.store().counters().inserts, 1);
     }
 }

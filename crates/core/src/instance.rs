@@ -1,15 +1,26 @@
 //! Instances: finite relations over constants and labeled nulls.
 //!
-//! Deterministic iteration order (B-trees throughout) so that printed
-//! figures, tests and experiment logs are stable across runs.
+//! An [`Instance`] is a thin wrapper around the arena-backed columnar
+//! [`FactStore`](crate::store::FactStore): O(1) hashed dedup on insert, an
+//! O(1) cached fact count, and borrowed [`FactRef`] tuple views instead of
+//! per-fact `Vec` clones at API boundaries. Deterministic iteration order
+//! is preserved from the original B-tree layout: [`Instance::facts`],
+//! [`Instance::display`] and the serialized form all enumerate facts in
+//! sorted `(relation, tuple)` order, so printed figures, tests and
+//! experiment logs are stable across runs *and* across the storage-layer
+//! refactor.
 
+use crate::store::FactStore;
 use crate::symbol::{RelId, SymbolTable};
 use crate::value::{NullId, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// A fact `R(v1, ..., vk)` of an instance.
+/// A fact `R(v1, ..., vk)` of an instance, owning its tuple.
+///
+/// Engines pass borrowed [`FactRef`] views where possible; `Fact` remains
+/// the owned form for construction, storage in worklists, and serde.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Fact {
     /// The relation symbol.
@@ -27,6 +38,14 @@ impl Fact {
         }
     }
 
+    /// A borrowed view of this fact.
+    pub fn as_ref(&self) -> FactRef<'_> {
+        FactRef {
+            rel: self.rel,
+            args: &self.args,
+        }
+    }
+
     /// The labeled nulls occurring in this fact (deduplicated, ordered).
     pub fn nulls(&self) -> BTreeSet<NullId> {
         self.args.iter().filter_map(|v| v.as_null()).collect()
@@ -34,7 +53,42 @@ impl Fact {
 
     /// Renders the fact, e.g. `R(a,_N0)`.
     pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> impl fmt::Display + 'a {
-        struct D<'a>(&'a Fact, &'a SymbolTable);
+        self.as_ref().display(syms)
+    }
+}
+
+/// A borrowed view of a fact: the relation symbol plus the tuple as a
+/// slice into the columnar store. `Copy`, 24 bytes, no allocation.
+///
+/// Ordering agrees with [`Fact`]: `(rel, args)` lexicographically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FactRef<'a> {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The tuple of values, borrowed from the store.
+    pub args: &'a [Value],
+}
+
+impl<'a> FactRef<'a> {
+    /// Clones into an owned [`Fact`].
+    pub fn to_fact(self) -> Fact {
+        Fact {
+            rel: self.rel,
+            args: self.args.to_vec(),
+        }
+    }
+
+    /// The labeled nulls occurring in this fact (deduplicated, ordered).
+    pub fn nulls(self) -> BTreeSet<NullId> {
+        self.args.iter().filter_map(|v| v.as_null()).collect()
+    }
+
+    /// Renders the fact, e.g. `R(a,_N0)`.
+    pub fn display<'s>(self, syms: &'s SymbolTable) -> impl fmt::Display + 's
+    where
+        'a: 's,
+    {
+        struct D<'s>(FactRef<'s>, &'s SymbolTable);
         impl fmt::Display for D<'_> {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 write!(f, "{}(", self.1.rel_name(self.0.rel))?;
@@ -51,10 +105,22 @@ impl Fact {
     }
 }
 
-/// A finite instance: a set of facts grouped by relation.
-#[derive(Clone, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+impl PartialEq<Fact> for FactRef<'_> {
+    fn eq(&self, other: &Fact) -> bool {
+        self.rel == other.rel && self.args == other.args.as_slice()
+    }
+}
+
+impl PartialEq<FactRef<'_>> for Fact {
+    fn eq(&self, other: &FactRef<'_>) -> bool {
+        other == self
+    }
+}
+
+/// A finite instance: a set of facts in a columnar [`FactStore`].
+#[derive(Clone, Default, Debug)]
 pub struct Instance {
-    rels: BTreeMap<RelId, BTreeSet<Vec<Value>>>,
+    store: FactStore,
 }
 
 impl Instance {
@@ -72,137 +138,147 @@ impl Instance {
         inst
     }
 
+    /// Wraps an existing store.
+    pub fn from_store(store: FactStore) -> Self {
+        Instance { store }
+    }
+
+    /// The underlying columnar store (counters, id-level access).
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
     /// Inserts a fact; returns `true` if it was not already present.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        self.rels.entry(fact.rel).or_default().insert(fact.args)
+        self.store.insert(fact.rel, &fact.args).is_new()
     }
 
     /// Inserts a fact given by relation and arguments.
-    pub fn insert_tuple(&mut self, rel: RelId, args: impl Into<Vec<Value>>) -> bool {
-        self.rels.entry(rel).or_default().insert(args.into())
+    pub fn insert_tuple(&mut self, rel: RelId, args: impl AsRef<[Value]>) -> bool {
+        self.store.insert(rel, args.as_ref()).is_new()
     }
 
     /// Removes a fact; returns `true` if it was present.
     pub fn remove(&mut self, fact: &Fact) -> bool {
-        if let Some(set) = self.rels.get_mut(&fact.rel) {
-            let removed = set.remove(&fact.args);
-            if set.is_empty() {
-                self.rels.remove(&fact.rel);
-            }
-            removed
-        } else {
-            false
-        }
+        self.store.retract(fact.rel, &fact.args).is_some()
     }
 
-    /// Does the instance contain the fact?
+    /// Does the instance contain the fact? O(1) expected.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.rels
-            .get(&fact.rel)
-            .is_some_and(|s| s.contains(&fact.args))
+        self.store.contains(fact.rel, &fact.args)
     }
 
-    /// Does the instance contain the tuple under `rel`?
+    /// Does the instance contain the tuple under `rel`? O(1) expected.
     pub fn contains_tuple(&self, rel: RelId, args: &[Value]) -> bool {
-        self.rels.get(&rel).is_some_and(|s| s.contains(args))
+        self.store.contains(rel, args)
     }
 
-    /// Total number of facts.
+    /// Total number of facts. O(1) — cached on the store.
     pub fn len(&self) -> usize {
-        self.rels.values().map(BTreeSet::len).sum()
+        self.store.len()
     }
 
-    /// Is the instance empty?
+    /// Is the instance empty? O(1).
     pub fn is_empty(&self) -> bool {
-        self.rels.is_empty()
+        self.store.is_empty()
     }
 
-    /// Iterates over all facts in deterministic order.
-    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.rels.iter().flat_map(|(&rel, tuples)| {
-            tuples.iter().map(move |args| Fact {
-                rel,
-                args: args.clone(),
-            })
+    /// Iterates over all facts in deterministic sorted `(rel, tuple)`
+    /// order, as borrowed views. Allocates one id vector for the sort;
+    /// per-fact data is borrowed from the store.
+    pub fn facts(&self) -> impl Iterator<Item = FactRef<'_>> + '_ {
+        self.store.sorted_ids().into_iter().map(move |id| FactRef {
+            rel: self.store.rel_of(id),
+            args: self.store.tuple(id),
         })
     }
 
-    /// The tuples of one relation (empty slice semantics via empty iterator).
-    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &Vec<Value>> + '_ {
-        self.rels.get(&rel).into_iter().flatten()
+    /// Iterates over all facts relation-sorted but otherwise in insertion
+    /// order — zero allocation. Use where enumeration order is
+    /// irrelevant (aggregations, rebuilds into order-insensitive sets).
+    pub fn facts_unordered(&self) -> impl Iterator<Item = FactRef<'_>> + '_ {
+        self.store
+            .iter()
+            .map(|(_, rel, args)| FactRef { rel, args })
+    }
+
+    /// The tuples of one relation in sorted order (borrowed slices).
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &[Value]> + '_ {
+        let mut rows: Vec<&[Value]> = self.store.iter_rel(rel).map(|(_, t)| t).collect();
+        rows.sort_unstable();
+        rows.into_iter()
     }
 
     /// Number of tuples in one relation.
     pub fn rel_len(&self, rel: RelId) -> usize {
-        self.rels.get(&rel).map_or(0, BTreeSet::len)
+        self.store.rel_len(rel)
     }
 
-    /// The relations with at least one tuple.
+    /// The relations with at least one tuple, sorted.
     pub fn active_relations(&self) -> impl Iterator<Item = RelId> + '_ {
-        self.rels.keys().copied()
+        self.store.active_relations()
     }
 
     /// The active domain: all values occurring in some fact.
     pub fn adom(&self) -> BTreeSet<Value> {
-        self.rels
-            .values()
-            .flatten()
-            .flat_map(|t| t.iter().copied())
+        self.facts_unordered()
+            .flat_map(|f| f.args.iter().copied())
             .collect()
     }
 
     /// The labeled nulls occurring in the instance.
     pub fn nulls(&self) -> BTreeSet<NullId> {
-        self.rels
-            .values()
-            .flatten()
-            .flat_map(|t| t.iter().filter_map(|v| v.as_null()))
+        self.facts_unordered()
+            .flat_map(|f| f.args.iter().filter_map(|v| v.as_null()))
             .collect()
     }
 
     /// Does the instance consist of constants only (a valid source instance)?
     pub fn is_ground(&self) -> bool {
-        self.rels
-            .values()
-            .flatten()
-            .all(|t| t.iter().all(|v| v.is_const()))
+        self.facts_unordered()
+            .all(|f| f.args.iter().all(|v| v.is_const()))
     }
 
     /// Applies a value mapping to every fact, producing a new instance.
     /// This is the action of a function `h` on an instance: `h(J)`.
     pub fn map_values(&self, h: &dyn Fn(Value) -> Value) -> Instance {
         let mut out = Instance::new();
-        for (&rel, tuples) in &self.rels {
-            for t in tuples {
-                out.insert_tuple(rel, t.iter().map(|&v| h(v)).collect::<Vec<_>>());
-            }
+        let mut buf = Vec::new();
+        for f in self.facts_unordered() {
+            buf.clear();
+            buf.extend(f.args.iter().map(|&v| h(v)));
+            out.insert_tuple(f.rel, &buf);
         }
         out
     }
 
     /// Unions another instance into this one.
     pub fn extend(&mut self, other: &Instance) {
-        for (&rel, tuples) in &other.rels {
-            let set = self.rels.entry(rel).or_default();
-            for t in tuples {
-                set.insert(t.clone());
-            }
+        for f in other.facts_unordered() {
+            self.store.insert(f.rel, f.args);
         }
     }
 
     /// The subinstance of facts satisfying the predicate.
-    pub fn filter(&self, keep: &dyn Fn(&Fact) -> bool) -> Instance {
-        Instance::from_facts(self.facts().filter(|f| keep(f)))
+    pub fn filter(&self, keep: &dyn Fn(FactRef<'_>) -> bool) -> Instance {
+        let mut out = Instance::new();
+        for f in self.facts_unordered() {
+            if keep(f) {
+                out.insert_tuple(f.rel, f.args);
+            }
+        }
+        out
     }
 
     /// Is `self` a subinstance of `other` (fact-set inclusion)?
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
-        self.rels
-            .iter()
-            .all(|(rel, tuples)| other.rels.get(rel).is_some_and(|os| tuples.is_subset(os)))
+        self.len() <= other.len()
+            && self
+                .facts_unordered()
+                .all(|f| other.contains_tuple(f.rel, f.args))
     }
 
-    /// Renders all facts separated by `, `, in deterministic order.
+    /// Renders all facts separated by `, `, in deterministic sorted order.
     pub fn display(&self, syms: &SymbolTable) -> String {
         self.facts()
             .map(|f| f.display(syms).to_string())
@@ -211,9 +287,51 @@ impl Instance {
     }
 }
 
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .facts_unordered()
+                .all(|f| other.contains_tuple(f.rel, f.args))
+    }
+}
+
+impl Eq for Instance {}
+
 impl FromIterator<Fact> for Instance {
     fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
         Instance::from_facts(iter)
+    }
+}
+
+/// The serialized shape of an instance — kept bit-identical to the
+/// original `BTreeMap<RelId, BTreeSet<Vec<Value>>>` derive so stored
+/// experiment artifacts and goldens survive the columnar refactor.
+#[derive(Serialize, Deserialize)]
+struct InstanceRepr {
+    rels: BTreeMap<RelId, BTreeSet<Vec<Value>>>,
+}
+
+impl Serialize for Instance {
+    fn to_value(&self) -> serde::Value {
+        let mut rels: BTreeMap<RelId, BTreeSet<Vec<Value>>> = BTreeMap::new();
+        for f in self.facts_unordered() {
+            rels.entry(f.rel).or_default().insert(f.args.to_vec());
+        }
+        InstanceRepr { rels }.to_value()
+    }
+}
+
+impl Deserialize for Instance {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let repr = InstanceRepr::from_value(v)?;
+        let mut inst = Instance::new();
+        for (rel, tuples) in repr.rels {
+            for t in tuples {
+                inst.insert_tuple(rel, t);
+            }
+        }
+        Ok(inst)
     }
 }
 
@@ -303,5 +421,30 @@ mod tests {
         let (syms, r, a, b, _) = setup();
         let i = Instance::from_facts([Fact::new(r, vec![b, a]), Fact::new(r, vec![a, b])]);
         assert_eq!(i.display(&syms), "R(a,b), R(b,a)");
+    }
+
+    #[test]
+    fn facts_are_sorted_borrowed_views() {
+        let (_syms, r, a, b, _) = setup();
+        let i = Instance::from_facts([Fact::new(r, vec![b, a]), Fact::new(r, vec![a, b])]);
+        let seen: Vec<Fact> = i.facts().map(|f| f.to_fact()).collect();
+        assert_eq!(
+            seen,
+            vec![Fact::new(r, vec![a, b]), Fact::new(r, vec![b, a])]
+        );
+        // Equality is insertion-order independent.
+        let j = Instance::from_facts([Fact::new(r, vec![a, b]), Fact::new(r, vec![b, a])]);
+        assert_eq!(i, j);
+    }
+
+    #[test]
+    fn reinsert_after_remove_roundtrips() {
+        let (_syms, r, a, b, _) = setup();
+        let mut i = Instance::new();
+        i.insert_tuple(r, vec![a, b]);
+        i.remove(&Fact::new(r, vec![a, b]));
+        assert!(i.insert_tuple(r, vec![a, b]));
+        assert_eq!(i.len(), 1);
+        assert!(i.contains_tuple(r, &[a, b]));
     }
 }

@@ -7,9 +7,12 @@
 //! This crate provides:
 //! - interned symbols, values (constants/labeled nulls), terms and ground
 //!   terms ([`symbol`], [`value`], [`term`]);
-//! - schemas, atoms, facts and instances ([`schema`], [`atom`], [`instance`]);
-//! - a shared, updatable `(rel, pos, value) → tuples` index and fast
-//!   hash containers ([`index`]);
+//! - schemas, atoms, facts and instances ([`schema`], [`atom`], [`instance`])
+//!   backed by an arena-backed columnar fact store with stable ids
+//!   ([`store`]; the pre-columnar B-tree layout survives in [`btree`] as a
+//!   test/bench baseline);
+//! - a shared, updatable `(rel, pos, value) → facts` index keyed by stable
+//!   ids ([`index`]) and fast hash containers ([`hash`]);
 //! - the dependency classes of the paper: s-t tgds, nested tgds, (plain)
 //!   SO tgds and source egds ([`dep`]);
 //! - a text parser and pretty printers ([`parse`]);
@@ -39,8 +42,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atom;
+pub mod btree;
 pub mod dep;
 pub mod error;
+pub mod hash;
 pub mod index;
 pub mod instance;
 pub mod mapping;
@@ -50,6 +55,7 @@ pub mod schema;
 mod serde_tests;
 pub mod skolem;
 pub mod span;
+pub mod store;
 pub mod symbol;
 pub mod term;
 pub mod value;
@@ -59,13 +65,15 @@ pub mod prelude {
     pub use crate::atom::{Atom, TermAtom};
     pub use crate::dep::{Egd, NestedTgd, Part, PartId, SoClause, SoTgd, StTgd};
     pub use crate::error::{CoreError, Result};
-    pub use crate::index::{FxBuildHasher, FxHashMap, FxHashSet, TupleId, TupleIndex};
-    pub use crate::instance::{Fact, Instance};
+    pub use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet};
+    pub use crate::index::{TupleId, TupleIndex};
+    pub use crate::instance::{Fact, FactRef, Instance};
     pub use crate::mapping::{NestedMapping, SoMapping};
     pub use crate::parse::{parse_egd, parse_fact, parse_nested_tgd, parse_so_tgd, parse_st_tgd};
     pub use crate::schema::{Schema, Side};
     pub use crate::skolem::{skolemize, skolemize_with, SkolemInfo};
     pub use crate::span::Span;
+    pub use crate::store::{FactId, FactStore, Inserted, StoreCounters};
     pub use crate::symbol::{ConstId, FuncId, RelId, SymbolTable, VarId};
     pub use crate::term::{GroundTerm, Term};
     pub use crate::value::{NullId, Value};

@@ -148,7 +148,7 @@ pub fn random_target_instance(
         },
     );
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x9e37_79b9_7f4a_7c15);
-    let backbone: Vec<Fact> = ground.facts().collect();
+    let backbone: Vec<Fact> = ground.facts().map(|f| f.to_fact()).collect();
     let mut inst = ground;
     if backbone.is_empty() {
         return inst;
@@ -190,7 +190,7 @@ pub fn random_target_instance(
 /// homomorphism pattern that is satisfiable in `inst` by construction
 /// (mapping every null back to the constant it replaced).
 pub fn abstract_subpattern(inst: &Instance, k: usize, seed: u64) -> Instance {
-    let facts: Vec<Fact> = inst.facts().collect();
+    let facts: Vec<Fact> = inst.facts().map(|f| f.to_fact()).collect();
     if facts.is_empty() || k == 0 {
         return Instance::new();
     }

@@ -11,8 +11,61 @@ pub fn f_blocks(inst: &Instance) -> Vec<Instance> {
     let g = FactGraph::of(inst);
     g.components()
         .into_iter()
-        .map(|comp| Instance::from_facts(comp.into_iter().map(|i| g.facts[i].clone())))
+        .map(|comp| comp.into_iter().map(|i| g.facts[i].to_fact()).collect())
         .collect()
+}
+
+/// The f-blocks of `inst` that contain at least one null — [`f_blocks`]
+/// minus the singleton ground blocks, in the same relative order.
+///
+/// Ground facts are inert in every block-local search (they form singleton
+/// blocks that trivially map to themselves and hold no null to retract),
+/// so the core engine decomposes through this instead of materializing a
+/// singleton [`Instance`] per ground fact of a large, mostly-ground target.
+pub fn null_blocks(inst: &Instance) -> Vec<Instance> {
+    let facts: Vec<FactRef<'_>> = inst
+        .facts()
+        .filter(|f| f.args.iter().any(|v| matches!(v, Value::Null(_))))
+        .collect();
+    // Union-find over the null facts, merging through each null's first
+    // carrier.
+    let mut parent: Vec<usize> = (0..facts.len()).collect();
+    fn root(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut carrier: FxHashMap<NullId, usize> = FxHashMap::default();
+    for (i, f) in facts.iter().enumerate() {
+        for &v in f.args {
+            if let Value::Null(n) = v {
+                match carrier.get(&n) {
+                    Some(&j) => {
+                        let (a, b) = (root(&mut parent, i), root(&mut parent, j));
+                        parent[a.max(b)] = a.min(b);
+                    }
+                    None => {
+                        carrier.insert(n, i);
+                    }
+                }
+            }
+        }
+    }
+    // Emit components ordered by smallest member (roots are minimal, and
+    // facts are visited in the instance's sorted order).
+    let mut block_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut blocks: Vec<Instance> = Vec::new();
+    for (i, f) in facts.iter().enumerate() {
+        let r = root(&mut parent, i);
+        let b = *block_of_root.entry(r).or_insert_with(|| {
+            blocks.push(Instance::new());
+            blocks.len() - 1
+        });
+        blocks[b].insert_tuple(f.rel, f.args);
+    }
+    blocks
 }
 
 /// The f-block size of `inst`: the maximum cardinality of its f-blocks

@@ -32,7 +32,7 @@ pub mod hom;
 pub mod paths;
 pub mod scan;
 
-pub use blocks::{block_of_null, f_block_size, f_blocks, f_degree};
+pub use blocks::{block_of_null, f_block_size, f_blocks, f_degree, null_blocks};
 pub use config::HomConfig;
 pub use core::{
     core_and_blocks, core_and_blocks_observed, core_f_block_size, core_of, core_of_observed,

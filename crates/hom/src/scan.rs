@@ -48,7 +48,7 @@ fn solve_block(
     assign: &HomMap,
     forbid: &dyn Fn(NullId, Value) -> bool,
 ) -> Option<HomMap> {
-    let facts: Vec<Fact> = block.facts().collect();
+    let facts: Vec<Fact> = block.facts().map(|f| f.to_fact()).collect();
     let mut assign = assign.clone();
     let mut done = vec![false; facts.len()];
     if search(&facts, &mut done, to, &mut assign, forbid) {

@@ -8,6 +8,8 @@
 //! data (clock reads, deltas) when the observer is the no-op sink — the
 //! calls themselves already monomorphize away.
 
+use ndl_core::store::StoreCounters;
+
 /// Per-statement, per-round aggregate reported by a chase engine: how much
 /// work one statement did in one round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,6 +68,14 @@ pub trait ChaseObserver {
     /// the cut-off round, i.e. how far the chase got).
     fn chase_end(&mut self, rounds: usize, derived: u64, outcome: &str) {
         let _ = (rounds, derived, outcome);
+    }
+
+    /// Final counters of the engine's fact store (inserts, dedup hits,
+    /// tombstones, revivals, compactions) — reported once, alongside
+    /// [`ChaseObserver::chase_end`]. Not reported when the engine refused
+    /// to run (no store exists yet).
+    fn store(&mut self, counters: &StoreCounters) {
+        let _ = counters;
     }
 }
 
@@ -142,6 +152,10 @@ impl<O: ChaseObserver> ChaseObserver for &mut O {
     fn chase_end(&mut self, rounds: usize, derived: u64, outcome: &str) {
         (**self).chase_end(rounds, derived, outcome);
     }
+
+    fn store(&mut self, counters: &StoreCounters) {
+        (**self).store(counters);
+    }
 }
 
 impl<O: HomObserver> HomObserver for &O {
@@ -200,6 +214,11 @@ impl<A: ChaseObserver, B: ChaseObserver> ChaseObserver for (A, B) {
     fn chase_end(&mut self, rounds: usize, derived: u64, outcome: &str) {
         self.0.chase_end(rounds, derived, outcome);
         self.1.chase_end(rounds, derived, outcome);
+    }
+
+    fn store(&mut self, counters: &StoreCounters) {
+        self.0.store(counters);
+        self.1.store(counters);
     }
 }
 

@@ -2,6 +2,7 @@
 //! stats, and the combined [`Stats`] bundle with JSON rendering.
 
 use crate::observer::{ChaseObserver, HomObserver, StmtRound};
+use ndl_core::store::StoreCounters;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -45,6 +46,11 @@ pub struct ChaseStats {
     pub dedup_hits: u64,
     /// Total labeled nulls interned.
     pub nulls_interned: u64,
+    /// Final counters of the engine's fact store (all zero when the
+    /// engine refused to run). Zeroed by [`ChaseStats::redact_timings`]:
+    /// like timings, they describe the storage layer rather than the
+    /// chase semantics, so golden outputs must not depend on them.
+    pub store: StoreCounters,
     /// Total wall time across rounds, in nanoseconds (0 when untimed).
     pub elapsed_ns: u64,
     /// Fresh facts committed per round, in round order.
@@ -59,10 +65,12 @@ impl ChaseStats {
         ChaseStats::default()
     }
 
-    /// Zeroes every `elapsed_ns` field — used by golden tests and the
-    /// `--no-timings` CLI flag, so stats output is bit-deterministic.
+    /// Zeroes every `elapsed_ns` field and the store counters — used by
+    /// golden tests and the `--no-timings` CLI flag, so stats output is
+    /// bit-deterministic and independent of the storage layer.
     pub fn redact_timings(&mut self) {
         self.elapsed_ns = 0;
+        self.store = StoreCounters::default();
         for s in &mut self.statements {
             s.elapsed_ns = 0;
         }
@@ -114,6 +122,10 @@ impl ChaseObserver for ChaseStats {
         self.rounds = rounds;
         self.derived = derived;
         self.outcome = outcome.to_string();
+    }
+
+    fn store(&mut self, counters: &StoreCounters) {
+        self.store = *counters;
     }
 }
 
@@ -268,6 +280,10 @@ impl ChaseObserver for Stats {
     fn chase_end(&mut self, rounds: usize, derived: u64, outcome: &str) {
         self.chase.chase_end(rounds, derived, outcome);
     }
+
+    fn store(&mut self, counters: &StoreCounters) {
+        self.chase.store(counters);
+    }
 }
 
 impl HomObserver for Stats {
@@ -326,6 +342,11 @@ mod tests {
             elapsed_ns: 7,
         });
         st.round_end(1, 3, 20);
+        st.store(&StoreCounters {
+            inserts: 6,
+            dedup_hits: 2,
+            ..StoreCounters::default()
+        });
         st.chase_end(2, 3, "fixpoint");
         assert_eq!(st.triggers_examined, 8);
         assert_eq!(st.triggers_fired, 7);
@@ -336,11 +357,14 @@ mod tests {
         assert_eq!(st.round_fresh, vec![3]);
         assert_eq!(st.elapsed_ns, 20);
         assert_eq!(st.outcome, "fixpoint");
-        // Redaction zeroes all timing fields, nothing else.
+        assert_eq!(st.store.inserts, 6);
+        // Redaction zeroes all timing fields and the store counters,
+        // nothing else.
         let mut redacted = st.clone();
         redacted.redact_timings();
         assert_eq!(redacted.elapsed_ns, 0);
         assert!(redacted.statements.iter().all(|s| s.elapsed_ns == 0));
+        assert_eq!(redacted.store, StoreCounters::default());
         assert_eq!(redacted.triggers_examined, st.triggers_examined);
         // JSON is stable and contains the headline counters.
         let json = redacted.to_json();

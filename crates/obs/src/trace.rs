@@ -6,6 +6,7 @@
 //! triggers examined. The schema is documented in `docs/observability.md`.
 
 use crate::observer::{ChaseObserver, StmtRound};
+use ndl_core::store::StoreCounters;
 use std::io::Write;
 
 /// A [`ChaseObserver`] appending one JSON line per event to `sink`.
@@ -81,6 +82,13 @@ impl<W: Write> ChaseObserver for JsonlTracer<W> {
         // `outcome` is one of the engine's fixed labels — no escaping needed.
         self.emit(&format!(
             "{{\"event\":\"chase_end\",\"rounds\":{rounds},\"derived\":{derived},\"outcome\":\"{outcome}\"}}"
+        ));
+    }
+
+    fn store(&mut self, c: &StoreCounters) {
+        self.emit(&format!(
+            "{{\"event\":\"store\",\"inserts\":{},\"dedup_hits\":{},\"tombstones\":{},\"revivals\":{},\"compactions\":{}}}",
+            c.inserts, c.dedup_hits, c.tombstones, c.revivals, c.compactions
         ));
     }
 }

@@ -256,7 +256,7 @@ fn canonical_form(inst: &Instance) -> String {
     let mut out = String::new();
     for fact in inst.facts() {
         out.push_str(&format!("{:?}(", fact.rel));
-        for &v in &fact.args {
+        for &v in fact.args {
             let next = renaming.len();
             let id = *renaming.entry(v).or_insert(next);
             out.push_str(&format!("{id},"));

@@ -97,6 +97,6 @@ fn main() {
     // Print a sample of the exchanged data for one department.
     println!("\nSample of the nested exchange result:");
     for fact in nested_res.target.facts().take(8) {
-        println!("  {}", nested_nulls.display_fact(&fact, &syms));
+        println!("  {}", nested_nulls.display_fact_ref(fact, &syms));
     }
 }

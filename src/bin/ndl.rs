@@ -380,7 +380,7 @@ fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
         f_block_size(&target)
     );
     for fact in target.facts() {
-        println!("  {}", nulls.display_fact(&fact, syms));
+        println!("  {}", nulls.display_fact_ref(fact, syms));
     }
     Ok(())
 }
@@ -477,7 +477,7 @@ fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliRes
                 res.rounds
             );
             for fact in res.instance.facts() {
-                println!("  {}", nulls.display_fact(&fact, syms));
+                println!("  {}", nulls.display_fact_ref(fact, syms));
             }
             Ok(())
         }

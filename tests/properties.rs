@@ -101,7 +101,7 @@ proptest! {
         let mut n2 = NullFactory::new();
         let so_result = chase_so(&source, &so, &mut n2);
         let canon = |inst: &Instance, nf: &NullFactory| -> std::collections::BTreeSet<String> {
-            inst.facts().map(|f| nf.display_fact(&f, &syms)).collect()
+            inst.facts().map(|f| nf.display_fact_ref(f, &syms)).collect()
         };
         prop_assert_eq!(canon(&nested, &n1), canon(&so_result, &n2));
     }
@@ -113,7 +113,7 @@ proptest! {
         let (mut syms, mapping, source) = setup(seed, 2, facts);
         let (res, _) = chase_mapping(&source, &mapping, &mut syms);
         // Perturb: drop `drop` facts from the chase result.
-        let all: Vec<Fact> = res.target.facts().collect();
+        let all: Vec<Fact> = res.target.facts().map(|f| f.to_fact()).collect();
         let j = Instance::from_facts(all.iter().skip(drop).cloned());
         let tgd = &mapping.tgds[0];
         prop_assert_eq!(
