@@ -29,6 +29,20 @@ for name in running pipeline; do
     | diff -u "examples/programs/golden/$name.chase.json" -
 done
 
+echo "==> schedule goldens: ndl analyze --schedule over examples/programs/"
+for f in examples/programs/*.ndl; do
+  name="$(basename "$f" .ndl)"
+  ./target/release/ndl analyze --schedule --json "$f" \
+    | diff -u "examples/programs/golden/$name.schedule.json" -
+done
+
+echo "==> parallel chase parity: ndl chase --parallel over terminating example programs"
+for name in running pipeline; do
+  diff <(./target/release/ndl chase "examples/programs/$name.ndl") \
+       <(NDL_CHASE_THREADS=3 NDL_CHASE_SEQUENTIAL_CUTOFF=1 \
+         ./target/release/ndl chase --parallel "examples/programs/$name.ndl")
+done
+
 echo "==> engine tests: cargo test -q -p ndl-hom"
 cargo test -q -p ndl-hom --offline
 
@@ -38,7 +52,17 @@ cargo bench --no-run --offline
 echo "==> bench_chase builds (record regeneration stays opt-in)"
 cargo build --release --offline -p ndl-bench --bin bench_chase
 
+echo "==> bench_schedule builds (record regeneration stays opt-in)"
+cargo build --release --offline -p ndl-bench --bin bench_schedule
+
 echo "==> bench_store builds (record regeneration stays opt-in)"
 cargo build --release --offline -p ndl-bench --bin bench_store
+
+echo "==> miri (ndl-core), when the toolchain component is installed"
+if cargo miri --version >/dev/null 2>&1; then
+  cargo miri test -q -p ndl-core --offline
+else
+  echo "    cargo-miri not installed; skipping"
+fi
 
 echo "CI green."

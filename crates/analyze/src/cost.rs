@@ -13,9 +13,11 @@
 //! growing through a special cycle), the bound is reported as `None`.
 
 use crate::graph::{ClauseView, ProgramGraphs};
+use crate::interference::InterferenceAnalysis;
 use crate::program::Statement;
+use crate::schedule::ScheduleReport;
 use crate::termination::{Termination, TerminationClass};
-use ndl_chase::ChasePlan;
+use ndl_chase::{ChasePlan, ParallelSchedule};
 use ndl_core::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -171,6 +173,13 @@ pub struct ChaseAnalysis {
     /// Producer-before-consumer statement order (cycles broken by source
     /// order) — the chase plan's firing order.
     pub firing_order: Vec<usize>,
+    /// Per-statement read/write/Skolem footprints and the statement
+    /// conflict graph.
+    pub interference: InterferenceAnalysis,
+    /// The contiguous conflict-free stratification of the firing order,
+    /// in **statement-index** space ([`Self::tgd_plan`] remaps it to tgd
+    /// positions for the fixpoint engine).
+    pub schedule: ParallelSchedule,
 }
 
 impl ChaseAnalysis {
@@ -181,11 +190,15 @@ impl ChaseAnalysis {
         let termination = Termination::of(&graphs, syms);
         let cost = CostModel::of(&graphs);
         let firing_order = firing_order(&graphs);
+        let interference = InterferenceAnalysis::of(&graphs, stmts);
+        let schedule = crate::schedule::build_schedule(&interference, &firing_order);
         ChaseAnalysis {
             graphs,
             termination,
             cost,
             firing_order,
+            interference,
+            schedule,
         }
     }
 
@@ -210,6 +223,7 @@ impl ChaseAnalysis {
             size_degree: self.cost.size_degree.unwrap_or(1),
             step_budget: if guaranteed { None } else { budget },
             diagnosis: self.termination.diagnosis(),
+            schedule: None,
         }
     }
 
@@ -261,7 +275,31 @@ impl ChaseAnalysis {
             .iter()
             .filter_map(|s| pos.get(s).copied())
             .collect();
+        plan.schedule = Some(ParallelSchedule {
+            stages: self
+                .schedule
+                .stages
+                .iter()
+                .map(|stage| stage.iter().filter_map(|s| pos.get(s).copied()).collect())
+                .collect(),
+        });
         plan
+    }
+
+    /// The schedule report of `ndl analyze --schedule`.
+    pub fn schedule_report(&self, syms: &SymbolTable) -> ScheduleReport {
+        ScheduleReport::of(
+            syms,
+            self.graphs.statements,
+            &self.interference,
+            &self.schedule,
+        )
+    }
+
+    /// Graphviz DOT rendering of the statement conflict graph
+    /// (`ndl analyze --dot=conflicts`).
+    pub fn conflict_dot(&self, syms: &SymbolTable) -> String {
+        self.interference.to_dot(syms)
     }
 
     /// The machine-readable report (`ndl analyze --json`), with all

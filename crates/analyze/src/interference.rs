@@ -1,0 +1,362 @@
+//! Interference analysis: per-statement read/write relation sets and
+//! Skolem-provenance footprints, and the **statement conflict graph**
+//! built from them.
+//!
+//! Two statements *interfere* when firing them concurrently inside one
+//! chase round could observe or produce different state than firing them
+//! in sequence:
+//!
+//! - **W–W**: both write the same relation (their head insertions race on
+//!   the same posting lists);
+//! - **R–W**: one reads a relation the other writes (the reader's matches
+//!   could see the writer's half-committed round);
+//! - **shared null factory**: both invent nulls through the same Skolem
+//!   function, so interning order — and hence null identity — depends on
+//!   scheduling.
+//!
+//! The round-snapshot discipline of the fixpoint engine (matches run
+//! against the *previous* round's index, insertions commit at round end)
+//! already neutralizes R–W and W–W conflicts *across* rounds; the conflict
+//! graph is about what may fire **in parallel within a round** while
+//! staying bit-identical to the sequential engine. [`crate::schedule`]
+//! stratifies this graph into conflict-free stages.
+//!
+//! Footprints deliberately mirror `ndl_chase::parallel::StmtFootprint`:
+//! reads are body relations, writes are head relations, and the Skolem
+//! set contains the functions *occurring* in clause heads and equality
+//! gates (a declared-but-unused function invents nothing and so cannot
+//! conflict). The chase engine re-derives footprints itself when checking
+//! a schedule certificate, so the two computations must agree — the
+//! round-trip is pinned by tests in `crates/chase/tests/`.
+//!
+//! Beyond tgds, the analysis also folds in the passive statements:
+//! ground facts count as writers of their relation and egd bodies as
+//! readers. They never enter the schedule (facts load before round 1,
+//! egds are not chased by the fixpoint engine), but they complete the
+//! whole-program read/write picture behind the NDL031 (written, never
+//! read) and NDL032 (read, never written) lints.
+
+use crate::graph::ProgramGraphs;
+use crate::program::{Statement, StmtAst};
+use ndl_core::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The static footprint of one statement: what it reads, what it writes,
+/// and which Skolem functions it invents nulls through.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Relations matched in clause bodies (or an egd body).
+    pub reads: BTreeSet<RelId>,
+    /// Relations inserted into by clause heads (or a ground fact).
+    pub writes: BTreeSet<RelId>,
+    /// Skolem functions occurring in heads or equality gates.
+    pub funcs: BTreeSet<FuncId>,
+}
+
+impl Footprint {
+    /// Do two *distinct* statements conflict? True on any W–W, R–W (either
+    /// direction) or shared-Skolem overlap.
+    pub fn conflicts_with(&self, other: &Footprint) -> bool {
+        !self.kinds_against(other).is_empty()
+    }
+
+    /// The conflict kinds between two distinct statements (empty when
+    /// they are independent).
+    pub fn kinds_against(&self, other: &Footprint) -> Vec<ConflictKind> {
+        let mut kinds = Vec::new();
+        if self.writes.intersection(&other.writes).next().is_some() {
+            kinds.push(ConflictKind::WriteWrite);
+        }
+        if self.reads.intersection(&other.writes).next().is_some()
+            || other.reads.intersection(&self.writes).next().is_some()
+        {
+            kinds.push(ConflictKind::ReadWrite);
+        }
+        if self.funcs.intersection(&other.funcs).next().is_some() {
+            kinds.push(ConflictKind::SharedNullFactory);
+        }
+        kinds
+    }
+
+    /// Does the statement read a relation it also writes? Such a statement
+    /// can re-trigger on its own insertions and must run alone in its
+    /// stage (the engine refuses multi-statement stages containing one).
+    pub fn self_interfering(&self) -> bool {
+        self.reads.intersection(&self.writes).next().is_some()
+    }
+}
+
+/// Why two statements cannot fire in parallel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConflictKind {
+    /// Both statements write a common relation.
+    WriteWrite,
+    /// One statement reads a relation the other writes.
+    ReadWrite,
+    /// Both statements invent nulls through a common Skolem function.
+    SharedNullFactory,
+}
+
+impl ConflictKind {
+    /// Stable lowercase label (used in JSON reports and DOT edge labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            ConflictKind::WriteWrite => "write-write",
+            ConflictKind::ReadWrite => "read-write",
+            ConflictKind::SharedNullFactory => "shared-null-factory",
+        }
+    }
+}
+
+/// An edge of the statement conflict graph (`a < b`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictEdge {
+    /// Smaller statement index.
+    pub a: usize,
+    /// Larger statement index.
+    pub b: usize,
+    /// Every reason the pair conflicts, in [`ConflictKind`] order.
+    pub kinds: Vec<ConflictKind>,
+}
+
+/// The interference analysis of a program: footprints, the conflict
+/// graph, and the whole-program relation roles behind NDL031/NDL032.
+#[derive(Clone, Debug, Default)]
+pub struct InterferenceAnalysis {
+    /// Footprint per statement that contributes reads or writes: tgd
+    /// statements that entered [`ProgramGraphs`], plus ground facts and
+    /// egds (which the graphs skip).
+    pub footprints: BTreeMap<usize, Footprint>,
+    /// Statements eligible for scheduling — exactly the tgd statements
+    /// with Skolemized clauses in [`ProgramGraphs::clauses`].
+    pub scheduled: BTreeSet<usize>,
+    /// Conflict edges among *scheduled* statements, ordered by `(a, b)`.
+    pub edges: Vec<ConflictEdge>,
+    /// Scheduled statements whose own reads and writes overlap.
+    pub self_interfering: Vec<usize>,
+    /// Relations some statement writes but none reads (NDL031). For a
+    /// data-exchange mapping these are simply the target relations, so
+    /// the lint is informational.
+    pub write_only: Vec<RelId>,
+    /// Relations some statement reads but none writes (NDL032): the
+    /// matches can only ever see source facts — or nothing at all.
+    pub read_only: Vec<RelId>,
+}
+
+impl InterferenceAnalysis {
+    /// Computes footprints and the conflict graph. `graphs` supplies the
+    /// Skolemized clauses of analyzable tgd statements; `stmts` supplies
+    /// the facts and egds the graphs skip.
+    pub fn of(graphs: &ProgramGraphs, stmts: &[Statement]) -> InterferenceAnalysis {
+        let mut a = InterferenceAnalysis::default();
+        for cv in &graphs.clauses {
+            let fp = a.footprints.entry(cv.stmt).or_default();
+            a.scheduled.insert(cv.stmt);
+            for atom in &cv.clause.body {
+                fp.reads.insert(atom.rel);
+            }
+            for atom in &cv.clause.head {
+                fp.writes.insert(atom.rel);
+                for t in &atom.args {
+                    collect_funcs(t, &mut fp.funcs);
+                }
+            }
+            for (l, r) in &cv.clause.equalities {
+                collect_funcs(l, &mut fp.funcs);
+                collect_funcs(r, &mut fp.funcs);
+            }
+        }
+        for stmt in stmts {
+            match &stmt.ast {
+                Some(StmtAst::Fact(f)) => {
+                    a.footprints
+                        .entry(stmt.index)
+                        .or_default()
+                        .writes
+                        .insert(f.rel);
+                }
+                Some(StmtAst::Egd(e)) => {
+                    let fp = a.footprints.entry(stmt.index).or_default();
+                    for atom in &e.body {
+                        fp.reads.insert(atom.rel);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let sched: Vec<usize> = a.scheduled.iter().copied().collect();
+        for (i, &s) in sched.iter().enumerate() {
+            if a.footprints[&s].self_interfering() {
+                a.self_interfering.push(s);
+            }
+            for &t in &sched[i + 1..] {
+                let kinds = a.footprints[&s].kinds_against(&a.footprints[&t]);
+                if !kinds.is_empty() {
+                    a.edges.push(ConflictEdge { a: s, b: t, kinds });
+                }
+            }
+        }
+        let mut read: BTreeSet<RelId> = BTreeSet::new();
+        let mut written: BTreeSet<RelId> = BTreeSet::new();
+        for fp in a.footprints.values() {
+            read.extend(fp.reads.iter().copied());
+            written.extend(fp.writes.iter().copied());
+        }
+        a.write_only = written.difference(&read).copied().collect();
+        a.read_only = read.difference(&written).copied().collect();
+        a
+    }
+
+    /// Is the pair conflict-free (both scheduled, no edge between them)?
+    pub fn independent(&self, a: usize, b: usize) -> bool {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        a != b
+            && self.scheduled.contains(&a)
+            && self.scheduled.contains(&b)
+            && !self.edges.iter().any(|e| e.a == a && e.b == b)
+    }
+
+    /// Renders the conflict graph in Graphviz DOT: one box per scheduled
+    /// statement labeled with its read/write sets, one undirected edge per
+    /// conflict labeled with its reasons. Self-interfering statements are
+    /// drawn with a doubled border.
+    pub fn to_dot(&self, syms: &SymbolTable) -> String {
+        let names = |rels: &BTreeSet<RelId>| -> String {
+            let v: Vec<&str> = rels.iter().map(|&r| syms.rel_name(r)).collect();
+            v.join(",")
+        };
+        let mut out = String::from("graph conflicts {\n  node [shape=box];\n");
+        for &s in &self.scheduled {
+            let fp = &self.footprints[&s];
+            let peripheries = if fp.self_interfering() {
+                ", peripheries=2"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  s{} [label=\"s{}\\nR: {}\\nW: {}\"{}];\n",
+                s,
+                s,
+                names(&fp.reads),
+                names(&fp.writes),
+                peripheries
+            ));
+        }
+        for e in &self.edges {
+            let labels: Vec<&str> = e.kinds.iter().map(|k| k.label()).collect();
+            out.push_str(&format!(
+                "  s{} -- s{} [label=\"{}\"];\n",
+                e.a,
+                e.b,
+                labels.join("\\n")
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Collects the function symbols occurring anywhere in a term.
+fn collect_funcs(t: &Term, out: &mut BTreeSet<FuncId>) {
+    if let Term::App(f, args) = t {
+        out.insert(*f);
+        for a in args {
+            collect_funcs(a, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::parse_program;
+
+    fn build(src: &str) -> (SymbolTable, Vec<Statement>, ProgramGraphs) {
+        let mut syms = SymbolTable::new();
+        let (stmts, errs) = parse_program(&mut syms, src);
+        assert!(errs.is_empty(), "{errs:?}");
+        let graphs = ProgramGraphs::build(&mut syms, &stmts);
+        (syms, stmts, graphs)
+    }
+
+    #[test]
+    fn independent_statements_have_no_edge() {
+        let (_, stmts, graphs) = build("S(x) -> R(x)\nT(x) -> U(x)\n");
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        assert!(a.edges.is_empty());
+        assert!(a.independent(0, 1));
+    }
+
+    #[test]
+    fn write_write_and_read_write_edges() {
+        // Both write R: W–W. Statement 2 reads R which 0 and 1 write: R–W.
+        let (_, stmts, graphs) = build("S(x) -> R(x)\nT(x) -> R(x)\nR(x) -> U(x)\n");
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        let edge = |x: usize, y: usize| a.edges.iter().find(|e| e.a == x && e.b == y).unwrap();
+        assert_eq!(edge(0, 1).kinds, vec![ConflictKind::WriteWrite]);
+        assert_eq!(edge(0, 2).kinds, vec![ConflictKind::ReadWrite]);
+        assert_eq!(edge(1, 2).kinds, vec![ConflictKind::ReadWrite]);
+        assert!(!a.independent(0, 1));
+    }
+
+    #[test]
+    fn shared_skolem_function_is_a_conflict() {
+        // Two SO tgds invent nulls through the same declared function f.
+        let src = "exists f . S(x) -> R(x, f(x))\nexists f . T(x) -> U(x, f(x))\n";
+        let (_, stmts, graphs) = build(src);
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        assert_eq!(a.edges.len(), 1);
+        assert_eq!(a.edges[0].kinds, vec![ConflictKind::SharedNullFactory]);
+    }
+
+    #[test]
+    fn unused_declared_function_does_not_conflict() {
+        // g is declared by both but only applied by the first: footprints
+        // track *occurring* functions, so no shared-factory edge.
+        let src = "exists f, g . S(x) -> R(x, f(x))\nexists f2, g . T(x) -> U(x, f2(x))\n";
+        let (_, stmts, graphs) = build(src);
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        assert!(a.edges.is_empty(), "{:?}", a.edges);
+    }
+
+    #[test]
+    fn self_interfering_statement_is_flagged() {
+        let (_, stmts, graphs) = build("E(x,y) & R(y) -> R(x)\n");
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        assert_eq!(a.self_interfering, vec![0]);
+        assert!(a.footprints[&0].self_interfering());
+    }
+
+    #[test]
+    fn facts_write_and_egds_read() {
+        let src = "fact: S(a, b)\negd: S(x,y) & S(x,z) -> y = z\nS(x,y) -> R(x)\n";
+        let (_, stmts, graphs) = build(src);
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        // The fact writes S; the egd reads S; only statement 2 schedules.
+        assert_eq!(a.scheduled.iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert!(a.footprints[&0].writes.len() == 1 && a.footprints[&0].reads.is_empty());
+        assert!(a.footprints[&1].reads.len() == 1 && a.footprints[&1].writes.is_empty());
+        // S is both written (fact) and read; R is write-only.
+        assert_eq!(a.write_only.len(), 1);
+        assert!(a.read_only.is_empty());
+    }
+
+    #[test]
+    fn read_only_relation_is_reported() {
+        let (_, stmts, graphs) = build("S(x) -> R(x)\n");
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        assert_eq!(a.read_only.len(), 1); // S: read, never written
+        assert_eq!(a.write_only.len(), 1); // R: written, never read
+    }
+
+    #[test]
+    fn dot_renders_nodes_and_labeled_edges() {
+        let (syms, stmts, graphs) = build("S(x) -> R(x)\nT(x) -> R(x)\n");
+        let a = InterferenceAnalysis::of(&graphs, &stmts);
+        let dot = a.to_dot(&syms);
+        assert!(dot.starts_with("graph conflicts {"));
+        assert!(dot.contains("s0 -- s1"));
+        assert!(dot.contains("write-write"));
+        assert!(dot.contains("W: R"));
+    }
+}

@@ -23,7 +23,14 @@
 //! - [`cost`] — polynomial chase-size bounds from a value-degree fixpoint,
 //!   and [`ChaseAnalysis`]: the bundle of graphs, termination verdict,
 //!   cost model and firing order consumed by the NDL020–NDL025 lints, the
-//!   `ndl analyze` subcommand and the chase engines in `ndl-chase`.
+//!   `ndl analyze` subcommand and the chase engines in `ndl-chase`;
+//! - [`interference`] — per-statement read/write/Skolem footprints and
+//!   the statement conflict graph (W–W, R–W and shared-null-factory
+//!   edges), behind the NDL031–NDL033 lints and `--dot=conflicts`;
+//! - [`schedule`] — contiguous conflict-free stratification of the firing
+//!   order into a `ParallelSchedule` (the certificate checked and executed
+//!   by `ndl-chase`'s stage-parallel engine) and the JSON
+//!   [`ScheduleReport`] of `ndl analyze --schedule`.
 //!
 //! ## Quick example
 //!
@@ -48,15 +55,19 @@
 pub mod cost;
 pub mod diagnostic;
 pub mod graph;
+pub mod interference;
 pub mod program;
 pub mod rules;
+pub mod schedule;
 pub mod termination;
 
 pub use cost::{AnalysisReport, ChaseAnalysis, CostModel};
 pub use diagnostic::{render, summary, Diagnostic, LineIndex, Note, Severity};
 pub use graph::{PositionGraph, ProgramGraphs, SkolemGraph};
+pub use interference::{ConflictEdge, ConflictKind, Footprint, InterferenceAnalysis};
 pub use program::{parse_program, Statement, StmtAst};
 pub use rules::{lint_source, LintOptions};
+pub use schedule::{build_schedule, ConflictReport, ScheduleReport};
 pub use termination::{Termination, TerminationClass};
 
 /// Serializes diagnostics to pretty-printed JSON (an array of objects).

@@ -18,6 +18,11 @@
 //! | NDL023 | warning  | null-generation depth of a relation exceeds the bound |
 //! | NDL024 | warning  | Skolem fan-out exceeds the configured bound |
 //! | NDL025 | info     | clause joins at least the configured number of body atoms |
+//! | NDL030 | warning  | statement subsumed by another (IMPLIES, Section 4) |
+//! | NDL031 | info     | relation written but never read |
+//! | NDL032 | info     | relation read but never written |
+//! | NDL033 | info     | statement reads a relation it writes (self-interfering) |
+//! | NDL034 | info     | parallel-schedule width report |
 //!
 //! NDL020–NDL025 come from the semantic layer ([`crate::graph`],
 //! [`crate::termination`], [`crate::cost`]): the position and Skolem
@@ -25,6 +30,16 @@
 //! arity-consistent statement even when side discipline is violated
 //! (NDL006), because recursive programs are exactly where termination is
 //! at stake; NDL016's critical-instance signal corroborates them.
+//!
+//! NDL030 is semantic redundancy: statement σ is *subsumed* when another
+//! single statement Σ = {σ'} already implies it (`IMPLIES(Σ, σ)`,
+//! Section 4 of the paper) — chasing σ then derives nothing the chase of
+//! σ' does not. Implication testing is expensive (non-elementary in
+//! nesting depth), so the pass is gated to small programs by
+//! [`LintOptions::max_subsumption_tgds`]. NDL031–NDL034 come from the
+//! interference analysis ([`crate::interference`], [`crate::schedule`]):
+//! whole-program relation roles and the statement conflict graph behind
+//! `ndl analyze --schedule` and `ndl chase --parallel`.
 
 use crate::cost::ChaseAnalysis;
 use crate::diagnostic::{Diagnostic, LineIndex, Note, Severity};
@@ -34,7 +49,7 @@ use ndl_chase::chase_mapping;
 use ndl_core::parse::{locate_applied, locate_ident, locate_quantified};
 use ndl_core::prelude::*;
 use ndl_hom::IncidenceGraph;
-use ndl_reasoning::{drop_vacuous_parts, split_independent_conjuncts};
+use ndl_reasoning::{drop_vacuous_parts, implies_tgd, split_independent_conjuncts, ImpliesOptions};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// NDL010: an existential variable no head atom in scope uses.
@@ -68,6 +83,20 @@ pub const SKOLEM_FANOUT: &str = "NDL024";
 /// NDL025: a Skolemized clause joins at least the configured number of
 /// body atoms (accumulated ancestor bodies included).
 pub const WIDE_JOIN: &str = "NDL025";
+/// NDL030: the statement is implied by another statement alone (IMPLIES),
+/// so chasing it derives nothing new — it can be removed.
+pub const SUBSUMED: &str = "NDL030";
+/// NDL031: a relation some statement writes but none reads — a pure
+/// output (in a data-exchange mapping, simply a target relation).
+pub const WRITE_ONLY: &str = "NDL031";
+/// NDL032: a relation some statement reads but none writes — its matches
+/// can only ever see externally supplied source facts.
+pub const READ_ONLY: &str = "NDL032";
+/// NDL033: a statement reading a relation it writes; it re-triggers on
+/// its own derivations and always runs alone in a parallel schedule.
+pub const SELF_INTERFERING: &str = "NDL033";
+/// NDL034: the parallel-schedule width report (stages and widest stage).
+pub const SCHEDULE_WIDTH: &str = "NDL034";
 
 /// Tunable thresholds of the analyzer.
 #[derive(Clone, Debug)]
@@ -95,6 +124,11 @@ pub struct LintOptions {
     /// body atoms (default 8): trigger matching is exponential in join
     /// width in the worst case.
     pub max_body_atoms: usize,
+    /// NDL030 (pairwise subsumption via IMPLIES) runs only when the
+    /// program has between 2 and this many clean nested tgds (default 6):
+    /// the procedure enumerates k-patterns, which is non-elementary in
+    /// nesting-related parameters. `0` disables the pass.
+    pub max_subsumption_tgds: usize,
 }
 
 impl Default for LintOptions {
@@ -106,6 +140,7 @@ impl Default for LintOptions {
             max_null_depth: 2,
             max_skolem_fanout: 8,
             max_body_atoms: 8,
+            max_subsumption_tgds: 6,
         }
     }
 }
@@ -147,7 +182,7 @@ pub fn lint_source(syms: &mut SymbolTable, src: &str, opts: &LintOptions) -> Vec
             match ast {
                 StmtAst::Tgd(t) => {
                     tgd_lints(t, stmt, syms, opts, &index, &mut diags);
-                    clean_tgds.push(t.clone());
+                    clean_tgds.push((stmt.index, t.clone()));
                 }
                 StmtAst::Egd(e) => clean_egds.push(e.clone()),
                 _ => {}
@@ -156,11 +191,21 @@ pub fn lint_source(syms: &mut SymbolTable, src: &str, opts: &LintOptions) -> Vec
     }
 
     if !clean_tgds.is_empty() {
-        if let Ok(m) = NestedMapping::new(clean_tgds, clean_egds) {
+        let tgds: Vec<NestedTgd> = clean_tgds.iter().map(|(_, t)| t.clone()).collect();
+        if let Ok(m) = NestedMapping::new(tgds, clean_egds.clone()) {
             check_critical_chase(&m, syms, &mut diags);
         }
     }
 
+    subsumption_lints(
+        &clean_tgds,
+        &clean_egds,
+        syms,
+        opts,
+        &stmts,
+        &index,
+        &mut diags,
+    );
     semantic_lints(syms, &stmts, opts, &index, &mut diags);
 
     diags.sort_by(|a, b| {
@@ -526,6 +571,131 @@ fn semantic_lints(
             .with_span(whole(stmt), index),
         );
     }
+
+    // NDL031/NDL032: whole-program relation roles, facts counted as
+    // writers and egd bodies as readers (see `crate::interference`).
+    for &rel in &analysis.interference.write_only {
+        diags.push(Diagnostic::new(
+            WRITE_ONLY,
+            Severity::Info,
+            format!(
+                "relation {} is written but never read: a pure output (for a \
+                 data-exchange mapping, simply a target relation)",
+                syms.rel_name(rel)
+            ),
+        ));
+    }
+    for &rel in &analysis.interference.read_only {
+        diags.push(Diagnostic::new(
+            READ_ONLY,
+            Severity::Info,
+            format!(
+                "relation {} is read but never written: no statement or fact \
+                 populates it, so its matches only ever see externally supplied \
+                 source facts",
+                syms.rel_name(rel)
+            ),
+        ));
+    }
+
+    // NDL033: self-interfering statements must run alone in a stage.
+    for &s in &analysis.interference.self_interfering {
+        diags.push(
+            Diagnostic::new(
+                SELF_INTERFERING,
+                Severity::Info,
+                "statement reads a relation it writes: it can re-trigger on its \
+                 own derivations and always runs alone in a parallel schedule",
+            )
+            .with_statement(s)
+            .with_span(whole(s), index),
+        );
+    }
+
+    // NDL034: the schedule-width report, when there is anything to
+    // parallelize over.
+    if analysis.interference.scheduled.len() >= 2 {
+        diags.push(Diagnostic::new(
+            SCHEDULE_WIDTH,
+            Severity::Info,
+            format!(
+                "parallel schedule: {} statement(s) in {} stage(s), width {} \
+                 (see `ndl analyze --schedule`)",
+                analysis.interference.scheduled.len(),
+                analysis.schedule.len(),
+                analysis.schedule.width()
+            ),
+        ));
+    }
+}
+
+/// NDL030: pairwise subsumption via the IMPLIES procedure of Section 4.
+/// Statement σᵢ is flagged when some other single clean statement σⱼ
+/// already implies it. When the two are equivalent (IMPLIES holds in both
+/// directions) only the *later* statement is flagged, so one of an
+/// α-equivalent pair always survives. Pairs on which the procedure errors
+/// (e.g. the pattern budget trips) are skipped — absence of NDL030 is not
+/// a proof of irredundancy. Gated to small programs: IMPLIES enumerates
+/// k-patterns, non-elementary in nesting-related parameters.
+fn subsumption_lints(
+    clean_tgds: &[(usize, NestedTgd)],
+    clean_egds: &[Egd],
+    syms: &mut SymbolTable,
+    opts: &LintOptions,
+    stmts: &[Statement],
+    index: &LineIndex,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let n = clean_tgds.len();
+    if n < 2 || n > opts.max_subsumption_tgds {
+        return;
+    }
+    let iopts = ImpliesOptions::default();
+    let mut imp = vec![vec![false; n]; n];
+    for j in 0..n {
+        let premise = match NestedMapping::new(vec![clean_tgds[j].1.clone()], clean_egds.to_vec()) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        for i in 0..n {
+            if i != j {
+                imp[j][i] = implies_tgd(&premise, &clean_tgds[i].1, syms, &iopts)
+                    .map(|r| r.holds)
+                    .unwrap_or(false);
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || !imp[j][i] {
+                continue;
+            }
+            if imp[i][j] && j > i {
+                continue; // equivalent pair: flag only the later statement
+            }
+            let (si, _) = clean_tgds[i];
+            let (sj, _) = clean_tgds[j];
+            let s = &stmts[si];
+            let how = if imp[i][j] {
+                "equivalent to"
+            } else {
+                "subsumed by"
+            };
+            diags.push(
+                Diagnostic::new(
+                    SUBSUMED,
+                    Severity::Warning,
+                    format!(
+                        "statement is {how} statement {sj} (IMPLIES, Section 4): \
+                         chasing it derives nothing new; consider removing it"
+                    ),
+                )
+                .with_statement(si)
+                .with_span(Span::new(s.offset, s.offset + s.text.len()), index),
+            );
+            break; // one subsumer per statement is enough
+        }
+    }
 }
 
 #[cfg(test)]
@@ -732,5 +902,79 @@ mod tests {
         let mut sorted = stmts.clone();
         sorted.sort();
         assert_eq!(stmts, sorted);
+    }
+
+    #[test]
+    fn alpha_equivalent_duplicate_is_subsumed_both_directions() {
+        // IMPLIES holds in both directions; only the later statement is
+        // flagged, as "equivalent to" its subsumer.
+        let diags = lint("S(x) -> exists y R(x,y)\nS(u) -> exists v R(u,v)\nfact: S(a)\n");
+        let subs: Vec<_> = diags.iter().filter(|d| d.code == SUBSUMED).collect();
+        assert_eq!(subs.len(), 1, "{diags:?}");
+        assert_eq!(subs[0].statement, Some(1));
+        assert_eq!(subs[0].severity, Severity::Warning);
+        assert!(subs[0].message.contains("equivalent to statement 0"));
+    }
+
+    #[test]
+    fn one_directional_subsumption_flags_the_weaker_statement() {
+        // Statement 1 asks for *some* pair in R with first component x;
+        // statement 0 already delivers one. The converse fails.
+        let diags = lint("S(x) -> R(x,x)\nS(u) -> exists v R(u,v)\n");
+        let subs: Vec<_> = diags.iter().filter(|d| d.code == SUBSUMED).collect();
+        assert_eq!(subs.len(), 1, "{diags:?}");
+        assert_eq!(subs[0].statement, Some(1));
+        assert!(subs[0].message.contains("subsumed by statement 0"));
+    }
+
+    #[test]
+    fn subsumption_pass_is_gated_by_program_size() {
+        let opts = LintOptions {
+            max_subsumption_tgds: 1,
+            ..LintOptions::default()
+        };
+        let mut syms = SymbolTable::new();
+        let diags = lint_source(
+            &mut syms,
+            "S(x) -> exists y R(x,y)\nS(u) -> exists v R(u,v)\n",
+            &opts,
+        );
+        assert!(!codes(&diags).contains(&SUBSUMED), "{diags:?}");
+    }
+
+    #[test]
+    fn relation_roles_are_reported_as_info() {
+        let diags = lint("S(x) -> R(x)\nfact: T(a)\n");
+        // R is written but never read; S is read but never written; T
+        // (fact only) is written but never read.
+        let write_only: Vec<_> = diags.iter().filter(|d| d.code == WRITE_ONLY).collect();
+        let read_only: Vec<_> = diags.iter().filter(|d| d.code == READ_ONLY).collect();
+        assert_eq!(write_only.len(), 2, "{diags:?}");
+        assert_eq!(read_only.len(), 1, "{diags:?}");
+        assert!(write_only.iter().all(|d| d.severity == Severity::Info));
+        assert!(read_only[0].message.contains("relation S"));
+    }
+
+    #[test]
+    fn self_interference_and_schedule_width_are_reported() {
+        let diags = lint("E(x,y) & E(y,z) -> E(x,z)\nS(x) -> R(x)\n");
+        let d = diags
+            .iter()
+            .find(|d| d.code == SELF_INTERFERING)
+            .expect("NDL033");
+        assert_eq!(d.statement, Some(0));
+        assert_eq!(d.severity, Severity::Info);
+        let w = diags
+            .iter()
+            .find(|d| d.code == SCHEDULE_WIDTH)
+            .expect("NDL034");
+        assert!(w.message.contains("2 statement(s) in 2 stage(s), width 1"));
+    }
+
+    #[test]
+    fn single_statement_program_has_no_schedule_report() {
+        let diags = lint("S(x) -> R(x)\n");
+        assert!(!codes(&diags).contains(&SCHEDULE_WIDTH));
+        assert!(!codes(&diags).contains(&SUBSUMED));
     }
 }

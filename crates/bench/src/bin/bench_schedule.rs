@@ -1,0 +1,179 @@
+//! Measures the stage-parallel fixpoint chase against the sequential
+//! engine on structured workloads in the 10³–10⁴ fact range — wide
+//! fan-out programs whose schedule packs many independent statements into
+//! one stage (the parallel engine's best case) and chain/closure programs
+//! whose schedule is width 1 (its overhead case). **Output identity is
+//! asserted before any timing**: both engines must produce the same
+//! instance, bit for bit (`NullId`s included), the same round count and
+//! the same derived count, or the run fails. The results land in
+//! `BENCH_schedule.json` (committed under `experiments/`; see
+//! `docs/performance.md`).
+//!
+//! Worker count follows `NDL_CHASE_THREADS` (default: available
+//! parallelism); on a single-CPU host the scheduled run degrades to the
+//! sequential path plus schedule bookkeeping, so speedup ≈ 1.
+//!
+//! Pass an output directory as the first argument to write elsewhere
+//! (e.g. `bench_schedule target/experiments` for a throwaway run).
+
+use ndl_analyze::{parse_program, ChaseAnalysis, StmtAst};
+use ndl_bench::ExperimentRecord;
+use ndl_chase::{chase_fixpoint, chase_fixpoint_parallel, ChaseConfig, ChasePlan, NullFactory};
+use ndl_core::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Mean seconds per call over `reps` calls (plus one warm-up).
+fn time<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+/// `width` pairwise-independent existential statements over disjoint
+/// relations, `seeds` facts each: the whole program schedules as one
+/// stage of that width.
+fn fanout(width: usize, seeds: usize) -> String {
+    let mut text = String::new();
+    for i in 0..width {
+        let _ = writeln!(text, "S{i}(x,y) -> exists z T{i}(x,z)");
+    }
+    for i in 0..width {
+        for j in 0..seeds {
+            let _ = writeln!(text, "fact: S{i}(a{j}, b{j})");
+        }
+    }
+    text
+}
+
+/// A `depth`-stage existential pipeline seeded with `seeds` facts: every
+/// statement conflicts with its neighbor, so the schedule is width 1 and
+/// the parallel engine pays pure bookkeeping.
+fn pipeline_chain(depth: usize, seeds: usize) -> String {
+    let mut text = String::new();
+    for i in 0..depth {
+        let _ = writeln!(text, "S{i}(x,y) -> exists z S{}(y,z)", i + 1);
+    }
+    for j in 0..seeds {
+        let _ = writeln!(text, "fact: S0(c{j}, d{j})");
+    }
+    text
+}
+
+/// Parses a workload and derives source, grouped SO tgds and the
+/// analyzer's plan — schedule attached — exactly as `ndl chase` does.
+fn prepare(text: &str) -> (Instance, Vec<SoTgd>, ChasePlan) {
+    let mut syms = SymbolTable::new();
+    let (stmts, errs) = parse_program(&mut syms, text);
+    assert!(errs.is_empty(), "workload programs parse");
+    let analysis = ChaseAnalysis::analyze(&mut syms, &stmts);
+    let mut source = Instance::new();
+    for s in &stmts {
+        if let Some(StmtAst::Fact(f)) = &s.ast {
+            source.insert(f.clone());
+        }
+    }
+    let tgds = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+    let plan = analysis.tgd_plan(Some(10_000_000));
+    (source, tgds, plan)
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "experiments".into());
+    let threads = ChaseConfig::global().threads;
+    let mut record = ExperimentRecord::new(
+        "BENCH_schedule",
+        "stage-parallel vs sequential fixpoint chase on fan-out and chain workloads",
+        "the schedule is a certificate: scheduled output is asserted bit-identical \
+         (instance, NullIds, rounds, derived) before any timing is recorded",
+    );
+
+    let workloads: Vec<(String, String, u32)> = vec![
+        ("fanout/8x150".into(), fanout(8, 150), 10),
+        ("fanout/8x1200".into(), fanout(8, 1200), 5),
+        ("fanout/16x600".into(), fanout(16, 600), 5),
+        ("pipeline/10x900".into(), pipeline_chain(10, 900), 5),
+    ];
+
+    println!("stage-parallel fixpoint chase, {threads} worker thread(s) (mean ms per run)\n");
+    println!("  workload          facts  derived  rounds  width    seq ms    par ms   speedup");
+    let mut all_identical = true;
+    for (name, text, reps) in &workloads {
+        let (source, tgds, plan) = prepare(text);
+        let width = plan.schedule.as_ref().map(|s| s.width()).unwrap_or(1);
+
+        // Output identity first: a schedule that changes one NullId or
+        // round count disqualifies the workload from timing at all.
+        let mut n_seq = NullFactory::new();
+        let seq = chase_fixpoint(&source, &tgds, &plan, &mut n_seq).expect("workload terminates");
+        let mut n_par = NullFactory::new();
+        let par =
+            chase_fixpoint_parallel(&source, &tgds, &plan, &mut n_par).expect("schedule verifies");
+        let identical = seq.instance == par.instance
+            && seq.rounds == par.rounds
+            && seq.derived == par.derived
+            && n_seq.len() == n_par.len();
+        assert!(
+            identical,
+            "{name}: scheduled output diverged from sequential"
+        );
+        all_identical &= identical;
+
+        let seq_secs = time(*reps, || {
+            let mut nulls = NullFactory::new();
+            chase_fixpoint(&source, &tgds, &plan, &mut nulls)
+                .expect("workload terminates")
+                .instance
+                .len()
+        });
+        let par_secs = time(*reps, || {
+            let mut nulls = NullFactory::new();
+            chase_fixpoint_parallel(&source, &tgds, &plan, &mut nulls)
+                .expect("workload terminates")
+                .instance
+                .len()
+        });
+        let speedup = seq_secs / par_secs;
+        println!(
+            "  {:<16} {:>6}  {:>7}  {:>6}  {:>5}  {:>8.3}  {:>8.3}  {:>7.2}x",
+            name,
+            seq.instance.len(),
+            seq.derived,
+            seq.rounds,
+            width,
+            seq_secs * 1e3,
+            par_secs * 1e3,
+            speedup
+        );
+        record.row(&[
+            ("workload", name.clone()),
+            ("facts", seq.instance.len().to_string()),
+            ("derived", seq.derived.to_string()),
+            ("rounds", seq.rounds.to_string()),
+            ("schedule_width", width.to_string()),
+            ("workers", threads.to_string()),
+            ("identical", identical.to_string()),
+            ("seq_ms", format!("{:.3}", seq_secs * 1e3)),
+            ("par_ms", format!("{:.3}", par_secs * 1e3)),
+            ("speedup", format!("{speedup:.2}")),
+        ]);
+    }
+
+    println!(
+        "\n=> scheduled output bit-identical to sequential on every workload: {}",
+        if all_identical { "pass" } else { "FAIL" }
+    );
+    record.passed = all_identical;
+    let path = record
+        .write_to(std::path::Path::new(&out_dir))
+        .expect("record written");
+    println!("record: {}", path.display());
+    if !all_identical {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Parallel-chase tuning knobs: worker-thread cap and the sequential
+//! cutoff below which stage-parallel matching is never worth its setup
+//! cost.
+//!
+//! Mirrors the `NDL_HOM_THREADS` pattern of `ndl-hom`. The process-wide
+//! configuration is resolved once, on first use, from the environment:
+//!
+//! - `NDL_CHASE_THREADS` — maximum worker threads for the per-stage match
+//!   phase of [`crate::parallel::chase_fixpoint_parallel`] (`1` forces the
+//!   sequential path; unset defaults to
+//!   [`std::thread::available_parallelism`]);
+//! - `NDL_CHASE_SEQUENTIAL_CUTOFF` — minimum number of facts in the
+//!   instance before threads are spawned (default
+//!   [`ChaseConfig::DEFAULT_SEQUENTIAL_CUTOFF`]).
+//!
+//! Programmatic override: call [`ChaseConfig::set_global`] before any
+//! engine entry point. See `docs/performance.md` for guidance.
+
+use std::sync::OnceLock;
+
+/// Tuning knobs of the parallel chase engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaseConfig {
+    /// Maximum worker threads for a stage's match phase (1 = sequential).
+    pub threads: usize,
+    /// Minimum instance fact count before spawning worker threads.
+    pub sequential_cutoff: usize,
+}
+
+static GLOBAL: OnceLock<ChaseConfig> = OnceLock::new();
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            sequential_cutoff: Self::DEFAULT_SEQUENTIAL_CUTOFF,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// Default sequential cutoff: below this many facts, thread spawn and
+    /// join overhead (~10µs each) exceeds the matching work saved.
+    pub const DEFAULT_SEQUENTIAL_CUTOFF: usize = 512;
+
+    /// The defaults with any `NDL_CHASE_THREADS` /
+    /// `NDL_CHASE_SEQUENTIAL_CUTOFF` environment overrides applied.
+    /// Unparsable or zero values fall back to the defaults **and report a
+    /// one-time warning** through [`ndl_obs::warn_once`] — a typo'd
+    /// override must not be silently ignored (front ends surface the
+    /// warning, e.g. the `ndl` CLI on stderr).
+    pub fn from_env() -> Self {
+        Self::from_env_with(&|key| std::env::var(key).ok())
+    }
+
+    /// [`Self::from_env`] over an injected variable source — the testable
+    /// entry point (process environment mutation is racy under the
+    /// multi-threaded test harness).
+    pub fn from_env_with(get: &dyn Fn(&str) -> Option<String>) -> Self {
+        let mut cfg = ChaseConfig::default();
+        if let Some(t) = parse_override("NDL_CHASE_THREADS", get) {
+            cfg.threads = t;
+        }
+        if let Some(c) = parse_override("NDL_CHASE_SEQUENTIAL_CUTOFF", get) {
+            cfg.sequential_cutoff = c;
+        }
+        cfg
+    }
+
+    /// The process-wide configuration (resolved from the environment on
+    /// first use).
+    pub fn global() -> ChaseConfig {
+        *GLOBAL.get_or_init(ChaseConfig::from_env)
+    }
+
+    /// Installs `cfg` as the process-wide configuration. Returns `false`
+    /// if a configuration was already resolved (first caller wins).
+    pub fn set_global(cfg: ChaseConfig) -> bool {
+        GLOBAL.set(cfg).is_ok()
+    }
+
+    /// How many workers to use for a stage of `work_items` statements over
+    /// an instance of `target_facts` facts: 1 below the cutoff, otherwise
+    /// capped by the thread budget and the work available.
+    pub fn effective_threads(&self, work_items: usize, target_facts: usize) -> usize {
+        if target_facts < self.sequential_cutoff || work_items <= 1 {
+            1
+        } else {
+            self.threads.min(work_items).max(1)
+        }
+    }
+}
+
+fn parse_override(key: &str, get: &dyn Fn(&str) -> Option<String>) -> Option<usize> {
+    let raw = get(key)?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            ndl_obs::warn_once(
+                key,
+                format!("ignoring {key}={raw:?}: expected a positive integer, using the default"),
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_positive_threads() {
+        let cfg = ChaseConfig::default();
+        assert!(cfg.threads >= 1);
+        assert_eq!(
+            cfg.sequential_cutoff,
+            ChaseConfig::DEFAULT_SEQUENTIAL_CUTOFF
+        );
+    }
+
+    #[test]
+    fn effective_threads_respects_cutoff_and_cap() {
+        let cfg = ChaseConfig {
+            threads: 4,
+            sequential_cutoff: 100,
+        };
+        assert_eq!(cfg.effective_threads(8, 99), 1);
+        assert_eq!(cfg.effective_threads(8, 1000), 4);
+        assert_eq!(cfg.effective_threads(2, 1000), 2);
+        assert_eq!(cfg.effective_threads(0, 1000), 1);
+        assert_eq!(cfg.effective_threads(1, 1000), 1);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_bad_values_warn() {
+        let good = ChaseConfig::from_env_with(&|key| match key {
+            "NDL_CHASE_THREADS" => Some("3".to_string()),
+            "NDL_CHASE_SEQUENTIAL_CUTOFF" => Some(" 64 ".to_string()),
+            _ => None,
+        });
+        assert_eq!(good.threads, 3);
+        assert_eq!(good.sequential_cutoff, 64);
+
+        // Unparsable and zero values fall back to the defaults — and are
+        // reported, not swallowed.
+        let bad = ChaseConfig::from_env_with(&|key| match key {
+            "NDL_CHASE_THREADS" => Some("many".to_string()),
+            "NDL_CHASE_SEQUENTIAL_CUTOFF" => Some("0".to_string()),
+            _ => None,
+        });
+        assert_eq!(bad, ChaseConfig::default());
+        let warned: Vec<String> = ndl_obs::warnings().into_iter().map(|w| w.key).collect();
+        assert!(warned.iter().any(|k| k == "NDL_CHASE_THREADS"));
+        assert!(warned.iter().any(|k| k == "NDL_CHASE_SEQUENTIAL_CUTOFF"));
+    }
+}

@@ -62,6 +62,16 @@ pub enum FixpointError {
         /// How far the chase got before the cutoff.
         progress: FixpointProgress,
     },
+    /// The parallel engine rejected the plan's stage schedule: it failed
+    /// certificate verification against footprints recomputed from the
+    /// program itself (stages must partition the firing order contiguously
+    /// and be free of write–write, read–write and shared-Skolem-function
+    /// conflicts).
+    InvalidSchedule {
+        /// Which certificate check failed, e.g. the conflicting statement
+        /// pair and the relation or function they share.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FixpointError {
@@ -89,6 +99,9 @@ impl fmt::Display for FixpointError {
                     write!(f, " ({d})")?;
                 }
                 Ok(())
+            }
+            FixpointError::InvalidSchedule { reason } => {
+                write!(f, "invalid parallel schedule: {reason}")
             }
         }
     }
@@ -297,7 +310,7 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
 /// the same term yields the same null) without ever expanding a null into
 /// its structural Skolem term — nested terms grow exponentially in rank,
 /// the hash-consed values do not.
-fn resolve_value(t: &Term, binding: &Binding, nulls: &mut NullFactory) -> Value {
+pub(crate) fn resolve_value(t: &Term, binding: &Binding, nulls: &mut NullFactory) -> Value {
     match t {
         Term::Var(v) => *binding
             .get(v)
@@ -332,14 +345,14 @@ fn resolve_value(t: &Term, binding: &Binding, nulls: &mut NullFactory) -> Value 
 /// coincide (an interned null's defining application is interned, so a
 /// structurally equal term would have collapsed too).
 #[derive(Clone, Debug, PartialEq, Eq)]
-enum ProbeTerm {
+pub(crate) enum ProbeTerm {
     /// A constant, or an application already interned as a null.
     Value(Value),
     /// An application not (yet) interned.
     App(FuncId, Vec<ProbeTerm>),
 }
 
-fn probe_term(t: &Term, binding: &Binding, nulls: &NullFactory) -> ProbeTerm {
+pub(crate) fn probe_term(t: &Term, binding: &Binding, nulls: &NullFactory) -> ProbeTerm {
     match t {
         Term::Var(v) => {
             ProbeTerm::Value(*binding.get(v).expect("unbound variable while probing term"))

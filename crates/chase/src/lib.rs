@@ -14,6 +14,11 @@
 //! - [`fixpoint`] — the oblivious **fixpoint** chase for recursive SO-tgd
 //!   programs, driven by a [`plan::ChasePlan`] (firing order, termination
 //!   verdict, step budget, index sizing) from the static analyzer;
+//! - [`parallel`] — the stage-parallel fixpoint chase: fires the
+//!   conflict-free statements of a [`plan::ParallelSchedule`] stage across
+//!   scoped worker threads ([`config::ChaseConfig`], `NDL_CHASE_THREADS`)
+//!   while staying bit-identical to [`fixpoint`] — the schedule is a
+//!   verified certificate, not a trusted input;
 //! - [`trigger`] — the shared conjunctive-query matching primitive;
 //! - [`null`] — labeled nulls in bijection with ground Skolem terms.
 //!
@@ -22,15 +27,18 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod egd;
 pub mod fixpoint;
 pub mod nested;
 pub mod null;
+pub mod parallel;
 pub mod plan;
 pub mod so;
 pub mod st;
 pub mod trigger;
 
+pub use config::ChaseConfig;
 pub use egd::{chase_egds, satisfies_egds, EgdChase, EgdConflict, RigidPolicy};
 pub use fixpoint::{
     chase_fixpoint, chase_fixpoint_with, FixpointChase, FixpointError, FixpointProgress,
@@ -40,7 +48,11 @@ pub use nested::{
     Triggering,
 };
 pub use null::NullFactory;
-pub use plan::ChasePlan;
+pub use parallel::{
+    chase_fixpoint_parallel, chase_fixpoint_parallel_with, derive_schedule, statement_footprints,
+    verify_schedule, StmtFootprint,
+};
+pub use plan::{ChasePlan, ParallelSchedule};
 pub use so::{chase_so, chase_so_set, ground_term};
 pub use st::{chase_st, chase_st_with_forest};
 pub use trigger::{all_matches, has_match, Binding, Matcher};

@@ -1,0 +1,184 @@
+//! Bit-identity of the stage-parallel fixpoint chase against the
+//! sequential engine, end to end through the analyzer: same instance
+//! (same `NullId`s, not just isomorphic), same round count, same derived
+//! count, same error behavior — over the committed example programs and
+//! seeded random programs from `ndl-gen`.
+//!
+//! The container running CI may expose a single CPU, and the engine's
+//! sequential cutoff would keep every small test instance on one thread —
+//! so the tests pin an aggressive global [`ChaseConfig`] (3 workers,
+//! cutoff 1) to force the scoped-thread match path. First set wins
+//! process-wide, which is exactly what a test binary wants.
+
+use ndl_analyze::ChaseAnalysis;
+use ndl_chase::{
+    chase_fixpoint, chase_fixpoint_parallel, verify_schedule, ChaseConfig, FixpointChase,
+    FixpointError, NullFactory,
+};
+use ndl_core::prelude::*;
+use ndl_gen::{random_program, ProgramGenOptions};
+use proptest::prelude::*;
+
+/// Forces worker threads even for tiny instances on 1-CPU machines.
+fn force_parallel_config() {
+    ChaseConfig::set_global(ChaseConfig {
+        threads: 3,
+        sequential_cutoff: 1,
+    });
+}
+
+/// Chases `src` with both engines and the same budget; returns both
+/// outcomes plus the null counts.
+#[allow(clippy::type_complexity)]
+fn chase_both(
+    src: &str,
+    budget: Option<usize>,
+) -> (
+    std::result::Result<FixpointChase, FixpointError>,
+    std::result::Result<FixpointChase, FixpointError>,
+    usize,
+    usize,
+) {
+    force_parallel_config();
+    let mut syms = SymbolTable::new();
+    let (stmts, _) = ndl_analyze::parse_program(&mut syms, src);
+    let analysis = ChaseAnalysis::analyze(&mut syms, &stmts);
+    let mut source = Instance::new();
+    for s in &stmts {
+        if let Some(ndl_analyze::StmtAst::Fact(f)) = &s.ast {
+            source.insert(f.clone());
+        }
+    }
+    let tgds: Vec<SoTgd> = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+    let plan = analysis.tgd_plan(budget);
+    let mut n_seq = NullFactory::new();
+    let seq = chase_fixpoint(&source, &tgds, &plan, &mut n_seq);
+    let mut n_par = NullFactory::new();
+    let par = chase_fixpoint_parallel(&source, &tgds, &plan, &mut n_par);
+    (seq, par, n_seq.len(), n_par.len())
+}
+
+/// Asserts the two outcomes are bit-identical (instance equality compares
+/// `NullId`s directly — interning order must match, not just structure).
+fn assert_identical(src: &str, budget: Option<usize>) {
+    let (seq, par, nulls_seq, nulls_par) = chase_both(src, budget);
+    match (seq, par) {
+        (Ok(s), Ok(p)) => {
+            assert_eq!(s.instance, p.instance, "instances differ for:\n{src}");
+            assert_eq!(s.rounds, p.rounds, "round counts differ for:\n{src}");
+            assert_eq!(s.derived, p.derived, "derived counts differ for:\n{src}");
+            assert_eq!(nulls_seq, nulls_par, "null counts differ for:\n{src}");
+        }
+        (
+            Err(FixpointError::BudgetExhausted {
+                budget: b1,
+                progress: p1,
+                ..
+            }),
+            Err(FixpointError::BudgetExhausted {
+                budget: b2,
+                progress: p2,
+                ..
+            }),
+        ) => {
+            assert_eq!(b1, b2);
+            assert_eq!(p1.rounds, p2.rounds, "cutoff rounds differ for:\n{src}");
+            assert_eq!(p1.derived, p2.derived, "cutoff derived differ for:\n{src}");
+        }
+        (Err(FixpointError::NonTerminating { .. }), Err(FixpointError::NonTerminating { .. })) => {}
+        (s, p) => panic!("engines disagree on outcome for:\n{src}\nseq: {s:?}\npar: {p:?}"),
+    }
+}
+
+fn example(name: &str) -> String {
+    let path = format!(
+        "{}/../../examples/programs/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn example_programs_are_bit_identical() {
+    for name in ["running.ndl", "pipeline.ndl"] {
+        assert_identical(&example(name), None);
+    }
+}
+
+#[test]
+fn recursive_example_refusal_and_budget_parity() {
+    let src = example("recursive.ndl");
+    // Without a budget both engines refuse; with one, both cut off at the
+    // same round with the same progress.
+    assert_identical(&src, None);
+    assert_identical(&src, Some(5));
+    assert_identical(&src, Some(100));
+}
+
+#[test]
+fn analyzer_schedule_passes_the_engine_certificate_check() {
+    for name in ["running.ndl", "pipeline.ndl", "recursive.ndl"] {
+        let mut syms = SymbolTable::new();
+        let (analysis, _) = ChaseAnalysis::analyze_source(&mut syms, &example(name));
+        let tgds: Vec<SoTgd> = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+        let plan = analysis.tgd_plan(Some(10));
+        let schedule = plan
+            .schedule
+            .as_ref()
+            .expect("tgd_plan attaches a schedule");
+        verify_schedule(&tgds, &plan.order, schedule)
+            .unwrap_or_else(|e| panic!("{name}: analyzer schedule rejected: {e}"));
+    }
+}
+
+#[test]
+fn wide_independent_program_schedules_in_one_stage_and_matches() {
+    // Eight pairwise-independent statements: the schedule is one stage of
+    // width 8, exercising multi-statement stages on the worker pool.
+    let mut src = String::new();
+    for i in 0..8 {
+        src.push_str(&format!("S{i}(x) -> exists y T{i}(x,y)\n"));
+        src.push_str(&format!("fact: S{i}(a{i})\n"));
+        src.push_str(&format!("fact: S{i}(b{i})\n"));
+    }
+    let mut syms = SymbolTable::new();
+    let (analysis, _) = ChaseAnalysis::analyze_source(&mut syms, &src);
+    assert_eq!(analysis.schedule.width(), 8, "{:?}", analysis.schedule);
+    assert_identical(&src, None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random generated programs (tgds, SO tgds, facts, recursion,
+    /// comments) chase bit-identically under a budget: identical
+    /// instances/rounds/derived on success, identical progress on a
+    /// cutoff, identical refusal otherwise.
+    #[test]
+    fn random_programs_are_bit_identical(seed in 0u64..500, statements in 2usize..10, recursion in 0usize..2) {
+        let src = random_program(&ProgramGenOptions {
+            statements,
+            relations: 5,
+            recursion_prob: 0.3 * recursion as f64,
+            comment_prob: 0.1,
+            fact_prob: 0.35,
+            seed,
+        });
+        assert_identical(&src, Some(300));
+    }
+
+    /// Refusal parity without a budget: either both engines run to the
+    /// same fixpoint or both refuse the unguaranteed program.
+    #[test]
+    fn random_programs_agree_without_budget(seed in 0u64..200) {
+        let src = random_program(&ProgramGenOptions {
+            statements: 6,
+            relations: 4,
+            recursion_prob: 0.4,
+            comment_prob: 0.0,
+            fact_prob: 0.3,
+            seed,
+        });
+        assert_identical(&src, None);
+    }
+}

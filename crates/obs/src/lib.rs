@@ -34,6 +34,6 @@ pub mod trace;
 pub mod warn;
 
 pub use observer::{ChaseObserver, HomObserver, NoopObserver, StmtRound};
-pub use stats::{ChaseStats, HomStats, Stats, StmtStats};
+pub use stats::{ChaseStats, HomStats, StageStats, Stats, StmtStats};
 pub use trace::JsonlTracer;
 pub use warn::{take_warnings, warn_once, warnings, Warning};

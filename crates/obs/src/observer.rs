@@ -57,6 +57,21 @@ pub trait ChaseObserver {
         let _ = sr;
     }
 
+    /// One schedule stage of the parallel chase finished its pass in the
+    /// current round: `statements` statements were matched across
+    /// `workers` threads in `elapsed_ns`. Stages are 0-based within a
+    /// round; the sequential engine never emits this event.
+    fn stage_end(
+        &mut self,
+        round: usize,
+        stage: usize,
+        statements: usize,
+        workers: usize,
+        elapsed_ns: u64,
+    ) {
+        let _ = (round, stage, statements, workers, elapsed_ns);
+    }
+
     /// A round ended, committing `fresh` new facts in `elapsed_ns`.
     fn round_end(&mut self, round: usize, fresh: u64, elapsed_ns: u64) {
         let _ = (round, fresh, elapsed_ns);
@@ -145,6 +160,17 @@ impl<O: ChaseObserver> ChaseObserver for &mut O {
         (**self).statement(sr);
     }
 
+    fn stage_end(
+        &mut self,
+        round: usize,
+        stage: usize,
+        statements: usize,
+        workers: usize,
+        elapsed_ns: u64,
+    ) {
+        (**self).stage_end(round, stage, statements, workers, elapsed_ns);
+    }
+
     fn round_end(&mut self, round: usize, fresh: u64, elapsed_ns: u64) {
         (**self).round_end(round, fresh, elapsed_ns);
     }
@@ -204,6 +230,20 @@ impl<A: ChaseObserver, B: ChaseObserver> ChaseObserver for (A, B) {
     fn statement(&mut self, sr: &StmtRound) {
         self.0.statement(sr);
         self.1.statement(sr);
+    }
+
+    fn stage_end(
+        &mut self,
+        round: usize,
+        stage: usize,
+        statements: usize,
+        workers: usize,
+        elapsed_ns: u64,
+    ) {
+        self.0
+            .stage_end(round, stage, statements, workers, elapsed_ns);
+        self.1
+            .stage_end(round, stage, statements, workers, elapsed_ns);
     }
 
     fn round_end(&mut self, round: usize, fresh: u64, elapsed_ns: u64) {

@@ -25,6 +25,23 @@ pub struct StmtStats {
     pub elapsed_ns: u64,
 }
 
+/// Whole-run totals for one parallel-chase schedule stage (summed over all
+/// rounds). The sequential engine emits no stage events, so `stages` stays
+/// empty for it.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StageStats {
+    /// Stage index within the schedule (0-based).
+    pub stage: usize,
+    /// Statements matched in this stage.
+    pub statements: usize,
+    /// Rounds in which the stage ran.
+    pub rounds: usize,
+    /// Maximum worker threads dispatched for the stage in any round.
+    pub max_workers: usize,
+    /// Wall time across all rounds, in nanoseconds (0 when untimed).
+    pub elapsed_ns: u64,
+}
+
 /// Aggregated counters of one chase run ([`ChaseObserver`] implementation).
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct ChaseStats {
@@ -57,6 +74,9 @@ pub struct ChaseStats {
     pub round_fresh: Vec<u64>,
     /// Per-statement totals, indexed by statement.
     pub statements: Vec<StmtStats>,
+    /// Per-stage totals of the parallel engine, indexed by stage (empty
+    /// for a sequential chase).
+    pub stages: Vec<StageStats>,
 }
 
 impl ChaseStats {
@@ -72,6 +92,9 @@ impl ChaseStats {
         self.elapsed_ns = 0;
         self.store = StoreCounters::default();
         for s in &mut self.statements {
+            s.elapsed_ns = 0;
+        }
+        for s in &mut self.stages {
             s.elapsed_ns = 0;
         }
     }
@@ -111,6 +134,27 @@ impl ChaseObserver for ChaseStats {
         s.dedup_hits += sr.dedup_hits;
         s.nulls_interned += sr.nulls_interned;
         s.elapsed_ns += sr.elapsed_ns;
+    }
+
+    fn stage_end(
+        &mut self,
+        _round: usize,
+        stage: usize,
+        statements: usize,
+        workers: usize,
+        elapsed_ns: u64,
+    ) {
+        if self.stages.len() <= stage {
+            self.stages.resize_with(stage + 1, StageStats::default);
+            for (i, s) in self.stages.iter_mut().enumerate() {
+                s.stage = i;
+            }
+        }
+        let s = &mut self.stages[stage];
+        s.statements = statements;
+        s.rounds += 1;
+        s.max_workers = s.max_workers.max(workers);
+        s.elapsed_ns += elapsed_ns;
     }
 
     fn round_end(&mut self, _round: usize, fresh: u64, elapsed_ns: u64) {
@@ -273,6 +317,18 @@ impl ChaseObserver for Stats {
         self.chase.statement(sr);
     }
 
+    fn stage_end(
+        &mut self,
+        round: usize,
+        stage: usize,
+        statements: usize,
+        workers: usize,
+        elapsed_ns: u64,
+    ) {
+        self.chase
+            .stage_end(round, stage, statements, workers, elapsed_ns);
+    }
+
     fn round_end(&mut self, round: usize, fresh: u64, elapsed_ns: u64) {
         self.chase.round_end(round, fresh, elapsed_ns);
     }
@@ -370,6 +426,24 @@ mod tests {
         let json = redacted.to_json();
         assert!(json.contains("\"triggers_examined\": 8"));
         assert!(json.contains("\"outcome\": \"fixpoint\""));
+    }
+
+    #[test]
+    fn stage_stats_aggregate_across_rounds() {
+        let mut st = ChaseStats::new();
+        st.stage_end(1, 0, 2, 2, 10);
+        st.stage_end(1, 1, 1, 1, 5);
+        st.stage_end(2, 0, 2, 3, 7);
+        assert_eq!(st.stages.len(), 2);
+        assert_eq!(st.stages[0].stage, 0);
+        assert_eq!(st.stages[0].statements, 2);
+        assert_eq!(st.stages[0].rounds, 2);
+        assert_eq!(st.stages[0].max_workers, 3);
+        assert_eq!(st.stages[0].elapsed_ns, 17);
+        assert_eq!(st.stages[1].rounds, 1);
+        st.redact_timings();
+        assert!(st.stages.iter().all(|s| s.elapsed_ns == 0));
+        assert!(st.to_json().contains("\"stages\""));
     }
 
     #[test]

@@ -72,6 +72,19 @@ impl<W: Write> ChaseObserver for JsonlTracer<W> {
         ));
     }
 
+    fn stage_end(
+        &mut self,
+        round: usize,
+        stage: usize,
+        statements: usize,
+        workers: usize,
+        elapsed_ns: u64,
+    ) {
+        self.emit(&format!(
+            "{{\"event\":\"stage_end\",\"round\":{round},\"stage\":{stage},\"statements\":{statements},\"workers\":{workers},\"elapsed_ns\":{elapsed_ns}}}"
+        ));
+    }
+
     fn round_end(&mut self, round: usize, fresh: u64, elapsed_ns: u64) {
         self.emit(&format!(
             "{{\"event\":\"round_end\",\"round\":{round},\"fresh\":{fresh},\"elapsed_ns\":{elapsed_ns}}}"

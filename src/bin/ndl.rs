@@ -3,9 +3,9 @@
 //! ```text
 //! ndl parse    (--nested|--st|--so|--egd) "<dependency>"
 //! ndl lint     <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
-//! ndl analyze  <file> [--json|--dot] [--stats]
+//! ndl analyze  <file> [--json|--dot[=positions|conflicts]|--schedule [--json]] [--stats]
 //! ndl skolemize "<nested tgd>"
-//! ndl chase    <file> [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
+//! ndl chase    <file> [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
 //! ndl chase    --tgd "<nested tgd>"... --fact "R(a,b)"... [--egd "<egd>"...] [--core]
 //! ndl implies  --premise "<tgd>"... [--egd "<egd>"...] --conclusion "<tgd>"
 //! ndl equiv    --left "<tgd>"... --right "<tgd>"... [--egd "<egd>"...]
@@ -19,12 +19,19 @@
 //! (capped at 100), so `ndl lint file && deploy` gates on a clean program.
 //! `analyze` prints the semantic report for a program — position/Skolem
 //! graphs, chase-termination class and cost bounds — as a human summary,
-//! machine-readable JSON (`--json`) or Graphviz DOT (`--dot`).
+//! machine-readable JSON (`--json`) or Graphviz DOT (`--dot`, or
+//! `--dot=positions`; `--dot=conflicts` renders the statement conflict
+//! graph instead). `analyze --schedule` prints the parallel-schedule
+//! report — conflict-free stages, width, conflict edges — as a summary or,
+//! with `--json`, the machine-readable `ScheduleReport`.
 //!
 //! `chase <file>` runs the **planned fixpoint chase** of a program file end
 //! to end: tgd statements become the chase program, `fact:` statements the
 //! source instance, and the analyzer's plan supplies the firing order and
-//! termination verdict. `--budget N` bounds programs without a termination
+//! termination verdict. `--parallel` runs the stage-parallel engine
+//! instead, firing the conflict-free statements of each schedule stage
+//! across worker threads (`NDL_CHASE_THREADS`) with bit-identical output.
+//! `--budget N` bounds programs without a termination
 //! guarantee; `--stats` prints the engine's counters as JSON instead of the
 //! instance (`--no-timings` zeroes wall-clock fields for diffable output);
 //! `--trace f.jsonl` appends one JSON event per round/statement to `f`.
@@ -64,9 +71,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   ndl parse (--nested|--st|--so|--egd) \"<dependency>\"
   ndl lint <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
-  ndl analyze <file> [--json|--dot] [--stats]
+  ndl analyze <file> [--json|--dot[=positions|conflicts]|--schedule [--json]] [--stats]
   ndl skolemize \"<nested tgd>\"
-  ndl chase <file> [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
+  ndl chase <file> [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
   ndl chase --tgd \"<tgd>\"... --fact \"R(a,b)\"... [--egd \"<egd>\"...] [--core]
   ndl implies --premise \"<tgd>\"... [--egd \"<egd>\"...] --conclusion \"<tgd>\"
   ndl equiv --left \"<tgd>\"... --right \"<tgd>\"... [--egd \"<egd>\"...]
@@ -94,6 +101,22 @@ fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Looks up a `--flag[=value]` option: `None` when absent, `Some("")` for
+/// the bare flag, `Some(value)` for the `--flag=value` form.
+fn flag_mode<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    for a in args {
+        if a == flag {
+            return Some("");
+        }
+        if let Some(v) = a.strip_prefix(flag) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v);
+            }
+        }
+    }
+    None
 }
 
 /// The first positional (non-flag) argument, skipping the value slot after
@@ -210,12 +233,16 @@ fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<Exit
     Ok(ExitCode::from(failing.min(100) as u8))
 }
 
-/// `ndl analyze <file> [--json|--dot]`
+/// `ndl analyze <file> [--json|--dot[=positions|conflicts]|--schedule]`
 ///
 /// Prints the semantic analysis of a dependency program: position and
 /// Skolem dependency graphs, the chase-termination class with its witness
 /// cycle, cost bounds and the derived firing order. `--json` emits the
-/// machine-readable [`analyze::AnalysisReport`]; `--dot` emits Graphviz.
+/// machine-readable [`analyze::AnalysisReport`]; `--dot` (or
+/// `--dot=positions`) emits the dependency graphs as Graphviz, while
+/// `--dot=conflicts` emits the statement conflict graph. `--schedule`
+/// prints the parallel-schedule report instead (with `--json`, as the
+/// machine-readable `ScheduleReport`).
 fn cmd_analyze(syms: &mut SymbolTable, args: &[String]) -> CliResult {
     let path = args
         .iter()
@@ -233,8 +260,25 @@ fn cmd_analyze(syms: &mut SymbolTable, args: &[String]) -> CliResult {
             started.elapsed().as_nanos()
         );
     }
-    if has_flag(args, "--dot") {
-        print!("{}", analysis.to_dot(syms));
+    if let Some(mode) = flag_mode(args, "--dot") {
+        match mode {
+            "" | "positions" => print!("{}", analysis.to_dot(syms)),
+            "conflicts" => print!("{}", analysis.conflict_dot(syms)),
+            other => {
+                return Err(format!(
+                    "unknown --dot mode {other:?} (expected positions or conflicts)"
+                ))
+            }
+        }
+        return Ok(());
+    }
+    if has_flag(args, "--schedule") {
+        let report = analysis.schedule_report(syms);
+        if has_flag(args, "--json") {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
         return Ok(());
     }
     let report = analysis.report(syms);
@@ -443,12 +487,23 @@ fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliRes
         }
         None => None,
     };
+    let parallel = has_flag(args, "--parallel");
     let outcome = match &mut tracer {
         Some(t) => {
             let mut obs = (&mut stats, t);
-            chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut obs)
+            if parallel {
+                chase_fixpoint_parallel_with(&source, &tgds, &plan, &mut nulls, &mut obs)
+            } else {
+                chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut obs)
+            }
         }
-        None => chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut stats),
+        None => {
+            if parallel {
+                chase_fixpoint_parallel_with(&source, &tgds, &plan, &mut nulls, &mut stats)
+            } else {
+                chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut stats)
+            }
+        }
     };
     if let Some(t) = tracer {
         if t.io_errors() > 0 {
@@ -500,6 +555,9 @@ fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliRes
         Err(e @ FixpointError::NonTerminating { .. }) => {
             Err(format!("{e}; re-run with --budget N to chase it anyway"))
         }
+        // The analyzer's schedule failed the engine's certificate check —
+        // an internal inconsistency, reported as a tool failure.
+        Err(e @ FixpointError::InvalidSchedule { .. }) => Err(e.to_string()),
     }
 }
 

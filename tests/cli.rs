@@ -350,7 +350,9 @@ fn lint_and_analyze_stats_go_to_stderr() {
     let (ok, out, err) = ndl_err(&["lint", "examples/programs/running.ndl", "--stats"]);
     assert!(ok);
     assert!(err.contains("\"command\":\"lint\""));
-    assert!(err.contains("\"diagnostics\":0"));
+    // The running example reports the five info-level relation-role
+    // findings (R2/R3/R4 write-only, S2/S4 read-only), no errors.
+    assert!(err.contains("\"diagnostics\":5"));
     let plain = ndl(&["lint", "examples/programs/running.ndl"]);
     assert_eq!(out, plain.1, "--stats must not perturb stdout");
 

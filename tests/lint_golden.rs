@@ -29,13 +29,34 @@ fn codes(diags: &[Diagnostic]) -> Vec<&str> {
 fn paper_running_example_is_clean() {
     let (code, diags) = lint_json("paper_running.ndl");
     assert_eq!(code, 0);
-    assert!(diags.is_empty(), "{diags:?}");
+    // No errors or warnings; the info-level relation-role lints report the
+    // target relations (written, never read: R2, R3, R4) and the source
+    // relations no fact populates (read, never written: S2, S4).
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Info),
+        "{diags:?}"
+    );
+    assert_eq!(
+        codes(&diags),
+        ["NDL031", "NDL031", "NDL031", "NDL032", "NDL032"]
+    );
+    assert!(diags[0].message.contains("relation R2"));
+    assert!(diags[3].message.contains("relation S2"));
 }
 
 #[test]
 fn mixed_fixture_reports_all_three_findings() {
     let (code, diags) = lint_json("mixed.ndl");
-    assert_eq!(codes(&diags), ["NDL002", "NDL012", "NDL016"]);
+    // The three position-anchored findings, then the unanchored info
+    // lints: relation roles (Q1, Q2, T, U write-only; P, S0 read-only)
+    // and the schedule-width report for the two analyzable statements.
+    assert_eq!(
+        codes(&diags),
+        [
+            "NDL002", "NDL012", "NDL016", "NDL031", "NDL031", "NDL031", "NDL031", "NDL032",
+            "NDL032", "NDL034",
+        ]
+    );
     // Unsafe variable z, anchored on its quantifier-list occurrence.
     assert_eq!(diags[0].severity, Severity::Error);
     assert_eq!(diags[0].statement, Some(0));
@@ -57,9 +78,15 @@ fn mixed_fixture_reports_all_three_findings() {
 #[test]
 fn errors_fixture_covers_the_core_error_codes() {
     let (code, diags) = lint_json("errors.ndl");
-    assert_eq!(codes(&diags), ["NDL001", "NDL003", "NDL005", "NDL006"]);
-    assert!(diags.iter().all(Diagnostic::is_error));
-    let positions: Vec<_> = diags.iter().map(|d| (d.line, d.col)).collect();
+    assert_eq!(
+        codes(&diags),
+        ["NDL001", "NDL003", "NDL005", "NDL006", "NDL031", "NDL032"]
+    );
+    // The four core findings are errors; the trailing relation-role
+    // lints (W write-only, R3 read-only, from the one analyzable
+    // statement) are info.
+    assert!(diags[..4].iter().all(Diagnostic::is_error));
+    let positions: Vec<_> = diags[..4].iter().map(|d| (d.line, d.col)).collect();
     assert_eq!(
         positions,
         [
@@ -77,7 +104,7 @@ fn semantic_fixture_reports_the_termination_error_with_its_cycle() {
     let (code, diags) = lint_json("semantic.ndl");
     assert_eq!(
         codes(&diags),
-        ["NDL020", "NDL006", "NDL006", "NDL003", "NDL003"]
+        ["NDL020", "NDL006", "NDL006", "NDL003", "NDL003", "NDL034"]
     );
     assert_eq!(code, 5);
     // The NDL020 finding is an error spanning the whole first statement of
@@ -137,6 +164,7 @@ fn cli_json_matches_library_output() {
         "mixed.ndl",
         "errors.ndl",
         "semantic.ndl",
+        "subsumed.ndl",
     ] {
         let (_, cli) = lint_json(name);
         let src = std::fs::read_to_string(fixture(name)).unwrap();
@@ -158,5 +186,26 @@ fn human_rendering_carets_the_offending_token() {
     assert!(text.contains("error[NDL002]: universal variable z"));
     assert!(text.contains("3 | forall x,z (S(x) -> R(x))"));
     assert!(text.contains("  |          ^"));
-    assert!(text.contains("1 error, 2 warnings, 0 info"));
+    assert!(text.contains("1 error, 2 warnings, 7 info"));
+}
+
+#[test]
+fn subsumed_fixture_reports_the_equivalent_duplicate() {
+    let (code, diags) = lint_json("subsumed.ndl");
+    // NDL030 anchors on the *later* statement of the α-equivalent pair —
+    // IMPLIES holds in both directions, so either could go, and keeping
+    // the earlier one is the stable choice. R is write-only (NDL031) and
+    // the width-1 schedule is reported (both statements write R: W–W).
+    assert_eq!(codes(&diags), ["NDL030", "NDL031", "NDL034"]);
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.statement, Some(1));
+    assert!(
+        d.message.contains("equivalent to statement 0"),
+        "{}",
+        d.message
+    );
+    assert!(diags[2].message.contains("width 1"));
+    // One warning → exit code 1.
+    assert_eq!(code, 1);
 }
