@@ -25,9 +25,13 @@ done
 
 echo "==> chase goldens: ndl chase --stats over terminating example programs"
 for name in running pipeline; do
-  ./target/release/ndl chase --stats --no-timings "examples/programs/$name.ndl" \
+  ./target/release/ndl chase --stats --no-timings --no-delta "examples/programs/$name.ndl" \
     | diff -u "examples/programs/golden/$name.chase.json" -
 done
+
+echo "==> delta chase golden: semi-naive stats (frontiers, touched counters)"
+./target/release/ndl chase --stats --no-timings --delta examples/programs/running.ndl \
+  | diff -u examples/programs/golden/running.delta.json -
 
 echo "==> schedule goldens: ndl analyze --schedule over examples/programs/"
 for f in examples/programs/*.ndl; do
@@ -36,11 +40,17 @@ for f in examples/programs/*.ndl; do
     | diff -u "examples/programs/golden/$name.schedule.json" -
 done
 
-echo "==> parallel chase parity: ndl chase --parallel over terminating example programs"
+echo "==> chase engine parity: naive / delta / delta-parallel are bit-identical"
 for name in running pipeline; do
-  diff <(./target/release/ndl chase "examples/programs/$name.ndl") \
+  seq_out="$(./target/release/ndl chase --no-delta "examples/programs/$name.ndl")"
+  diff <(echo "$seq_out") \
+       <(./target/release/ndl chase --delta "examples/programs/$name.ndl")
+  diff <(echo "$seq_out") \
+       <(NDL_CHASE_THREADS=3 NDL_CHASE_SEQUENTIAL_CUTOFF=1 NDL_CHASE_SHARDS=4 \
+         ./target/release/ndl chase --delta --parallel "examples/programs/$name.ndl")
+  diff <(echo "$seq_out") \
        <(NDL_CHASE_THREADS=3 NDL_CHASE_SEQUENTIAL_CUTOFF=1 \
-         ./target/release/ndl chase --parallel "examples/programs/$name.ndl")
+         ./target/release/ndl chase --no-delta --parallel "examples/programs/$name.ndl")
 done
 
 echo "==> engine tests: cargo test -q -p ndl-hom"
@@ -57,6 +67,9 @@ cargo build --release --offline -p ndl-bench --bin bench_schedule
 
 echo "==> bench_store builds (record regeneration stays opt-in)"
 cargo build --release --offline -p ndl-bench --bin bench_store
+
+echo "==> bench_delta builds (record regeneration stays opt-in)"
+cargo build --release --offline -p ndl-bench --bin bench_delta
 
 echo "==> miri (ndl-core), when the toolchain component is installed"
 if cargo miri --version >/dev/null 2>&1; then

@@ -86,6 +86,9 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "experiments".into());
     let threads = ChaseConfig::global().threads;
+    let threads_available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut record = ExperimentRecord::new(
         "BENCH_schedule",
         "stage-parallel vs sequential fixpoint chase on fan-out and chain workloads",
@@ -161,6 +164,7 @@ fn main() {
             ("seq_ms", format!("{:.3}", seq_secs * 1e3)),
             ("par_ms", format!("{:.3}", par_secs * 1e3)),
             ("speedup", format!("{speedup:.2}")),
+            ("threads_available", threads_available.to_string()),
         ]);
     }
 

@@ -11,7 +11,13 @@
 //!   [`std::thread::available_parallelism`]);
 //! - `NDL_CHASE_SEQUENTIAL_CUTOFF` — minimum number of facts in the
 //!   instance before threads are spawned (default
-//!   [`ChaseConfig::DEFAULT_SEQUENTIAL_CUTOFF`]).
+//!   [`ChaseConfig::DEFAULT_SEQUENTIAL_CUTOFF`]);
+//! - `NDL_CHASE_DELTA` — whether front ends default to the semi-naive
+//!   delta engine ([`crate::delta::chase_fixpoint_delta`]); `0`/`false`/
+//!   `off` selects the naive rescan engine (default on);
+//! - `NDL_CHASE_SHARDS` — how many contiguous root-candidate chunks the
+//!   delta-parallel engine splits a statement's match phase into (unset
+//!   defaults to the thread count).
 //!
 //! Programmatic override: call [`ChaseConfig::set_global`] before any
 //! engine entry point. See `docs/performance.md` for guidance.
@@ -25,6 +31,13 @@ pub struct ChaseConfig {
     pub threads: usize,
     /// Minimum instance fact count before spawning worker threads.
     pub sequential_cutoff: usize,
+    /// Do front ends default to the semi-naive delta engine? Engines are
+    /// selected by function, so this gates defaults (the `ndl chase` CLI),
+    /// not library calls.
+    pub delta: bool,
+    /// Contiguous root-candidate chunks per statement in the
+    /// delta-parallel engine (`None` = one per worker thread).
+    pub shards: Option<usize>,
 }
 
 static GLOBAL: OnceLock<ChaseConfig> = OnceLock::new();
@@ -36,6 +49,8 @@ impl Default for ChaseConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             sequential_cutoff: Self::DEFAULT_SEQUENTIAL_CUTOFF,
+            delta: true,
+            shards: None,
         }
     }
 }
@@ -66,6 +81,12 @@ impl ChaseConfig {
         if let Some(c) = parse_override("NDL_CHASE_SEQUENTIAL_CUTOFF", get) {
             cfg.sequential_cutoff = c;
         }
+        if let Some(d) = parse_bool_override("NDL_CHASE_DELTA", get) {
+            cfg.delta = d;
+        }
+        if let Some(s) = parse_override("NDL_CHASE_SHARDS", get) {
+            cfg.shards = Some(s);
+        }
         cfg
     }
 
@@ -91,6 +112,22 @@ impl ChaseConfig {
             self.threads.min(work_items).max(1)
         }
     }
+
+    /// How many contiguous root-candidate chunks the delta-parallel engine
+    /// splits a statement with `root_candidates` into: 1 below the
+    /// sequential cutoff (sharding tiny scans is pure overhead), otherwise
+    /// the configured shard count (default: the thread count), never more
+    /// than the candidates available.
+    pub fn effective_shards(&self, root_candidates: usize) -> usize {
+        if root_candidates < self.sequential_cutoff {
+            1
+        } else {
+            self.shards
+                .unwrap_or(self.threads)
+                .min(root_candidates)
+                .max(1)
+        }
+    }
 }
 
 fn parse_override(key: &str, get: &dyn Fn(&str) -> Option<String>) -> Option<usize> {
@@ -101,6 +138,21 @@ fn parse_override(key: &str, get: &dyn Fn(&str) -> Option<String>) -> Option<usi
             ndl_obs::warn_once(
                 key,
                 format!("ignoring {key}={raw:?}: expected a positive integer, using the default"),
+            );
+            None
+        }
+    }
+}
+
+fn parse_bool_override(key: &str, get: &dyn Fn(&str) -> Option<String>) -> Option<bool> {
+    let raw = get(key)?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => {
+            ndl_obs::warn_once(
+                key,
+                format!("ignoring {key}={raw:?}: expected a boolean (0/1), using the default"),
             );
             None
         }
@@ -126,6 +178,7 @@ mod tests {
         let cfg = ChaseConfig {
             threads: 4,
             sequential_cutoff: 100,
+            ..ChaseConfig::default()
         };
         assert_eq!(cfg.effective_threads(8, 99), 1);
         assert_eq!(cfg.effective_threads(8, 1000), 4);
@@ -135,25 +188,57 @@ mod tests {
     }
 
     #[test]
+    fn effective_shards_respects_cutoff_and_candidates() {
+        let cfg = ChaseConfig {
+            threads: 4,
+            sequential_cutoff: 100,
+            delta: true,
+            shards: None,
+        };
+        // Below the cutoff sharding is pure overhead.
+        assert_eq!(cfg.effective_shards(99), 1);
+        // Unset shard count follows the thread budget.
+        assert_eq!(cfg.effective_shards(1000), 4);
+        // An explicit shard count wins, capped by the candidates.
+        let explicit = ChaseConfig {
+            shards: Some(8),
+            ..cfg
+        };
+        assert_eq!(explicit.effective_shards(1000), 8);
+        assert_eq!(
+            explicit.effective_shards(explicit.sequential_cutoff + 2),
+            8.min(explicit.sequential_cutoff + 2)
+        );
+    }
+
+    #[test]
     fn env_overrides_apply_and_bad_values_warn() {
         let good = ChaseConfig::from_env_with(&|key| match key {
             "NDL_CHASE_THREADS" => Some("3".to_string()),
             "NDL_CHASE_SEQUENTIAL_CUTOFF" => Some(" 64 ".to_string()),
+            "NDL_CHASE_DELTA" => Some("off".to_string()),
+            "NDL_CHASE_SHARDS" => Some("6".to_string()),
             _ => None,
         });
         assert_eq!(good.threads, 3);
         assert_eq!(good.sequential_cutoff, 64);
+        assert!(!good.delta);
+        assert_eq!(good.shards, Some(6));
 
         // Unparsable and zero values fall back to the defaults — and are
         // reported, not swallowed.
         let bad = ChaseConfig::from_env_with(&|key| match key {
             "NDL_CHASE_THREADS" => Some("many".to_string()),
             "NDL_CHASE_SEQUENTIAL_CUTOFF" => Some("0".to_string()),
+            "NDL_CHASE_DELTA" => Some("maybe".to_string()),
+            "NDL_CHASE_SHARDS" => Some("0".to_string()),
             _ => None,
         });
         assert_eq!(bad, ChaseConfig::default());
         let warned: Vec<String> = ndl_obs::warnings().into_iter().map(|w| w.key).collect();
         assert!(warned.iter().any(|k| k == "NDL_CHASE_THREADS"));
         assert!(warned.iter().any(|k| k == "NDL_CHASE_SEQUENTIAL_CUTOFF"));
+        assert!(warned.iter().any(|k| k == "NDL_CHASE_DELTA"));
+        assert!(warned.iter().any(|k| k == "NDL_CHASE_SHARDS"));
     }
 }

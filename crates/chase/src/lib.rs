@@ -14,6 +14,10 @@
 //! - [`fixpoint`] — the oblivious **fixpoint** chase for recursive SO-tgd
 //!   programs, driven by a [`plan::ChasePlan`] (firing order, termination
 //!   verdict, step budget, index sizing) from the static analyzer;
+//! - [`delta`] — the **semi-naive** fixpoint chase: each round matches
+//!   only triggers reaching the previous round's delta frontier
+//!   (`TupleIndex::mark_frontier`), with an optional sharded-parallel
+//!   match phase — both bit-identical to [`fixpoint`];
 //! - [`parallel`] — the stage-parallel fixpoint chase: fires the
 //!   conflict-free statements of a [`plan::ParallelSchedule`] stage across
 //!   scoped worker threads ([`config::ChaseConfig`], `NDL_CHASE_THREADS`)
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod delta;
 pub mod egd;
 pub mod fixpoint;
 pub mod nested;
@@ -39,6 +44,10 @@ pub mod st;
 pub mod trigger;
 
 pub use config::ChaseConfig;
+pub use delta::{
+    chase_fixpoint_delta, chase_fixpoint_delta_parallel, chase_fixpoint_delta_parallel_with,
+    chase_fixpoint_delta_with,
+};
 pub use egd::{chase_egds, satisfies_egds, EgdChase, EgdConflict, RigidPolicy};
 pub use fixpoint::{
     chase_fixpoint, chase_fixpoint_with, FixpointChase, FixpointError, FixpointProgress,

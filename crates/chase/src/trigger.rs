@@ -114,7 +114,14 @@ impl<'a> Matcher<'a> {
                 }
             }
         }
-        let atom = remaining.swap_remove(best);
+        // Positional remove + insert (not `swap_remove` + `push`): every
+        // call restores `remaining` to exactly its entry state, so the
+        // order of `remaining` at any node depends only on which ancestors
+        // were matched, never on how sibling subtrees ran. The semi-naive
+        // matcher relies on this to *skip* subtrees (all-old matches)
+        // while enumerating the rest in identical order — see
+        // [`Matcher::try_for_each_delta_match`].
+        let atom = remaining.remove(best);
         let index = self.idx();
         // Rollback scratch, reused across every candidate at this level.
         let mut newly: Vec<VarId> = Vec::new();
@@ -129,14 +136,240 @@ impl<'a> Matcher<'a> {
                     binding.remove(v);
                 }
                 if flow.is_break() {
-                    remaining.push(atom);
+                    remaining.insert(best, atom);
                     return flow;
                 }
             }
         }
-        // Restore the removed atom (order within `remaining` is irrelevant).
-        remaining.push(atom);
+        remaining.insert(best, atom);
         ControlFlow::Continue(())
+    }
+
+    /// Streams exactly the **delta-touching subsequence** of
+    /// [`Matcher::try_for_each_match`]'s enumeration: the matches in which
+    /// at least one body atom binds a tuple in the index's current
+    /// frontier (see `TupleIndex::mark_frontier`), in the same relative
+    /// order and with identical bindings. This is the semi-naive rewrite
+    /// of the join, generalized to nested-tgd bodies: instead of rewriting
+    /// the body into per-atom delta rules (which would permute the match
+    /// order and hence null interning), the recursive join itself prunes
+    /// subtrees that provably contain only all-old matches.
+    ///
+    /// When the watermark is 0 (nothing marked yet) every tuple is delta
+    /// and this is the full enumeration — including the empty body's
+    /// single match.
+    ///
+    /// `touched` accumulates candidate tuples iterated: the delta engine's
+    /// work measure (an empty frontier costs `O(atoms·log)` here, not a
+    /// rescan) and the shard-balance statistic of the parallel engine.
+    pub fn try_for_each_delta_match(
+        &self,
+        atoms: &[Atom],
+        partial: &Binding,
+        touched: &mut u64,
+        mut f: impl FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if atoms.is_empty() {
+            // The empty conjunction matches once and touches no tuple: it
+            // is a delta match only when everything is (round one).
+            return if self.idx().frontier_start() == 0 {
+                f(partial)
+            } else {
+                ControlFlow::Continue(())
+            };
+        }
+        match self.delta_root(atoms, partial) {
+            None => ControlFlow::Continue(()),
+            Some((root, ids)) => self.run_delta_root(atoms, partial, root, ids, touched, &mut f),
+        }
+    }
+
+    /// Depth-0 planning for the semi-naive join: the root atom the
+    /// recursive join selects first (the same most-selective rule as the
+    /// full matcher, over *full* candidate lists — selection must not
+    /// depend on the frontier or the enumeration order would diverge) and
+    /// the candidate slice the root loop iterates. `None` means the delta
+    /// enumeration is provably empty: some atom has no candidates, or no
+    /// atom can bind a frontier tuple — the empty-delta fast path.
+    ///
+    /// The parallel engine shards the returned slice into contiguous
+    /// chunks ([`Matcher::run_delta_root`] accepts any sub-slice);
+    /// concatenating the chunks' match streams in chunk order reproduces
+    /// the sequential enumeration exactly.
+    pub(crate) fn delta_root<'s>(
+        &'s self,
+        atoms: &[Atom],
+        partial: &Binding,
+    ) -> Option<(usize, &'s [TupleId])> {
+        debug_assert!(!atoms.is_empty());
+        let index = self.idx();
+        let all = index.frontier_start() == 0;
+        let mut best = 0;
+        let mut best_ids: &[TupleId] = &[];
+        let mut best_len = usize::MAX;
+        let mut any_delta = all;
+        for (i, atom) in atoms.iter().enumerate() {
+            let ids = self.candidates(atom, partial);
+            if !any_delta {
+                let cut = ids.partition_point(|id| !index.in_frontier(*id));
+                any_delta = cut < ids.len();
+            }
+            if ids.len() < best_len {
+                best = i;
+                best_ids = ids;
+                best_len = ids.len();
+                if best_len == 0 {
+                    return None;
+                }
+            }
+        }
+        if !any_delta {
+            return None;
+        }
+        if !all && atoms.len() == 1 {
+            // A single-atom body must bind its one atom into the frontier:
+            // only the frontier suffix of the candidates can match.
+            let cut = best_ids.partition_point(|id| !index.in_frontier(*id));
+            best_ids = &best_ids[cut..];
+        }
+        Some((best, best_ids))
+    }
+
+    /// Runs the semi-naive join over one contiguous chunk of the root
+    /// candidates planned by [`Matcher::delta_root`]. `ids` may be any
+    /// contiguous sub-slice of the planner's candidate slice; `root` must
+    /// be the planner's atom index.
+    pub(crate) fn run_delta_root(
+        &self,
+        atoms: &[Atom],
+        partial: &Binding,
+        root: usize,
+        ids: &[TupleId],
+        touched: &mut u64,
+        f: &mut impl FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let index = self.idx();
+        let all = index.frontier_start() == 0;
+        let mut binding = partial.clone();
+        let mut remaining: Vec<&Atom> = atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != root)
+            .map(|(_, a)| a)
+            .collect();
+        let atom = &atoms[root];
+        let mut newly: Vec<VarId> = Vec::new();
+        for &id in ids {
+            *touched += 1;
+            if !index.is_live(id) {
+                continue;
+            }
+            newly.clear();
+            if try_extend(atom, index.tuple(id), &mut binding, &mut newly) {
+                let flow = self.match_delta(
+                    &mut remaining,
+                    &mut binding,
+                    all || index.in_frontier(id),
+                    touched,
+                    f,
+                );
+                for v in &newly {
+                    binding.remove(v);
+                }
+                if flow.is_break() {
+                    return flow;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// The delta twin of [`Matcher::match_indexed`]: identical atom
+    /// selection and candidate iteration, plus a `delta_bound` flag
+    /// tracking whether an ancestor already bound a frontier tuple.
+    /// Completed matches fire only when `delta_bound`; subtrees in which
+    /// no remaining atom can reach the frontier are pruned (safe because
+    /// the full matcher restores `remaining` around every node, so
+    /// skipping a subtree leaves siblings' state untouched); and a
+    /// not-yet-bound final atom iterates only the frontier suffix of its
+    /// candidates.
+    fn match_delta(
+        &self,
+        remaining: &mut Vec<&Atom>,
+        binding: &mut Binding,
+        delta_bound: bool,
+        touched: &mut u64,
+        f: &mut impl FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if remaining.is_empty() {
+            return if delta_bound {
+                f(binding)
+            } else {
+                ControlFlow::Continue(())
+            };
+        }
+        let index = self.idx();
+        let mut best = 0;
+        let mut best_ids: &[TupleId] = &[];
+        let mut best_len = usize::MAX;
+        let mut any_delta = delta_bound;
+        for (i, atom) in remaining.iter().enumerate() {
+            let ids = self.candidates(atom, binding);
+            if !any_delta {
+                let cut = ids.partition_point(|id| !index.in_frontier(*id));
+                any_delta = cut < ids.len();
+            }
+            if ids.len() < best_len {
+                best = i;
+                best_ids = ids;
+                best_len = ids.len();
+                if best_len == 0 {
+                    break;
+                }
+            }
+        }
+        if best_len == 0 || !any_delta {
+            // Either some atom matches nothing, or every remaining atom's
+            // candidates lie entirely below the watermark — a match here
+            // could only be all-old, and all-old matches already fired in
+            // an earlier round (equality gates and head grounding are
+            // factory-state independent, so re-firing them is pure dedup).
+            return ControlFlow::Continue(());
+        }
+        if !delta_bound && remaining.len() == 1 {
+            // Last chance to touch the frontier: only the frontier suffix
+            // of the final atom's candidates can complete a delta match.
+            let cut = best_ids.partition_point(|id| !index.in_frontier(*id));
+            best_ids = &best_ids[cut..];
+        }
+        let atom = remaining.remove(best);
+        let mut newly: Vec<VarId> = Vec::new();
+        let mut flow = ControlFlow::Continue(());
+        for &id in best_ids {
+            *touched += 1;
+            if !index.is_live(id) {
+                continue;
+            }
+            newly.clear();
+            if try_extend(atom, index.tuple(id), binding, &mut newly) {
+                let fl = self.match_delta(
+                    remaining,
+                    binding,
+                    delta_bound || index.in_frontier(id),
+                    touched,
+                    f,
+                );
+                for v in &newly {
+                    binding.remove(v);
+                }
+                if fl.is_break() {
+                    flow = fl;
+                    break;
+                }
+            }
+        }
+        remaining.insert(best, atom);
+        flow
     }
 
     /// The tightest available candidate list: the shortest posting list
@@ -390,6 +623,120 @@ mod tests {
         scan.sort();
         indexed.sort();
         assert_eq!(scan, indexed);
+    }
+
+    /// Collects the delta enumeration of `matcher` for `atoms`.
+    fn delta_matches(matcher: &Matcher, atoms: &[Atom]) -> (Vec<Binding>, u64) {
+        let mut out = Vec::new();
+        let mut touched = 0u64;
+        let _ = matcher.try_for_each_delta_match(atoms, &Binding::new(), &mut touched, |b| {
+            out.push(b.clone());
+            ControlFlow::Continue(())
+        });
+        (out, touched)
+    }
+
+    #[test]
+    fn delta_enumeration_is_the_new_minus_old_subsequence() {
+        // Build a growing index the way the chase does: insert a base,
+        // mark the frontier, insert a delta. The delta enumeration must be
+        // exactly the full enumeration minus the old-index enumeration —
+        // as a *subsequence*, in the full enumeration's order.
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let z = syms.var("z");
+        let v: Vec<Value> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| Value::Const(syms.constant(n)))
+            .collect();
+        let mut idx = TupleIndex::new();
+        for (i, j) in [(0, 1), (1, 2), (2, 3)] {
+            idx.insert(s, vec![v[i], v[j]]);
+        }
+        let queries: Vec<Vec<Atom>> = vec![
+            vec![Atom::new(s, vec![x, y])],
+            vec![Atom::new(s, vec![x, y]), Atom::new(s, vec![y, z])],
+            vec![Atom::new(s, vec![x, y]), Atom::new(s, vec![x, z])],
+            vec![
+                Atom::new(s, vec![x, y]),
+                Atom::new(s, vec![y, z]),
+                Atom::new(s, vec![z, x]),
+            ],
+        ];
+        let old: Vec<Vec<Binding>> = queries
+            .iter()
+            .map(|q| Matcher::over(&idx).all_matches(q, &Binding::new()))
+            .collect();
+        idx.mark_frontier();
+        for (i, j) in [(3, 4), (4, 0), (1, 4)] {
+            idx.insert(s, vec![v[i], v[j]]);
+        }
+        let matcher = Matcher::over(&idx);
+        for (q, old) in queries.iter().zip(&old) {
+            let full = matcher.all_matches(q, &Binding::new());
+            let (delta, _) = delta_matches(&matcher, q);
+            // Subsequence of the full enumeration...
+            let mut it = full.iter();
+            for d in &delta {
+                assert!(
+                    it.any(|m| m == d),
+                    "delta match {d:?} out of order for {q:?}"
+                );
+            }
+            // ...and exactly the set difference against the old matches.
+            let mut expect: Vec<&Binding> = full.iter().filter(|m| !old.contains(m)).collect();
+            let mut got: Vec<&Binding> = delta.iter().collect();
+            expect.sort();
+            got.sort();
+            assert_eq!(expect, got, "wrong delta set for {q:?}");
+        }
+    }
+
+    #[test]
+    fn zero_watermark_delta_equals_full_enumeration() {
+        let (mut syms, inst) = tiny();
+        let s = syms.rel("S");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let z = syms.var("z");
+        let matcher = Matcher::new(&inst);
+        let q = vec![Atom::new(s, vec![x, y]), Atom::new(s, vec![y, z])];
+        let full = matcher.all_matches(&q, &Binding::new());
+        let (delta, touched) = delta_matches(&matcher, &q);
+        assert_eq!(full, delta, "watermark 0 must enumerate everything");
+        assert!(touched > 0);
+        // Empty bodies match once under watermark 0.
+        let (empty, _) = delta_matches(&matcher, &[]);
+        assert_eq!(empty.len(), 1);
+    }
+
+    #[test]
+    fn empty_frontier_is_pruned_without_a_rescan() {
+        // A cross-product body over two 64-tuple relations has 4096 full
+        // matches; with an empty frontier the delta matcher must prune at
+        // the root, touching not a single candidate tuple.
+        let mut syms = SymbolTable::new();
+        let p = syms.rel("P");
+        let q = syms.rel("Q");
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let mut idx = TupleIndex::new();
+        for i in 0..64 {
+            let c = Value::Const(syms.constant(&format!("c{i}")));
+            idx.insert(p, vec![c]);
+            idx.insert(q, vec![c]);
+        }
+        idx.mark_frontier();
+        let matcher = Matcher::over(&idx);
+        let body = vec![Atom::new(p, vec![x]), Atom::new(q, vec![y])];
+        let (delta, touched) = delta_matches(&matcher, &body);
+        assert!(delta.is_empty());
+        assert_eq!(touched, 0, "empty delta must not rescan the instance");
+        // Empty bodies no longer match once the watermark has moved.
+        let (empty, _) = delta_matches(&matcher, &[]);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn force_parallel_config() {
     ChaseConfig::set_global(ChaseConfig {
         threads: 3,
         sequential_cutoff: 1,
+        ..ChaseConfig::default()
     });
 }
 

@@ -163,6 +163,45 @@ impl TupleIndex {
         self.store.rel_row_ids(rel)
     }
 
+    /// Advances the store's delta-frontier watermark past every current
+    /// row (see [`FactStore::mark_frontier`] for the contract). The
+    /// semi-naive chase marks at each round commit so the frontier is the
+    /// previous round's fresh tuples.
+    #[inline]
+    pub fn mark_frontier(&mut self) {
+        self.store.mark_frontier();
+    }
+
+    /// The current frontier watermark: ids `>=` this were indexed since
+    /// the last [`TupleIndex::mark_frontier`].
+    #[inline]
+    pub fn frontier_start(&self) -> u32 {
+        self.store.frontier_start()
+    }
+
+    /// Is the tuple id in the current frontier?
+    #[inline]
+    pub fn in_frontier(&self, id: TupleId) -> bool {
+        self.store.in_frontier(id)
+    }
+
+    /// The frontier suffix of a posting list: the ids of
+    /// [`TupleIndex::posting`] indexed since the last mark. Posting lists
+    /// append ids in increasing order (fresh inserts only — revivals never
+    /// re-append), so the frontier is a contiguous suffix found by binary
+    /// search.
+    pub fn posting_frontier(&self, rel: RelId, pos: u32, value: Value) -> &[TupleId] {
+        let ids = self.posting(rel, pos, value);
+        let cut = ids.partition_point(|id| id.0 < self.store.frontier_start());
+        &ids[cut..]
+    }
+
+    /// The frontier suffix of [`TupleIndex::rel_ids`] — all tuples of
+    /// `rel` indexed since the last mark.
+    pub fn rel_frontier(&self, rel: RelId) -> &[TupleId] {
+        self.store.rel_frontier(rel)
+    }
+
     /// The live relations (those with at least one live tuple).
     pub fn active_relations(&self) -> impl Iterator<Item = RelId> + '_ {
         self.store.active_relations()
@@ -292,6 +331,31 @@ mod tests {
         assert!(idx.rel_ids(r).is_empty());
         assert_eq!(idx.active_relations().count(), 0);
         assert!(idx.to_instance().is_empty());
+    }
+
+    #[test]
+    fn posting_frontier_is_the_post_mark_suffix() {
+        let (mut syms, r, a, b, _) = setup();
+        let c = Value::Const(syms.constant("c"));
+        let mut idx = TupleIndex::new();
+        idx.insert(r, vec![a, a]);
+        idx.insert(r, vec![b, a]);
+        idx.mark_frontier();
+        assert!(idx.posting_frontier(r, 1, a).is_empty());
+        assert!(idx.rel_frontier(r).is_empty());
+        idx.insert(r, vec![c, a]);
+        let delta: Vec<&[Value]> = idx
+            .posting_frontier(r, 1, a)
+            .iter()
+            .map(|&id| idx.tuple(id))
+            .collect();
+        assert_eq!(delta, vec![&[c, a][..]]);
+        assert_eq!(idx.rel_frontier(r).len(), 1);
+        // A dedup-hit re-insert of a pre-mark tuple adds nothing.
+        assert!(!idx.insert(r, vec![a, a]));
+        assert_eq!(idx.posting_frontier(r, 1, a).len(), 1);
+        // Full posting list is unchanged: frontier is a view, not a split.
+        assert_eq!(idx.posting(r, 1, a).len(), 3);
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub struct StoreCounters {
     pub revivals: u64,
     /// Arena rebuilds that dropped tombstones and renumbered ids.
     pub compactions: u64,
+    /// Dedup hash-map capacity growths (rehash-and-move cycles). Zero when
+    /// the store was pre-sized large enough via
+    /// [`FactStore::with_capacity`].
+    pub rehashes: u64,
+    /// Slot-arena reallocations (the `FactId → slot` vector regrowing).
+    /// Zero when the store was pre-sized large enough.
+    pub regrows: u64,
 }
 
 /// A small vector of [`FactId`]s that stores up to five ids inline before
@@ -215,6 +222,11 @@ pub struct FactStore {
     live_count: usize,
     /// Always-on storage event counters.
     counters: StoreCounters,
+    /// Delta-frontier watermark: ids `>= frontier_start` were allocated
+    /// since the last [`FactStore::mark_frontier`]. Ids are dense and
+    /// increasing, so the frontier of any relation is a contiguous suffix
+    /// of its row-id list. Starts at 0 (everything is frontier).
+    frontier_start: u32,
 }
 
 impl FactStore {
@@ -279,11 +291,21 @@ impl FactStore {
         col.data.extend_from_slice(args);
         col.ids.push(id);
         col.live += 1;
+        // Capacity snapshots prove (or disprove) that pre-sizing worked:
+        // a changed capacity after the push is a rehash/regrow event.
+        let dedup_cap = self.dedup.capacity();
+        let slots_cap = self.slots.capacity();
         self.slots.push((rel, row));
         self.live.push(true);
         self.live_count += 1;
         self.counters.inserts += 1;
         self.dedup.entry(h).or_default().push(id);
+        if self.dedup.capacity() != dedup_cap {
+            self.counters.rehashes += 1;
+        }
+        if self.slots.capacity() != slots_cap {
+            self.counters.regrows += 1;
+        }
         Inserted::Fresh(id)
     }
 
@@ -443,6 +465,49 @@ impl FactStore {
         self.counters
     }
 
+    /// Advances the delta-frontier watermark past every currently
+    /// allocated row: after this call the frontier is exactly the rows
+    /// allocated by *future* inserts (until the next mark). The semi-naive
+    /// chase calls this when it commits a round, so "the frontier" is
+    /// always "the previous round's fresh facts".
+    ///
+    /// Contract: a [`FactId`] enters the frontier when it is **freshly
+    /// allocated** after the mark. Tombstoning does not remove an id from
+    /// the frontier (readers filter liveness separately), and a *revival*
+    /// of a pre-mark id does not add it — revived rows keep their original
+    /// position below the watermark. Engines that retract mid-chase must
+    /// therefore not rely on frontiers alone; the chase never retracts.
+    /// [`FactStore::compact`] renumbers ids and resets the watermark to 0
+    /// (everything becomes frontier again — the conservative choice).
+    #[inline]
+    pub fn mark_frontier(&mut self) {
+        self.frontier_start = u32::try_from(self.slots.len()).expect("fact arena overflow");
+    }
+
+    /// The current watermark: ids `>= frontier_start()` are in the
+    /// frontier.
+    #[inline]
+    pub fn frontier_start(&self) -> u32 {
+        self.frontier_start
+    }
+
+    /// Is the id in the current frontier (allocated since the last
+    /// [`FactStore::mark_frontier`])? Liveness is not consulted.
+    #[inline]
+    pub fn in_frontier(&self, id: FactId) -> bool {
+        id.0 >= self.frontier_start
+    }
+
+    /// The frontier rows of `rel`: the suffix of [`FactStore::rel_row_ids`]
+    /// allocated since the last mark. Row-id lists only ever append ids in
+    /// increasing order, so the frontier is found by binary search —
+    /// O(log rows), not O(rows).
+    pub fn rel_frontier(&self, rel: RelId) -> &[FactId] {
+        let ids = self.rel_row_ids(rel);
+        let cut = ids.partition_point(|id| id.0 < self.frontier_start);
+        &ids[cut..]
+    }
+
     /// Rebuilds the arena without tombstones, renumbering every id —
     /// the one operation that invalidates outstanding [`FactId`]s.
     pub fn compact(&mut self) {
@@ -577,6 +642,58 @@ mod tests {
         assert_eq!(v.len(), 12);
         assert_eq!(v.as_slice()[11], FactId(11));
         assert_eq!(v.as_slice()[0], FactId(0));
+    }
+
+    #[test]
+    fn frontier_is_a_suffix_of_row_ids() {
+        let (mut syms, r, a, b, _) = setup();
+        let q = syms.rel("Q");
+        let mut s = FactStore::new();
+        let i0 = s.insert(r, &[a, a]).id();
+        let i1 = s.insert(r, &[a, b]).id();
+        // Before any mark, everything is frontier.
+        assert_eq!(s.frontier_start(), 0);
+        assert_eq!(s.rel_frontier(r), &[i0, i1]);
+        assert!(s.in_frontier(i0));
+        s.mark_frontier();
+        // After the mark the frontier is empty until new rows arrive.
+        assert_eq!(s.rel_frontier(r), &[] as &[FactId]);
+        assert!(!s.in_frontier(i1));
+        let i2 = s.insert(r, &[b, b]).id();
+        let i3 = s.insert(q, &[a]).id();
+        assert_eq!(s.rel_frontier(r), &[i2]);
+        assert_eq!(s.rel_frontier(q), &[i3]);
+        assert!(s.in_frontier(i2));
+        // Dedup hits and revivals of pre-mark rows do not enter the
+        // frontier; only freshly allocated ids do.
+        assert_eq!(s.insert(r, &[a, b]), Inserted::Present(i1));
+        s.retract_id(i0);
+        assert_eq!(s.insert(r, &[a, a]), Inserted::Revived(i0));
+        assert_eq!(s.rel_frontier(r), &[i2]);
+        // Compaction renumbers and conservatively resets the watermark.
+        s.compact();
+        assert_eq!(s.frontier_start(), 0);
+        assert_eq!(s.rel_frontier(r).len(), s.rel_len(r));
+    }
+
+    #[test]
+    fn presized_store_reports_no_rehash_or_regrow() {
+        let (mut syms, r, _, _, _) = setup();
+        let vals: Vec<Value> = (0..256)
+            .map(|i| Value::Const(syms.constant(&format!("c{i}"))))
+            .collect();
+        let mut presized = FactStore::with_capacity(300);
+        let mut bare = FactStore::new();
+        for &v in &vals {
+            presized.insert(r, &[v]);
+            bare.insert(r, &[v]);
+        }
+        assert_eq!(presized.counters().rehashes, 0);
+        assert_eq!(presized.counters().regrows, 0);
+        // The un-sized store grows repeatedly on the same workload — the
+        // counters are what make the difference observable.
+        assert!(bare.counters().regrows > 0);
+        assert!(bare.counters().rehashes > 0);
     }
 
     #[test]

@@ -18,6 +18,24 @@ pub fn successor(syms: &mut SymbolTable, rel: RelId, n: usize, prefix: &str) -> 
     inst
 }
 
+/// `n` pairwise-disjoint pairs `R(a1,b1), …, R(an,bn)` (`2n` distinct
+/// constants). The seed shape of wide fan-out and pipeline chase
+/// workloads: every fact triggers independently, so the instance scales
+/// the chase linearly without growing any join. `rel` must be binary.
+///
+/// Building sources programmatically (instead of `fact:` statements)
+/// keeps 10⁵–10⁶-fact bench workloads out of the parser; pair with a
+/// small parsed program whose analysis supplies the plan.
+pub fn disjoint_pairs(syms: &mut SymbolTable, rel: RelId, n: usize, prefix: &str) -> Instance {
+    let mut inst = Instance::new();
+    for i in 1..=n {
+        let a = Value::Const(syms.constant(&format!("{prefix}a{i}")));
+        let b = Value::Const(syms.constant(&format!("{prefix}b{i}")));
+        inst.insert(Fact::new(rel, vec![a, b]));
+    }
+    inst
+}
+
 /// A successor relation plus a zero marker `Z(c1)` — the source shape of
 /// the Theorem 5.1 reduction.
 pub fn successor_with_zero(
@@ -252,6 +270,16 @@ mod tests {
         let a = Value::Const(syms.constant("c5"));
         let b = Value::Const(syms.constant("c1"));
         assert!(inst.contains_tuple(s, &[a, b]));
+    }
+
+    #[test]
+    fn disjoint_pairs_shape() {
+        let mut syms = SymbolTable::new();
+        let s = syms.rel("S");
+        let inst = disjoint_pairs(&mut syms, s, 100, "p");
+        assert_eq!(inst.len(), 100);
+        assert_eq!(inst.adom().len(), 200, "pairs share no constants");
+        assert!(disjoint_pairs(&mut syms, s, 0, "q").is_empty());
     }
 
     #[test]

@@ -15,8 +15,8 @@ pub mod tgds;
 
 pub use clio::{clio_scenario, ClioScenario};
 pub use instances::{
-    abstract_subpattern, cycle, grid, random_instance, random_target_instance, successor,
-    successor_with_zero, InstanceGenOptions, TargetGenOptions,
+    abstract_subpattern, cycle, disjoint_pairs, grid, random_instance, random_target_instance,
+    successor, successor_with_zero, InstanceGenOptions, TargetGenOptions,
 };
 pub use programs::{random_program, ProgramGenOptions};
 pub use tgds::{random_nested_tgd, TgdGenOptions};

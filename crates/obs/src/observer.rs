@@ -30,6 +30,9 @@ pub struct StmtRound {
     pub dedup_hits: u64,
     /// Labeled nulls interned while firing this statement.
     pub nulls_interned: u64,
+    /// Candidate tuples iterated by the semi-naive join (0 for the naive
+    /// engines, which do not track per-tuple work).
+    pub touched: u64,
     /// Wall time spent matching and firing, in nanoseconds. Zero when the
     /// observer is disabled ([`ChaseObserver::ENABLED`] is `false`).
     pub elapsed_ns: u64,
@@ -50,6 +53,21 @@ pub trait ChaseObserver {
     /// A round begins (rounds are 1-based).
     fn round_start(&mut self, round: usize) {
         let _ = round;
+    }
+
+    /// The semi-naive engines report the size of the round's delta
+    /// frontier (tuples committed by the previous round; in round one,
+    /// the whole source). The naive engines never emit this event.
+    fn round_delta(&mut self, round: usize, frontier: u64) {
+        let _ = (round, frontier);
+    }
+
+    /// The sharded delta engine finished one statement's match phase:
+    /// `touched[s]` is the number of candidate tuples shard `s` iterated.
+    /// One entry per shard — the spread across entries is the shard
+    /// balance. Unsharded engines never emit this event.
+    fn statement_shards(&mut self, round: usize, stmt: usize, touched: &[u64]) {
+        let _ = (round, stmt, touched);
     }
 
     /// One statement finished its pass in the current round.
@@ -156,8 +174,16 @@ impl<O: ChaseObserver> ChaseObserver for &mut O {
         (**self).round_start(round);
     }
 
+    fn round_delta(&mut self, round: usize, frontier: u64) {
+        (**self).round_delta(round, frontier);
+    }
+
     fn statement(&mut self, sr: &StmtRound) {
         (**self).statement(sr);
+    }
+
+    fn statement_shards(&mut self, round: usize, stmt: usize, touched: &[u64]) {
+        (**self).statement_shards(round, stmt, touched);
     }
 
     fn stage_end(
@@ -227,9 +253,19 @@ impl<A: ChaseObserver, B: ChaseObserver> ChaseObserver for (A, B) {
         self.1.round_start(round);
     }
 
+    fn round_delta(&mut self, round: usize, frontier: u64) {
+        self.0.round_delta(round, frontier);
+        self.1.round_delta(round, frontier);
+    }
+
     fn statement(&mut self, sr: &StmtRound) {
         self.0.statement(sr);
         self.1.statement(sr);
+    }
+
+    fn statement_shards(&mut self, round: usize, stmt: usize, touched: &[u64]) {
+        self.0.statement_shards(round, stmt, touched);
+        self.1.statement_shards(round, stmt, touched);
     }
 
     fn stage_end(

@@ -21,6 +21,15 @@ pub struct StmtStats {
     pub dedup_hits: u64,
     /// Labeled nulls interned while firing this statement.
     pub nulls_interned: u64,
+    /// Candidate tuples iterated by the semi-naive join (0 under the
+    /// naive engines).
+    pub touched: u64,
+    /// Largest shard count any match phase of this statement was split
+    /// into (0 when never sharded).
+    pub max_shards: usize,
+    /// Candidate tuples iterated by the busiest single shard across the
+    /// run — compare against `touched / max_shards` for shard balance.
+    pub shard_touched_max: u64,
     /// Wall time matching and firing, in nanoseconds (0 when untimed).
     pub elapsed_ns: u64,
 }
@@ -72,6 +81,9 @@ pub struct ChaseStats {
     pub elapsed_ns: u64,
     /// Fresh facts committed per round, in round order.
     pub round_fresh: Vec<u64>,
+    /// Delta-frontier size per round, in round order (empty under the
+    /// naive engines, which never emit the event).
+    pub round_delta: Vec<u64>,
     /// Per-statement totals, indexed by statement.
     pub statements: Vec<StmtStats>,
     /// Per-stage totals of the parallel engine, indexed by stage (empty
@@ -133,7 +145,20 @@ impl ChaseObserver for ChaseStats {
         s.derived += sr.derived;
         s.dedup_hits += sr.dedup_hits;
         s.nulls_interned += sr.nulls_interned;
+        s.touched += sr.touched;
         s.elapsed_ns += sr.elapsed_ns;
+    }
+
+    fn round_delta(&mut self, _round: usize, frontier: u64) {
+        self.round_delta.push(frontier);
+    }
+
+    fn statement_shards(&mut self, _round: usize, stmt: usize, touched: &[u64]) {
+        let s = self.stmt_mut(stmt);
+        s.max_shards = s.max_shards.max(touched.len());
+        s.shard_touched_max = s
+            .shard_touched_max
+            .max(touched.iter().copied().max().unwrap_or(0));
     }
 
     fn stage_end(
@@ -313,8 +338,16 @@ impl ChaseObserver for Stats {
         self.chase.round_start(round);
     }
 
+    fn round_delta(&mut self, round: usize, frontier: u64) {
+        self.chase.round_delta(round, frontier);
+    }
+
     fn statement(&mut self, sr: &StmtRound) {
         self.chase.statement(sr);
+    }
+
+    fn statement_shards(&mut self, round: usize, stmt: usize, touched: &[u64]) {
+        self.chase.statement_shards(round, stmt, touched);
     }
 
     fn stage_end(
@@ -385,6 +418,7 @@ mod tests {
             derived: 2,
             dedup_hits: 2,
             nulls_interned: 1,
+            touched: 12,
             elapsed_ns: 10,
         });
         st.statement(&StmtRound {
@@ -395,8 +429,11 @@ mod tests {
             derived: 1,
             dedup_hits: 0,
             nulls_interned: 0,
+            touched: 0,
             elapsed_ns: 7,
         });
+        st.round_delta(1, 3);
+        st.statement_shards(1, 0, &[8, 4]);
         st.round_end(1, 3, 20);
         st.store(&StoreCounters {
             inserts: 6,
@@ -411,6 +448,11 @@ mod tests {
         assert_eq!(st.statements[0].derived, 2);
         assert_eq!(st.statements[1].stmt, 1);
         assert_eq!(st.round_fresh, vec![3]);
+        assert_eq!(st.round_delta, vec![3]);
+        assert_eq!(st.statements[0].touched, 12);
+        assert_eq!(st.statements[0].max_shards, 2);
+        assert_eq!(st.statements[0].shard_touched_max, 8);
+        assert_eq!(st.statements[1].max_shards, 0);
         assert_eq!(st.elapsed_ns, 20);
         assert_eq!(st.outcome, "fixpoint");
         assert_eq!(st.store.inserts, 6);

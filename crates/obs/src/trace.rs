@@ -65,10 +65,25 @@ impl<W: Write> ChaseObserver for JsonlTracer<W> {
         self.emit(&format!("{{\"event\":\"round_start\",\"round\":{round}}}"));
     }
 
+    fn round_delta(&mut self, round: usize, frontier: u64) {
+        self.emit(&format!(
+            "{{\"event\":\"round_delta\",\"round\":{round},\"frontier\":{frontier}}}"
+        ));
+    }
+
     fn statement(&mut self, sr: &StmtRound) {
         self.emit(&format!(
-            "{{\"event\":\"statement\",\"round\":{},\"stmt\":{},\"examined\":{},\"fired\":{},\"derived\":{},\"dedup_hits\":{},\"nulls_interned\":{},\"elapsed_ns\":{}}}",
-            sr.round, sr.stmt, sr.examined, sr.fired, sr.derived, sr.dedup_hits, sr.nulls_interned, sr.elapsed_ns
+            "{{\"event\":\"statement\",\"round\":{},\"stmt\":{},\"examined\":{},\"fired\":{},\"derived\":{},\"dedup_hits\":{},\"nulls_interned\":{},\"touched\":{},\"elapsed_ns\":{}}}",
+            sr.round, sr.stmt, sr.examined, sr.fired, sr.derived, sr.dedup_hits, sr.nulls_interned, sr.touched, sr.elapsed_ns
+        ));
+    }
+
+    fn statement_shards(&mut self, round: usize, stmt: usize, touched: &[u64]) {
+        let counts: Vec<String> = touched.iter().map(u64::to_string).collect();
+        self.emit(&format!(
+            "{{\"event\":\"statement_shards\",\"round\":{round},\"stmt\":{stmt},\"shards\":{},\"touched\":[{}]}}",
+            touched.len(),
+            counts.join(",")
         ));
     }
 
@@ -100,8 +115,8 @@ impl<W: Write> ChaseObserver for JsonlTracer<W> {
 
     fn store(&mut self, c: &StoreCounters) {
         self.emit(&format!(
-            "{{\"event\":\"store\",\"inserts\":{},\"dedup_hits\":{},\"tombstones\":{},\"revivals\":{},\"compactions\":{}}}",
-            c.inserts, c.dedup_hits, c.tombstones, c.revivals, c.compactions
+            "{{\"event\":\"store\",\"inserts\":{},\"dedup_hits\":{},\"tombstones\":{},\"revivals\":{},\"compactions\":{},\"rehashes\":{},\"regrows\":{}}}",
+            c.inserts, c.dedup_hits, c.tombstones, c.revivals, c.compactions, c.rehashes, c.regrows
         ));
     }
 }
@@ -115,6 +130,7 @@ mod tests {
         let mut t = JsonlTracer::new(Vec::new());
         t.chase_start(2, 3);
         t.round_start(1);
+        t.round_delta(1, 3);
         t.statement(&StmtRound {
             round: 1,
             stmt: 0,
@@ -123,23 +139,28 @@ mod tests {
             derived: 2,
             dedup_hits: 0,
             nulls_interned: 1,
+            touched: 9,
             elapsed_ns: 0,
         });
+        t.statement_shards(1, 0, &[5, 4]);
         t.round_end(1, 2, 0);
         t.chase_end(2, 2, "fixpoint");
-        assert_eq!(t.events(), 5);
+        assert_eq!(t.events(), 7);
         assert_eq!(t.io_errors(), 0);
         let text = String::from_utf8(t.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 7);
         // Every line parses as a JSON object with an "event" key.
         for line in &lines {
             let v: serde::Value = serde_json::from_str(line).unwrap();
             let obj = v.as_object().expect("object");
             assert!(obj.iter().any(|(k, _)| k == "event"), "{line}");
         }
-        assert!(lines[2].contains("\"examined\":4"));
-        assert!(lines[4].contains("\"outcome\":\"fixpoint\""));
+        assert!(lines[2].contains("\"frontier\":3"));
+        assert!(lines[3].contains("\"examined\":4"));
+        assert!(lines[3].contains("\"touched\":9"));
+        assert!(lines[4].contains("\"touched\":[5,4]"));
+        assert!(lines[6].contains("\"outcome\":\"fixpoint\""));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ndl lint     <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
 //! ndl analyze  <file> [--json|--dot[=positions|conflicts]|--schedule [--json]] [--stats]
 //! ndl skolemize "<nested tgd>"
-//! ndl chase    <file> [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
+//! ndl chase    <file> [--delta|--no-delta] [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
 //! ndl chase    --tgd "<nested tgd>"... --fact "R(a,b)"... [--egd "<egd>"...] [--core]
 //! ndl implies  --premise "<tgd>"... [--egd "<egd>"...] --conclusion "<tgd>"
 //! ndl equiv    --left "<tgd>"... --right "<tgd>"... [--egd "<egd>"...]
@@ -28,10 +28,16 @@
 //! `chase <file>` runs the **planned fixpoint chase** of a program file end
 //! to end: tgd statements become the chase program, `fact:` statements the
 //! source instance, and the analyzer's plan supplies the firing order and
-//! termination verdict. `--parallel` runs the stage-parallel engine
-//! instead, firing the conflict-free statements of each schedule stage
-//! across worker threads (`NDL_CHASE_THREADS`) with bit-identical output.
-//! `--budget N` bounds programs without a termination
+//! termination verdict. By default the **semi-naive delta engine** runs:
+//! each round matches only triggers reaching the previous round's delta
+//! frontier, with output bit-identical to the naive rescan engine
+//! (`--no-delta`, or `NDL_CHASE_DELTA=0`, selects the naive engine).
+//! `--parallel` runs the stage-parallel variant — with `--delta`, the
+//! sharded delta engine (`NDL_CHASE_SHARDS`); with `--no-delta`, the
+//! naive stage-parallel engine — firing the conflict-free statements of
+//! each schedule stage across worker threads (`NDL_CHASE_THREADS`), still
+//! with bit-identical output. `--budget N` bounds programs without a
+//! termination
 //! guarantee; `--stats` prints the engine's counters as JSON instead of the
 //! instance (`--no-timings` zeroes wall-clock fields for diffable output);
 //! `--trace f.jsonl` appends one JSON event per round/statement to `f`.
@@ -73,7 +79,7 @@ const USAGE: &str = "usage:
   ndl lint <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
   ndl analyze <file> [--json|--dot[=positions|conflicts]|--schedule [--json]] [--stats]
   ndl skolemize \"<nested tgd>\"
-  ndl chase <file> [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
+  ndl chase <file> [--delta|--no-delta] [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
   ndl chase --tgd \"<tgd>\"... --fact \"R(a,b)\"... [--egd \"<egd>\"...] [--core]
   ndl implies --premise \"<tgd>\"... [--egd \"<egd>\"...] --conclusion \"<tgd>\"
   ndl equiv --left \"<tgd>\"... --right \"<tgd>\"... [--egd \"<egd>\"...]
@@ -429,8 +435,9 @@ fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `ndl chase <file> [--stats] [--no-timings] [--trace <out.jsonl>]
-/// [--budget N]` — the planned fixpoint chase of a program file.
+/// `ndl chase <file> [--delta|--no-delta] [--parallel] [--stats]
+/// [--no-timings] [--trace <out.jsonl>] [--budget N]` — the planned
+/// fixpoint chase of a program file.
 ///
 /// Tgd statements form the chase program (Skolemized once, by the
 /// analyzer), `fact:` statements the source instance; egd statements are
@@ -438,6 +445,12 @@ fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
 /// and termination: non-terminating programs are refused unless `--budget`
 /// bounds them, and a budgeted run that is cut off still reports its
 /// partial progress.
+///
+/// Engine selection: the semi-naive delta engine by default
+/// (`ChaseConfig::global().delta`, i.e. `NDL_CHASE_DELTA`), overridden per
+/// run by `--delta`/`--no-delta`; `--parallel` picks the stage-parallel
+/// variant of whichever engine is selected. All four produce bit-identical
+/// output — only the statistics differ.
 fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliResult {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let (stmts, parse_errs) = analyze::parse_program(syms, &src);
@@ -488,22 +501,34 @@ fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliRes
         None => None,
     };
     let parallel = has_flag(args, "--parallel");
+    let delta = if has_flag(args, "--no-delta") {
+        if has_flag(args, "--delta") {
+            return Err("--delta and --no-delta are mutually exclusive".into());
+        }
+        false
+    } else {
+        has_flag(args, "--delta") || ChaseConfig::global().delta
+    };
+    macro_rules! run_engine {
+        ($obs:expr) => {
+            match (delta, parallel) {
+                (true, true) => {
+                    chase_fixpoint_delta_parallel_with(&source, &tgds, &plan, &mut nulls, $obs)
+                }
+                (true, false) => chase_fixpoint_delta_with(&source, &tgds, &plan, &mut nulls, $obs),
+                (false, true) => {
+                    chase_fixpoint_parallel_with(&source, &tgds, &plan, &mut nulls, $obs)
+                }
+                (false, false) => chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, $obs),
+            }
+        };
+    }
     let outcome = match &mut tracer {
         Some(t) => {
             let mut obs = (&mut stats, t);
-            if parallel {
-                chase_fixpoint_parallel_with(&source, &tgds, &plan, &mut nulls, &mut obs)
-            } else {
-                chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut obs)
-            }
+            run_engine!(&mut obs)
         }
-        None => {
-            if parallel {
-                chase_fixpoint_parallel_with(&source, &tgds, &plan, &mut nulls, &mut stats)
-            } else {
-                chase_fixpoint_with(&source, &tgds, &plan, &mut nulls, &mut stats)
-            }
-        }
+        None => run_engine!(&mut stats),
     };
     if let Some(t) = tracer {
         if t.io_errors() > 0 {

@@ -67,12 +67,14 @@ pub mod prelude {
         TerminationClass,
     };
     pub use ndl_chase::{
-        all_matches, chase_egds, chase_fixpoint, chase_fixpoint_parallel,
-        chase_fixpoint_parallel_with, chase_fixpoint_with, chase_mapping, chase_nested,
-        chase_nested_planned, chase_so, chase_st, derive_schedule, satisfies_egds,
-        statement_footprints, verify_schedule, Binding, ChaseConfig, ChaseForest, ChasePlan,
-        ChaseResult, EgdChase, EgdConflict, FixpointChase, FixpointError, FixpointProgress,
-        NullFactory, ParallelSchedule, Prepared, RigidPolicy, StmtFootprint, Triggering,
+        all_matches, chase_egds, chase_fixpoint, chase_fixpoint_delta,
+        chase_fixpoint_delta_parallel, chase_fixpoint_delta_parallel_with,
+        chase_fixpoint_delta_with, chase_fixpoint_parallel, chase_fixpoint_parallel_with,
+        chase_fixpoint_with, chase_mapping, chase_nested, chase_nested_planned, chase_so, chase_st,
+        derive_schedule, satisfies_egds, statement_footprints, verify_schedule, Binding,
+        ChaseConfig, ChaseForest, ChasePlan, ChaseResult, EgdChase, EgdConflict, FixpointChase,
+        FixpointError, FixpointProgress, NullFactory, ParallelSchedule, Prepared, RigidPolicy,
+        StmtFootprint, Triggering,
     };
     pub use ndl_core::prelude::*;
     pub use ndl_gen::{
