@@ -40,6 +40,13 @@ for f in examples/programs/*.ndl; do
     | diff -u "examples/programs/golden/$name.schedule.json" -
 done
 
+echo "==> dataflow goldens: ndl analyze --dataflow over examples/programs/"
+for f in examples/programs/*.ndl; do
+  name="$(basename "$f" .ndl)"
+  ./target/release/ndl analyze --dataflow --json "$f" \
+    | diff -u "examples/programs/golden/$name.dataflow.json" -
+done
+
 echo "==> chase engine parity: naive / delta / delta-parallel are bit-identical"
 for name in running pipeline; do
   seq_out="$(./target/release/ndl chase --no-delta "examples/programs/$name.ndl")"
@@ -52,6 +59,21 @@ for name in running pipeline; do
        <(NDL_CHASE_THREADS=3 NDL_CHASE_SEQUENTIAL_CUTOFF=1 \
          ./target/release/ndl chase --no-delta --parallel "examples/programs/$name.ndl")
 done
+
+echo "==> dataflow cert parity: pruned (certified) and unpruned chases are bit-identical"
+for name in running pipeline; do
+  f="examples/programs/$name.ndl"
+  uncert_out="$(./target/release/ndl chase --no-cert "$f")"
+  diff <(echo "$uncert_out") <(./target/release/ndl chase "$f")
+  diff <(echo "$uncert_out") \
+       <(NDL_CHASE_THREADS=3 NDL_CHASE_SEQUENTIAL_CUTOFF=1 NDL_CHASE_SHARDS=4 \
+         ./target/release/ndl chase --parallel "$f")
+done
+# The dead-code fixture is where the certificate actually prunes
+# (two dead statements): certified and uncertified runs must agree.
+uncert_out="$(./target/release/ndl chase --no-cert tests/lints/dead.ndl)"
+diff <(echo "$uncert_out") <(./target/release/ndl chase tests/lints/dead.ndl)
+diff <(echo "$uncert_out") <(./target/release/ndl chase --no-delta tests/lints/dead.ndl)
 
 echo "==> engine tests: cargo test -q -p ndl-hom"
 cargo test -q -p ndl-hom --offline
@@ -70,6 +92,12 @@ cargo build --release --offline -p ndl-bench --bin bench_store
 
 echo "==> bench_delta builds (record regeneration stays opt-in)"
 cargo build --release --offline -p ndl-bench --bin bench_delta
+
+echo "==> bench_dataflow builds (record regeneration stays opt-in)"
+cargo build --release --offline -p ndl-bench --bin bench_dataflow
+
+echo "==> cargo doc --no-deps (rustdoc warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 echo "==> miri (ndl-core), when the toolchain component is installed"
 if cargo miri --version >/dev/null 2>&1; then

@@ -12,12 +12,13 @@
 //! converges for richly acyclic programs; when it does not (degrees keep
 //! growing through a special cycle), the bound is reported as `None`.
 
+use crate::dataflow::{DataflowAnalysis, DataflowSummary};
 use crate::graph::{ClauseView, ProgramGraphs};
 use crate::interference::InterferenceAnalysis;
 use crate::program::Statement;
 use crate::schedule::ScheduleReport;
 use crate::termination::{Termination, TerminationClass};
-use ndl_chase::{ChasePlan, ParallelSchedule};
+use ndl_chase::{ChasePlan, DataflowCert, ParallelSchedule};
 use ndl_core::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -176,6 +177,10 @@ pub struct ChaseAnalysis {
     /// Per-statement read/write/Skolem footprints and the statement
     /// conflict graph.
     pub interference: InterferenceAnalysis,
+    /// Whole-mapping dataflow: reachability, liveness, groundness and
+    /// position provenance — the source of the NDL040–NDL045 lints and
+    /// the [`DataflowCert`] of [`Self::tgd_plan`].
+    pub dataflow: DataflowAnalysis,
     /// The contiguous conflict-free stratification of the firing order,
     /// in **statement-index** space ([`Self::tgd_plan`] remaps it to tgd
     /// positions for the fixpoint engine).
@@ -192,12 +197,14 @@ impl ChaseAnalysis {
         let firing_order = firing_order(&graphs);
         let interference = InterferenceAnalysis::of(&graphs, stmts);
         let schedule = crate::schedule::build_schedule(&interference, &firing_order);
+        let dataflow = DataflowAnalysis::of(&graphs, stmts);
         ChaseAnalysis {
             graphs,
             termination,
             cost,
             firing_order,
             interference,
+            dataflow,
             schedule,
         }
     }
@@ -224,6 +231,7 @@ impl ChaseAnalysis {
             step_budget: if guaranteed { None } else { budget },
             diagnosis: self.termination.diagnosis(),
             schedule: None,
+            cert: None,
         }
     }
 
@@ -283,6 +291,15 @@ impl ChaseAnalysis {
                 .map(|stage| stage.iter().filter_map(|s| pos.get(s).copied()).collect())
                 .collect(),
         });
+        plan.cert = Some(DataflowCert {
+            dead: self
+                .dataflow
+                .dead
+                .iter()
+                .filter_map(|s| pos.get(s).copied())
+                .collect(),
+            ground: self.dataflow.ground.clone(),
+        });
         plan
     }
 
@@ -300,6 +317,17 @@ impl ChaseAnalysis {
     /// (`ndl analyze --dot=conflicts`).
     pub fn conflict_dot(&self, syms: &SymbolTable) -> String {
         self.interference.to_dot(syms)
+    }
+
+    /// The dataflow report of `ndl analyze --dataflow`.
+    pub fn dataflow_summary(&self, syms: &SymbolTable) -> DataflowSummary {
+        self.dataflow.summary(syms, &self.graphs)
+    }
+
+    /// Graphviz DOT rendering of the relation-level dataflow graph
+    /// (`ndl analyze --dot=dataflow`).
+    pub fn dataflow_dot(&self, syms: &SymbolTable) -> String {
+        self.dataflow.to_dot(syms, &self.graphs)
     }
 
     /// The machine-readable report (`ndl analyze --json`), with all
@@ -549,6 +577,20 @@ mod tests {
         let plan = a.tgd_plan(None);
         assert_eq!(plan.order, vec![1, 0]);
         assert!(plan.guaranteed_terminating);
+    }
+
+    #[test]
+    fn tgd_plan_attaches_a_remapped_dataflow_cert() {
+        let (_syms, a) = analyze("fact: S(a)\nZ(x) -> W(x)\nS(x) -> T(x)\n");
+        assert_eq!(a.dataflow.dead, BTreeSet::from([1]));
+        // Statement 1 is the first tgd in the so_tgds list: index 0.
+        let plan = a.tgd_plan(None);
+        let cert = plan.cert.expect("tgd_plan attaches the cert");
+        assert_eq!(cert.dead, BTreeSet::from([0]));
+        assert!(!cert.ground.is_empty(), "no nulls anywhere: all ground");
+        // The statement-space plan stays cert-free (indices would not
+        // line up with an engine's tgd slice).
+        assert_eq!(a.plan(None).cert, None);
     }
 
     #[test]

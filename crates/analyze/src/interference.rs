@@ -1,6 +1,5 @@
-//! Interference analysis: per-statement read/write relation sets and
-//! Skolem-provenance footprints, and the **statement conflict graph**
-//! built from them.
+//! Interference analysis: the **statement conflict graph** built from the
+//! per-statement footprints of [`crate::footprint`].
 //!
 //! Two statements *interfere* when firing them concurrently inside one
 //! chase round could observe or produce different state than firing them
@@ -21,92 +20,17 @@
 //! staying bit-identical to the sequential engine. [`crate::schedule`]
 //! stratifies this graph into conflict-free stages.
 //!
-//! Footprints deliberately mirror `ndl_chase::parallel::StmtFootprint`:
-//! reads are body relations, writes are head relations, and the Skolem
-//! set contains the functions *occurring* in clause heads and equality
-//! gates (a declared-but-unused function invents nothing and so cannot
-//! conflict). The chase engine re-derives footprints itself when checking
-//! a schedule certificate, so the two computations must agree — the
-//! round-trip is pinned by tests in `crates/chase/tests/`.
-//!
-//! Beyond tgds, the analysis also folds in the passive statements:
-//! ground facts count as writers of their relation and egd bodies as
-//! readers. They never enter the schedule (facts load before round 1,
-//! egds are not chased by the fixpoint engine), but they complete the
-//! whole-program read/write picture behind the NDL031 (written, never
-//! read) and NDL032 (read, never written) lints.
+//! Footprint computation lives in [`crate::footprint`] (shared with the
+//! dataflow pass); the types [`Footprint`] and [`ConflictKind`] are
+//! re-exported here so pre-split import paths keep working.
 
+use crate::footprint::ProgramFootprints;
 use crate::graph::ProgramGraphs;
-use crate::program::{Statement, StmtAst};
+use crate::program::Statement;
 use ndl_core::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The static footprint of one statement: what it reads, what it writes,
-/// and which Skolem functions it invents nulls through.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Footprint {
-    /// Relations matched in clause bodies (or an egd body).
-    pub reads: BTreeSet<RelId>,
-    /// Relations inserted into by clause heads (or a ground fact).
-    pub writes: BTreeSet<RelId>,
-    /// Skolem functions occurring in heads or equality gates.
-    pub funcs: BTreeSet<FuncId>,
-}
-
-impl Footprint {
-    /// Do two *distinct* statements conflict? True on any W–W, R–W (either
-    /// direction) or shared-Skolem overlap.
-    pub fn conflicts_with(&self, other: &Footprint) -> bool {
-        !self.kinds_against(other).is_empty()
-    }
-
-    /// The conflict kinds between two distinct statements (empty when
-    /// they are independent).
-    pub fn kinds_against(&self, other: &Footprint) -> Vec<ConflictKind> {
-        let mut kinds = Vec::new();
-        if self.writes.intersection(&other.writes).next().is_some() {
-            kinds.push(ConflictKind::WriteWrite);
-        }
-        if self.reads.intersection(&other.writes).next().is_some()
-            || other.reads.intersection(&self.writes).next().is_some()
-        {
-            kinds.push(ConflictKind::ReadWrite);
-        }
-        if self.funcs.intersection(&other.funcs).next().is_some() {
-            kinds.push(ConflictKind::SharedNullFactory);
-        }
-        kinds
-    }
-
-    /// Does the statement read a relation it also writes? Such a statement
-    /// can re-trigger on its own insertions and must run alone in its
-    /// stage (the engine refuses multi-statement stages containing one).
-    pub fn self_interfering(&self) -> bool {
-        self.reads.intersection(&self.writes).next().is_some()
-    }
-}
-
-/// Why two statements cannot fire in parallel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum ConflictKind {
-    /// Both statements write a common relation.
-    WriteWrite,
-    /// One statement reads a relation the other writes.
-    ReadWrite,
-    /// Both statements invent nulls through a common Skolem function.
-    SharedNullFactory,
-}
-
-impl ConflictKind {
-    /// Stable lowercase label (used in JSON reports and DOT edge labels).
-    pub fn label(self) -> &'static str {
-        match self {
-            ConflictKind::WriteWrite => "write-write",
-            ConflictKind::ReadWrite => "read-write",
-            ConflictKind::SharedNullFactory => "shared-null-factory",
-        }
-    }
-}
+pub use crate::footprint::{ConflictKind, Footprint};
 
 /// An edge of the statement conflict graph (`a < b`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -148,42 +72,12 @@ impl InterferenceAnalysis {
     /// Skolemized clauses of analyzable tgd statements; `stmts` supplies
     /// the facts and egds the graphs skip.
     pub fn of(graphs: &ProgramGraphs, stmts: &[Statement]) -> InterferenceAnalysis {
-        let mut a = InterferenceAnalysis::default();
-        for cv in &graphs.clauses {
-            let fp = a.footprints.entry(cv.stmt).or_default();
-            a.scheduled.insert(cv.stmt);
-            for atom in &cv.clause.body {
-                fp.reads.insert(atom.rel);
-            }
-            for atom in &cv.clause.head {
-                fp.writes.insert(atom.rel);
-                for t in &atom.args {
-                    collect_funcs(t, &mut fp.funcs);
-                }
-            }
-            for (l, r) in &cv.clause.equalities {
-                collect_funcs(l, &mut fp.funcs);
-                collect_funcs(r, &mut fp.funcs);
-            }
-        }
-        for stmt in stmts {
-            match &stmt.ast {
-                Some(StmtAst::Fact(f)) => {
-                    a.footprints
-                        .entry(stmt.index)
-                        .or_default()
-                        .writes
-                        .insert(f.rel);
-                }
-                Some(StmtAst::Egd(e)) => {
-                    let fp = a.footprints.entry(stmt.index).or_default();
-                    for atom in &e.body {
-                        fp.reads.insert(atom.rel);
-                    }
-                }
-                _ => {}
-            }
-        }
+        let fps = ProgramFootprints::of(graphs, stmts);
+        let mut a = InterferenceAnalysis {
+            footprints: fps.footprints,
+            scheduled: fps.scheduled,
+            ..InterferenceAnalysis::default()
+        };
         let sched: Vec<usize> = a.scheduled.iter().copied().collect();
         for (i, &s) in sched.iter().enumerate() {
             if a.footprints[&s].self_interfering() {
@@ -253,16 +147,6 @@ impl InterferenceAnalysis {
         }
         out.push_str("}\n");
         out
-    }
-}
-
-/// Collects the function symbols occurring anywhere in a term.
-fn collect_funcs(t: &Term, out: &mut BTreeSet<FuncId>) {
-    if let Term::App(f, args) = t {
-        out.insert(*f);
-        for a in args {
-            collect_funcs(a, out);
-        }
     }
 }
 

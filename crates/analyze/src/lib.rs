@@ -24,9 +24,16 @@
 //!   and [`ChaseAnalysis`]: the bundle of graphs, termination verdict,
 //!   cost model and firing order consumed by the NDL020–NDL025 lints, the
 //!   `ndl analyze` subcommand and the chase engines in `ndl-chase`;
-//! - [`interference`] — per-statement read/write/Skolem footprints and
-//!   the statement conflict graph (W–W, R–W and shared-null-factory
-//!   edges), behind the NDL031–NDL033 lints and `--dot=conflicts`;
+//! - [`footprint`] — per-statement read/write/Skolem footprints, the
+//!   shared vocabulary of the interference and dataflow passes;
+//! - [`interference`] — the statement conflict graph over footprints
+//!   (W–W, R–W and shared-null-factory edges), behind the NDL031–NDL033
+//!   lints and `--dot=conflicts`;
+//! - [`dataflow`] — whole-mapping dataflow: relation reachability from
+//!   populated sources, statement liveness, relation groundness and
+//!   position-level provenance, behind the NDL040–NDL045 lints,
+//!   `ndl analyze --dataflow` / `--dot=dataflow` and the
+//!   [`ndl_chase::DataflowCert`] the chase engines verify and exploit;
 //! - [`schedule`] — contiguous conflict-free stratification of the firing
 //!   order into a `ParallelSchedule` (the certificate checked and executed
 //!   by `ndl-chase`'s stage-parallel engine) and the JSON
@@ -53,7 +60,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cost;
+pub mod dataflow;
 pub mod diagnostic;
+pub mod footprint;
 pub mod graph;
 pub mod interference;
 pub mod program;
@@ -62,7 +71,9 @@ pub mod schedule;
 pub mod termination;
 
 pub use cost::{AnalysisReport, ChaseAnalysis, CostModel};
+pub use dataflow::{DataflowAnalysis, DataflowSummary};
 pub use diagnostic::{render, summary, Diagnostic, LineIndex, Note, Severity};
+pub use footprint::ProgramFootprints;
 pub use graph::{PositionGraph, ProgramGraphs, SkolemGraph};
 pub use interference::{ConflictEdge, ConflictKind, Footprint, InterferenceAnalysis};
 pub use program::{parse_program, Statement, StmtAst};

@@ -23,6 +23,12 @@
 //! | NDL032 | info     | relation read but never written |
 //! | NDL033 | info     | statement reads a relation it writes (self-interfering) |
 //! | NDL034 | info     | parallel-schedule width report |
+//! | NDL040 | warning  | dead statement — no chase from the facts can fire it |
+//! | NDL041 | warning  | relation read and written, yet unreachable from the facts |
+//! | NDL042 | warning  | source relation nothing live ever reads |
+//! | NDL043 | info     | source column whose value is never used |
+//! | NDL044 | info     | null-free (ground) target relation report |
+//! | NDL045 | info     | provenance fan-in report (positions above the bound) |
 //!
 //! NDL020–NDL025 come from the semantic layer ([`crate::graph`],
 //! [`crate::termination`], [`crate::cost`]): the position and Skolem
@@ -40,6 +46,14 @@
 //! interference analysis ([`crate::interference`], [`crate::schedule`]):
 //! whole-program relation roles and the statement conflict graph behind
 //! `ndl analyze --schedule` and `ndl chase --parallel`.
+//!
+//! NDL040–NDL045 come from the dataflow pass ([`crate::dataflow`]):
+//! reachability from the fact-populated relations, statement liveness,
+//! groundness and position provenance. The liveness-based findings
+//! (NDL040–NDL043) fire only when the program declares `fact:` statements
+//! — without them the sources are assumed, and a dead-code claim would
+//! accuse the assumption rather than the program. NDL044/NDL045 are
+//! reports surfacing what `ndl analyze --dataflow` proves.
 
 use crate::cost::ChaseAnalysis;
 use crate::diagnostic::{Diagnostic, LineIndex, Note, Severity};
@@ -97,6 +111,29 @@ pub const READ_ONLY: &str = "NDL032";
 pub const SELF_INTERFERING: &str = "NDL033";
 /// NDL034: the parallel-schedule width report (stages and widest stage).
 pub const SCHEDULE_WIDTH: &str = "NDL034";
+/// NDL040: a dead statement — every clause reads some relation no fact
+/// populates and no firing clause writes, so no chase from the declared
+/// facts can ever fire it. The chase engines skip certified-dead
+/// statements (see `ndl_chase::DataflowCert`).
+pub const DEAD_STATEMENT: &str = "NDL040";
+/// NDL041: a relation that is read and written somewhere, yet unreachable
+/// from the facts — every writer is dead or never fires. Distinct from
+/// NDL032 (read but never written at all).
+pub const UNREACHABLE_READ: &str = "NDL041";
+/// NDL042: a fact-populated source relation no firing clause and no egd
+/// ever reads — the facts are declared and then ignored.
+pub const UNUSED_SOURCE: &str = "NDL042";
+/// NDL043: a source column whose value is never used — in every firing
+/// clause and egd reading the relation, the variable at that column
+/// occurs nowhere else.
+pub const UNUSED_SOURCE_COLUMN: &str = "NDL043";
+/// NDL044: the null-free relation report — target relations the dataflow
+/// pass proves can never hold a labeled null.
+pub const GROUND_RELATIONS: &str = "NDL044";
+/// NDL045: the provenance fan-in report — target positions reachable
+/// from at least the configured number of distinct source positions and
+/// Skolem functions.
+pub const PROVENANCE_FAN_IN: &str = "NDL045";
 
 /// Tunable thresholds of the analyzer.
 #[derive(Clone, Debug)]
@@ -129,6 +166,11 @@ pub struct LintOptions {
     /// the procedure enumerates k-patterns, which is non-elementary in
     /// nesting-related parameters. `0` disables the pass.
     pub max_subsumption_tgds: usize,
+    /// NDL045 fires when a target position's provenance fan-in (distinct
+    /// source positions plus distinct Skolem functions that can reach it)
+    /// is at least this (default 8): such positions mix many origins and
+    /// are where data-exchange mappings become hard to audit.
+    pub max_provenance_fan_in: usize,
 }
 
 impl Default for LintOptions {
@@ -141,6 +183,7 @@ impl Default for LintOptions {
             max_skolem_fanout: 8,
             max_body_atoms: 8,
             max_subsumption_tgds: 6,
+            max_provenance_fan_in: 8,
         }
     }
 }
@@ -627,6 +670,116 @@ fn semantic_lints(
             ),
         ));
     }
+
+    // NDL040–NDL044: the whole-mapping dataflow pass. Liveness-based
+    // findings require *declared* facts: in assumed-sources mode the
+    // population is a guess (every read-never-written relation), so dead
+    // and unused claims would accuse the analyzer's own assumption, not
+    // the program.
+    let df = &analysis.dataflow;
+    if !df.assumed_sources {
+        for &s in &df.dead {
+            diags.push(
+                Diagnostic::new(
+                    DEAD_STATEMENT,
+                    Severity::Warning,
+                    "statement is dead: every clause reads some relation that no fact \
+                     populates and no firing statement writes, so no chase from the \
+                     declared facts can ever fire it (`ndl chase` skips it under a \
+                     dataflow certificate)",
+                )
+                .with_statement(s)
+                .with_span(whole(s), index),
+            );
+        }
+        for &rel in &df.unwritten_reads {
+            diags.push(Diagnostic::new(
+                UNREACHABLE_READ,
+                Severity::Warning,
+                format!(
+                    "relation {} is read and written, yet unreachable: every statement \
+                     writing it is dead or never fires, so its readers only ever see \
+                     an empty relation",
+                    syms.rel_name(rel)
+                ),
+            ));
+        }
+        for &rel in &df.unused_sources {
+            diags.push(Diagnostic::new(
+                UNUSED_SOURCE,
+                Severity::Warning,
+                format!(
+                    "source relation {} is populated by facts but read by no firing \
+                     statement and no egd: its facts are declared and then ignored",
+                    syms.rel_name(rel)
+                ),
+            ));
+        }
+        for &(rel, col) in &df.unused_source_columns {
+            diags.push(Diagnostic::new(
+                UNUSED_SOURCE_COLUMN,
+                Severity::Info,
+                format!(
+                    "column {}.{} of a source relation is never used: every firing \
+                     clause and egd reading {} ignores the value at that position",
+                    syms.rel_name(rel),
+                    col + 1,
+                    syms.rel_name(rel)
+                ),
+            ));
+        }
+        // NDL044: ground relations some statement actually derives into —
+        // relations only facts populate are trivially null-free and would
+        // drown the report, and unreachable relations are null-free only
+        // vacuously (they stay empty), so both are excluded.
+        let head_written: BTreeSet<RelId> = analysis
+            .graphs
+            .clauses
+            .iter()
+            .flat_map(|cv| cv.clause.head.iter().map(|ta| ta.rel))
+            .collect();
+        let ground_written: Vec<&RelId> = df
+            .ground
+            .iter()
+            .filter(|r| head_written.contains(r) && df.reachable.contains(r))
+            .collect();
+        if !ground_written.is_empty() {
+            let names: Vec<&str> = ground_written.iter().map(|&&r| syms.rel_name(r)).collect();
+            diags.push(Diagnostic::new(
+                GROUND_RELATIONS,
+                Severity::Info,
+                format!(
+                    "derived relation{} {} {} provably null-free: homomorphism and \
+                     core checks skip null bookkeeping there (see `ndl analyze \
+                     --dataflow`)",
+                    if names.len() == 1 { "" } else { "s" },
+                    names.join(", "),
+                    if names.len() == 1 { "is" } else { "are" },
+                ),
+            ));
+        }
+    }
+
+    // NDL045: positions mixing many origins. Provenance is computed from
+    // firing clauses whichever way the sources were chosen, so the report
+    // is meaningful in assumed mode too.
+    for (q, p) in df.provenance.iter().enumerate() {
+        if p.fan_in() >= opts.max_provenance_fan_in {
+            diags.push(Diagnostic::new(
+                PROVENANCE_FAN_IN,
+                Severity::Info,
+                format!(
+                    "position {} has provenance fan-in {} (>= {}): values from {} \
+                     source position(s) and {} Skolem function(s) can reach it",
+                    analysis.graphs.positions.display_pos(syms, q),
+                    p.fan_in(),
+                    opts.max_provenance_fan_in,
+                    p.sources.len(),
+                    p.funcs.len(),
+                ),
+            ));
+        }
+    }
 }
 
 /// NDL030: pairwise subsumption via the IMPLIES procedure of Section 4.
@@ -969,6 +1122,96 @@ mod tests {
             .find(|d| d.code == SCHEDULE_WIDTH)
             .expect("NDL034");
         assert!(w.message.contains("2 statement(s) in 2 stage(s), width 1"));
+    }
+
+    #[test]
+    fn dead_code_lints_fire_on_fact_bearing_programs() {
+        // Z is unpopulated: statement 1 is dead (NDL040); D is written
+        // only by it and read by statement 2, so D is an unreachable
+        // read (NDL041) and statement 2 is dead too. V's facts are never
+        // read (NDL042) and S's second column is ignored (NDL043).
+        let diags = lint("fact: S(a,b)\nZ(x) -> D(x)\nD(x) -> E(x)\nS(x,y) -> T(x)\nfact: V(c)\n");
+        let dead: Vec<_> = diags.iter().filter(|d| d.code == DEAD_STATEMENT).collect();
+        assert_eq!(dead.len(), 2, "{diags:?}");
+        assert_eq!(dead[0].statement, Some(1));
+        assert_eq!(dead[1].statement, Some(2));
+        assert!(dead.iter().all(|d| d.severity == Severity::Warning));
+        assert!(dead[0].span.is_some());
+        let unreachable: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == UNREACHABLE_READ)
+            .collect();
+        assert_eq!(unreachable.len(), 1, "{diags:?}");
+        assert!(unreachable[0].message.contains("relation D"));
+        let unused: Vec<_> = diags.iter().filter(|d| d.code == UNUSED_SOURCE).collect();
+        assert_eq!(unused.len(), 1, "{diags:?}");
+        assert!(unused[0].message.contains("relation V"));
+        let cols: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == UNUSED_SOURCE_COLUMN)
+            .collect();
+        assert_eq!(cols.len(), 1, "{diags:?}");
+        assert!(cols[0].message.contains("S.2"), "{}", cols[0].message);
+        assert_eq!(cols[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn dataflow_liveness_lints_are_silent_without_facts() {
+        // The same shape minus the facts: sources are assumed, so no
+        // NDL040–NDL044 — the assumption, not the program, would be at
+        // fault.
+        let diags = lint("Z(x) -> D(x)\nD(x) -> E(x)\nS(x,y) -> T(x)\n");
+        for code in [
+            DEAD_STATEMENT,
+            UNREACHABLE_READ,
+            UNUSED_SOURCE,
+            UNUSED_SOURCE_COLUMN,
+            GROUND_RELATIONS,
+        ] {
+            assert!(!codes(&diags).contains(&code), "{code}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn ground_relations_are_reported_for_derived_relations_only() {
+        // T and U are derived and null-free; R holds Skolem nulls; the
+        // fact-only relation S must not pad the report.
+        let diags = lint("fact: S(a)\nS(x) -> T(x)\nT(x) -> U(x)\nS(x) -> exists y R(x,y)\n");
+        let d = diags
+            .iter()
+            .find(|d| d.code == GROUND_RELATIONS)
+            .expect("NDL044");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("T, U"), "{}", d.message);
+        assert!(!d.message.contains("R"), "{}", d.message);
+        assert!(!d.message.contains("S,"), "{}", d.message);
+    }
+
+    #[test]
+    fn provenance_fan_in_report_is_threshold_gated() {
+        // Eight source relations all feed T.1.
+        let mut src = String::new();
+        let mut wide = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("fact: S{i}(a)\n"));
+            wide.push_str(&format!("S{i}(x) -> T(x)\n"));
+        }
+        let mut syms = SymbolTable::new();
+        let diags = lint_source(&mut syms, &format!("{src}{wide}"), &LintOptions::default());
+        let d = diags
+            .iter()
+            .find(|d| d.code == PROVENANCE_FAN_IN)
+            .expect("NDL045");
+        assert!(d.message.contains("T.1"), "{}", d.message);
+        assert!(d.message.contains("fan-in 8"), "{}", d.message);
+        // A higher threshold silences it.
+        let opts = LintOptions {
+            max_provenance_fan_in: 9,
+            ..LintOptions::default()
+        };
+        let mut syms = SymbolTable::new();
+        let relaxed = lint_source(&mut syms, &format!("{src}{wide}"), &opts);
+        assert!(!codes(&relaxed).contains(&PROVENANCE_FAN_IN), "{relaxed:?}");
     }
 
     #[test]

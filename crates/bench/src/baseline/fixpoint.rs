@@ -1,6 +1,6 @@
 //! Oblivious fixpoint chase for (recursive) SO-tgd programs.
 //!
-//! Unlike the single-pass engines in [`crate::so`] and [`crate::nested`] —
+//! Unlike the single-pass engines in `ndl_chase`'s `so` and `nested` —
 //! which fire every dependency once against a *fixed* source and are
 //! therefore trivially terminating — this engine chases a **combined**
 //! instance to a fixpoint: derived facts are added back to the instance and

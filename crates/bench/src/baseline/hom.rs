@@ -7,7 +7,7 @@
 //! the IMPLIES procedure and as the main performance lever here.
 //!
 //! The engine (rebuilt for scale — the original scan engine survives as
-//! [`crate::scan`] for reference and benchmarking):
+//! `ndl_hom::scan` for reference and benchmarking):
 //!
 //! - **Indexed candidates.** The target is consulted through a shared
 //!   [`TupleIndex`]: a fact with any bound position draws its candidate

@@ -2,7 +2,7 @@
 //! equivalence oracle.
 //!
 //! This module is a faithful replica of the workspace's storage layer and
-//! engines as they stood **before** the arena-backed [`FactStore`]
+//! engines as they stood **before** the arena-backed [`FactStore`](ndl_core::store::FactStore)
 //! refactor (`ndl_core::store`): instances are
 //! [`BTreeInstance`](ndl_core::btree::BTreeInstance)s
 //! (`BTreeMap<RelId, BTreeSet<Vec<Value>>>`), the tuple index stores one

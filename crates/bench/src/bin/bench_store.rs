@@ -1,4 +1,4 @@
-//! Quantifies the columnar [`FactStore`](ndl_core::store::FactStore)
+//! Quantifies the columnar [`FactStore`]
 //! refactor: the current engines (arena-backed columns, stable `FactId`s,
 //! O(1) hash dedup, borrowed tuple views) against the pre-refactor replica
 //! preserved in [`ndl_bench::baseline`] (`BTreeMap`-of-`BTreeSet` instances,

@@ -33,7 +33,7 @@
 //! candidate tuples the pruned join actually iterated).
 //!
 //! [`chase_fixpoint_delta_parallel`] additionally shards each statement's
-//! match phase: [`Matcher::delta_root`] plans the root candidate list once,
+//! match phase: `Matcher::delta_root` plans the root candidate list once,
 //! the engine cuts it into contiguous chunks
 //! ([`ChaseConfig::effective_shards`], `NDL_CHASE_SHARDS`), scoped worker
 //! threads enumerate the chunks concurrently (read-only, like
@@ -96,6 +96,21 @@ pub fn chase_fixpoint_delta_with<O: ChaseObserver>(
             diagnosis: plan.diagnosis.clone(),
         });
     }
+    // Dataflow certificate: re-verified before it is believed (see
+    // `crate::cert`); verified-dead statements are skipped each round.
+    let mut dead = BTreeSet::new();
+    if let Some(cert) = &plan.cert {
+        if let Err(e) = crate::cert::verify_dataflow_cert(source, tgds, cert) {
+            obs.chase_end(0, 0, "refused");
+            return Err(e);
+        }
+        obs.dataflow_cert(cert.dead.len(), cert.ground.len());
+        dead = cert.dead.clone();
+    }
+    // Dense skip mask: probed once per statement per round, so it must be
+    // O(1) — a dead-heavy program would otherwise spend its savings on
+    // `BTreeSet` lookups.
+    let dead_mask: Vec<bool> = (0..tgds.len()).map(|i| dead.contains(&i)).collect();
 
     // Same growing state as the naive engine, pre-sized from the plan's
     // chase-size prediction. The watermark starts at 0, so round one is
@@ -121,6 +136,10 @@ pub fn chase_fixpoint_delta_with<O: ChaseObserver>(
         let mut head_buf: Vec<Value> = Vec::new();
         let matcher = Matcher::over(&index);
         for &si in &order {
+            if dead_mask[si] {
+                obs.statement_skipped(rounds, si);
+                continue;
+            }
             let mut sr = StmtRound {
                 round: rounds,
                 stmt: si,
@@ -526,6 +545,30 @@ pub fn chase_fixpoint_delta_parallel_with<O: ChaseObserver>(
         obs.chase_end(0, 0, "refused");
         return Err(e);
     }
+    // Dataflow certificate: checked after the schedule and against the
+    // *original* stages; verified-dead statements are then filtered out.
+    // A stage emptied by the filter is skipped outright (no `stage_end`),
+    // but surviving stages keep their original indices.
+    let mut dead = BTreeSet::new();
+    if let Some(cert) = &plan.cert {
+        if let Err(e) = crate::cert::verify_dataflow_cert(source, tgds, cert) {
+            obs.chase_end(0, 0, "refused");
+            return Err(e);
+        }
+        obs.dataflow_cert(cert.dead.len(), cert.ground.len());
+        dead = cert.dead.clone();
+    }
+    let live_stages: Vec<Vec<usize>> = schedule
+        .stages
+        .iter()
+        .map(|stage| {
+            stage
+                .iter()
+                .copied()
+                .filter(|si| !dead.contains(si))
+                .collect()
+        })
+        .collect();
 
     let cfg = ChaseConfig::global();
     let cap = plan.predicted_tuples(source.len());
@@ -547,7 +590,17 @@ pub fn chase_fixpoint_delta_parallel_with<O: ChaseObserver>(
         let round_t = O::ENABLED.then(Instant::now);
         let mut fresh: BTreeSet<Fact> = BTreeSet::new();
         let mut head_buf: Vec<Value> = Vec::new();
-        for (stage_idx, stage) in schedule.stages.iter().enumerate() {
+        for (stage_idx, stage) in live_stages.iter().enumerate() {
+            if !dead.is_empty() {
+                for &si in &schedule.stages[stage_idx] {
+                    if dead.contains(&si) {
+                        obs.statement_skipped(rounds, si);
+                    }
+                }
+            }
+            if stage.is_empty() {
+                continue;
+            }
             let stage_t = O::ENABLED.then(Instant::now);
             // Phase 1 — concurrent, read-only: the sharded delta match.
             let (matched, workers) =
@@ -873,6 +926,97 @@ mod tests {
         let par = chase_fixpoint_delta_parallel(&source, &tgds, &plan, &mut n2);
         assert_same(&naive, &par);
         assert_eq!(n1.len(), n2.len());
+    }
+
+    #[test]
+    fn certified_dead_skipping_is_bit_identical_across_all_engines() {
+        // S is populated; Z is not and nothing writes it, so Z->W is
+        // provably dead. The certified plan must produce exactly the
+        // uncertified output on all four engines — and the stats must
+        // show the skips.
+        let mut syms = SymbolTable::new();
+        let tgds = vec![
+            parse_so_tgd(&mut syms, "exists f . S(x) -> T(x,f(x))").unwrap(),
+            parse_so_tgd(&mut syms, "Z(x) -> W(x)").unwrap(),
+            parse_so_tgd(&mut syms, "T(x,y) -> U(y)").unwrap(),
+        ];
+        let s = syms.rel("S");
+        let z = syms.rel("Z");
+        let v = consts(&mut syms, &["a", "b"]);
+        let source = Instance::from_facts(v.iter().map(|&c| Fact::new(s, vec![c])));
+        let plain = ChasePlan::trusting(3);
+        let certified = ChasePlan {
+            cert: Some(crate::cert::DataflowCert {
+                dead: BTreeSet::from([1]),
+                ground: BTreeSet::from([s, z]),
+            }),
+            ..ChasePlan::trusting(3)
+        };
+        let mut n0 = NullFactory::new();
+        let baseline = chase_fixpoint(&source, &tgds, &plain, &mut n0);
+        type Engine = fn(
+            &Instance,
+            &[SoTgd],
+            &ChasePlan,
+            &mut NullFactory,
+        ) -> std::result::Result<FixpointChase, FixpointError>;
+        let engines: [Engine; 4] = [
+            chase_fixpoint,
+            crate::parallel::chase_fixpoint_parallel,
+            chase_fixpoint_delta,
+            chase_fixpoint_delta_parallel,
+        ];
+        for run in engines {
+            let mut n = NullFactory::new();
+            let out = run(&source, &tgds, &certified, &mut n);
+            assert_same(&baseline, &out);
+            assert_eq!(n.len(), n0.len());
+        }
+        // The stats observer sees the certificate and one skip per round.
+        let mut stats = ChaseStats::new();
+        let mut n = NullFactory::new();
+        let out =
+            chase_fixpoint_delta_with(&source, &tgds, &certified, &mut n, &mut stats).unwrap();
+        assert_eq!(stats.dead_statements, 1);
+        assert_eq!(stats.ground_relations, 2);
+        assert_eq!(stats.skipped_firings as usize, out.rounds);
+    }
+
+    #[test]
+    fn invalid_cert_is_rejected_by_all_engines() {
+        let mut syms = SymbolTable::new();
+        let tgds = vec![parse_so_tgd(&mut syms, "exists f . S(x) -> T(x,f(x))").unwrap()];
+        let s = syms.rel("S");
+        let t = syms.rel("T");
+        let v = consts(&mut syms, &["a"]);
+        let source = Instance::from_facts([Fact::new(s, vec![v[0]])]);
+        // The lone statement fires, and T holds nulls: both claims lie.
+        for cert in [
+            crate::cert::DataflowCert {
+                dead: BTreeSet::from([0]),
+                ground: BTreeSet::new(),
+            },
+            crate::cert::DataflowCert {
+                dead: BTreeSet::new(),
+                ground: BTreeSet::from([t]),
+            },
+        ] {
+            let plan = ChasePlan {
+                cert: Some(cert),
+                ..ChasePlan::trusting(1)
+            };
+            let mut n = NullFactory::new();
+            for err in [
+                chase_fixpoint(&source, &tgds, &plan, &mut n).unwrap_err(),
+                crate::parallel::chase_fixpoint_parallel(&source, &tgds, &plan, &mut n)
+                    .unwrap_err(),
+                chase_fixpoint_delta(&source, &tgds, &plan, &mut n).unwrap_err(),
+                chase_fixpoint_delta_parallel(&source, &tgds, &plan, &mut n).unwrap_err(),
+            ] {
+                assert!(matches!(err, FixpointError::InvalidCert { .. }), "{err}");
+            }
+            assert_eq!(n.len(), 0, "no null may be interned before rejection");
+        }
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub enum FixpointError {
         /// pair and the relation or function they share.
         reason: String,
     },
+    /// The engine rejected the plan's dataflow certificate: a statement
+    /// claimed dead can fire from the populated relations, or a relation
+    /// claimed ground can receive a null (both recomputed from the actual
+    /// source instance and tgd list — see [`crate::cert`]).
+    InvalidCert {
+        /// Which claim failed verification.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FixpointError {
@@ -102,6 +110,9 @@ impl fmt::Display for FixpointError {
             }
             FixpointError::InvalidSchedule { reason } => {
                 write!(f, "invalid parallel schedule: {reason}")
+            }
+            FixpointError::InvalidCert { reason } => {
+                write!(f, "invalid dataflow certificate: {reason}")
             }
         }
     }
@@ -162,6 +173,22 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
             diagnosis: plan.diagnosis.clone(),
         });
     }
+    // Dataflow certificate: re-verified against the actual source and tgd
+    // list before it is believed (see `crate::cert`). A verified dead
+    // statement can never match, so skipping it each round is exact.
+    let mut dead = std::collections::BTreeSet::new();
+    if let Some(cert) = &plan.cert {
+        if let Err(e) = crate::cert::verify_dataflow_cert(source, tgds, cert) {
+            obs.chase_end(0, 0, "refused");
+            return Err(e);
+        }
+        obs.dataflow_cert(cert.dead.len(), cert.ground.len());
+        dead = cert.dead.clone();
+    }
+    // Dense skip mask: the round loop probes it once per statement, so
+    // the probe must be O(1) — a dead-heavy program would otherwise spend
+    // its savings on `BTreeSet` lookups.
+    let dead_mask: Vec<bool> = (0..tgds.len()).map(|i| dead.contains(&i)).collect();
 
     // The single growing state of the chase: one tuple index whose store
     // holds every committed fact. Dedup, the budget check and the final
@@ -191,6 +218,10 @@ pub fn chase_fixpoint_with<O: ChaseObserver>(
         let mut head_buf: Vec<Value> = Vec::new();
         let matcher = Matcher::over(&index);
         for &si in &order {
+            if dead_mask[si] {
+                obs.statement_skipped(rounds, si);
+                continue;
+            }
             let mut sr = StmtRound {
                 round: rounds,
                 stmt: si,

@@ -23,6 +23,10 @@
 //!   scoped worker threads ([`config::ChaseConfig`], `NDL_CHASE_THREADS`)
 //!   while staying bit-identical to [`fixpoint`] — the schedule is a
 //!   verified certificate, not a trusted input;
+//! - [`cert`] — dataflow certificates ([`DataflowCert`]): dead statements
+//!   and null-free relations claimed by the analyzer, re-verified by
+//!   every fixpoint engine against its actual inputs before dead
+//!   statements are skipped;
 //! - [`trigger`] — the shared conjunctive-query matching primitive;
 //! - [`null`] — labeled nulls in bijection with ground Skolem terms.
 //!
@@ -31,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cert;
 pub mod config;
 pub mod delta;
 pub mod egd;
@@ -43,6 +48,7 @@ pub mod so;
 pub mod st;
 pub mod trigger;
 
+pub use cert::{dataflow_facts, verify_dataflow_cert, DataflowCert, DataflowFacts};
 pub use config::ChaseConfig;
 pub use delta::{
     chase_fixpoint_delta, chase_fixpoint_delta_parallel, chase_fixpoint_delta_parallel_with,

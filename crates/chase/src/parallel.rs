@@ -12,7 +12,7 @@
 //!
 //! 1. **The match phase is read-only.** Workers enumerate body matches
 //!    against the round-start [`TupleIndex`] and evaluate equality gates
-//!    through the non-interning [`probe_term`] — probe *equality* is
+//!    through the non-interning `probe_term` — probe *equality* is
 //!    independent of the null-factory state, so a stale snapshot decides
 //!    every gate exactly as the sequential engine would.
 //! 2. **Resolution replays sequentially.** Fired bindings are resolved —
@@ -360,6 +360,30 @@ pub fn chase_fixpoint_parallel_with<O: ChaseObserver>(
         obs.chase_end(0, 0, "refused");
         return Err(e);
     }
+    // The dataflow certificate is checked after the schedule and against
+    // the *original* stages; only then are verified-dead statements
+    // filtered out. A stage emptied by the filter is skipped outright (no
+    // `stage_end`), but surviving stages keep their original indices.
+    let mut dead = BTreeSet::new();
+    if let Some(cert) = &plan.cert {
+        if let Err(e) = crate::cert::verify_dataflow_cert(source, tgds, cert) {
+            obs.chase_end(0, 0, "refused");
+            return Err(e);
+        }
+        obs.dataflow_cert(cert.dead.len(), cert.ground.len());
+        dead = cert.dead.clone();
+    }
+    let live_stages: Vec<Vec<usize>> = schedule
+        .stages
+        .iter()
+        .map(|stage| {
+            stage
+                .iter()
+                .copied()
+                .filter(|si| !dead.contains(si))
+                .collect()
+        })
+        .collect();
 
     let cfg = ChaseConfig::global();
     let cap = plan.predicted_tuples(source.len());
@@ -379,7 +403,17 @@ pub fn chase_fixpoint_parallel_with<O: ChaseObserver>(
         // the round, ordered, committed only at round end.
         let mut fresh: BTreeSet<Fact> = BTreeSet::new();
         let mut head_buf: Vec<Value> = Vec::new();
-        for (stage_idx, stage) in schedule.stages.iter().enumerate() {
+        for (stage_idx, stage) in live_stages.iter().enumerate() {
+            if !dead.is_empty() {
+                for &si in &schedule.stages[stage_idx] {
+                    if dead.contains(&si) {
+                        obs.statement_skipped(rounds, si);
+                    }
+                }
+            }
+            if stage.is_empty() {
+                continue;
+            }
             let stage_t = O::ENABLED.then(Instant::now);
             let workers = cfg.effective_threads(stage.len(), committed);
             // Phase 1 — concurrent, read-only: enumerate and gate every

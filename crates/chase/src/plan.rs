@@ -85,6 +85,11 @@ pub struct ChasePlan {
     /// analyzer computed one. `None` means: no schedule was derived; the
     /// parallel engine falls back to deriving its own from the program.
     pub schedule: Option<ParallelSchedule>,
+    /// Dataflow certificate (dead statements, null-free relations), when
+    /// the analyzer derived one. Engines verify it against their actual
+    /// inputs before exploiting it — see [`crate::cert`]. `None` means:
+    /// no claims, nothing to verify or skip.
+    pub cert: Option<crate::cert::DataflowCert>,
 }
 
 impl ChasePlan {
@@ -98,6 +103,7 @@ impl ChasePlan {
             step_budget: None,
             diagnosis: None,
             schedule: None,
+            cert: None,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Instances: finite relations over constants and labeled nulls.
 //!
 //! An [`Instance`] is a thin wrapper around the arena-backed columnar
-//! [`FactStore`](crate::store::FactStore): O(1) hashed dedup on insert, an
+//! [`FactStore`]: O(1) hashed dedup on insert, an
 //! O(1) cached fact count, and borrowed [`FactRef`] tuple views instead of
 //! per-fact `Vec` clones at API boundaries. Deterministic iteration order
 //! is preserved from the original B-tree layout: [`Instance::facts`],

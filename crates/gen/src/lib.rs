@@ -18,5 +18,5 @@ pub use instances::{
     abstract_subpattern, cycle, disjoint_pairs, grid, random_instance, random_target_instance,
     successor, successor_with_zero, InstanceGenOptions, TargetGenOptions,
 };
-pub use programs::{random_program, ProgramGenOptions};
+pub use programs::{random_program, random_program_with_dead_code, ProgramGenOptions};
 pub use tgds::{random_nested_tgd, TgdGenOptions};

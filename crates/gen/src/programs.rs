@@ -104,6 +104,47 @@ pub fn random_program(opts: &ProgramGenOptions) -> String {
     out
 }
 
+/// Like [`random_program`], but guaranteed to contain statements a
+/// whole-mapping dataflow analysis can prove dead. On top of the base
+/// program it appends one unconditional fact (so the source set is
+/// *known* rather than assumed from read/write sets) and `dead` extra
+/// tgds whose bodies read orphan relations `Z0..Z{dead}` that no fact
+/// or statement head ever populates — those statements can never fire
+/// in any chase from the generated facts. Interleaved with them are a
+/// few existential-free copy rules over the `R` pool, so the programs
+/// also exercise ground (null-free) relation detection.
+pub fn random_program_with_dead_code(opts: &ProgramGenOptions, dead: usize) -> String {
+    let mut out = random_program(opts);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let m = opts.relations.max(2);
+    // Known sources: without at least one fact the analyzer falls back to
+    // assumed sources and refuses to call anything dead.
+    let _ = writeln!(out, "fact: R0(c0, c1)");
+    for d in 0..dead {
+        let j = rng.gen_range(0..m);
+        match rng.gen_range(0..3) {
+            0 => {
+                let _ = writeln!(out, "Z{d}(x,y) -> R{j}(x,y)");
+            }
+            1 => {
+                // Dead despite the live conjunct: Z{d} is never populated.
+                let k = rng.gen_range(0..m);
+                let _ = writeln!(out, "Z{d}(x,y) & R{k}(y,z) -> R{j}(x,z)");
+            }
+            _ => {
+                let _ = writeln!(out, "Z{d}(x,y) -> exists w R{j}(y,w)");
+            }
+        }
+        if rng.gen_bool(0.5) {
+            // Existential-free rule: keeps its head ground when its body is.
+            let i = rng.gen_range(0..m);
+            let j = rng.gen_range(0..m);
+            let _ = writeln!(out, "R{i}(x,y) -> R{j}(y,x)");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +176,25 @@ mod tests {
             .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
             .count();
         assert_eq!(stmts, 40);
+    }
+
+    #[test]
+    fn dead_code_generator_emits_orphan_reads_and_a_fact() {
+        let opts = ProgramGenOptions {
+            seed: 11,
+            ..Default::default()
+        };
+        let text = random_program_with_dead_code(&opts, 4);
+        assert_eq!(text, random_program_with_dead_code(&opts, 4));
+        assert!(text.contains("fact: R0(c0, c1)"));
+        for d in 0..4 {
+            let orphan = format!("Z{d}(");
+            // Each orphan relation is read exactly once (its dead
+            // statement) and never written by any head.
+            assert_eq!(text.matches(&orphan).count(), 1, "missing {orphan}");
+            assert!(!text.contains(&format!("-> Z{d}(")));
+            assert!(!text.contains(&format!("fact: Z{d}(")));
+        }
     }
 
     #[test]

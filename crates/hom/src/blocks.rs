@@ -4,6 +4,7 @@
 
 use crate::graph::FactGraph;
 use ndl_core::prelude::*;
+use std::collections::BTreeSet;
 
 /// The f-blocks of `inst`: connected components of its fact graph, as
 /// subinstances. Ground facts form singleton blocks.
@@ -23,9 +24,37 @@ pub fn f_blocks(inst: &Instance) -> Vec<Instance> {
 /// so the core engine decomposes through this instead of materializing a
 /// singleton [`Instance`] per ground fact of a large, mostly-ground target.
 pub fn null_blocks(inst: &Instance) -> Vec<Instance> {
+    null_blocks_with_ground(inst, &BTreeSet::new())
+}
+
+/// [`null_blocks`] with a set of relations externally certified null-free
+/// — e.g. the `ground` set of a verified dataflow certificate (see
+/// `ndl-chase`'s `DataflowCert`). Facts of those relations are dismissed
+/// by a relation-id lookup instead of an argument scan, so on large,
+/// mostly-ground targets the union-find only ever touches facts that can
+/// carry nulls. Output is identical to [`null_blocks`] whenever the set
+/// is truthful; a lying set is caught by a debug assertion.
+pub fn null_blocks_with_ground(inst: &Instance, ground: &BTreeSet<RelId>) -> Vec<Instance> {
+    // Dense mask: the ground probe runs once per fact, so it must not cost
+    // a `BTreeSet` walk — that would eat the savings on wide relations.
+    let mask_len = ground.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+    let mut ground_mask = vec![false; mask_len];
+    for r in ground {
+        ground_mask[r.index()] = true;
+    }
     let facts: Vec<FactRef<'_>> = inst
         .facts()
-        .filter(|f| f.args.iter().any(|v| matches!(v, Value::Null(_))))
+        .filter(|f| {
+            if f.rel.index() < mask_len && ground_mask[f.rel.index()] {
+                debug_assert!(
+                    f.args.iter().all(|v| !matches!(v, Value::Null(_))),
+                    "relation {:?} certified ground but carries a null",
+                    f.rel
+                );
+                return false;
+            }
+            f.args.iter().any(|v| matches!(v, Value::Null(_)))
+        })
         .collect();
     // Union-find over the null facts, merging through each null's first
     // carrier.
@@ -142,6 +171,31 @@ mod tests {
         assert_eq!(b.len(), 1);
         assert!(b.nulls().contains(&NullId(8)));
         assert!(block_of_null(&inst, NullId(99)).is_none());
+    }
+
+    #[test]
+    fn ground_hint_leaves_blocks_unchanged() {
+        let mut syms = SymbolTable::new();
+        let r = syms.rel("R");
+        let g = syms.rel("G");
+        let a = Value::Const(syms.constant("a"));
+        let b = Value::Const(syms.constant("b"));
+        let mut inst = Instance::from_facts([
+            Fact::new(r, vec![null(0), null(1)]),
+            Fact::new(r, vec![null(1), null(2)]),
+            Fact::new(r, vec![null(5), a]),
+        ]);
+        // A large certified-ground relation the scan should dismiss by id.
+        for i in 0..50 {
+            inst.insert(Fact::new(
+                g,
+                vec![a, Value::Const(syms.constant(&format!("c{i}")))],
+            ));
+        }
+        inst.insert(Fact::new(r, vec![a, b]));
+        let hinted = null_blocks_with_ground(&inst, &BTreeSet::from([g]));
+        assert_eq!(hinted, null_blocks(&inst));
+        assert_eq!(hinted.len(), 2);
     }
 
     #[test]

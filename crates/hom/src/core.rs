@@ -22,7 +22,7 @@
 //! are applied smallest-null-first, so results are identical to the
 //! sequential engine.
 
-use crate::blocks::null_blocks;
+use crate::blocks::{null_blocks, null_blocks_with_ground};
 use crate::config::HomConfig;
 use crate::hom::{apply_value, homomorphic, solve_block, HomMap};
 use ndl_core::prelude::*;
@@ -40,7 +40,27 @@ pub fn core_of(inst: &Instance) -> Instance {
 /// block searches, backtracks, worker dispatches). With [`NoopObserver`]
 /// this compiles to the uninstrumented engine.
 pub fn core_of_observed<O: HomObserver>(inst: &Instance, obs: &O) -> Instance {
-    CoreEngine::new(inst, obs).run().0
+    CoreEngine::new(inst, &BTreeSet::new(), obs).run().0
+}
+
+/// [`core_of`] with a set of relations externally certified null-free
+/// (e.g. the `ground` set of a verified dataflow certificate): the
+/// engine's initial block scan dismisses their facts by relation-id
+/// lookup instead of scanning every argument for nulls. The result is
+/// identical to [`core_of`] — ground facts are inert in retraction either
+/// way — but the setup cost on mostly-ground instances drops to the
+/// null-carrying fringe.
+pub fn core_of_assuming_ground(inst: &Instance, ground: &BTreeSet<RelId>) -> Instance {
+    core_of_assuming_ground_observed(inst, ground, &NoopObserver)
+}
+
+/// [`core_of_assuming_ground`] reporting its work to a [`HomObserver`].
+pub fn core_of_assuming_ground_observed<O: HomObserver>(
+    inst: &Instance,
+    ground: &BTreeSet<RelId>,
+    obs: &O,
+) -> Instance {
+    CoreEngine::new(inst, ground, obs).run().0
 }
 
 /// Computes the core of `inst` together with its f-blocks, reusing the
@@ -55,7 +75,7 @@ pub fn core_and_blocks_observed<O: HomObserver>(
     inst: &Instance,
     obs: &O,
 ) -> (Instance, Vec<Instance>) {
-    let (core, mut blocks) = CoreEngine::new(inst, obs).run();
+    let (core, mut blocks) = CoreEngine::new(inst, &BTreeSet::new(), obs).run();
     // The engine tracks only null-carrying blocks (ground facts are inert
     // in retraction); reconstitute the singleton ground blocks that
     // `f_blocks` reports, then match its order (components by smallest
@@ -175,7 +195,7 @@ struct CoreEngine<'o, O: HomObserver> {
 }
 
 impl<'o, O: HomObserver> CoreEngine<'o, O> {
-    fn new(inst: &Instance, obs: &'o O) -> CoreEngine<'o, O> {
+    fn new(inst: &Instance, ground: &BTreeSet<RelId>, obs: &'o O) -> CoreEngine<'o, O> {
         let index = TupleIndex::from_instance(inst);
         let mut engine = CoreEngine {
             index,
@@ -184,7 +204,7 @@ impl<'o, O: HomObserver> CoreEngine<'o, O> {
             dirty: BTreeSet::new(),
             obs,
         };
-        for block in null_blocks(inst) {
+        for block in null_blocks_with_ground(inst, ground) {
             engine.add_block(block);
         }
         engine
@@ -451,6 +471,34 @@ mod tests {
             core_f_block_size(&inst),
             blocks.iter().map(Instance::len).max().unwrap()
         );
+    }
+
+    #[test]
+    fn ground_hint_core_is_identical() {
+        let (mut syms, r) = rel();
+        let g = syms.rel("G");
+        let a = Value::Const(syms.constant("a"));
+        // A folding even cycle plus a redundant null fact, over a large
+        // certified-ground relation the initial scan can dismiss by id.
+        let mut inst = Instance::new();
+        for i in 0..4u32 {
+            let j = (i + 1) % 4;
+            inst.insert(Fact::new(r, vec![null(i), null(j)]));
+            inst.insert(Fact::new(r, vec![null(j), null(i)]));
+        }
+        inst.insert(Fact::new(r, vec![a, null(9)]));
+        inst.insert(Fact::new(r, vec![a, a]));
+        for i in 0..40 {
+            inst.insert(Fact::new(
+                g,
+                vec![a, Value::Const(syms.constant(&format!("c{i}")))],
+            ));
+        }
+        let hinted = core_of_assuming_ground(&inst, &BTreeSet::from([g]));
+        assert_eq!(hinted, core_of(&inst));
+        assert!(verify_core(&hinted, &inst));
+        // An empty hint is exactly `core_of`.
+        assert_eq!(core_of_assuming_ground(&inst, &BTreeSet::new()), hinted);
     }
 
     #[test]

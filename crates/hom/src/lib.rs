@@ -32,11 +32,13 @@ pub mod hom;
 pub mod paths;
 pub mod scan;
 
-pub use blocks::{block_of_null, f_block_size, f_blocks, f_degree, null_blocks};
+pub use blocks::{
+    block_of_null, f_block_size, f_blocks, f_degree, null_blocks, null_blocks_with_ground,
+};
 pub use config::HomConfig;
 pub use core::{
-    core_and_blocks, core_and_blocks_observed, core_f_block_size, core_of, core_of_observed,
-    is_core, is_core_observed, verify_core,
+    core_and_blocks, core_and_blocks_observed, core_f_block_size, core_of, core_of_assuming_ground,
+    core_of_assuming_ground_observed, core_of_observed, is_core, is_core_observed, verify_core,
 };
 pub use graph::{FactGraph, IncidenceGraph, NullGraph};
 pub use hom::{

@@ -50,6 +50,21 @@ pub trait ChaseObserver {
         let _ = (statements, source_facts);
     }
 
+    /// The engine verified the plan's dataflow certificate: `dead`
+    /// statements will be skipped every round and `ground` relations are
+    /// provably null-free. Emitted once, between
+    /// [`ChaseObserver::chase_start`] and the first round; never emitted
+    /// for plans without a certificate.
+    fn dataflow_cert(&mut self, dead: usize, ground: usize) {
+        let _ = (dead, ground);
+    }
+
+    /// A certified-dead statement was skipped without matching (one call
+    /// per statement per round).
+    fn statement_skipped(&mut self, round: usize, stmt: usize) {
+        let _ = (round, stmt);
+    }
+
     /// A round begins (rounds are 1-based).
     fn round_start(&mut self, round: usize) {
         let _ = round;
@@ -170,6 +185,14 @@ impl<O: ChaseObserver> ChaseObserver for &mut O {
         (**self).chase_start(statements, source_facts);
     }
 
+    fn dataflow_cert(&mut self, dead: usize, ground: usize) {
+        (**self).dataflow_cert(dead, ground);
+    }
+
+    fn statement_skipped(&mut self, round: usize, stmt: usize) {
+        (**self).statement_skipped(round, stmt);
+    }
+
     fn round_start(&mut self, round: usize) {
         (**self).round_start(round);
     }
@@ -246,6 +269,16 @@ impl<A: ChaseObserver, B: ChaseObserver> ChaseObserver for (A, B) {
     fn chase_start(&mut self, statements: usize, source_facts: usize) {
         self.0.chase_start(statements, source_facts);
         self.1.chase_start(statements, source_facts);
+    }
+
+    fn dataflow_cert(&mut self, dead: usize, ground: usize) {
+        self.0.dataflow_cert(dead, ground);
+        self.1.dataflow_cert(dead, ground);
+    }
+
+    fn statement_skipped(&mut self, round: usize, stmt: usize) {
+        self.0.statement_skipped(round, stmt);
+        self.1.statement_skipped(round, stmt);
     }
 
     fn round_start(&mut self, round: usize) {

@@ -72,6 +72,14 @@ pub struct ChaseStats {
     pub dedup_hits: u64,
     /// Total labeled nulls interned.
     pub nulls_interned: u64,
+    /// Statements the plan's verified dataflow certificate declared dead
+    /// (0 for plans without a certificate).
+    pub dead_statements: u64,
+    /// Relations the certificate declared provably null-free.
+    pub ground_relations: u64,
+    /// Statement firings skipped because the statement was certified dead
+    /// (one per dead statement per round).
+    pub skipped_firings: u64,
     /// Final counters of the engine's fact store (all zero when the
     /// engine refused to run). Zeroed by [`ChaseStats::redact_timings`]:
     /// like timings, they describe the storage layer rather than the
@@ -132,6 +140,15 @@ impl ChaseObserver for ChaseStats {
         self.stmt_mut(statements.saturating_sub(1));
         self.statements.truncate(statements);
         self.source_facts = source_facts as u64;
+    }
+
+    fn dataflow_cert(&mut self, dead: usize, ground: usize) {
+        self.dead_statements = dead as u64;
+        self.ground_relations = ground as u64;
+    }
+
+    fn statement_skipped(&mut self, _round: usize, _stmt: usize) {
+        self.skipped_firings += 1;
     }
 
     fn statement(&mut self, sr: &StmtRound) {
@@ -334,6 +351,14 @@ impl ChaseObserver for Stats {
         self.chase.chase_start(statements, source_facts);
     }
 
+    fn dataflow_cert(&mut self, dead: usize, ground: usize) {
+        self.chase.dataflow_cert(dead, ground);
+    }
+
+    fn statement_skipped(&mut self, round: usize, stmt: usize) {
+        self.chase.statement_skipped(round, stmt);
+    }
+
     fn round_start(&mut self, round: usize) {
         self.chase.round_start(round);
     }
@@ -468,6 +493,22 @@ mod tests {
         let json = redacted.to_json();
         assert!(json.contains("\"triggers_examined\": 8"));
         assert!(json.contains("\"outcome\": \"fixpoint\""));
+    }
+
+    #[test]
+    fn dataflow_cert_and_skips_are_counted() {
+        let mut st = ChaseStats::new();
+        st.chase_start(3, 1);
+        st.dataflow_cert(2, 4);
+        st.statement_skipped(1, 0);
+        st.statement_skipped(1, 2);
+        st.statement_skipped(2, 0);
+        assert_eq!(st.dead_statements, 2);
+        assert_eq!(st.ground_relations, 4);
+        assert_eq!(st.skipped_firings, 3);
+        let json = st.to_json();
+        assert!(json.contains("\"dead_statements\": 2"));
+        assert!(json.contains("\"skipped_firings\": 3"));
     }
 
     #[test]

@@ -61,6 +61,18 @@ impl<W: Write> ChaseObserver for JsonlTracer<W> {
         ));
     }
 
+    fn dataflow_cert(&mut self, dead: usize, ground: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"dataflow_cert\",\"dead\":{dead},\"ground\":{ground}}}"
+        ));
+    }
+
+    fn statement_skipped(&mut self, round: usize, stmt: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"statement_skipped\",\"round\":{round},\"stmt\":{stmt}}}"
+        ));
+    }
+
     fn round_start(&mut self, round: usize) {
         self.emit(&format!("{{\"event\":\"round_start\",\"round\":{round}}}"));
     }
@@ -129,6 +141,8 @@ mod tests {
     fn traces_one_json_object_per_event() {
         let mut t = JsonlTracer::new(Vec::new());
         t.chase_start(2, 3);
+        t.dataflow_cert(1, 2);
+        t.statement_skipped(1, 1);
         t.round_start(1);
         t.round_delta(1, 3);
         t.statement(&StmtRound {
@@ -145,22 +159,24 @@ mod tests {
         t.statement_shards(1, 0, &[5, 4]);
         t.round_end(1, 2, 0);
         t.chase_end(2, 2, "fixpoint");
-        assert_eq!(t.events(), 7);
+        assert_eq!(t.events(), 9);
         assert_eq!(t.io_errors(), 0);
         let text = String::from_utf8(t.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 7);
+        assert_eq!(lines.len(), 9);
         // Every line parses as a JSON object with an "event" key.
         for line in &lines {
             let v: serde::Value = serde_json::from_str(line).unwrap();
             let obj = v.as_object().expect("object");
             assert!(obj.iter().any(|(k, _)| k == "event"), "{line}");
         }
-        assert!(lines[2].contains("\"frontier\":3"));
-        assert!(lines[3].contains("\"examined\":4"));
-        assert!(lines[3].contains("\"touched\":9"));
-        assert!(lines[4].contains("\"touched\":[5,4]"));
-        assert!(lines[6].contains("\"outcome\":\"fixpoint\""));
+        assert!(lines[1].contains("\"dead\":1"));
+        assert!(lines[2].contains("\"statement_skipped\""));
+        assert!(lines[4].contains("\"frontier\":3"));
+        assert!(lines[5].contains("\"examined\":4"));
+        assert!(lines[5].contains("\"touched\":9"));
+        assert!(lines[6].contains("\"touched\":[5,4]"));
+        assert!(lines[8].contains("\"outcome\":\"fixpoint\""));
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! ndl parse    (--nested|--st|--so|--egd) "<dependency>"
-//! ndl lint     <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
-//! ndl analyze  <file> [--json|--dot[=positions|conflicts]|--schedule [--json]] [--stats]
+//! ndl lint     <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N] [--max-findings N]
+//! ndl analyze  <file> [--json|--dot[=positions|conflicts|dataflow]|--schedule [--json]|--dataflow [--json]] [--stats]
 //! ndl skolemize "<nested tgd>"
-//! ndl chase    <file> [--delta|--no-delta] [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
+//! ndl chase    <file> [--delta|--no-delta] [--parallel] [--no-cert] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
 //! ndl chase    --tgd "<nested tgd>"... --fact "R(a,b)"... [--egd "<egd>"...] [--core]
 //! ndl implies  --premise "<tgd>"... [--egd "<egd>"...] --conclusion "<tgd>"
 //! ndl equiv    --left "<tgd>"... --right "<tgd>"... [--egd "<egd>"...]
@@ -16,14 +16,19 @@
 //!
 //! All dependencies use the library's text syntax (see the README).
 //! `lint` exits with the number of error- and warning-severity diagnostics
-//! (capped at 100), so `ndl lint file && deploy` gates on a clean program.
+//! (capped at `--max-findings`, default 100), so `ndl lint file && deploy`
+//! gates on a clean program.
 //! `analyze` prints the semantic report for a program — position/Skolem
 //! graphs, chase-termination class and cost bounds — as a human summary,
 //! machine-readable JSON (`--json`) or Graphviz DOT (`--dot`, or
 //! `--dot=positions`; `--dot=conflicts` renders the statement conflict
-//! graph instead). `analyze --schedule` prints the parallel-schedule
+//! graph, `--dot=dataflow` the relation-level dataflow graph).
+//! `analyze --schedule` prints the parallel-schedule
 //! report — conflict-free stages, width, conflict edges — as a summary or,
-//! with `--json`, the machine-readable `ScheduleReport`.
+//! with `--json`, the machine-readable `ScheduleReport`; `analyze
+//! --dataflow` prints the whole-mapping dataflow report — sources,
+//! reachability, dead statements, ground relations, position provenance —
+//! as a summary or, with `--json`, the machine-readable `DataflowSummary`.
 //!
 //! `chase <file>` runs the **planned fixpoint chase** of a program file end
 //! to end: tgd statements become the chase program, `fact:` statements the
@@ -76,10 +81,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ndl parse (--nested|--st|--so|--egd) \"<dependency>\"
-  ndl lint <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N]
-  ndl analyze <file> [--json|--dot[=positions|conflicts]|--schedule [--json]] [--stats]
+  ndl lint <file> [--json] [--stats] [--max-depth N] [--max-skolem-arity N] [--max-findings N]
+  ndl analyze <file> [--json|--dot[=positions|conflicts|dataflow]|--schedule [--json]|--dataflow [--json]] [--stats]
   ndl skolemize \"<nested tgd>\"
-  ndl chase <file> [--delta|--no-delta] [--parallel] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
+  ndl chase <file> [--delta|--no-delta] [--parallel] [--no-cert] [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]
   ndl chase --tgd \"<tgd>\"... --fact \"R(a,b)\"... [--egd \"<egd>\"...] [--core]
   ndl implies --premise \"<tgd>\"... [--egd \"<egd>\"...] --conclusion \"<tgd>\"
   ndl equiv --left \"<tgd>\"... --right \"<tgd>\"... [--egd \"<egd>\"...]
@@ -188,10 +193,13 @@ fn run(args: &[String]) -> std::result::Result<ExitCode, String> {
     }
 }
 
-/// `ndl lint <file> [--json] [--max-depth N] [--max-skolem-arity N]`
+/// `ndl lint <file> [--json] [--max-depth N] [--max-skolem-arity N]
+/// [--max-findings N]`
 ///
-/// Exit code is the number of error/warning diagnostics, capped at 100 —
-/// zero exactly when the program is clean (info findings don't fail).
+/// Exit code is the number of error/warning diagnostics, capped at
+/// `--max-findings` (default 100, hard ceiling 100 so the code never
+/// collides with 101, the tool-failure code) — zero exactly when the
+/// program is clean (info findings don't fail).
 fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<ExitCode, String> {
     let path = args
         .iter()
@@ -199,11 +207,12 @@ fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<Exit
             !a.starts_with("--")
                 && flag_values(args, "--max-depth").first() != Some(&a.as_str())
                 && flag_values(args, "--max-skolem-arity").first() != Some(&a.as_str())
+                && flag_values(args, "--max-findings").first() != Some(&a.as_str())
         })
         .ok_or("missing program file")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut opts = LintOptions::default();
-    for flag in ["--max-depth", "--max-skolem-arity"] {
+    for flag in ["--max-depth", "--max-skolem-arity", "--max-findings"] {
         if has_flag(args, flag) && flag_values(args, flag).is_empty() {
             return Err(format!("{flag} requires a value"));
         }
@@ -216,6 +225,13 @@ fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<Exit
             .parse()
             .map_err(|_| format!("bad --max-skolem-arity {v:?}"))?;
     }
+    let max_findings: usize = match flag_values(args, "--max-findings").first() {
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("bad --max-findings {v:?}"))?;
+            n.min(100)
+        }
+        None => 100,
+    };
     let started = Instant::now();
     let diags = lint_source(syms, &src, &opts);
     if has_flag(args, "--stats") {
@@ -236,7 +252,7 @@ fn cmd_lint(syms: &mut SymbolTable, args: &[String]) -> std::result::Result<Exit
         .iter()
         .filter(|d| d.severity >= Severity::Warning)
         .count();
-    Ok(ExitCode::from(failing.min(100) as u8))
+    Ok(ExitCode::from(failing.min(max_findings) as u8))
 }
 
 /// `ndl analyze <file> [--json|--dot[=positions|conflicts]|--schedule]`
@@ -270,9 +286,10 @@ fn cmd_analyze(syms: &mut SymbolTable, args: &[String]) -> CliResult {
         match mode {
             "" | "positions" => print!("{}", analysis.to_dot(syms)),
             "conflicts" => print!("{}", analysis.conflict_dot(syms)),
+            "dataflow" => print!("{}", analysis.dataflow_dot(syms)),
             other => {
                 return Err(format!(
-                    "unknown --dot mode {other:?} (expected positions or conflicts)"
+                    "unknown --dot mode {other:?} (expected positions, conflicts or dataflow)"
                 ))
             }
         }
@@ -280,6 +297,15 @@ fn cmd_analyze(syms: &mut SymbolTable, args: &[String]) -> CliResult {
     }
     if has_flag(args, "--schedule") {
         let report = analysis.schedule_report(syms);
+        if has_flag(args, "--json") {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
+        return Ok(());
+    }
+    if has_flag(args, "--dataflow") {
+        let report = analysis.dataflow_summary(syms);
         if has_flag(args, "--json") {
             print!("{}", report.to_json());
         } else {
@@ -435,9 +461,9 @@ fn cmd_chase(syms: &mut SymbolTable, args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `ndl chase <file> [--delta|--no-delta] [--parallel] [--stats]
-/// [--no-timings] [--trace <out.jsonl>] [--budget N]` — the planned
-/// fixpoint chase of a program file.
+/// `ndl chase <file> [--delta|--no-delta] [--parallel] [--no-cert]
+/// [--stats] [--no-timings] [--trace <out.jsonl>] [--budget N]` — the
+/// planned fixpoint chase of a program file.
 ///
 /// Tgd statements form the chase program (Skolemized once, by the
 /// analyzer), `fact:` statements the source instance; egd statements are
@@ -485,7 +511,14 @@ fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliRes
         }
     };
     let tgds: Vec<SoTgd> = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
-    let plan = analysis.tgd_plan(budget);
+    let mut plan = analysis.tgd_plan(budget);
+    if has_flag(args, "--no-cert") {
+        // Drop the dataflow certificate: every engine then re-matches the
+        // dead statements each round. Output is bit-identical either way
+        // (the parity check in ci.sh diffs the two), so the flag exists
+        // for exactly that check and for timing the uncertified path.
+        plan.cert = None;
+    }
 
     let mut nulls = NullFactory::new();
     let mut stats = ChaseStats::new();
@@ -580,9 +613,11 @@ fn cmd_chase_file(syms: &mut SymbolTable, path: &str, args: &[String]) -> CliRes
         Err(e @ FixpointError::NonTerminating { .. }) => {
             Err(format!("{e}; re-run with --budget N to chase it anyway"))
         }
-        // The analyzer's schedule failed the engine's certificate check —
-        // an internal inconsistency, reported as a tool failure.
+        // The analyzer's schedule or dataflow certificate failed the
+        // engine's re-verification — an internal inconsistency, reported
+        // as a tool failure.
         Err(e @ FixpointError::InvalidSchedule { .. }) => Err(e.to_string()),
+        Err(e @ FixpointError::InvalidCert { .. }) => Err(e.to_string()),
     }
 }
 

@@ -63,27 +63,30 @@ pub use ndl_turing as turing;
 /// One-stop re-exports for applications.
 pub mod prelude {
     pub use ndl_analyze::{
-        lint_source, AnalysisReport, ChaseAnalysis, Diagnostic, LintOptions, Severity, Termination,
-        TerminationClass,
+        lint_source, AnalysisReport, ChaseAnalysis, DataflowAnalysis, DataflowSummary, Diagnostic,
+        LintOptions, Severity, Termination, TerminationClass,
     };
     pub use ndl_chase::{
         all_matches, chase_egds, chase_fixpoint, chase_fixpoint_delta,
         chase_fixpoint_delta_parallel, chase_fixpoint_delta_parallel_with,
         chase_fixpoint_delta_with, chase_fixpoint_parallel, chase_fixpoint_parallel_with,
         chase_fixpoint_with, chase_mapping, chase_nested, chase_nested_planned, chase_so, chase_st,
-        derive_schedule, satisfies_egds, statement_footprints, verify_schedule, Binding,
-        ChaseConfig, ChaseForest, ChasePlan, ChaseResult, EgdChase, EgdConflict, FixpointChase,
-        FixpointError, FixpointProgress, NullFactory, ParallelSchedule, Prepared, RigidPolicy,
-        StmtFootprint, Triggering,
+        dataflow_facts, derive_schedule, satisfies_egds, statement_footprints,
+        verify_dataflow_cert, verify_schedule, Binding, ChaseConfig, ChaseForest, ChasePlan,
+        ChaseResult, DataflowCert, EgdChase, EgdConflict, FixpointChase, FixpointError,
+        FixpointProgress, NullFactory, ParallelSchedule, Prepared, RigidPolicy, StmtFootprint,
+        Triggering,
     };
     pub use ndl_core::prelude::*;
     pub use ndl_gen::{
-        clio_scenario, cycle, grid, random_instance, random_nested_tgd, random_program, successor,
-        successor_with_zero, ClioScenario, InstanceGenOptions, ProgramGenOptions, TgdGenOptions,
+        clio_scenario, cycle, grid, random_instance, random_nested_tgd, random_program,
+        random_program_with_dead_code, successor, successor_with_zero, ClioScenario,
+        InstanceGenOptions, ProgramGenOptions, TgdGenOptions,
     };
     pub use ndl_hom::{
-        core_of, f_block_size, f_blocks, f_degree, find_homomorphism, hom_equivalent, homomorphic,
-        is_core, null_path_length, verify_core, FactGraph, HomMap, NullGraph,
+        core_of, core_of_assuming_ground, f_block_size, f_blocks, f_degree, find_homomorphism,
+        hom_equivalent, homomorphic, is_core, null_blocks, null_blocks_with_ground,
+        null_path_length, verify_core, FactGraph, HomMap, NullGraph,
     };
     pub use ndl_obs::{ChaseObserver, ChaseStats, HomObserver, HomStats, JsonlTracer, Stats};
     pub use ndl_reasoning::{

@@ -158,6 +158,57 @@ fn semantic_fixture_renders_the_note_chain_with_aligned_carets() {
 }
 
 #[test]
+fn dead_fixture_reports_the_dataflow_lints() {
+    let (code, diags) = lint_json("dead.ndl");
+    // Position-anchored findings first (the two dead statements, the D
+    // side-discipline error, the projection-only y), then the unanchored
+    // relation-role/schedule lints and the dataflow reports NDL041–NDL044.
+    assert_eq!(
+        codes(&diags),
+        [
+            "NDL040", "NDL006", "NDL040", "NDL017", "NDL031", "NDL031", "NDL031", "NDL032",
+            "NDL034", "NDL041", "NDL042", "NDL043", "NDL044",
+        ]
+    );
+    let dead: Vec<_> = diags.iter().filter(|d| d.code == "NDL040").collect();
+    assert_eq!(dead[0].severity, Severity::Warning);
+    assert_eq!(dead[0].statement, Some(1));
+    assert_eq!(dead[1].statement, Some(2));
+    // The whole dead statement is underlined.
+    assert_eq!(
+        dead[0].span.expect("statement span").len(),
+        "Z(x) -> D(x)".len()
+    );
+    let by_code = |c: &str| diags.iter().find(|d| d.code == c).expect(c);
+    assert!(by_code("NDL041").message.contains("relation D"));
+    assert!(by_code("NDL042").message.contains("relation V"));
+    assert!(by_code("NDL043").message.contains("S.2"));
+    assert!(by_code("NDL044").message.contains("null-free"));
+    // 1 error + 4 warnings.
+    assert_eq!(code, 5);
+}
+
+#[test]
+fn max_findings_caps_the_exit_code() {
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_ndl"))
+            .args(args)
+            .arg(fixture("dead.ndl"))
+            .output()
+            .expect("ndl runs")
+            .status
+            .code()
+            .expect("exit code")
+    };
+    // dead.ndl has 1 error + 4 warnings → exit 5 by default.
+    assert_eq!(run(&["lint"]), 5);
+    assert_eq!(run(&["lint", "--max-findings", "2"]), 2);
+    // The cap never raises the code, and 0 silences it entirely.
+    assert_eq!(run(&["lint", "--max-findings", "50"]), 5);
+    assert_eq!(run(&["lint", "--max-findings", "0"]), 0);
+}
+
+#[test]
 fn cli_json_matches_library_output() {
     for name in [
         "paper_running.ndl",
@@ -165,6 +216,7 @@ fn cli_json_matches_library_output() {
         "errors.ndl",
         "semantic.ndl",
         "subsumed.ndl",
+        "dead.ndl",
     ] {
         let (_, cli) = lint_json(name);
         let src = std::fs::read_to_string(fixture(name)).unwrap();

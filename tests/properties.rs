@@ -414,6 +414,93 @@ proptest! {
         prop_assert_eq!(r1, r2, "analysis reports must be deterministic");
     }
 
+    /// Certified dead-code elimination is invisible: on programs seeded
+    /// with provably dead statements, every engine's certified run is
+    /// bit-identical to the sequential uncertified baseline — same facts,
+    /// same `NullId`s, same round and derived counts — and budget
+    /// exhaustion/refusal outcomes agree too.
+    #[test]
+    fn certified_dead_code_elimination_is_bit_identical(
+        seed in 0u64..3_000,
+        n in 1usize..8,
+        dead in 1usize..5,
+        budget_raw in 0usize..30,
+    ) {
+        // 0 encodes "no budget" (the shim has no option strategy).
+        let budget = (budget_raw > 0).then_some(budget_raw);
+        let text = random_program_with_dead_code(
+            &ProgramGenOptions {
+                statements: n,
+                recursion_prob: 0.2,
+                fact_prob: 0.4,
+                seed,
+                ..Default::default()
+            },
+            dead,
+        );
+        let mut syms = SymbolTable::new();
+        let (analysis, errs) = ChaseAnalysis::analyze_source(&mut syms, &text);
+        prop_assert_eq!(errs, 0, "generator emits only valid statements:\n{}", text);
+        let (stmts, _) = nested_deps::analyze::parse_program(&mut syms, &text);
+        let mut source = Instance::new();
+        for s in &stmts {
+            if let Some(nested_deps::analyze::StmtAst::Fact(f)) = s.ast.as_ref() {
+                source.insert(f.clone());
+            }
+        }
+        let tgds: Vec<SoTgd> = analysis.so_tgds().into_iter().map(|(_, t)| t).collect();
+        let mut certified = analysis.tgd_plan(budget);
+        // Budget even "guaranteed" plans so exhaustion parity is exercised;
+        // a `None` budget on a non-guaranteed plan tests refusal parity.
+        certified.step_budget = budget;
+        let cert = certified.cert.clone().expect("tgd_plan attaches a cert");
+        prop_assert!(
+            !cert.dead.is_empty(),
+            "generator guarantees provably dead statements:\n{}",
+            text
+        );
+        let uncertified = ChasePlan { cert: None, ..certified.clone() };
+        type Engine = fn(
+            &Instance,
+            &[SoTgd],
+            &ChasePlan,
+            &mut NullFactory,
+        ) -> std::result::Result<FixpointChase, FixpointError>;
+        let engines: [(&str, Engine); 4] = [
+            ("fixpoint", chase_fixpoint),
+            ("parallel", chase_fixpoint_parallel),
+            ("delta", chase_fixpoint_delta),
+            ("delta-parallel", chase_fixpoint_delta_parallel),
+        ];
+        let mut base_nulls = NullFactory::new();
+        let baseline = chase_fixpoint(&source, &tgds, &uncertified, &mut base_nulls);
+        for (name, engine) in engines {
+            for (mode, plan) in [("certified", &certified), ("uncertified", &uncertified)] {
+                let mut nf = NullFactory::new();
+                match (engine(&source, &tgds, plan, &mut nf), &baseline) {
+                    (Ok(out), Ok(base)) => {
+                        prop_assert_eq!(
+                            &out.instance, &base.instance,
+                            "{} {} diverged on:\n{}", name, mode, text
+                        );
+                        prop_assert_eq!(out.rounds, base.rounds);
+                        prop_assert_eq!(out.derived, base.derived);
+                        prop_assert_eq!(nf.len(), base_nulls.len());
+                    }
+                    (Err(e), Err(b)) => prop_assert_eq!(
+                        e.to_string(), b.to_string(),
+                        "{} {} failed differently on:\n{}", name, mode, text
+                    ),
+                    (got, _) => prop_assert!(
+                        false,
+                        "{} {} outcome {:?} disagrees with baseline {:?} on:\n{}",
+                        name, mode, got.map(|o| o.derived), baseline.as_ref().map(|o| o.derived), text
+                    ),
+                }
+            }
+        }
+    }
+
     /// The termination classification is honest against a brute-force
     /// budgeted oblivious chase: richly acyclic programs reach their
     /// fixpoint within a generous budget, and whenever the budgeted chase
